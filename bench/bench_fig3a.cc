@@ -1,0 +1,109 @@
+// Reproduces Figure 3(a) of the paper: Voyager running time on the Engle
+// workstation (one CPU) for the simple/medium/complex tests under the
+// original implementation (O), single-thread GODIVA (G), and multi-thread
+// GODIVA (TG) — plus the §4.2 derived metrics (I/O volume reduction, I/O
+// time reduction, hidden-I/O fraction, total input-cost reduction).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/platform.h"
+#include "workloads/experiment.h"
+#include "workloads/report.h"
+#include "workloads/test_spec.h"
+#include "workloads/voyager.h"
+
+namespace godiva::bench {
+namespace {
+
+using workloads::AggregatedCell;
+using workloads::BarRow;
+using workloads::Experiment;
+using workloads::Variant;
+using workloads::VizTestSpec;
+
+int Run(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  auto experiment = Experiment::Create(flags.ToOptions());
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Figure 3(a): Voyager running time on Engle (1 CPU)\n");
+  PrintDatasetBanner(**experiment);
+
+  PlatformProfile engle = PlatformProfile::Engle();
+  const Variant kVariants[] = {Variant::kOriginal,
+                               Variant::kGodivaSingleThread,
+                               Variant::kGodivaMultiThread};
+  std::vector<BarRow> rows;
+  // cells[test][variant]
+  std::map<std::string, std::map<std::string, AggregatedCell>> cells;
+  for (const VizTestSpec& test : VizTestSpec::AllThree()) {
+    for (Variant variant : kVariants) {
+      auto cell = (*experiment)->RunCell(engle, test, variant);
+      if (!cell.ok()) {
+        std::fprintf(stderr, "cell failed: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      std::string label =
+          StrCat(test.name, "(", workloads::VariantName(variant), ")");
+      rows.push_back(BarRow{label, cell->computation_seconds,
+                            cell->visible_io_seconds});
+      cells[test.name][std::string(workloads::VariantName(variant))] =
+          *cell;
+    }
+  }
+  workloads::PrintFigure("Figure 3(a) — Engle workstation", rows);
+
+  // §4.2 derived metrics, paper values in comments/rows.
+  struct PaperRow {
+    const char* test;
+    double volume_reduction;
+    double io_time_reduction;
+    double hidden_fraction;
+    double total_input_reduction;
+  };
+  const PaperRow kPaper[] = {
+      {"simple", 14.0, 17.6, 24.7, 40.9},
+      {"medium", 24.0, 37.2, 33.1, 60.5},
+      {"complex", 16.0, 20.1, 37.8, 61.9},
+  };
+  workloads::PrintHeader("Derived metrics vs paper (§4.2, Engle)");
+  for (const PaperRow& paper : kPaper) {
+    const AggregatedCell& o = cells[paper.test]["O"];
+    const AggregatedCell& g = cells[paper.test]["G"];
+    const AggregatedCell& tg = cells[paper.test]["TG"];
+    workloads::PrintComparison(
+        StrCat("I/O volume reduction, ", paper.test),
+        paper.volume_reduction,
+        workloads::PercentReduction(
+            static_cast<double>(o.last.bytes_read),
+            static_cast<double>(g.last.bytes_read)));
+    workloads::PrintComparison(
+        StrCat("I/O time reduction (O vs G), ", paper.test),
+        paper.io_time_reduction,
+        workloads::PercentReduction(o.visible_io_seconds.mean,
+                                    g.visible_io_seconds.mean));
+    workloads::PrintComparison(
+        StrCat("I/O cost hidden (G vs TG), ", paper.test),
+        paper.hidden_fraction,
+        100.0 * (g.total_seconds.mean - tg.total_seconds.mean) /
+            g.visible_io_seconds.mean);
+    workloads::PrintComparison(
+        StrCat("total input cost reduction (O vs TG), ", paper.test),
+        paper.total_input_reduction,
+        100.0 * (o.total_seconds.mean - tg.total_seconds.mean) /
+            o.visible_io_seconds.mean);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace godiva::bench
+
+int main(int argc, char** argv) { return godiva::bench::Run(argc, argv); }

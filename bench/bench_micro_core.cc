@@ -1,0 +1,145 @@
+// google-benchmark micro-benchmarks for the GODIVA core: record-operation
+// and key-lookup costs (the in-memory database operations on the critical
+// path of every read function and every data-processing query).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+std::unique_ptr<Gbo> MakeDb() {
+  auto db = std::make_unique<Gbo>(GboOptions::SingleThread());
+  Status s = db->DefineField("id", DataType::kInt64, 8);
+  s = db->DefineField("payload", DataType::kFloat64, kUnknownSize);
+  s = db->DefineRecord("r", 1);
+  s = db->InsertField("r", "id", true);
+  s = db->InsertField("r", "payload", false);
+  s = db->CommitRecordType("r");
+  (void)s;
+  return db;
+}
+
+void InsertRecords(Gbo* db, int64_t count, int64_t payload_bytes) {
+  for (int64_t i = 0; i < count; ++i) {
+    Record* rec = *db->NewRecord("r");
+    std::memcpy(*rec->FieldBuffer("id"), &i, 8);
+    (void)*db->AllocFieldBuffer(rec, "payload", payload_bytes);
+    (void)db->CommitRecord(rec);
+  }
+}
+
+void BM_NewRecordCommit(benchmark::State& state) {
+  int64_t payload = state.range(0);
+  std::unique_ptr<Gbo> db = MakeDb();
+  int64_t i = 0;
+  for (auto _ : state) {
+    Record* rec = *db->NewRecord("r");
+    std::memcpy(*rec->FieldBuffer("id"), &i, 8);
+    benchmark::DoNotOptimize(*db->AllocFieldBuffer(rec, "payload", payload));
+    Status s = db->CommitRecord(rec);
+    benchmark::DoNotOptimize(s);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NewRecordCommit)->Arg(64)->Arg(8192)->Arg(65536);
+
+void BM_KeyLookup(benchmark::State& state) {
+  int64_t records = state.range(0);
+  std::unique_ptr<Gbo> db = MakeDb();
+  InsertRecords(db.get(), records, 64);
+  int64_t i = 0;
+  for (auto _ : state) {
+    int64_t key = i++ % records;
+    auto buffer = db->GetFieldBuffer("r", "payload", {KeyBytes(key)});
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyLookup)->Arg(100)->Arg(10000)->Arg(100000);
+
+void BM_KeyLookupMiss(benchmark::State& state) {
+  std::unique_ptr<Gbo> db = MakeDb();
+  InsertRecords(db.get(), 10000, 64);
+  int64_t missing = 1 << 30;
+  for (auto _ : state) {
+    auto buffer = db->GetFieldBuffer("r", "payload", {KeyBytes(missing)});
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyLookupMiss);
+
+void BM_FieldBufferByHandle(benchmark::State& state) {
+  // Direct buffer access through a record handle (what the processing
+  // loop does once per field per block).
+  std::unique_ptr<Gbo> db = MakeDb();
+  InsertRecords(db.get(), 1, 8192);
+  Record* rec = *db->FindRecord("r", {KeyBytes(int64_t{0})});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*rec->FieldBuffer("payload"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FieldBufferByHandle);
+
+void BM_WaitUnitCacheHit(benchmark::State& state) {
+  // WaitUnit on an already-resident unit: the interactive revisit path.
+  Gbo db(GboOptions::SingleThread());
+  Status s = db.DefineField("id", DataType::kInt64, 8);
+  s = db.DefineRecord("r", 1);
+  s = db.InsertField("r", "id", true);
+  s = db.CommitRecordType("r");
+  s = db.ReadUnit("u", [](Gbo* g, const std::string&) -> Status {
+    auto rec = g->NewRecord("r");
+    int64_t id = 1;
+    std::memcpy(*(*rec)->FieldBuffer("id"), &id, 8);
+    return g->CommitRecord(*rec);
+  });
+  (void)s;
+  for (auto _ : state) {
+    Status wait = db.WaitUnit("u");
+    benchmark::DoNotOptimize(wait);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaitUnitCacheHit);
+
+void BM_UnitRoundTrip(benchmark::State& state) {
+  // Full unit lifecycle: ReadUnit (foreground, n records) + DeleteUnit.
+  int64_t records = state.range(0);
+  std::unique_ptr<Gbo> db = MakeDb();
+  for (auto _ : state) {
+    Status s = db->ReadUnit(
+        "u", [records](Gbo* g, const std::string&) -> Status {
+          for (int64_t i = 0; i < records; ++i) {
+            GODIVA_ASSIGN_OR_RETURN(Record * rec, g->NewRecord("r"));
+            std::memcpy(*rec->FieldBuffer("id"), &i, 8);
+            GODIVA_RETURN_IF_ERROR(
+                g->AllocFieldBuffer(rec, "payload", 4096).status());
+            GODIVA_RETURN_IF_ERROR(g->CommitRecord(rec));
+          }
+          return Status::Ok();
+        });
+    benchmark::DoNotOptimize(s);
+    s = db->DeleteUnit("u");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_UnitRoundTrip)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace godiva
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Reproduces the paper's parallel experiment (§4.2): "a series of parallel
+// experiments on Turing using four Voyager processes", where Voyager
+// "partitions its workload between processors by assigning different
+// processors different snapshots to process" and "we expect the speedup
+// brought by GODIVA in parallel mode to be similar to that obtained in our
+// sequential mode tests ... this is confirmed".
+//
+// Each emulated process gets its own Turing node (own virtual CPUs and own
+// disk replica of the dataset) and a round-robin quarter of the snapshots.
+#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/status.h"
+#include "sim/platform.h"
+#include "workloads/experiment.h"
+#include "workloads/platform_runtime.h"
+#include "workloads/report.h"
+#include "workloads/test_spec.h"
+#include "workloads/voyager.h"
+
+namespace godiva::bench {
+namespace {
+
+using workloads::CellResult;
+using workloads::Experiment;
+using workloads::PlatformRuntime;
+using workloads::RunConfig;
+using workloads::Variant;
+using workloads::VizTestSpec;
+
+constexpr int kProcesses = 4;
+
+struct ParallelOutcome {
+  double makespan_seconds = 0;  // max process total (modeled)
+  double visible_io_seconds = 0;  // max process visible I/O
+};
+
+Result<ParallelOutcome> RunParallel(Experiment* experiment,
+                                    const VizTestSpec& test,
+                                    Variant variant) {
+  const mesh::DatasetSpec& spec = experiment->options().spec;
+  std::vector<std::unique_ptr<SimEnv>> envs;
+  for (int p = 0; p < kProcesses; ++p) {
+    envs.push_back(experiment->env()->Clone(SimEnv::Options{}));
+  }
+  std::vector<Result<CellResult>> results(kProcesses,
+                                          Result<CellResult>(CellResult{}));
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcesses; ++p) {
+    threads.emplace_back([&, p] {
+      PlatformRuntime runtime(PlatformProfile::Turing(),
+                              experiment->options().time_scale,
+                              envs[static_cast<size_t>(p)].get());
+      RunConfig config;
+      config.dataset = &experiment->dataset();
+      config.test = test;
+      config.variant = variant;
+      config.process = experiment->options().process;
+      for (int s = p; s < spec.num_snapshots; s += kProcesses) {
+        config.snapshots.push_back(s);
+      }
+      results[static_cast<size_t>(p)] = RunVoyager(&runtime, config);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ParallelOutcome outcome;
+  for (const Result<CellResult>& result : results) {
+    if (!result.ok()) return result.status();
+    outcome.makespan_seconds =
+        std::max(outcome.makespan_seconds, result->total_seconds);
+    outcome.visible_io_seconds =
+        std::max(outcome.visible_io_seconds, result->visible_io_seconds);
+  }
+  return outcome;
+}
+
+int Run(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  if (flags.factor >= 1.0) flags.factor = 0.5;  // 4 dataset replicas in RAM
+  auto experiment = Experiment::Create(flags.ToOptions());
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Parallel Voyager: %d emulated processes on Turing nodes "
+              "(§4.2)\n", kProcesses);
+  PrintDatasetBanner(**experiment);
+
+  workloads::PrintHeader("sequential vs 4-process, O vs TG");
+  std::printf("  %-8s %16s %16s %10s %16s\n", "test", "seq total(s)",
+              "par makespan(s)", "speedup", "GODIVA benefit");
+  for (const VizTestSpec& test : VizTestSpec::AllThree()) {
+    double seq_total[2];
+    double par_total[2];
+    int i = 0;
+    for (Variant variant :
+         {Variant::kOriginal, Variant::kGodivaMultiThread}) {
+      auto seq = (*experiment)
+                     ->RunCell(PlatformProfile::Turing(), test, variant);
+      if (!seq.ok()) {
+        std::fprintf(stderr, "seq cell failed: %s\n",
+                     seq.status().ToString().c_str());
+        return 1;
+      }
+      auto par = RunParallel(experiment->get(), test, variant);
+      if (!par.ok()) {
+        std::fprintf(stderr, "parallel cell failed: %s\n",
+                     par.status().ToString().c_str());
+        return 1;
+      }
+      seq_total[i] = seq->total_seconds.mean;
+      par_total[i] = par->makespan_seconds;
+      ++i;
+    }
+    // GODIVA benefit: total-time reduction O→TG, sequential vs parallel
+    // (the paper expects these to be similar).
+    double seq_benefit =
+        workloads::PercentReduction(seq_total[0], seq_total[1]);
+    double par_benefit =
+        workloads::PercentReduction(par_total[0], par_total[1]);
+    std::printf("  %-8s %9.1f/%-9.1f %9.1f/%-9.1f %5.2fx %9.1f%%/%5.1f%%\n",
+                test.name.c_str(), seq_total[0], seq_total[1],
+                par_total[0], par_total[1], seq_total[1] / par_total[1],
+                seq_benefit, par_benefit);
+  }
+  std::printf("  (totals shown as O/TG; speedup is TG sequential vs TG "
+              "4-process; paper expects parallel GODIVA benefit similar "
+              "to sequential)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace godiva::bench
+
+int main(int argc, char** argv) { return godiva::bench::Run(argc, argv); }

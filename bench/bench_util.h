@@ -1,0 +1,81 @@
+// Shared helpers for the benchmark harnesses: tiny flag parsing and
+// experiment construction. Every harness accepts:
+//   --factor=F      mesh scale factor (default 1.0 = the paper's mesh)
+//   --snapshots=N   snapshots to process (default 32, as in the paper)
+//   --scale=S       real seconds per modeled second (default 0.02)
+//   --reps=R        repetitions per cell (paper used 5; default 1)
+//   --stride=K      real feature extraction on every Kth block (default 16)
+//   --quick         shorthand for --factor=0.12 --snapshots=8
+#ifndef GODIVA_BENCH_BENCH_UTIL_H_
+#define GODIVA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "mesh/dataset_spec.h"
+#include "workloads/experiment.h"
+
+namespace godiva::bench {
+
+struct BenchFlags {
+  double factor = 1.0;
+  int snapshots = 32;
+  double scale = 0.02;
+  int reps = 1;
+  int stride = 16;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--factor=", 9) == 0) {
+        flags.factor = std::atof(arg + 9);
+      } else if (std::strncmp(arg, "--snapshots=", 12) == 0) {
+        flags.snapshots = std::atoi(arg + 12);
+      } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+        flags.scale = std::atof(arg + 8);
+      } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+        flags.reps = std::atoi(arg + 7);
+      } else if (std::strncmp(arg, "--stride=", 9) == 0) {
+        flags.stride = std::atoi(arg + 9);
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        flags.factor = 0.12;
+        flags.snapshots = 8;
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+
+  workloads::ExperimentOptions ToOptions() const {
+    workloads::ExperimentOptions options;
+    options.spec = (factor >= 1.0)
+                       ? mesh::DatasetSpec::TitanIV()
+                       : mesh::DatasetSpec::TitanIVScaled(factor);
+    options.spec.num_snapshots = snapshots;
+    options.time_scale = scale;
+    options.repetitions = reps;
+    options.process.real_work_stride = stride;
+    return options;
+  }
+};
+
+inline void PrintDatasetBanner(const workloads::Experiment& experiment) {
+  const mesh::DatasetSpec& spec = experiment.options().spec;
+  std::printf(
+      "dataset: %lld nodes, %lld tets, %d blocks, %d files/snapshot, "
+      "%d snapshots, %s on (simulated) disk\n",
+      static_cast<long long>(spec.ExpectedNodes()),
+      static_cast<long long>(spec.ExpectedTets()), spec.num_blocks,
+      spec.files_per_snapshot, spec.num_snapshots,
+      FormatBytes(experiment.dataset().total_bytes).c_str());
+}
+
+}  // namespace godiva::bench
+
+#endif  // GODIVA_BENCH_BENCH_UTIL_H_

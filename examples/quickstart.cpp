@@ -1,0 +1,165 @@
+// Quickstart: the paper's §3 walkthrough on a working database.
+//
+//  1. Define the Table-1 "fluid" record type (defineField/defineRecord/
+//     insertField/commitRecordType).
+//  2. Write two small gsdf input files and register them as processing
+//     units with developer-supplied read functions (addUnit).
+//  3. Let the background I/O thread prefetch them; wait, query field
+//     buffers by key (waitUnit/getFieldBuffer), process, delete
+//     (deleteUnit) — exactly the sample main() from §3.3.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+#include "gsdf/reader.h"
+#include "gsdf/writer.h"
+#include "sim/sim_env.h"
+
+namespace {
+
+using namespace godiva;  // example code; keep the listing close to §3.3
+
+// Writes one input file holding a 10×10 block: coordinates, pressure and
+// temperature arrays, the way a simulation snapshot would.
+Status WriteInputFile(Env* env, const std::string& path,
+                      const std::string& step_id) {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Writer> writer,
+                          gsdf::Writer::Create(env, path));
+  std::vector<double> coords(101);
+  for (size_t i = 0; i < coords.size(); ++i) coords[i] = i * 0.01;
+  std::vector<double> pressure(10000);
+  std::vector<double> temperature(10000);
+  for (int i = 0; i < 10000; ++i) {
+    pressure[i] = 101325.0 + i;
+    temperature[i] = 300.0 + 0.001 * i;
+  }
+  writer->SetFileAttribute("time-step", step_id);
+  GODIVA_RETURN_IF_ERROR(writer->AddDataset(
+      "x", DataType::kFloat64, coords.data(), 101 * 8));
+  GODIVA_RETURN_IF_ERROR(writer->AddDataset(
+      "y", DataType::kFloat64, coords.data(), 101 * 8));
+  GODIVA_RETURN_IF_ERROR(writer->AddDataset(
+      "pressure", DataType::kFloat64, pressure.data(), 10000 * 8));
+  GODIVA_RETURN_IF_ERROR(writer->AddDataset(
+      "temperature", DataType::kFloat64, temperature.data(), 10000 * 8));
+  return writer->Finish();
+}
+
+// The developer-supplied read function (paper Figure 1): creates records
+// in the GODIVA database and fills their buffers from the input file.
+Status ReadFluidFile(Env* env, Gbo* godiva, const std::string& unit_name) {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
+                          gsdf::Reader::Open(env, unit_name));
+  GODIVA_ASSIGN_OR_RETURN(Record * record, godiva->NewRecord("fluid"));
+
+  // Key fields (fixed size, eagerly allocated).
+  std::memcpy(*record->FieldBuffer("block id"),
+              PadKey("block_0001", 11).data(), 11);
+  const std::string* step = nullptr;
+  for (const auto& [key, value] : reader->file_attributes()) {
+    if (key == "time-step") step = &value;
+  }
+  if (step == nullptr) return DataLossError("missing time-step attribute");
+  std::memcpy(*record->FieldBuffer("time-step id"), PadKey(*step, 9).data(),
+              9);
+
+  // Array fields: sizes discovered from the file (allocFieldBuffer).
+  for (const char* field : {"x", "y", "pressure", "temperature"}) {
+    std::string dataset = field;
+    std::string field_name = dataset == "x"   ? "x coordinates"
+                             : dataset == "y" ? "y coordinates"
+                                              : dataset;
+    GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info,
+                            reader->Find(dataset));
+    GODIVA_ASSIGN_OR_RETURN(
+        void* buffer,
+        godiva->AllocFieldBuffer(record, field_name, info->nbytes));
+    GODIVA_RETURN_IF_ERROR(reader->Read(dataset, buffer, info->nbytes));
+  }
+  return godiva->CommitRecord(record);
+}
+
+Status RunQuickstart() {
+  // Input files live in an in-memory Env here; swap in GetPosixEnv() to
+  // read real files.
+  SimEnv env{SimEnv::Options{}};
+  GODIVA_RETURN_IF_ERROR(WriteInputFile(&env, "fluid_file1", "0.000025"));
+  GODIVA_RETURN_IF_ERROR(WriteInputFile(&env, "fluid_file2", "0.000050"));
+
+  // godiva = new GBO(400): create the database with a memory budget.
+  Gbo godiva(GboOptions::WithMemoryMb(400));
+
+  // Define the Table 1 schema.
+  GODIVA_RETURN_IF_ERROR(godiva.DefineField("block id", DataType::kString, 11));
+  GODIVA_RETURN_IF_ERROR(
+      godiva.DefineField("time-step id", DataType::kString, 9));
+  GODIVA_RETURN_IF_ERROR(
+      godiva.DefineField("x coordinates", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(
+      godiva.DefineField("y coordinates", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(
+      godiva.DefineField("pressure", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(
+      godiva.DefineField("temperature", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(godiva.DefineRecord("fluid", 2));
+  GODIVA_RETURN_IF_ERROR(godiva.InsertField("fluid", "block id", true));
+  GODIVA_RETURN_IF_ERROR(godiva.InsertField("fluid", "time-step id", true));
+  GODIVA_RETURN_IF_ERROR(godiva.InsertField("fluid", "x coordinates", false));
+  GODIVA_RETURN_IF_ERROR(godiva.InsertField("fluid", "y coordinates", false));
+  GODIVA_RETURN_IF_ERROR(godiva.InsertField("fluid", "pressure", false));
+  GODIVA_RETURN_IF_ERROR(godiva.InsertField("fluid", "temperature", false));
+  GODIVA_RETURN_IF_ERROR(godiva.CommitRecordType("fluid"));
+
+  // Add all units; the I/O thread prefetches them in order.
+  Gbo::ReadFn read_file = [&env](Gbo* db, const std::string& unit) {
+    return ReadFluidFile(&env, db, unit);
+  };
+  GODIVA_RETURN_IF_ERROR(godiva.AddUnit("fluid_file1", read_file));
+  GODIVA_RETURN_IF_ERROR(godiva.AddUnit("fluid_file2", read_file));
+
+  // Process each unit: wait, query by key, compute, delete.
+  const char* steps[] = {"0.000025", "0.000050"};
+  const char* units[] = {"fluid_file1", "fluid_file2"};
+  for (int i = 0; i < 2; ++i) {
+    GODIVA_RETURN_IF_ERROR(godiva.WaitUnit(units[i]));
+    std::vector<std::string> key = {PadKey("block_0001", 11),
+                                    PadKey(steps[i], 9)};
+    GODIVA_ASSIGN_OR_RETURN(void* pressure_buffer,
+                            godiva.GetFieldBuffer("fluid", "pressure", key));
+    GODIVA_ASSIGN_OR_RETURN(
+        int64_t pressure_bytes,
+        godiva.GetFieldBufferSize("fluid", "pressure", key));
+    const double* pressure = static_cast<const double*>(pressure_buffer);
+    int64_t n = pressure_bytes / 8;
+    double mean = 0;
+    for (int64_t j = 0; j < n; ++j) mean += pressure[j];
+    mean /= static_cast<double>(n);
+    std::printf("unit %-12s time-step %s: %lld pressure values, mean %.1f Pa\n",
+                units[i], steps[i], static_cast<long long>(n), mean);
+    GODIVA_RETURN_IF_ERROR(godiva.DeleteUnit(units[i]));
+  }
+
+  std::printf("\ndatabase stats: %s\n", godiva.stats().ToString().c_str());
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  Status status = RunQuickstart();
+  if (!status.ok()) {
+    std::fprintf(stderr, "quickstart failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("quickstart OK\n");
+  return 0;
+}

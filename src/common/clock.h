@@ -1,0 +1,81 @@
+// Wall-clock helpers: a steady-clock stopwatch and an accumulating timer
+// used for the paper's "visible I/O time" / "computation time" accounting.
+#ifndef GODIVA_COMMON_CLOCK_H_
+#define GODIVA_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace godiva {
+
+using SteadyClock = std::chrono::steady_clock;
+using Duration = SteadyClock::duration;
+using TimePoint = SteadyClock::time_point;
+
+inline double ToSeconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+inline Duration FromSeconds(double seconds) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+// Measures elapsed wall time since construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(SteadyClock::now()) {}
+
+  void Restart() { start_ = SteadyClock::now(); }
+  Duration Elapsed() const { return SteadyClock::now() - start_; }
+  double ElapsedSeconds() const { return ToSeconds(Elapsed()); }
+
+ private:
+  TimePoint start_;
+};
+
+// Thread-safe accumulator of durations (nanosecond granularity). Used by
+// GODIVA stats where several threads contribute to one total.
+class TimeAccumulator {
+ public:
+  TimeAccumulator() : nanos_(0) {}
+  TimeAccumulator(const TimeAccumulator&) = delete;
+  TimeAccumulator& operator=(const TimeAccumulator&) = delete;
+
+  void Add(Duration d) {
+    nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_relaxed);
+  }
+
+  Duration Total() const {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::nanoseconds(nanos_.load(std::memory_order_relaxed)));
+  }
+
+  double TotalSeconds() const { return ToSeconds(Total()); }
+
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> nanos_;
+};
+
+// RAII helper: adds the scope's elapsed time to an accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* accumulator)
+      : accumulator_(accumulator) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_->Add(stopwatch_.Elapsed()); }
+
+ private:
+  TimeAccumulator* accumulator_;
+  Stopwatch stopwatch_;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_CLOCK_H_

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for dataset integrity
+// checking. Table-driven, byte at a time — fast enough for I/O-path
+// verification of multi-megabyte buffers.
+#ifndef GODIVA_COMMON_CRC32_H_
+#define GODIVA_COMMON_CRC32_H_
+
+#include <cstdint>
+
+namespace godiva {
+
+// CRC of `size` bytes at `data`, seeded with `seed` (pass the previous
+// result to checksum data in chunks; 0 for a fresh computation).
+uint32_t Crc32(const void* data, int64_t size, uint32_t seed = 0);
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_CRC32_H_

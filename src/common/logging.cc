@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace godiva {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+std::mutex g_log_mutex;
+
+char LevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kOff:
+      return '?';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+namespace internal_logging {
+
+void Emit(LogLevel level, std::string_view file, int line,
+          std::string_view message) {
+  size_t slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%c %.*s:%d] %.*s\n", LevelLetter(level),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace internal_logging
+}  // namespace godiva

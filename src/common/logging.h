@@ -1,0 +1,59 @@
+// Minimal leveled logger. Single global sink (stderr by default); thread
+// safe; negligible cost when the level is filtered out.
+#ifndef GODIVA_COMMON_LOGGING_H_
+#define GODIVA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace godiva {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global minimum level; messages below it are dropped. Default kWarning so
+// library users see problems but not chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Formats and emits one record. `file` is trimmed to its basename.
+void Emit(LogLevel level, std::string_view file, int line,
+          std::string_view message);
+
+// Stream-collecting helper used by the GODIVA_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace godiva
+
+// Usage: GODIVA_LOG(kInfo) << "prefetched unit " << name;
+#define GODIVA_LOG(severity)                                              \
+  if (::godiva::LogLevel::severity < ::godiva::GetLogLevel()) {           \
+  } else                                                                  \
+    ::godiva::internal_logging::LogMessage(::godiva::LogLevel::severity,  \
+                                           __FILE__, __LINE__)            \
+        .stream()
+
+#endif  // GODIVA_COMMON_LOGGING_H_

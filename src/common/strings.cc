@@ -1,0 +1,65 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace godiva {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), format, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%lld B", static_cast<long long>(bytes));
+  return StrFormat("%.1f %s", value, units[unit]);
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 1e-3) return StrFormat("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.2f ms", seconds * 1e3);
+  return StrFormat("%.3f s", seconds);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace godiva

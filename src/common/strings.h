@@ -1,0 +1,45 @@
+// Small string formatting helpers used across the codebase.
+#ifndef GODIVA_COMMON_STRINGS_H_
+#define GODIVA_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace godiva {
+
+// Concatenates the string representations of all arguments (ostream-style).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// "1.5 KiB", "384.0 MiB", ...
+std::string FormatBytes(int64_t bytes);
+
+// "12.3 ms", "4.56 s", ...
+std::string FormatSeconds(double seconds);
+
+// True iff `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_STRINGS_H_

@@ -1,0 +1,63 @@
+// Synchronization helpers: a counting semaphore with a runtime-chosen slot
+// count (std::counting_semaphore fixes the max at compile time and cannot
+// report occupancy, which SimCpu needs).
+#ifndef GODIVA_COMMON_SYNC_H_
+#define GODIVA_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace godiva {
+
+// A counting semaphore: `slots` concurrent holders.
+class Semaphore {
+ public:
+  explicit Semaphore(int slots) : available_(slots) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return available_ > 0; });
+    --available_;
+  }
+
+  // Returns false instead of blocking when no slot is free.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (available_ <= 0) return false;
+    --available_;
+    return true;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++available_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int available_;
+};
+
+// RAII slot holder.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore* semaphore) : semaphore_(semaphore) {
+    semaphore_->Acquire();
+  }
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  ~SemaphoreGuard() { semaphore_->Release(); }
+
+ private:
+  Semaphore* semaphore_;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_SYNC_H_

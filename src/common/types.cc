@@ -1,0 +1,23 @@
+#include "common/types.h"
+
+namespace godiva {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kByte:
+      return "BYTE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat32:
+      return "FLOAT32";
+    case DataType::kFloat64:
+      return "FLOAT64";
+  }
+  return "INVALID";
+}
+
+}  // namespace godiva

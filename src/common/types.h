@@ -1,0 +1,52 @@
+// Scalar data types shared by the GODIVA database (field types) and the
+// gsdf scientific file format (dataset element types).
+#ifndef GODIVA_COMMON_TYPES_H_
+#define GODIVA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace godiva {
+
+// Element types a field buffer or gsdf dataset may hold. STRING is a byte
+// sequence interpreted as text; BYTE is opaque binary.
+enum class DataType : uint8_t {
+  kByte = 0,
+  kString = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kFloat32 = 4,
+  kFloat64 = 5,
+};
+
+// Size in bytes of one element of `type` (1 for kByte/kString).
+constexpr int64_t SizeOf(DataType type) {
+  switch (type) {
+    case DataType::kByte:
+    case DataType::kString:
+      return 1;
+    case DataType::kInt32:
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kFloat64:
+      return 8;
+  }
+  return 1;
+}
+
+std::string_view DataTypeName(DataType type);
+
+// Returns true iff `raw` is a valid DataType encoding.
+constexpr bool IsValidDataType(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(DataType::kFloat64);
+}
+
+// Sentinel for field buffer sizes not known at type-definition time
+// (paper §3.1: "If the data buffer size is not known when the field type is
+// defined, it can be given the value UNKNOWN").
+inline constexpr int64_t kUnknownSize = -1;
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_TYPES_H_

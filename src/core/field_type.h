@@ -1,0 +1,26 @@
+// Field types — the GODIVA framework's basic schema element (paper §3.1):
+// a name, an element data type, and a default buffer size in bytes, which
+// may be kUnknownSize when the size is only discovered at read time.
+#ifndef GODIVA_CORE_FIELD_TYPE_H_
+#define GODIVA_CORE_FIELD_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace godiva {
+
+struct FieldTypeDef {
+  std::string name;
+  DataType type = DataType::kByte;
+  // Default data buffer size in bytes, or kUnknownSize. When known, every
+  // new record allocates the field's buffer eagerly (paper §3.1).
+  int64_t default_size = kUnknownSize;
+
+  bool has_known_size() const { return default_size != kUnknownSize; }
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_FIELD_TYPE_H_

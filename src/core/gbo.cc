@@ -1,0 +1,366 @@
+// Gbo: construction/destruction, schema definition, record operations, and
+// queries. Unit lifecycle and the background I/O machinery live in
+// gbo_units.cc.
+#include "core/gbo.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/unit_context.h"
+
+namespace godiva {
+
+std::string_view UnitStateName(UnitState state) {
+  switch (state) {
+    case UnitState::kQueued:
+      return "QUEUED";
+    case UnitState::kLoading:
+      return "LOADING";
+    case UnitState::kReady:
+      return "READY";
+    case UnitState::kFailed:
+      return "FAILED";
+    case UnitState::kDeleted:
+      return "DELETED";
+  }
+  return "INVALID";
+}
+
+Gbo::Gbo(GboOptions options)
+    : options_(options), memory_limit_(options.memory_limit_bytes) {
+  if (options_.background_io) {
+    io_thread_ = std::thread([this] { IoThreadMain(); });
+  }
+}
+
+Gbo::~Gbo() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  memory_cv_.notify_all();
+  unit_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+// ---------------------------------------------------------------------
+// Schema.
+
+Status Gbo::DefineField(const std::string& name, DataType type,
+                        int64_t size_bytes) {
+  if (name.empty()) return InvalidArgumentError("field name is empty");
+  if (size_bytes != kUnknownSize &&
+      (size_bytes < 0 || size_bytes % SizeOf(type) != 0)) {
+    return InvalidArgumentError(
+        StrCat("field ", name, ": invalid default size ", size_bytes));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = field_types_.try_emplace(name);
+  if (!inserted) {
+    return AlreadyExistsError(StrCat("field type already defined: ", name));
+  }
+  it->second = std::make_unique<FieldTypeDef>(
+      FieldTypeDef{name, type, size_bytes});
+  return Status::Ok();
+}
+
+Status Gbo::DefineRecord(const std::string& name, int num_key_fields) {
+  if (name.empty()) return InvalidArgumentError("record type name is empty");
+  if (num_key_fields < 0) {
+    return InvalidArgumentError("negative key field count");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = record_types_.try_emplace(name);
+  if (!inserted) {
+    return AlreadyExistsError(StrCat("record type already defined: ", name));
+  }
+  it->second = std::make_unique<RecordType>(name, num_key_fields);
+  return Status::Ok();
+}
+
+Status Gbo::InsertField(const std::string& record_type,
+                        const std::string& field_name, bool is_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto type_it = record_types_.find(record_type);
+  if (type_it == record_types_.end()) {
+    return NotFoundError(StrCat("no record type named ", record_type));
+  }
+  auto field_it = field_types_.find(field_name);
+  if (field_it == field_types_.end()) {
+    return NotFoundError(StrCat("no field type named ", field_name));
+  }
+  return type_it->second->AddMember(field_it->second.get(), is_key);
+}
+
+Status Gbo::CommitRecordType(const std::string& record_type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = record_types_.find(record_type);
+  if (it == record_types_.end()) {
+    return NotFoundError(StrCat("no record type named ", record_type));
+  }
+  return it->second->Commit();
+}
+
+// ---------------------------------------------------------------------
+// Records.
+
+Result<RecordType*> Gbo::FindCommittedTypeLocked(
+    const std::string& record_type) {
+  auto it = record_types_.find(record_type);
+  if (it == record_types_.end()) {
+    return NotFoundError(StrCat("no record type named ", record_type));
+  }
+  if (!it->second->committed()) {
+    return FailedPreconditionError(
+        StrCat("record type ", record_type, " is not committed"));
+  }
+  return it->second.get();
+}
+
+Result<Record*> Gbo::NewRecord(const std::string& record_type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          FindCommittedTypeLocked(record_type));
+  auto record = std::make_unique<Record>(type);
+  Record* raw = record.get();
+
+  // Eagerly allocate all fixed-size field buffers (paper §3.1).
+  const std::vector<RecordType::Member>& members = type->members();
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i].field->has_known_size()) {
+      GODIVA_ASSIGN_OR_RETURN(
+          int64_t charged,
+          raw->AllocateSlot(static_cast<int>(i),
+                            members[i].field->default_size));
+      (void)charged;  // accounted below via MemoryUsage()
+    }
+  }
+
+  // Bind to the unit currently being read on this thread, if any.
+  Unit* unit = nullptr;
+  if (const std::string* unit_name = internal_unit_context::Current(this)) {
+    auto unit_it = units_.find(*unit_name);
+    if (unit_it != units_.end()) {
+      unit = unit_it->second.get();
+      unit->records.push_back(raw);
+      raw->unit_ = *unit_name;
+    }
+  }
+
+  records_[raw] = std::move(record);
+  ++counters_.records_created;
+  ChargeMemoryLocked(unit, raw->MemoryUsage());
+  EvictToLimitLocked();
+  return raw;
+}
+
+Result<void*> Gbo::AllocFieldBuffer(Record* record,
+                                    const std::string& field_name,
+                                    int64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto rec_it = records_.find(record);
+  if (rec_it == records_.end()) {
+    return InvalidArgumentError("unknown record handle");
+  }
+  int index = record->type().FindMemberIndex(field_name);
+  if (index < 0) {
+    return NotFoundError(StrCat("record type ", record->type().name(),
+                                " has no field ", field_name));
+  }
+  GODIVA_ASSIGN_OR_RETURN(int64_t charged,
+                          record->AllocateSlot(index, size_bytes));
+  Unit* unit = nullptr;
+  if (!record->unit_.empty()) {
+    auto unit_it = units_.find(record->unit_);
+    if (unit_it != units_.end()) unit = unit_it->second.get();
+  }
+  ChargeMemoryLocked(unit, charged);
+  EvictToLimitLocked();
+  return record->slot_data(index);
+}
+
+Status Gbo::CommitRecord(Record* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto rec_it = records_.find(record);
+  if (rec_it == records_.end()) {
+    return InvalidArgumentError("unknown record handle");
+  }
+  if (record->committed_) {
+    return FailedPreconditionError("record is already committed");
+  }
+  const RecordType* type = &record->type();
+  if (type->key_member_indices().empty()) {
+    record->committed_ = true;  // keyless types are not indexed
+    ++counters_.records_committed;
+    return Status::Ok();
+  }
+  GODIVA_ASSIGN_OR_RETURN(std::string key, record->EncodeKey());
+  std::map<std::string, Record*>& index = indexes_[type];
+  auto [it, inserted] = index.try_emplace(key, record);
+  if (!inserted) {
+    return AlreadyExistsError(
+        StrCat("a record of type ", type->name(),
+               " with the same key is already committed"));
+  }
+  record->key_ = std::move(key);
+  record->committed_ = true;
+  ++counters_.records_committed;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Queries.
+
+Status Gbo::EncodeLookupKeyLocked(const RecordType& type,
+                                  const std::vector<std::string>& key_values,
+                                  std::string* key) const {
+  const std::vector<int>& key_indices = type.key_member_indices();
+  if (key_values.size() != key_indices.size()) {
+    return InvalidArgumentError(StrFormat(
+        "record type %s has %d key fields, got %d key values",
+        type.name().c_str(), static_cast<int>(key_indices.size()),
+        static_cast<int>(key_values.size())));
+  }
+  key->clear();
+  key->reserve(static_cast<size_t>(type.key_bytes()));
+  for (size_t i = 0; i < key_indices.size(); ++i) {
+    const FieldTypeDef* field = type.members()[key_indices[i]].field;
+    if (static_cast<int64_t>(key_values[i].size()) != field->default_size) {
+      return InvalidArgumentError(StrFormat(
+          "key value %d for field %s has %d bytes, expected %lld",
+          static_cast<int>(i), field->name.c_str(),
+          static_cast<int>(key_values[i].size()),
+          static_cast<long long>(field->default_size)));
+    }
+    key->append(key_values[i]);
+  }
+  return Status::Ok();
+}
+
+Result<Record*> Gbo::FindRecordLocked(
+    const std::string& record_type,
+    const std::vector<std::string>& key_values) {
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          FindCommittedTypeLocked(record_type));
+  if (type->key_member_indices().empty()) {
+    return FailedPreconditionError(
+        StrCat("record type ", record_type, " has no key fields"));
+  }
+  std::string key;
+  GODIVA_RETURN_IF_ERROR(EncodeLookupKeyLocked(*type, key_values, &key));
+  ++counters_.key_lookups;
+  auto index_it = indexes_.find(type);
+  if (index_it != indexes_.end()) {
+    auto it = index_it->second.find(key);
+    if (it != index_it->second.end()) return it->second;
+  }
+  ++counters_.failed_lookups;
+  return NotFoundError(
+      StrCat("no record of type ", record_type, " with the given key"));
+}
+
+Result<Record*> Gbo::FindRecord(const std::string& record_type,
+                                const std::vector<std::string>& key_values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindRecordLocked(record_type, key_values);
+}
+
+Result<void*> Gbo::GetFieldBuffer(const std::string& record_type,
+                                  const std::string& field_name,
+                                  const std::vector<std::string>& key_values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GODIVA_ASSIGN_OR_RETURN(Record * record,
+                          FindRecordLocked(record_type, key_values));
+  return record->FieldBuffer(field_name);
+}
+
+Result<int64_t> Gbo::GetFieldBufferSize(
+    const std::string& record_type, const std::string& field_name,
+    const std::vector<std::string>& key_values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GODIVA_ASSIGN_OR_RETURN(Record * record,
+                          FindRecordLocked(record_type, key_values));
+  return record->FieldBufferSize(field_name);
+}
+
+Result<std::vector<Record*>> Gbo::ListRecords(const std::string& record_type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          FindCommittedTypeLocked(record_type));
+  std::vector<Record*> out;
+  auto index_it = indexes_.find(type);
+  if (index_it != indexes_.end()) {
+    out.reserve(index_it->second.size());
+    for (const auto& [key, record] : index_it->second) out.push_back(record);
+  }
+  return out;
+}
+
+Result<std::vector<Record*>> Gbo::RecordsInUnit(const std::string& unit_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  if (it == units_.end()) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  return it->second->records;
+}
+
+// ---------------------------------------------------------------------
+// Introspection.
+
+GboStats Gbo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GboStats out = counters_;
+  out.current_memory_bytes = memory_used_;
+  out.visible_io_seconds = visible_io_time_.TotalSeconds();
+  out.read_fn_seconds = read_fn_time_.TotalSeconds();
+  out.prefetch_seconds = prefetch_time_.TotalSeconds();
+  return out;
+}
+
+int64_t Gbo::memory_usage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_used_;
+}
+
+int64_t Gbo::memory_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_limit_;
+}
+
+std::string Gbo::DebugString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrCat("Gbo{", options_.background_io
+                                       ? "multi-thread"
+                                       : "single-thread",
+                           ", mem ", FormatBytes(memory_used_), "/",
+                           FormatBytes(memory_limit_), "\n");
+  out += "  record types:\n";
+  for (const auto& [name, type] : record_types_) {
+    auto index_it = indexes_.find(type.get());
+    size_t indexed =
+        index_it == indexes_.end() ? 0 : index_it->second.size();
+    out += StrCat("    ", name, ": ", type->members().size(), " fields, ",
+                  type->key_member_indices().size(), " keys, ", indexed,
+                  " records", type->committed() ? "" : " (uncommitted)",
+                  "\n");
+  }
+  out += "  units:\n";
+  for (const auto& [name, unit] : units_) {
+    out += StrCat("    ", name, ": ", UnitStateName(unit->state), ", ",
+                  unit->records.size(), " records, ",
+                  FormatBytes(unit->memory_bytes), ", refcount ",
+                  unit->refcount, unit->finished ? ", finished" : "", "\n");
+  }
+  out += StrCat("  prefetch queue: ", prefetch_queue_.size(),
+                ", evictable: ", evictable_.size(), "}");
+  return out;
+}
+
+}  // namespace godiva

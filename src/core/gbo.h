@@ -1,0 +1,297 @@
+// Gbo — the GODIVA Buffer Object (paper §3.3): the in-memory database that
+// manages field buffer locations, answers key-lookup queries, and performs
+// unit-granular background prefetching and LRU caching through a single
+// background I/O thread that calls back into developer-supplied read
+// functions.
+//
+// Paper API name mapping (the paper uses lowerCamelCase):
+//   defineField → DefineField         newRecord        → NewRecord
+//   defineRecord → DefineRecord       allocFieldBuffer → AllocFieldBuffer
+//   insertField → InsertField         commitRecord     → CommitRecord
+//   commitRecordType → CommitRecordType
+//   getFieldBuffer → GetFieldBuffer   getFieldBufferSize → GetFieldBufferSize
+//   addUnit → AddUnit   readUnit → ReadUnit   waitUnit → WaitUnit
+//   finishUnit → FinishUnit   deleteUnit → DeleteUnit
+//   setMemSpace → SetMemSpace
+//
+// Threading model: one "main" application thread (or several) plus the
+// internal I/O thread. All public methods are thread safe. User read
+// functions run without internal locks held and may call any record
+// operation on the same Gbo.
+#ifndef GODIVA_CORE_GBO_H_
+#define GODIVA_CORE_GBO_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/field_type.h"
+#include "core/options.h"
+#include "core/record.h"
+#include "core/record_type.h"
+#include "core/stats.h"
+
+namespace godiva {
+
+// Lifecycle of a processing unit (paper §3.2).
+enum class UnitState {
+  kQueued,   // added, not yet read
+  kLoading,  // read function running
+  kReady,    // records resident in the database
+  kFailed,   // read function returned an error (or deadlock resolution)
+  kDeleted,  // explicitly deleted or evicted by the cache policy
+};
+
+std::string_view UnitStateName(UnitState state);
+
+class Gbo {
+ public:
+  // A developer-supplied read function: reads the records of `unit_name`
+  // into `db` (creating records, allocating buffers, committing). Called on
+  // the background I/O thread for prefetched units and on the caller's
+  // thread for blocking reads.
+  using ReadFn = std::function<Status(Gbo* db, const std::string& unit_name)>;
+
+  explicit Gbo(GboOptions options = GboOptions());
+  Gbo(const Gbo&) = delete;
+  Gbo& operator=(const Gbo&) = delete;
+  // Terminates the background I/O thread (paper: "the background I/O
+  // thread is terminated when the GBO object is deleted").
+  ~Gbo();
+
+  // ---------------------------------------------------------------------
+  // Record operations (schema definition), paper §3.1.
+
+  // Defines a named field type with an element type and a default buffer
+  // size in bytes (kUnknownSize if discovered at read time).
+  Status DefineField(const std::string& name, DataType type,
+                     int64_t size_bytes);
+
+  // Starts a record type expecting exactly `num_key_fields` key fields.
+  Status DefineRecord(const std::string& name, int num_key_fields);
+
+  // Adds a previously defined field type to a record type. `is_key` marks
+  // it a key field; key fields must have known (fixed) sizes.
+  Status InsertField(const std::string& record_type,
+                     const std::string& field_name, bool is_key);
+
+  // Freezes the record type; records can be created from it afterwards.
+  Status CommitRecordType(const std::string& record_type);
+
+  // ---------------------------------------------------------------------
+  // Record instances.
+
+  // Creates a record of a committed type. Buffers of fields with known
+  // sizes are allocated eagerly. When called from inside a read function,
+  // the record is bound to the unit being read; otherwise it is unbound
+  // (never auto-evicted, freed only with the database).
+  // The returned pointer is owned by the database and valid until the
+  // record's unit is deleted/evicted or the Gbo is destroyed.
+  Result<Record*> NewRecord(const std::string& record_type);
+
+  // Allocates the buffer of a field whose size was UNKNOWN at definition
+  // time (or simply not yet allocated). Returns the buffer.
+  Result<void*> AllocFieldBuffer(Record* record, const std::string& field_name,
+                                 int64_t size_bytes);
+
+  // Inserts the record into the key index. All key-field buffers must be
+  // filled with final values first (GODIVA does not detect later key
+  // mutation — paper §3.3).
+  Status CommitRecord(Record* record);
+
+  // ---------------------------------------------------------------------
+  // Dataset queries. `key_values` holds the raw bytes of each key field in
+  // key order (see core/key_util.h); each must be exactly the declared
+  // field size.
+
+  Result<void*> GetFieldBuffer(const std::string& record_type,
+                               const std::string& field_name,
+                               const std::vector<std::string>& key_values);
+  Result<int64_t> GetFieldBufferSize(
+      const std::string& record_type, const std::string& field_name,
+      const std::vector<std::string>& key_values);
+
+  // Typed view over a field buffer: GetFieldBuffer + GetFieldBufferSize in
+  // one lookup, checked against the field's element type. T must match the
+  // declared element size (e.g. double for FLOAT64 fields).
+  template <typename T>
+  Result<std::span<T>> GetFieldSpan(
+      const std::string& record_type, const std::string& field_name,
+      const std::vector<std::string>& key_values) {
+    std::lock_guard<std::mutex> lock(mu_);
+    GODIVA_ASSIGN_OR_RETURN(Record * record,
+                            FindRecordLocked(record_type, key_values));
+    int index = record->type().FindMemberIndex(field_name);
+    if (index < 0) {
+      return NotFoundError("no field named " + field_name);
+    }
+    const FieldTypeDef* field = record->type().members()[index].field;
+    if (sizeof(T) != static_cast<size_t>(SizeOf(field->type))) {
+      return InvalidArgumentError("element type size mismatch for field " +
+                                  field_name);
+    }
+    if (!record->slot_allocated(index)) {
+      return FailedPreconditionError("field buffer not allocated: " +
+                                     field_name);
+    }
+    return std::span<T>(static_cast<T*>(record->slot_data(index)),
+                        static_cast<size_t>(record->slot_size(index)) /
+                            sizeof(T));
+  }
+
+  // The record with the given key, or NOT_FOUND.
+  Result<Record*> FindRecord(const std::string& record_type,
+                             const std::vector<std::string>& key_values);
+
+  // All committed records of a type, in key order.
+  Result<std::vector<Record*>> ListRecords(const std::string& record_type);
+
+  // All records bound to a unit (insertion order). The unit must exist.
+  Result<std::vector<Record*>> RecordsInUnit(const std::string& unit_name);
+
+  // ---------------------------------------------------------------------
+  // Background I/O (paper §3.2).
+
+  // Appends a unit to the prefetch FIFO; the I/O thread will read it with
+  // `read_fn` as memory allows. Non-blocking.
+  Status AddUnit(const std::string& unit_name, ReadFn read_fn);
+
+  // Blocking read. If the unit is already resident this is a cache hit; if
+  // it is being prefetched, waits for it; otherwise reads it on the calling
+  // thread. Pins the unit on success (like WaitUnit).
+  Status ReadUnit(const std::string& unit_name, ReadFn read_fn);
+
+  // Blocks until the unit is ready, then pins it against automatic
+  // eviction. In the single-thread build, performs the queued read inline
+  // (paper §4.2: "a readUnit operation is performed inside the
+  // corresponding waitUnit call").
+  Status WaitUnit(const std::string& unit_name);
+
+  // Declares processing of the unit complete: unpins it; once unpinned by
+  // all waiters it becomes evictable under the cache policy.
+  Status FinishUnit(const std::string& unit_name);
+
+  // Deletes the unit's records immediately (even if pinned — the caller
+  // asserts the data is no longer needed). Fails while the unit is loading.
+  Status DeleteUnit(const std::string& unit_name);
+
+  // Adjusts the database memory limit at runtime.
+  Status SetMemSpace(int64_t bytes);
+
+  Result<UnitState> GetUnitState(const std::string& unit_name) const;
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+
+  GboStats stats() const;
+  int64_t memory_usage() const;
+  int64_t memory_limit() const;
+  const GboOptions& options() const { return options_; }
+
+  // Human-readable snapshot of the database: record types, units and
+  // their states, memory. For debugging and logging only.
+  std::string DebugString() const;
+
+ private:
+  struct Unit {
+    std::string name;
+    ReadFn read_fn;
+    UnitState state = UnitState::kQueued;
+    Status error;
+    int refcount = 0;      // pins from WaitUnit/ReadUnit
+    int waiters = 0;       // threads currently blocked on this unit
+    bool finished = false; // FinishUnit was called
+    int64_t ready_seq = -1;
+    int64_t memory_bytes = 0;
+    std::vector<Record*> records;
+  };
+
+  // --- helpers; all *Locked functions require mu_ held.
+
+  Result<RecordType*> FindCommittedTypeLocked(const std::string& record_type);
+  Result<Record*> FindRecordLocked(const std::string& record_type,
+                                   const std::vector<std::string>& key_values);
+  Status EncodeLookupKeyLocked(const RecordType& type,
+                               const std::vector<std::string>& key_values,
+                               std::string* key) const;
+
+  void ChargeMemoryLocked(Unit* unit, int64_t bytes);
+  // Evicts one evictable unit; returns false if none.
+  bool EvictOneLocked();
+  // Evicts until memory_used_ < memory_limit_ or nothing evictable.
+  void EvictToLimitLocked();
+  // Removes a unit's records from the index and frees their memory
+  // (rollback of failed loads; first half of eviction).
+  void PurgeRecordsLocked(Unit* unit);
+  void EvictUnitLocked(Unit* unit, bool explicit_delete);
+  void MakeEvictableLocked(Unit* unit);
+  void PinLocked(Unit* unit);
+
+  // Runs the read function with the unit bound as the calling thread's
+  // current unit. Called WITHOUT mu_ held.
+  Status RunReadFn(Unit* unit);
+
+  // Blocking load on the caller's thread (foreground read / single-thread
+  // WaitUnit). `lock` is held on entry and exit.
+  Status LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit);
+
+  // Waits until `unit` leaves Queued/Loading. Returns its terminal status.
+  Status AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit);
+
+  void IoThreadMain();
+  // Fails `unit` with ABORTED to break a detected deadlock.
+  void ResolveDeadlockLocked(Unit* unit);
+  // A queued unit some thread is blocked on (deadlock candidate), if any.
+  Unit* FindBlockedQueuedUnitLocked();
+
+  const GboOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable unit_cv_;    // unit state transitions
+  std::condition_variable memory_cv_;  // memory freed / evictables appeared
+  std::condition_variable queue_cv_;   // prefetch queue / shutdown
+
+  std::map<std::string, std::unique_ptr<FieldTypeDef>> field_types_;
+  std::map<std::string, std::unique_ptr<RecordType>> record_types_;
+  // Key index per record type: an RB-tree map, as in the paper ("organized
+  // in a C++ STL map, indexed with the key field values").
+  std::map<const RecordType*, std::map<std::string, Record*>> indexes_;
+  std::map<Record*, std::unique_ptr<Record>> records_;
+
+  std::map<std::string, std::unique_ptr<Unit>> units_;
+  std::deque<Unit*> prefetch_queue_;
+  std::list<Unit*> evictable_;  // eviction order per options_.eviction_policy
+
+  int64_t memory_limit_;
+  int64_t memory_used_ = 0;
+  int64_t next_ready_seq_ = 0;
+  int blocked_waiters_ = 0;
+  bool shutdown_ = false;
+
+  // Plain counters guarded by mu_.
+  GboStats counters_;
+
+  // Time accumulators (internally thread safe, updated outside mu_).
+  TimeAccumulator visible_io_time_;
+  TimeAccumulator read_fn_time_;
+  TimeAccumulator prefetch_time_;
+
+  std::thread io_thread_;  // joinable only when options_.background_io
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_GBO_H_

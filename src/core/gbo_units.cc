@@ -1,0 +1,384 @@
+// Gbo: processing-unit lifecycle, the background I/O thread, memory-capped
+// prefetching, cache eviction, and deadlock detection (paper §3.2–§3.3).
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/gbo.h"
+#include "core/unit_context.h"
+
+namespace godiva {
+
+// ---------------------------------------------------------------------
+// Memory accounting and eviction.
+
+void Gbo::ChargeMemoryLocked(Unit* unit, int64_t bytes) {
+  memory_used_ += bytes;
+  if (unit != nullptr) unit->memory_bytes += bytes;
+  if (bytes > 0) counters_.total_bytes_allocated += bytes;
+  counters_.peak_memory_bytes =
+      std::max(counters_.peak_memory_bytes, memory_used_);
+}
+
+void Gbo::MakeEvictableLocked(Unit* unit) {
+  if (std::find(evictable_.begin(), evictable_.end(), unit) !=
+      evictable_.end()) {
+    return;
+  }
+  if (options_.eviction_policy == EvictionPolicy::kLru) {
+    // Least-recently-finished at the front.
+    evictable_.push_back(unit);
+  } else {
+    // FIFO: order by when the unit was originally read.
+    auto pos = evictable_.begin();
+    while (pos != evictable_.end() && (*pos)->ready_seq < unit->ready_seq) {
+      ++pos;
+    }
+    evictable_.insert(pos, unit);
+  }
+  memory_cv_.notify_all();
+}
+
+void Gbo::PinLocked(Unit* unit) {
+  ++unit->refcount;
+  unit->finished = false;
+  evictable_.remove(unit);
+}
+
+void Gbo::PurgeRecordsLocked(Unit* unit) {
+  for (Record* record : unit->records) {
+    if (record->committed_ && !record->key_.empty()) {
+      auto index_it = indexes_.find(&record->type());
+      if (index_it != indexes_.end()) index_it->second.erase(record->key_);
+    }
+    records_.erase(record);
+  }
+  unit->records.clear();
+  memory_used_ -= unit->memory_bytes;
+  unit->memory_bytes = 0;
+  memory_cv_.notify_all();
+}
+
+void Gbo::EvictUnitLocked(Unit* unit, bool explicit_delete) {
+  PurgeRecordsLocked(unit);
+  unit->state = UnitState::kDeleted;
+  unit->refcount = 0;
+  unit->finished = false;
+  evictable_.remove(unit);
+  auto queue_pos =
+      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
+  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  if (explicit_delete) {
+    ++counters_.units_deleted;
+  } else {
+    ++counters_.units_evicted;
+    GODIVA_LOG(kDebug) << "evicted unit " << unit->name;
+  }
+  memory_cv_.notify_all();
+}
+
+bool Gbo::EvictOneLocked() {
+  if (evictable_.empty()) return false;
+  Unit* victim = evictable_.front();
+  evictable_.pop_front();
+  EvictUnitLocked(victim, /*explicit_delete=*/false);
+  return true;
+}
+
+void Gbo::EvictToLimitLocked() {
+  while (memory_used_ > memory_limit_ && EvictOneLocked()) {
+  }
+}
+
+// ---------------------------------------------------------------------
+// Read execution.
+
+Status Gbo::RunReadFn(Unit* unit) {
+  if (!unit->read_fn) {
+    return InternalError(StrCat("unit ", unit->name, " has no read function"));
+  }
+  internal_unit_context::Scope scope(this, unit->name);
+  return unit->read_fn(this, unit->name);
+}
+
+Status Gbo::LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit) {
+  unit->state = UnitState::kLoading;
+  auto queue_pos =
+      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
+  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  EvictToLimitLocked();  // best effort; the main thread never blocks here
+
+  lock.unlock();
+  Stopwatch stopwatch;
+  Status status = RunReadFn(unit);
+  read_fn_time_.Add(stopwatch.Elapsed());
+  lock.lock();
+
+  unit->error = status;
+  unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
+  unit->ready_seq = next_ready_seq_++;
+  // A failed read rolls its partial records back so the database never
+  // exposes a half-loaded unit.
+  if (!status.ok()) PurgeRecordsLocked(unit);
+  ++counters_.units_read_foreground;
+  unit_cv_.notify_all();
+  return status;
+}
+
+Status Gbo::AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit) {
+  ++blocked_waiters_;
+  ++unit->waiters;
+  // Wake the I/O thread's memory gate so it can re-run deadlock detection
+  // now that a consumer is blocked.
+  memory_cv_.notify_all();
+  unit_cv_.wait(lock, [&] {
+    return shutdown_ || unit->state == UnitState::kReady ||
+           unit->state == UnitState::kFailed ||
+           unit->state == UnitState::kDeleted;
+  });
+  --blocked_waiters_;
+  --unit->waiters;
+  if (unit->state == UnitState::kReady) return Status::Ok();
+  if (unit->state == UnitState::kFailed) return unit->error;
+  if (unit->state == UnitState::kDeleted) {
+    return NotFoundError(StrCat("unit ", unit->name, " was deleted"));
+  }
+  return AbortedError("database is shutting down");
+}
+
+// ---------------------------------------------------------------------
+// Public unit interfaces.
+
+Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
+  if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
+  if (!read_fn) return InvalidArgumentError("read function is null");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = units_.try_emplace(unit_name);
+  if (!inserted && it->second->state != UnitState::kDeleted &&
+      it->second->state != UnitState::kFailed) {
+    return AlreadyExistsError(StrCat("unit already added: ", unit_name));
+  }
+  if (inserted) {
+    it->second = std::make_unique<Unit>();
+    it->second->name = unit_name;
+  }
+  Unit* unit = it->second.get();
+  unit->read_fn = std::move(read_fn);
+  unit->state = UnitState::kQueued;
+  unit->error = Status::Ok();
+  unit->ready_seq = -1;
+  unit->refcount = 0;
+  unit->finished = false;
+  prefetch_queue_.push_back(unit);
+  ++counters_.units_added;
+  queue_cv_.notify_one();
+  return Status::Ok();
+}
+
+Status Gbo::ReadUnit(const std::string& unit_name, ReadFn read_fn) {
+  if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  // Deleted and failed units are re-readable (ReadUnit retries a failed
+  // load with the new read function).
+  Unit* unit =
+      (it != units_.end() && it->second->state != UnitState::kDeleted &&
+       it->second->state != UnitState::kFailed)
+          ? it->second.get()
+          : nullptr;
+
+  if (unit != nullptr && unit->state == UnitState::kReady) {
+    PinLocked(unit);
+    ++counters_.unit_cache_hits;
+    return Status::Ok();
+  }
+
+  Stopwatch stopwatch;
+  Status status;
+  if (unit == nullptr) {
+    // Fresh (or previously deleted) unit: blocking foreground read.
+    if (!read_fn) return InvalidArgumentError("read function is null");
+    if (it == units_.end()) {
+      auto fresh = std::make_unique<Unit>();
+      fresh->name = unit_name;
+      it = units_.emplace(unit_name, std::move(fresh)).first;
+    }
+    unit = it->second.get();
+    unit->read_fn = std::move(read_fn);
+    unit->error = Status::Ok();
+    unit->ready_seq = -1;
+    unit->refcount = 0;
+    unit->finished = false;
+    status = LoadInlineLocked(lock, unit);
+  } else if (unit->state == UnitState::kQueued && !options_.background_io) {
+    status = LoadInlineLocked(lock, unit);
+  } else {
+    // Queued (multi-thread) or already loading: wait for it.
+    status = AwaitReadyLocked(lock, unit);
+  }
+  visible_io_time_.Add(stopwatch.Elapsed());
+  if (status.ok()) PinLocked(unit);
+  return status;
+}
+
+Status Gbo::WaitUnit(const std::string& unit_name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  if (it == units_.end() || it->second->state == UnitState::kDeleted) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  Unit* unit = it->second.get();
+  if (unit->state == UnitState::kReady) {
+    PinLocked(unit);
+    ++counters_.unit_cache_hits;
+    return Status::Ok();
+  }
+  if (unit->state == UnitState::kFailed) return unit->error;
+
+  Stopwatch stopwatch;
+  Status status;
+  if (unit->state == UnitState::kQueued && !options_.background_io) {
+    // Single-thread library: the read happens inside the wait (paper §4.2).
+    status = LoadInlineLocked(lock, unit);
+  } else {
+    status = AwaitReadyLocked(lock, unit);
+  }
+  visible_io_time_.Add(stopwatch.Elapsed());
+  if (status.ok()) PinLocked(unit);
+  return status;
+}
+
+Status Gbo::FinishUnit(const std::string& unit_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  if (it == units_.end() || it->second->state == UnitState::kDeleted) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  Unit* unit = it->second.get();
+  if (unit->state != UnitState::kReady) {
+    return FailedPreconditionError(
+        StrCat("unit ", unit_name, " is not ready (state ",
+               UnitStateName(unit->state), ")"));
+  }
+  if (unit->refcount > 0) --unit->refcount;
+  unit->finished = true;
+  if (unit->refcount == 0) MakeEvictableLocked(unit);
+  return Status::Ok();
+}
+
+Status Gbo::DeleteUnit(const std::string& unit_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  if (it == units_.end() || it->second->state == UnitState::kDeleted) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  Unit* unit = it->second.get();
+  if (unit->state == UnitState::kLoading) {
+    return FailedPreconditionError(
+        StrCat("unit ", unit_name, " is currently loading"));
+  }
+  EvictUnitLocked(unit, /*explicit_delete=*/true);
+  unit_cv_.notify_all();
+  return Status::Ok();
+}
+
+Status Gbo::SetMemSpace(int64_t bytes) {
+  if (bytes < 0) return InvalidArgumentError("negative memory limit");
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_limit_ = bytes;
+  EvictToLimitLocked();
+  memory_cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<UnitState> Gbo::GetUnitState(const std::string& unit_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  if (it == units_.end()) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  return it->second->state;
+}
+
+// ---------------------------------------------------------------------
+// Background I/O thread.
+
+Gbo::Unit* Gbo::FindBlockedQueuedUnitLocked() {
+  for (Unit* unit : prefetch_queue_) {
+    if (unit->waiters > 0 && unit->state == UnitState::kQueued) return unit;
+  }
+  return nullptr;
+}
+
+void Gbo::ResolveDeadlockLocked(Unit* unit) {
+  // Invariant on entry: memory is exhausted, nothing is evictable, and an
+  // application thread is blocked waiting for `unit`, which is still
+  // queued. The blocked thread cannot free memory (it would have to call
+  // Finish/DeleteUnit), so prefetching can never proceed: fail the unit to
+  // wake its waiters (paper §3.3 — this happens "when developers neglect
+  // to delete processed units or mark those units finished").
+  auto queue_pos =
+      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
+  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  unit->state = UnitState::kFailed;
+  unit->error = AbortedError(StrCat(
+      "GODIVA deadlock detected: cannot prefetch unit ", unit->name,
+      " — database memory is exhausted (",
+      FormatBytes(memory_used_), " used of ", FormatBytes(memory_limit_),
+      ") and no finished units are evictable"));
+  ++counters_.deadlocks_detected;
+  GODIVA_LOG(kError) << unit->error.message();
+  unit_cv_.notify_all();
+}
+
+void Gbo::IoThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    queue_cv_.wait(lock,
+                   [&] { return shutdown_ || !prefetch_queue_.empty(); });
+    if (shutdown_) return;
+
+    // Memory gate: prefetch only while there is room to hold more data
+    // (paper §3.2). Eviction and deadlock detection happen here.
+    if (memory_used_ >= memory_limit_) {
+      if (EvictOneLocked()) continue;  // re-evaluate with freed memory
+      if (Unit* blocked = FindBlockedQueuedUnitLocked()) {
+        ResolveDeadlockLocked(blocked);
+        continue;
+      }
+      memory_cv_.wait(lock);
+      continue;  // re-evaluate everything (shutdown, queue, memory)
+    }
+
+    Unit* unit = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    if (unit->state != UnitState::kQueued) continue;  // raced with delete
+    unit->state = UnitState::kLoading;
+
+    lock.unlock();
+    Stopwatch stopwatch;
+    Status status = RunReadFn(unit);
+    Duration elapsed = stopwatch.Elapsed();
+    read_fn_time_.Add(elapsed);
+    prefetch_time_.Add(elapsed);
+    lock.lock();
+
+    unit->error = status;
+    unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
+    unit->ready_seq = next_ready_seq_++;
+    ++counters_.units_prefetched;
+    if (!status.ok()) {
+      PurgeRecordsLocked(unit);  // roll back the partial load
+      GODIVA_LOG(kWarning) << "prefetch of unit " << unit->name
+                           << " failed: " << status;
+    }
+    unit_cv_.notify_all();
+  }
+}
+
+}  // namespace godiva

@@ -1,0 +1,97 @@
+#include "core/interactive_prefetcher.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace godiva {
+
+InteractivePrefetcher::InteractivePrefetcher(Gbo* db, Options options,
+                                             NameFn name_fn,
+                                             Gbo::ReadFn read_fn)
+    : db_(db),
+      options_(options),
+      name_fn_(std::move(name_fn)),
+      read_fn_(std::move(read_fn)) {}
+
+std::vector<int> InteractivePrefetcher::PredictNext(int index) const {
+  int direction = direction_;
+  if (last_access_ >= 0 && index != last_access_) {
+    direction = index > last_access_ ? +1 : -1;
+  }
+  std::vector<int> out;
+  for (int step = 1; step <= options_.lookahead; ++step) {
+    int next = index + step * direction;
+    if (next >= 0 && next < options_.num_items) out.push_back(next);
+  }
+  return out;
+}
+
+Status InteractivePrefetcher::Access(int index) {
+  if (index < 0 || index >= options_.num_items) {
+    return InvalidArgumentError("access index out of range");
+  }
+  ++stats_.accesses;
+
+  // Retire stale speculations: anything speculated but not consumed is
+  // unpinned (finished) so the cache may evict it.
+  for (auto it = outstanding_speculations_.begin();
+       it != outstanding_speculations_.end();) {
+    if (*it == index) {
+      ++it;
+      continue;
+    }
+    auto state = db_->GetUnitState(name_fn_(*it));
+    if (state.ok() && *state == UnitState::kReady) {
+      // Pin (WaitUnit returns immediately for ready units) then finish so
+      // the refcount reaches zero and the unit becomes evictable.
+      Status wait = db_->WaitUnit(name_fn_(*it));
+      if (wait.ok()) {
+        Status finish = db_->FinishUnit(name_fn_(*it));
+        if (!finish.ok()) {
+          GODIVA_LOG(kWarning)
+              << "retiring speculation failed: " << finish;
+        }
+      }
+      it = outstanding_speculations_.erase(it);
+    } else {
+      ++it;  // still loading; retire on a later access
+    }
+  }
+
+  // Serve the access: ReadUnit is a cache hit if the unit is resident
+  // (either speculatively prefetched or kept by the cache policy).
+  std::string unit = name_fn_(index);
+  int64_t hits_before = db_->stats().unit_cache_hits;
+  GODIVA_RETURN_IF_ERROR(db_->ReadUnit(unit, read_fn_));
+  if (db_->stats().unit_cache_hits > hits_before) ++stats_.memory_hits;
+  outstanding_speculations_.erase(index);
+
+  // Speculate along the scan direction.
+  for (int next : PredictNext(index)) {
+    std::string next_unit = name_fn_(next);
+    auto state = db_->GetUnitState(next_unit);
+    if (state.ok() && *state != UnitState::kDeleted &&
+        *state != UnitState::kFailed) {
+      continue;  // already resident, queued or loading
+    }
+    Status added = db_->AddUnit(next_unit, read_fn_);
+    if (added.ok()) {
+      outstanding_speculations_.insert(next);
+      ++stats_.speculations_issued;
+    }
+  }
+
+  if (last_access_ >= 0 && index != last_access_) {
+    direction_ = index > last_access_ ? +1 : -1;
+  }
+  last_access_ = index;
+  return Status::Ok();
+}
+
+Status InteractivePrefetcher::Release(int index) {
+  return db_->FinishUnit(name_fn_(index));
+}
+
+}  // namespace godiva

@@ -1,0 +1,82 @@
+// Speculative prefetching for interactive visualization, built purely on
+// the public GODIVA interfaces — the layering the paper proposes in §5:
+// "GODIVA interfaces may also be used as a building block in implementing
+// previously proposed domain-specific prefetching/caching techniques
+// [Doshi et al.]".
+//
+// The application reports each user access over an indexed series of items
+// (e.g. time-step snapshots). The prefetcher serves the access with
+// Gbo::ReadUnit (cache hit if a speculation landed), then predicts the
+// next accesses from scan momentum and queues them with Gbo::AddUnit so
+// the background I/O thread loads them while the user is looking at the
+// current image. Speculations that were never consumed are marked
+// finished, so the cache policy can evict them.
+#ifndef GODIVA_CORE_INTERACTIVE_PREFETCHER_H_
+#define GODIVA_CORE_INTERACTIVE_PREFETCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gbo.h"
+
+namespace godiva {
+
+class InteractivePrefetcher {
+ public:
+  // Maps an item index to its processing-unit name.
+  using NameFn = std::function<std::string(int)>;
+
+  struct Options {
+    // Number of items in the series (indices 0 .. num_items-1).
+    int num_items = 0;
+    // Speculative units queued per access, along the scan direction.
+    int lookahead = 2;
+  };
+
+  struct Stats {
+    int64_t accesses = 0;
+    int64_t speculations_issued = 0;
+    // Accesses served from memory (includes both consumed speculations
+    // and cache revisits).
+    int64_t memory_hits = 0;
+  };
+
+  // `db` must outlive the prefetcher. `read_fn` loads any unit by name.
+  InteractivePrefetcher(Gbo* db, Options options, NameFn name_fn,
+                        Gbo::ReadFn read_fn);
+  InteractivePrefetcher(const InteractivePrefetcher&) = delete;
+  InteractivePrefetcher& operator=(const InteractivePrefetcher&) = delete;
+
+  // Serves a user access to item `index` (blocking until resident) and
+  // schedules speculative prefetches. After it returns, the unit is
+  // pinned; call Release(index) when the user moves on.
+  Status Access(int index);
+
+  // Unpins a previously accessed item (FinishUnit).
+  Status Release(int index);
+
+  const Stats& stats() const { return stats_; }
+
+  // The indices a new access at `index` would speculate on (exposed for
+  // tests and tuning): `lookahead` steps along the current direction.
+  std::vector<int> PredictNext(int index) const;
+
+ private:
+  Gbo* db_;
+  Options options_;
+  NameFn name_fn_;
+  Gbo::ReadFn read_fn_;
+  Stats stats_;
+
+  int last_access_ = -1;
+  int direction_ = +1;  // last observed scan direction
+  std::set<int> outstanding_speculations_;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_INTERACTIVE_PREFETCHER_H_

@@ -1,0 +1,34 @@
+// Helpers for building key-field values. GODIVA keys are the raw bytes of
+// the key fields' buffers, concatenated in key order; these helpers produce
+// correctly-sized byte strings for lookups.
+#ifndef GODIVA_CORE_KEY_UTIL_H_
+#define GODIVA_CORE_KEY_UTIL_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace godiva {
+
+// Raw bytes of a trivially-copyable value (e.g. an int32_t block id).
+template <typename T>
+std::string KeyBytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "KeyBytes requires a trivially copyable type");
+  std::string out(sizeof(T), '\0');
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+// Pads (with '\0') or truncates `text` to exactly `size` bytes — matching a
+// fixed-width STRING key field such as the paper's 11-byte "block ID".
+inline std::string PadKey(std::string_view text, int64_t size) {
+  std::string out(text.substr(0, static_cast<size_t>(size)));
+  out.resize(static_cast<size_t>(size), '\0');
+  return out;
+}
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_KEY_UTIL_H_

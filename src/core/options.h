@@ -1,0 +1,45 @@
+// Construction options for a GODIVA database (GBO).
+#ifndef GODIVA_CORE_OPTIONS_H_
+#define GODIVA_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace godiva {
+
+// Which evictable unit the cache replacement picks when memory runs low.
+// The paper uses LRU (§3.3); FIFO is kept as an ablation baseline.
+enum class EvictionPolicy {
+  kLru,
+  kFifo,
+};
+
+struct GboOptions {
+  // Maximum memory the database may use for record buffers (plus the small
+  // per-record overhead). Set at creation like the paper's `new GBO(400)`
+  // (which takes MB); adjustable at runtime via Gbo::SetMemSpace.
+  int64_t memory_limit_bytes = int64_t{256} * 1024 * 1024;
+
+  // true  → the paper's standard multi-thread library (TG): a background
+  //         I/O thread prefetches added units.
+  // false → the paper's single-thread build (G): no I/O thread; WaitUnit
+  //         performs the read inline, so all I/O is visible.
+  bool background_io = true;
+
+  EvictionPolicy eviction_policy = EvictionPolicy::kLru;
+
+  static GboOptions SingleThread() {
+    GboOptions options;
+    options.background_io = false;
+    return options;
+  }
+
+  static GboOptions WithMemoryMb(int64_t mb) {
+    GboOptions options;
+    options.memory_limit_bytes = mb * 1024 * 1024;
+    return options;
+  }
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_OPTIONS_H_

@@ -1,0 +1,87 @@
+#include "core/record.h"
+
+#include <string>
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace godiva {
+
+Record::Record(const RecordType* type)
+    : type_(type), slots_(type->members().size()) {}
+
+Result<int64_t> Record::AllocateSlot(int member_index, int64_t size) {
+  const RecordType::Member& member = type_->members()[member_index];
+  if (slots_[member_index].data != nullptr) {
+    return AlreadyExistsError(StrCat("field ", member.field->name,
+                                     " buffer is already allocated"));
+  }
+  if (size < 0) {
+    return InvalidArgumentError(
+        StrCat("field ", member.field->name, ": negative buffer size"));
+  }
+  if (size % SizeOf(member.field->type) != 0) {
+    return InvalidArgumentError(StrFormat(
+        "field %s: size %lld not a multiple of element size %lld",
+        member.field->name.c_str(), static_cast<long long>(size),
+        static_cast<long long>(SizeOf(member.field->type))));
+  }
+  // No zero-initialization: the caller fills the buffer from the input
+  // file (reading uninitialized contents is the visualization tool's
+  // responsibility, exactly as the paper states in §3.3).
+  slots_[member_index].data = std::make_unique_for_overwrite<uint8_t[]>(
+      static_cast<size_t>(size > 0 ? size : 1));
+  slots_[member_index].size = size;
+  payload_bytes_ += size;
+  return size;
+}
+
+Result<void*> Record::FieldBuffer(std::string_view field_name) const {
+  int index = type_->FindMemberIndex(field_name);
+  if (index < 0) {
+    return NotFoundError(StrCat("record type ", type_->name(),
+                                " has no field ", field_name));
+  }
+  if (slots_[index].data == nullptr) {
+    return FailedPreconditionError(
+        StrCat("field ", field_name, " buffer is not allocated"));
+  }
+  return static_cast<void*>(slots_[index].data.get());
+}
+
+Result<int64_t> Record::FieldBufferSize(std::string_view field_name) const {
+  int index = type_->FindMemberIndex(field_name);
+  if (index < 0) {
+    return NotFoundError(StrCat("record type ", type_->name(),
+                                " has no field ", field_name));
+  }
+  if (slots_[index].data == nullptr) {
+    return FailedPreconditionError(
+        StrCat("field ", field_name, " buffer is not allocated"));
+  }
+  return slots_[index].size;
+}
+
+Result<std::string> Record::EncodeKey() const {
+  std::string key;
+  key.reserve(static_cast<size_t>(type_->key_bytes()));
+  for (int index : type_->key_member_indices()) {
+    const RecordType::Member& member = type_->members()[index];
+    const Slot& slot = slots_[index];
+    if (slot.data == nullptr) {
+      return FailedPreconditionError(
+          StrCat("key field ", member.field->name, " is not allocated"));
+    }
+    if (slot.size != member.field->default_size) {
+      return FailedPreconditionError(StrFormat(
+          "key field %s has %lld bytes, declared %lld",
+          member.field->name.c_str(), static_cast<long long>(slot.size),
+          static_cast<long long>(member.field->default_size)));
+    }
+    key.append(reinterpret_cast<const char*>(slot.data.get()),
+               static_cast<size_t>(slot.size));
+  }
+  return key;
+}
+
+}  // namespace godiva

@@ -1,0 +1,84 @@
+// A record instance: one buffer slot per member of its record type. GODIVA
+// manages buffer *locations*, never interpreting contents (paper §3.1);
+// the visualization code reads/writes the buffers directly.
+#ifndef GODIVA_CORE_RECORD_H_
+#define GODIVA_CORE_RECORD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/record_type.h"
+
+namespace godiva {
+
+// Fixed bookkeeping cost charged per record against the database memory
+// limit ("a small overhead for the record indexing system", paper §3.2).
+inline constexpr int64_t kRecordOverheadBytes = 128;
+
+class Record {
+ public:
+  explicit Record(const RecordType* type);
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+
+  const RecordType& type() const { return *type_; }
+
+  // Name of the processing unit this record belongs to; empty if unbound.
+  const std::string& unit() const { return unit_; }
+  bool committed() const { return committed_; }
+
+  // Allocates the buffer for `member_index` with `size` bytes. Fails if
+  // already allocated or size is invalid for the field's element type.
+  // Returns the number of bytes newly charged against the memory budget.
+  Result<int64_t> AllocateSlot(int member_index, int64_t size);
+
+  bool slot_allocated(int member_index) const {
+    return slots_[member_index].data != nullptr;
+  }
+
+  // Raw buffer pointer / size for an allocated member. Null / kUnknownSize
+  // when unallocated.
+  void* slot_data(int member_index) const {
+    return slots_[member_index].data.get();
+  }
+  int64_t slot_size(int member_index) const {
+    return slots_[member_index].size;
+  }
+
+  // Named variants (convenience; NOT_FOUND for unknown fields,
+  // FAILED_PRECONDITION for unallocated buffers).
+  Result<void*> FieldBuffer(std::string_view field_name) const;
+  Result<int64_t> FieldBufferSize(std::string_view field_name) const;
+
+  // Bytes charged against the database memory budget for this record.
+  int64_t MemoryUsage() const { return kRecordOverheadBytes + payload_bytes_; }
+
+  // Encodes the key by concatenating the key-field buffer bytes in key
+  // order. Fails if any key buffer is unallocated or not exactly the
+  // declared key-field size.
+  Result<std::string> EncodeKey() const;
+
+ private:
+  friend class Gbo;
+
+  struct Slot {
+    std::unique_ptr<uint8_t[]> data;
+    int64_t size = kUnknownSize;
+  };
+
+  const RecordType* type_;
+  std::vector<Slot> slots_;
+  int64_t payload_bytes_ = 0;
+  std::string unit_;        // maintained by Gbo
+  bool committed_ = false;  // maintained by Gbo
+  std::string key_;         // cached at commit, used for index removal
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_RECORD_H_

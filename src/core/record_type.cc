@@ -1,0 +1,58 @@
+#include "core/record_type.h"
+
+#include <string_view>
+
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace godiva {
+
+int RecordType::FindMemberIndex(std::string_view field_name) const {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].field->name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status RecordType::AddMember(const FieldTypeDef* field, bool is_key) {
+  if (committed_) {
+    return FailedPreconditionError(
+        StrCat("record type ", name_, " is already committed"));
+  }
+  if (FindMemberIndex(field->name) >= 0) {
+    return AlreadyExistsError(StrCat("record type ", name_,
+                                     " already contains field ", field->name));
+  }
+  if (is_key && !field->has_known_size()) {
+    return InvalidArgumentError(
+        StrCat("key field ", field->name,
+               " must have a known size (keys are fixed-width)"));
+  }
+  if (is_key) {
+    key_member_indices_.push_back(static_cast<int>(members_.size()));
+    key_bytes_ += field->default_size;
+  }
+  members_.push_back(Member{field, is_key});
+  return Status::Ok();
+}
+
+Status RecordType::Commit() {
+  if (committed_) {
+    return FailedPreconditionError(
+        StrCat("record type ", name_, " is already committed"));
+  }
+  if (static_cast<int>(key_member_indices_.size()) != declared_key_count_) {
+    return InvalidArgumentError(StrFormat(
+        "record type %s declared %d key fields but %d were inserted",
+        name_.c_str(), declared_key_count_,
+        static_cast<int>(key_member_indices_.size())));
+  }
+  if (members_.empty()) {
+    return InvalidArgumentError(
+        StrCat("record type ", name_, " has no fields"));
+  }
+  committed_ = true;
+  return Status::Ok();
+}
+
+}  // namespace godiva

@@ -1,0 +1,70 @@
+// Record types: named, committed sets of field types with a designated key
+// subset (paper §3.1). Built incrementally via Gbo::DefineRecord /
+// Gbo::InsertField and frozen by Gbo::CommitRecordType.
+#ifndef GODIVA_CORE_RECORD_TYPE_H_
+#define GODIVA_CORE_RECORD_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/field_type.h"
+
+namespace godiva {
+
+class RecordType {
+ public:
+  struct Member {
+    const FieldTypeDef* field;  // owned by the Gbo's field-type registry
+    bool is_key;
+  };
+
+  RecordType(std::string name, int declared_key_count)
+      : name_(std::move(name)), declared_key_count_(declared_key_count) {}
+
+  RecordType(const RecordType&) = delete;
+  RecordType& operator=(const RecordType&) = delete;
+
+  const std::string& name() const { return name_; }
+  int declared_key_count() const { return declared_key_count_; }
+  bool committed() const { return committed_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  // Indices (into members()) of the key fields, in insertion order. The
+  // order of key values in lookups follows this order.
+  const std::vector<int>& key_member_indices() const {
+    return key_member_indices_;
+  }
+
+  // Total encoded key width. Key fields must have known sizes, so this is
+  // fixed once the type is committed.
+  int64_t key_bytes() const { return key_bytes_; }
+
+  // Index of the member named `field_name`, or -1.
+  int FindMemberIndex(std::string_view field_name) const;
+
+  // Appends a member. Fails if the type is committed or the field is
+  // already a member, or if a key field has unknown size (keys index the
+  // record and must be fixed-width; paper keys are fixed-size meta data).
+  Status AddMember(const FieldTypeDef* field, bool is_key);
+
+  // Freezes the type. Fails unless the number of key members matches
+  // declared_key_count (and is at least 1 when any lookup is intended —
+  // zero-key types are allowed but their records are reachable only via
+  // record handles / unit listings).
+  Status Commit();
+
+ private:
+  std::string name_;
+  int declared_key_count_;
+  bool committed_ = false;
+  std::vector<Member> members_;
+  std::vector<int> key_member_indices_;
+  int64_t key_bytes_ = 0;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_RECORD_TYPE_H_

@@ -1,0 +1,23 @@
+#include "core/stats.h"
+
+#include "common/strings.h"
+
+namespace godiva {
+
+std::string GboStats::ToString() const {
+  return StrCat(
+      "GboStats{visible_io=", FormatSeconds(visible_io_seconds),
+      " read_fn=", FormatSeconds(read_fn_seconds),
+      " prefetch=", FormatSeconds(prefetch_seconds),
+      " units[added=", units_added, " prefetched=", units_prefetched,
+      " fg=", units_read_foreground, " hits=", unit_cache_hits,
+      " evicted=", units_evicted, " deleted=", units_deleted,
+      " deadlocks=", deadlocks_detected,
+      "] records[created=", records_created,
+      " committed=", records_committed, "] lookups[", key_lookups, "/",
+      failed_lookups, " failed] mem[cur=", FormatBytes(current_memory_bytes),
+      " peak=", FormatBytes(peak_memory_bytes),
+      " total=", FormatBytes(total_bytes_allocated), "]}");
+}
+
+}  // namespace godiva

@@ -1,0 +1,43 @@
+// Observability counters for a GODIVA database. "Visible I/O time" follows
+// the paper's definition (§4.2): time the application spends in explicit
+// blocking reads or waiting for units to become ready.
+#ifndef GODIVA_CORE_STATS_H_
+#define GODIVA_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace godiva {
+
+struct GboStats {
+  // Time accounting (seconds of wall time).
+  double visible_io_seconds = 0;    // blocking ReadUnit + WaitUnit waits
+  double read_fn_seconds = 0;       // total time inside user read functions
+  double prefetch_seconds = 0;      // read-function time on the I/O thread
+
+  // Unit lifecycle.
+  int64_t units_added = 0;
+  int64_t units_prefetched = 0;       // completed by the I/O thread
+  int64_t units_read_foreground = 0;  // completed by blocking ReadUnit
+  int64_t unit_cache_hits = 0;        // ReadUnit/WaitUnit found data resident
+  int64_t units_evicted = 0;          // evicted by the replacement policy
+  int64_t units_deleted = 0;          // explicit DeleteUnit
+  int64_t deadlocks_detected = 0;
+
+  // Record/query activity.
+  int64_t records_created = 0;
+  int64_t records_committed = 0;
+  int64_t key_lookups = 0;
+  int64_t failed_lookups = 0;
+
+  // Memory.
+  int64_t current_memory_bytes = 0;
+  int64_t peak_memory_bytes = 0;
+  int64_t total_bytes_allocated = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_STATS_H_

@@ -1,0 +1,32 @@
+#include "core/unit_context.h"
+
+#include <utility>
+#include <vector>
+
+namespace godiva::internal_unit_context {
+namespace {
+
+using Frame = std::pair<const Gbo*, std::string>;
+
+std::vector<Frame>& Stack() {
+  static thread_local std::vector<Frame> stack;
+  return stack;
+}
+
+}  // namespace
+
+void Push(const Gbo* gbo, const std::string& unit_name) {
+  Stack().emplace_back(gbo, unit_name);
+}
+
+void Pop() { Stack().pop_back(); }
+
+const std::string* Current(const Gbo* gbo) {
+  const std::vector<Frame>& stack = Stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->first == gbo) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace godiva::internal_unit_context

@@ -1,0 +1,34 @@
+// Tracks, per thread, which processing unit a read function is currently
+// loading for which Gbo, so records created inside the read function are
+// bound to that unit (paper Figure 1: the read function creates records
+// that flow into the database as one unit).
+#ifndef GODIVA_CORE_UNIT_CONTEXT_H_
+#define GODIVA_CORE_UNIT_CONTEXT_H_
+
+#include <string>
+
+namespace godiva {
+
+class Gbo;
+
+namespace internal_unit_context {
+
+void Push(const Gbo* gbo, const std::string& unit_name);
+void Pop();
+
+// The unit the calling thread is currently reading for `gbo`, or nullptr.
+const std::string* Current(const Gbo* gbo);
+
+// RAII frame.
+class Scope {
+ public:
+  Scope(const Gbo* gbo, const std::string& unit_name) { Push(gbo, unit_name); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  ~Scope() { Pop(); }
+};
+
+}  // namespace internal_unit_context
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_UNIT_CONTEXT_H_

@@ -1,0 +1,55 @@
+// On-disk layout of the GODIVA Scientific Data Format (gsdf) — the
+// self-describing container this repo uses in place of HDF4 (see
+// DESIGN.md §1). Layout (all integers little-endian):
+//
+//   header:   "GSDF" | u32 version | u64 reserved
+//   payloads: raw dataset bytes, in AddDataset order
+//   directory: per dataset:
+//       u32 name_len | name | u8 dtype | u64 offset | u64 nbytes |
+//       u32 nattrs | nattrs × (u32 klen | key | u32 vlen | value)
+//   file attrs: u32 nattrs | nattrs × (u32 klen | key | u32 vlen | value)
+//   footer:   u64 dir_offset | u64 dataset_count | "FDSG"
+#ifndef GODIVA_GSDF_FORMAT_H_
+#define GODIVA_GSDF_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace godiva::gsdf {
+
+inline constexpr char kMagic[4] = {'G', 'S', 'D', 'F'};
+inline constexpr char kFooterMagic[4] = {'F', 'D', 'S', 'G'};
+inline constexpr uint32_t kVersion = 1;
+inline constexpr int64_t kHeaderSize = 4 + 4 + 8;
+inline constexpr int64_t kFooterSize = 8 + 8 + 4;
+
+// Little-endian scalar encode/decode into byte buffers. The hosts we target
+// are little-endian; these helpers centralize the assumption.
+inline void EncodeU32(uint32_t value, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out->append(buf, 4);
+}
+
+inline void EncodeU64(uint64_t value, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  out->append(buf, 8);
+}
+
+inline uint32_t DecodeU32(const uint8_t* p) {
+  uint32_t value;
+  std::memcpy(&value, p, 4);
+  return value;
+}
+
+inline uint64_t DecodeU64(const uint8_t* p) {
+  uint64_t value;
+  std::memcpy(&value, p, 8);
+  return value;
+}
+
+}  // namespace godiva::gsdf
+
+#endif  // GODIVA_GSDF_FORMAT_H_

@@ -1,0 +1,230 @@
+#include "gsdf/reader.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "gsdf/format.h"
+
+namespace godiva::gsdf {
+namespace {
+
+// Bounds-checked cursor over a byte buffer.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, int64_t size) : data_(data), size_(size) {}
+
+  Result<uint32_t> ReadU32() {
+    GODIVA_RETURN_IF_ERROR(Need(4));
+    uint32_t value = DecodeU32(data_ + pos_);
+    pos_ += 4;
+    return value;
+  }
+
+  Result<uint64_t> ReadU64() {
+    GODIVA_RETURN_IF_ERROR(Need(8));
+    uint64_t value = DecodeU64(data_ + pos_);
+    pos_ += 8;
+    return value;
+  }
+
+  Result<uint8_t> ReadU8() {
+    GODIVA_RETURN_IF_ERROR(Need(1));
+    return data_[pos_++];
+  }
+
+  Result<std::string> ReadString() {
+    GODIVA_ASSIGN_OR_RETURN(uint32_t length, ReadU32());
+    GODIVA_RETURN_IF_ERROR(Need(length));
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return out;
+  }
+
+  int64_t remaining() const { return size_ - pos_; }
+
+  Result<AttributeList> ReadAttributes() {
+    GODIVA_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+    // Each attribute needs at least two length prefixes (8 bytes); a count
+    // beyond that is corruption — reject before reserving memory for it.
+    if (static_cast<int64_t>(count) > remaining() / 8) {
+      return DataLossError("gsdf attribute count exceeds directory size");
+    }
+    AttributeList attrs;
+    attrs.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      GODIVA_ASSIGN_OR_RETURN(std::string key, ReadString());
+      GODIVA_ASSIGN_OR_RETURN(std::string value, ReadString());
+      attrs.emplace_back(std::move(key), std::move(value));
+    }
+    return attrs;
+  }
+
+ private:
+  Status Need(int64_t n) {
+    if (pos_ + n > size_) {
+      return DataLossError("gsdf directory truncated");
+    }
+    return Status::Ok();
+  }
+
+  const uint8_t* data_;
+  int64_t size_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace
+
+const std::string* DatasetInfo::FindAttribute(const std::string& key) const {
+  for (const auto& [attr_key, attr_value] : attributes) {
+    if (attr_key == key) return &attr_value;
+  }
+  return nullptr;
+}
+
+Reader::Reader(Env* env, std::string path)
+    : path_(std::move(path)), env_(env) {}
+
+Result<std::unique_ptr<Reader>> Reader::Open(Env* env,
+                                             const std::string& path) {
+  auto reader = std::unique_ptr<Reader>(new Reader(env, path));
+  GODIVA_RETURN_IF_ERROR(reader->Load());
+  return reader;
+}
+
+Status Reader::Load() {
+  GODIVA_ASSIGN_OR_RETURN(file_, env_->NewRandomAccessFile(path_));
+  int64_t file_size = file_->Size();
+  if (file_size < kHeaderSize + kFooterSize) {
+    return DataLossError(StrCat(path_, ": too small to be a gsdf file"));
+  }
+
+  uint8_t header[kHeaderSize];
+  GODIVA_RETURN_IF_ERROR(file_->Read(0, kHeaderSize, header));
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError(StrCat(path_, ": bad gsdf magic"));
+  }
+  uint32_t version = DecodeU32(header + 4);
+  if (version != kVersion) {
+    return DataLossError(
+        StrFormat("%s: unsupported gsdf version %u", path_.c_str(), version));
+  }
+
+  uint8_t footer[kFooterSize];
+  GODIVA_RETURN_IF_ERROR(
+      file_->Read(file_size - kFooterSize, kFooterSize, footer));
+  if (std::memcmp(footer + 16, kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return DataLossError(StrCat(path_, ": bad gsdf footer magic"));
+  }
+  int64_t dir_offset = static_cast<int64_t>(DecodeU64(footer));
+  int64_t dataset_count = static_cast<int64_t>(DecodeU64(footer + 8));
+  if (dir_offset < kHeaderSize || dir_offset > file_size - kFooterSize) {
+    return DataLossError(StrCat(path_, ": directory offset out of range"));
+  }
+
+  int64_t dir_size = file_size - kFooterSize - dir_offset;
+  std::vector<uint8_t> dir_bytes(static_cast<size_t>(dir_size));
+  GODIVA_RETURN_IF_ERROR(file_->Read(dir_offset, dir_size, dir_bytes.data()));
+
+  // A directory entry is at least name-length + type + offset + size +
+  // attribute-count = 25 bytes; a larger claimed count is corruption.
+  if (dataset_count < 0 || dataset_count > dir_size / 25) {
+    return DataLossError(
+        StrCat(path_, ": dataset count exceeds directory size"));
+  }
+
+  Cursor cursor(dir_bytes.data(), dir_size);
+  datasets_.reserve(static_cast<size_t>(dataset_count));
+  for (int64_t i = 0; i < dataset_count; ++i) {
+    DatasetInfo info;
+    GODIVA_ASSIGN_OR_RETURN(info.name, cursor.ReadString());
+    GODIVA_ASSIGN_OR_RETURN(uint8_t raw_type, cursor.ReadU8());
+    if (!IsValidDataType(raw_type)) {
+      return DataLossError(
+          StrFormat("%s: dataset %s has invalid type %u", path_.c_str(),
+                    info.name.c_str(), raw_type));
+    }
+    info.type = static_cast<DataType>(raw_type);
+    GODIVA_ASSIGN_OR_RETURN(uint64_t offset, cursor.ReadU64());
+    GODIVA_ASSIGN_OR_RETURN(uint64_t nbytes, cursor.ReadU64());
+    info.offset = static_cast<int64_t>(offset);
+    info.nbytes = static_cast<int64_t>(nbytes);
+    if (info.nbytes < 0 || info.offset < kHeaderSize ||
+        info.offset + info.nbytes > dir_offset) {
+      return DataLossError(StrCat(path_, ": dataset ", info.name,
+                                  " payload out of range"));
+    }
+    GODIVA_ASSIGN_OR_RETURN(info.attributes, cursor.ReadAttributes());
+    dataset_index_.emplace(info.name, datasets_.size());
+    datasets_.push_back(std::move(info));
+  }
+  GODIVA_ASSIGN_OR_RETURN(file_attributes_, cursor.ReadAttributes());
+  return Status::Ok();
+}
+
+Result<const DatasetInfo*> Reader::Find(const std::string& name) const {
+  auto it = dataset_index_.find(name);
+  if (it == dataset_index_.end()) {
+    return NotFoundError(StrCat(path_, ": no dataset named ", name));
+  }
+  return &datasets_[it->second];
+}
+
+Status Reader::Read(const std::string& name, void* out,
+                    int64_t out_bytes) const {
+  GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(name));
+  if (out_bytes < info->nbytes) {
+    return InvalidArgumentError(
+        StrFormat("buffer of %lld bytes too small for dataset %s (%lld)",
+                  static_cast<long long>(out_bytes), name.c_str(),
+                  static_cast<long long>(info->nbytes)));
+  }
+  return file_->Read(info->offset, info->nbytes, out);
+}
+
+Status Reader::VerifyChecksum(const std::string& name) const {
+  GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(name));
+  const std::string* stored = info->FindAttribute(kChecksumAttribute);
+  if (stored == nullptr) {
+    return FailedPreconditionError(
+        StrCat(path_, ": dataset ", name, " has no checksum"));
+  }
+  std::vector<uint8_t> payload(static_cast<size_t>(info->nbytes));
+  GODIVA_RETURN_IF_ERROR(
+      file_->Read(info->offset, info->nbytes, payload.data()));
+  std::string actual =
+      StrFormat("%08x", Crc32(payload.data(), info->nbytes));
+  if (actual != *stored) {
+    return DataLossError(StrFormat(
+        "%s: dataset %s checksum mismatch (stored %s, computed %s)",
+        path_.c_str(), name.c_str(), stored->c_str(), actual.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status Reader::VerifyAllChecksums() const {
+  for (const DatasetInfo& info : datasets_) {
+    if (info.FindAttribute(kChecksumAttribute) == nullptr) continue;
+    GODIVA_RETURN_IF_ERROR(VerifyChecksum(info.name));
+  }
+  return Status::Ok();
+}
+
+Status Reader::ReadRange(const std::string& name, int64_t byte_offset,
+                         int64_t nbytes, void* out) const {
+  GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(name));
+  if (byte_offset < 0 || nbytes < 0 || byte_offset + nbytes > info->nbytes) {
+    return OutOfRangeError(
+        StrFormat("range [%lld, %lld) outside dataset %s of %lld bytes",
+                  static_cast<long long>(byte_offset),
+                  static_cast<long long>(byte_offset + nbytes), name.c_str(),
+                  static_cast<long long>(info->nbytes)));
+  }
+  return file_->Read(info->offset + byte_offset, nbytes, out);
+}
+
+}  // namespace godiva::gsdf

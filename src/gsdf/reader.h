@@ -1,0 +1,86 @@
+// gsdf file reader: parses the directory at open, then serves positioned
+// dataset reads through the underlying Env file handle (so each dataset
+// access pays the storage model's seek/transfer costs, like HDF4 did on a
+// real disk).
+#ifndef GODIVA_GSDF_READER_H_
+#define GODIVA_GSDF_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "gsdf/writer.h"
+#include "sim/env.h"
+
+namespace godiva::gsdf {
+
+struct DatasetInfo {
+  std::string name;
+  DataType type = DataType::kByte;
+  int64_t offset = 0;  // payload position within the file
+  int64_t nbytes = 0;
+  AttributeList attributes;
+
+  int64_t num_elements() const { return nbytes / SizeOf(type); }
+
+  // Returns the attribute value, or nullptr if absent.
+  const std::string* FindAttribute(const std::string& key) const;
+};
+
+// Thread-compatible: concurrent Read()s are safe iff the underlying
+// RandomAccessFile is (both provided backends are).
+class Reader {
+ public:
+  // Opens `path`, validates magic/version, and loads the directory.
+  static Result<std::unique_ptr<Reader>> Open(Env* env,
+                                              const std::string& path);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+  ~Reader() = default;
+
+  const std::vector<DatasetInfo>& datasets() const { return datasets_; }
+  const AttributeList& file_attributes() const { return file_attributes_; }
+  const std::string& path() const { return path_; }
+
+  // Returns the directory entry for `name`, or NOT_FOUND.
+  Result<const DatasetInfo*> Find(const std::string& name) const;
+
+  // Reads the whole payload of `name` into `out` (which must hold
+  // `out_bytes` ≥ dataset size; exactly dataset-size bytes are read).
+  Status Read(const std::string& name, void* out, int64_t out_bytes) const;
+
+  // Reads `nbytes` starting `byte_offset` into the payload of `name`.
+  Status ReadRange(const std::string& name, int64_t byte_offset,
+                   int64_t nbytes, void* out) const;
+
+  // Reads the dataset and verifies it against its __crc32 attribute.
+  // Returns DATA_LOSS on mismatch, FAILED_PRECONDITION if the file was
+  // written without checksums.
+  Status VerifyChecksum(const std::string& name) const;
+
+  // Verifies every checksummed dataset; fails on the first mismatch.
+  Status VerifyAllChecksums() const;
+
+ private:
+  Reader(Env* env, std::string path);
+
+  Status Load();
+
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::vector<DatasetInfo> datasets_;
+  // Name → index into datasets_, so Find() is O(1) even for files with
+  // hundreds of datasets (a snapshot file has ~300).
+  std::unordered_map<std::string, size_t> dataset_index_;
+  AttributeList file_attributes_;
+  Env* env_;
+};
+
+}  // namespace godiva::gsdf
+
+#endif  // GODIVA_GSDF_READER_H_

@@ -1,0 +1,108 @@
+#include "gsdf/writer.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "gsdf/format.h"
+
+namespace godiva::gsdf {
+namespace {
+
+void EncodeString(const std::string& s, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+void EncodeAttributes(const AttributeList& attributes, std::string* out) {
+  EncodeU32(static_cast<uint32_t>(attributes.size()), out);
+  for (const auto& [key, value] : attributes) {
+    EncodeString(key, out);
+    EncodeString(value, out);
+  }
+}
+
+}  // namespace
+
+Writer::Writer(std::unique_ptr<WritableFile> file, Options options)
+    : file_(std::move(file)), options_(options) {}
+
+Result<std::unique_ptr<Writer>> Writer::Create(Env* env,
+                                               const std::string& path,
+                                               Options options) {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          env->NewWritableFile(path));
+  auto writer =
+      std::unique_ptr<Writer>(new Writer(std::move(file), options));
+  std::string header(kMagic, sizeof(kMagic));
+  EncodeU32(kVersion, &header);
+  EncodeU64(0, &header);  // reserved
+  GODIVA_RETURN_IF_ERROR(writer->file_->Append(header.data(),
+                                               static_cast<int64_t>(header.size())));
+  writer->write_offset_ = static_cast<int64_t>(header.size());
+  return writer;
+}
+
+Status Writer::AddDataset(const std::string& name, DataType type,
+                          const void* data, int64_t nbytes,
+                          AttributeList attributes) {
+  if (finished_) return FailedPreconditionError("writer already finished");
+  if (name.empty()) return InvalidArgumentError("dataset name is empty");
+  if (nbytes < 0 || nbytes % SizeOf(type) != 0) {
+    return InvalidArgumentError(
+        StrCat("dataset ", name, ": size ", nbytes,
+               " is not a multiple of element size ", SizeOf(type)));
+  }
+  for (const DatasetEntry& entry : datasets_) {
+    if (entry.name == name) {
+      return AlreadyExistsError(StrCat("duplicate dataset: ", name));
+    }
+  }
+  if (nbytes > 0) {
+    GODIVA_RETURN_IF_ERROR(file_->Append(data, nbytes));
+  }
+  if (options_.checksums) {
+    attributes.emplace_back(kChecksumAttribute,
+                            StrFormat("%08x", Crc32(data, nbytes)));
+  }
+  datasets_.push_back(DatasetEntry{name, type, write_offset_, nbytes,
+                                   std::move(attributes)});
+  write_offset_ += nbytes;
+  return Status::Ok();
+}
+
+void Writer::SetFileAttribute(const std::string& key,
+                              const std::string& value) {
+  for (auto& [existing_key, existing_value] : file_attributes_) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  file_attributes_.emplace_back(key, value);
+}
+
+Status Writer::Finish() {
+  if (finished_) return FailedPreconditionError("writer already finished");
+  finished_ = true;
+  int64_t dir_offset = write_offset_;
+  std::string tail;
+  for (const DatasetEntry& entry : datasets_) {
+    EncodeString(entry.name, &tail);
+    tail.push_back(static_cast<char>(entry.type));
+    EncodeU64(static_cast<uint64_t>(entry.offset), &tail);
+    EncodeU64(static_cast<uint64_t>(entry.nbytes), &tail);
+    EncodeAttributes(entry.attributes, &tail);
+  }
+  EncodeAttributes(file_attributes_, &tail);
+  EncodeU64(static_cast<uint64_t>(dir_offset), &tail);
+  EncodeU64(static_cast<uint64_t>(datasets_.size()), &tail);
+  tail.append(kFooterMagic, sizeof(kFooterMagic));
+  GODIVA_RETURN_IF_ERROR(
+      file_->Append(tail.data(), static_cast<int64_t>(tail.size())));
+  return file_->Close();
+}
+
+}  // namespace godiva::gsdf

@@ -1,0 +1,77 @@
+// Sequential gsdf file writer.
+#ifndef GODIVA_GSDF_WRITER_H_
+#define GODIVA_GSDF_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/env.h"
+
+namespace godiva::gsdf {
+
+using AttributeList = std::vector<std::pair<std::string, std::string>>;
+
+// Reserved attribute key holding the dataset payload's CRC-32 (8 hex
+// digits); written by default, verified via Reader::VerifyChecksum.
+inline constexpr char kChecksumAttribute[] = "__crc32";
+
+// Writes datasets in call order; Finish() emits directory + footer. Not
+// thread safe.
+class Writer {
+ public:
+  struct Options {
+    // Attach a CRC-32 of each payload as the __crc32 dataset attribute.
+    bool checksums = true;
+  };
+
+  // Creates/truncates `path` on `env` and writes the header.
+  static Result<std::unique_ptr<Writer>> Create(Env* env,
+                                                const std::string& path,
+                                                Options options);
+  static Result<std::unique_ptr<Writer>> Create(Env* env,
+                                                const std::string& path) {
+    return Create(env, path, Options{});
+  }
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+  ~Writer() = default;
+
+  // Appends one named, typed dataset. `nbytes` must be a multiple of
+  // SizeOf(type). Dataset names must be unique within the file.
+  Status AddDataset(const std::string& name, DataType type, const void* data,
+                    int64_t nbytes, AttributeList attributes = {});
+
+  // Sets a file-level attribute (overwrites an existing key).
+  void SetFileAttribute(const std::string& key, const std::string& value);
+
+  // Writes directory and footer and closes the file. Must be the last call.
+  Status Finish();
+
+ private:
+  struct DatasetEntry {
+    std::string name;
+    DataType type;
+    int64_t offset;
+    int64_t nbytes;
+    AttributeList attributes;
+  };
+
+  Writer(std::unique_ptr<WritableFile> file, Options options);
+
+  std::unique_ptr<WritableFile> file_;
+  Options options_;
+  int64_t write_offset_ = 0;
+  std::vector<DatasetEntry> datasets_;
+  AttributeList file_attributes_;
+  bool finished_ = false;
+};
+
+}  // namespace godiva::gsdf
+
+#endif  // GODIVA_GSDF_WRITER_H_

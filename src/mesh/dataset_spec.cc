@@ -1,0 +1,33 @@
+#include "mesh/dataset_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace godiva::mesh {
+
+DatasetSpec DatasetSpec::TitanIV() { return DatasetSpec(); }
+
+DatasetSpec DatasetSpec::Tiny() {
+  DatasetSpec spec;
+  spec.nx = 6;
+  spec.ny = 6;
+  spec.nz = 12;
+  spec.num_blocks = 6;
+  spec.files_per_snapshot = 2;
+  spec.num_snapshots = 4;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::TitanIVScaled(double factor) {
+  DatasetSpec spec;
+  double axis = std::cbrt(factor);
+  spec.nx = std::max(3, static_cast<int>(std::lround(spec.nx * axis)));
+  spec.ny = std::max(3, static_cast<int>(std::lround(spec.ny * axis)));
+  spec.nz = std::max(6, static_cast<int>(std::lround(spec.nz * axis)));
+  spec.num_blocks = std::max(
+      spec.files_per_snapshot,
+      static_cast<int>(std::lround(spec.num_blocks * factor)));
+  return spec;
+}
+
+}  // namespace godiva::mesh

@@ -1,0 +1,50 @@
+// Describes a synthetic snapshot dataset: mesh resolution, block count,
+// file layout, and time stepping. TitanIV() reproduces the paper's dataset
+// shape (§4.2): 120,481 nodes / 679,008 tets partitioned into 120 blocks,
+// 8 files per snapshot, 32 snapshots (this generator yields 120,516 nodes
+// and 656,208 tets — within 3% of the paper's mesh).
+#ifndef GODIVA_MESH_DATASET_SPEC_H_
+#define GODIVA_MESH_DATASET_SPEC_H_
+
+#include <string>
+
+namespace godiva::mesh {
+
+struct DatasetSpec {
+  // Structured generator grid (nodes per axis).
+  int nx = 22;
+  int ny = 22;
+  int nz = 249;
+  // Physical extent: a slender propellant-like box.
+  double lx = 1.0;
+  double ly = 1.0;
+  double lz = 10.0;
+
+  int num_blocks = 120;
+  int files_per_snapshot = 8;
+  int num_snapshots = 32;
+  double dt = 2.5e-5;
+
+  double TimeOf(int snapshot) const { return dt * (snapshot + 1); }
+
+  int64_t ExpectedNodes() const {
+    return static_cast<int64_t>(nx) * ny * nz;
+  }
+  int64_t ExpectedTets() const {
+    return static_cast<int64_t>(6) * (nx - 1) * (ny - 1) * (nz - 1);
+  }
+
+  // The paper's evaluation dataset.
+  static DatasetSpec TitanIV();
+
+  // A seconds-to-generate configuration for tests and examples.
+  static DatasetSpec Tiny();
+
+  // TitanIV shape at reduced mesh resolution (for faster experiment runs);
+  // `factor` scales the node count roughly linearly, in (0, 1].
+  static DatasetSpec TitanIVScaled(double factor);
+};
+
+}  // namespace godiva::mesh
+
+#endif  // GODIVA_MESH_DATASET_SPEC_H_

@@ -1,0 +1,108 @@
+#include "mesh/fields.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "mesh/quantities.h"
+
+namespace godiva::mesh {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// A travelling pressure wave along the rocket axis (z) with radial decay:
+// the basis for all synthetic quantities.
+double Wave(double z, double t, double phase) {
+  return std::sin(kTwoPi * (0.35 * z - 40.0 * t) + phase);
+}
+
+double CosWave(double z, double t, double phase) {
+  return std::cos(kTwoPi * (0.35 * z - 40.0 * t) + phase);
+}
+
+double RadialDecay(double x, double y) {
+  double r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
+  return 1.0 / (1.0 + 2.0 * r2);
+}
+
+}  // namespace
+
+double NodeQuantityAt(std::string_view name, double x, double y, double z,
+                      double t) {
+  double w = Wave(z, t, 0.0);
+  double decay = RadialDecay(x, y);
+  // Stress tensor components: phase-shifted waves with distinct spatial
+  // couplings so the von Mises surface is non-trivial.
+  if (name == "sxx") return 1e6 * decay * (1.0 + 0.5 * w) + 1e4 * x * y;
+  if (name == "syy") return 1e6 * decay * (1.0 - 0.5 * w) + 1e4 * y * z;
+  if (name == "szz") return 2e6 * decay * Wave(z, t, 1.3);
+  if (name == "sxy") return 2e5 * decay * Wave(z, t, 0.4) * (x - y);
+  if (name == "syz") return 2e5 * decay * Wave(z, t, 2.1) * (y - 0.5);
+  if (name == "szx") return 2e5 * decay * Wave(z, t, 2.9) * (x - 0.5);
+  // Kinematics: displacement is an axial compression wave; velocity and
+  // acceleration are its analytic time derivatives.
+  if (name == "dispx") return 1e-3 * (x - 0.5) * w;
+  if (name == "dispy") return 1e-3 * (y - 0.5) * w;
+  if (name == "dispz") return 5e-3 * Wave(z, t, 0.7);
+  if (name == "velx") return -1e-3 * (x - 0.5) * kTwoPi * 40.0 * CosWave(z, t, 0.0);
+  if (name == "vely") return -1e-3 * (y - 0.5) * kTwoPi * 40.0 * CosWave(z, t, 0.0);
+  if (name == "velz") return -5e-3 * kTwoPi * 40.0 * CosWave(z, t, 0.7);
+  if (name == "accx") return -1e-3 * (x - 0.5) * std::pow(kTwoPi * 40.0, 2) * w;
+  if (name == "accy") return -1e-3 * (y - 0.5) * std::pow(kTwoPi * 40.0, 2) * w;
+  if (name == "accz") return -5e-3 * std::pow(kTwoPi * 40.0, 2) * Wave(z, t, 0.7);
+  if (name == "density") return 1800.0 * (1.0 + 0.01 * w * decay);
+  if (name == "energy") return 2.4e5 * (1.0 + 0.05 * Wave(z, t, 1.9) * decay);
+  assert(false && "unknown node quantity");
+  return 0.0;
+}
+
+std::vector<double> SynthesizeNodeQuantity(const MeshBlock& block,
+                                           std::string_view name, double t) {
+  std::vector<double> out(static_cast<size_t>(block.num_nodes()));
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = NodeQuantityAt(name, block.x[i], block.y[i], block.z[i], t);
+  }
+  return out;
+}
+
+std::vector<double> SynthesizeElementStress(const MeshBlock& block,
+                                            double t) {
+  std::vector<double> out(static_cast<size_t>(block.num_tets()));
+  for (size_t e = 0; e < out.size(); ++e) {
+    double cx = 0, cy = 0, cz = 0;
+    for (int corner = 0; corner < 4; ++corner) {
+      int32_t n = block.tets[e * 4 + corner];
+      cx += block.x[n];
+      cy += block.y[n];
+      cz += block.z[n];
+    }
+    cx *= 0.25;
+    cy *= 0.25;
+    cz *= 0.25;
+    // "Average stress": mean normal stress at the centroid.
+    out[e] = (NodeQuantityAt("sxx", cx, cy, cz, t) +
+              NodeQuantityAt("syy", cx, cy, cz, t) +
+              NodeQuantityAt("szz", cx, cy, cz, t)) /
+             3.0;
+  }
+  return out;
+}
+
+std::vector<double> SynthesizeQuantity(const MeshBlock& block,
+                                       std::string_view name, double t) {
+  int index = FindQuantity(name);
+  assert(index >= 0);
+  if (!kQuantities[index].node_based) {
+    return SynthesizeElementStress(block, t);
+  }
+  return SynthesizeNodeQuantity(block, name, t);
+}
+
+int FindQuantity(std::string_view name) {
+  for (int i = 0; i < kNumQuantities; ++i) {
+    if (kQuantities[i].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace godiva::mesh

@@ -1,0 +1,34 @@
+// Synthesizes smooth, time-evolving physical fields over a mesh block —
+// the stand-in for GENx's simulated solid-propellant state. Fields are
+// analytic in (x, y, z, t), so any (block, snapshot) pair regenerates
+// identical values, which the tests use to validate reads end-to-end.
+#ifndef GODIVA_MESH_FIELDS_H_
+#define GODIVA_MESH_FIELDS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "mesh/partition.h"
+
+namespace godiva::mesh {
+
+// Value of node-based quantity `name` at position (x, y, z) and time t.
+double NodeQuantityAt(std::string_view name, double x, double y, double z,
+                      double t);
+
+// Per-node values of quantity `name` for all nodes of `block` at time t.
+// `name` must be node-based.
+std::vector<double> SynthesizeNodeQuantity(const MeshBlock& block,
+                                           std::string_view name, double t);
+
+// Per-tet values of the element-based average-stress quantity (evaluated
+// at tet centroids).
+std::vector<double> SynthesizeElementStress(const MeshBlock& block, double t);
+
+// Per-quantity synthesis by name (dispatches on kQuantities centering).
+std::vector<double> SynthesizeQuantity(const MeshBlock& block,
+                                       std::string_view name, double t);
+
+}  // namespace godiva::mesh
+
+#endif  // GODIVA_MESH_FIELDS_H_

@@ -1,0 +1,43 @@
+#include "mesh/partition.h"
+
+#include <cassert>
+#include <cstddef>
+#include <unordered_map>
+
+namespace godiva::mesh {
+
+std::vector<MeshBlock> PartitionMesh(const TetMesh& mesh, int num_blocks) {
+  assert(num_blocks >= 1);
+  assert(num_blocks <= mesh.num_tets());
+  int64_t total_tets = mesh.num_tets();
+  std::vector<MeshBlock> blocks(static_cast<size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    MeshBlock& block = blocks[static_cast<size_t>(b)];
+    block.block_id = b;
+    int64_t begin = total_tets * b / num_blocks;
+    int64_t end = total_tets * (b + 1) / num_blocks;
+
+    std::unordered_map<int32_t, int32_t> global_to_local;
+    global_to_local.reserve(static_cast<size_t>((end - begin) * 2));
+    block.tets.reserve(static_cast<size_t>((end - begin) * 4));
+    block.global_tet.reserve(static_cast<size_t>(end - begin));
+    for (int64_t t = begin; t < end; ++t) {
+      block.global_tet.push_back(static_cast<int32_t>(t));
+      for (int corner = 0; corner < 4; ++corner) {
+        int32_t global = mesh.tets[static_cast<size_t>(t) * 4 + corner];
+        auto [it, inserted] = global_to_local.try_emplace(
+            global, static_cast<int32_t>(block.global_node.size()));
+        if (inserted) {
+          block.global_node.push_back(global);
+          block.x.push_back(mesh.x[global]);
+          block.y.push_back(mesh.y[global]);
+          block.z.push_back(mesh.z[global]);
+        }
+        block.tets.push_back(it->second);
+      }
+    }
+  }
+  return blocks;
+}
+
+}  // namespace godiva::mesh

@@ -1,0 +1,39 @@
+// Partitions a tetrahedral mesh into blocks with duplicated boundary nodes
+// (the paper's dataset is "partitioned into 120 blocks (with a small amount
+// of duplication of the boundary data)").
+#ifndef GODIVA_MESH_PARTITION_H_
+#define GODIVA_MESH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace godiva::mesh {
+
+struct MeshBlock {
+  int32_t block_id = 0;
+  // Local copies of node coordinates (boundary nodes are duplicated into
+  // every block that touches them).
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  // Global node id of each local node (for field synthesis / validation).
+  std::vector<int32_t> global_node;
+  // Local connectivity: 4 local node indices per tet.
+  std::vector<int32_t> tets;
+  // Global tet id of each local tet.
+  std::vector<int32_t> global_tet;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(x.size()); }
+  int64_t num_tets() const { return static_cast<int64_t>(tets.size()) / 4; }
+};
+
+// Splits the mesh's tets into `num_blocks` contiguous ranges and localizes
+// each range's node set. Every tet lands in exactly one block; nodes shared
+// between blocks are duplicated. num_blocks must be ≥ 1 and ≤ num_tets.
+std::vector<MeshBlock> PartitionMesh(const TetMesh& mesh, int num_blocks);
+
+}  // namespace godiva::mesh
+
+#endif  // GODIVA_MESH_PARTITION_H_

@@ -1,0 +1,40 @@
+// The physical quantities stored in each snapshot, mirroring the paper's
+// GENx Titan-IV datasets (§4.2): "a scalar measure of average stress, six
+// components of the stress tensor stored as scalars, the displacement,
+// velocity, and acceleration vectors, and several other quantities required
+// for restarting".
+#ifndef GODIVA_MESH_QUANTITIES_H_
+#define GODIVA_MESH_QUANTITIES_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace godiva::mesh {
+
+struct QuantityDef {
+  std::string_view name;
+  bool node_based;  // false → element (tet) based
+};
+
+// Order matters: it is the on-disk dataset order within each block.
+inline constexpr QuantityDef kQuantities[] = {
+    {"stress", false},  // scalar measure of average stress (element-based)
+    {"sxx", true},      {"syy", true},  {"szz", true},
+    {"sxy", true},      {"syz", true},  {"szx", true},
+    {"dispx", true},    {"dispy", true}, {"dispz", true},
+    {"velx", true},     {"vely", true},  {"velz", true},
+    {"accx", true},     {"accy", true},  {"accz", true},
+    {"density", true},  // restart quantity
+    {"energy", true},   // restart quantity
+};
+
+inline constexpr int kNumQuantities =
+    static_cast<int>(sizeof(kQuantities) / sizeof(kQuantities[0]));
+
+// Index of `name` in kQuantities, or -1.
+int FindQuantity(std::string_view name);
+
+}  // namespace godiva::mesh
+
+#endif  // GODIVA_MESH_QUANTITIES_H_

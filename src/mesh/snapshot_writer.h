@@ -1,0 +1,53 @@
+// Writes a synthetic time-series dataset in gsdf format with the paper's
+// layout: per snapshot, `files_per_snapshot` files, blocks distributed
+// round-robin across files; each block contributes coordinate, connectivity
+// and quantity datasets.
+#ifndef GODIVA_MESH_SNAPSHOT_WRITER_H_
+#define GODIVA_MESH_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mesh/dataset_spec.h"
+#include "mesh/partition.h"
+#include "sim/env.h"
+
+namespace godiva::mesh {
+
+// "<prefix>/snap_0005_f03.gsdf"
+std::string SnapshotFileName(const std::string& prefix, int snapshot,
+                             int file_index);
+
+// "block_0007/velx"
+std::string BlockDatasetName(int32_t block_id, std::string_view field);
+
+// Block ids assigned to file `file_index` (round-robin over blocks).
+std::vector<int32_t> BlocksInFile(const DatasetSpec& spec, int file_index);
+
+// The result of generating a dataset.
+struct SnapshotDataset {
+  DatasetSpec spec;
+  std::string prefix;
+  // All file paths, snapshot-major then file-index order.
+  std::vector<std::string> files;
+  int64_t total_bytes = 0;
+
+  // Files belonging to snapshot `s`.
+  std::vector<std::string> SnapshotFiles(int s) const;
+};
+
+// Generates the mesh, partitions it, synthesizes all quantities for every
+// snapshot, and writes the files through `env`. Deterministic.
+Result<SnapshotDataset> WriteSnapshotDataset(Env* env,
+                                             const DatasetSpec& spec,
+                                             const std::string& prefix);
+
+// The blocks of the generated mesh (for tests and direct processing).
+std::vector<MeshBlock> MakeBlocks(const DatasetSpec& spec);
+
+}  // namespace godiva::mesh
+
+#endif  // GODIVA_MESH_SNAPSHOT_WRITER_H_

@@ -1,0 +1,92 @@
+#include "mesh/tet_mesh.h"
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace godiva::mesh {
+namespace {
+
+// The 6 permutations of axis insertion order for the Kuhn subdivision:
+// each tet walks from corner (0,0,0) to (1,1,1) adding one axis at a time.
+constexpr int kAxisOrders[6][3] = {
+    {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+};
+
+}  // namespace
+
+TetMesh MakeBoxTetMesh(int nx, int ny, int nz, double lx, double ly,
+                       double lz) {
+  assert(nx >= 2 && ny >= 2 && nz >= 2);
+  TetMesh mesh;
+  int64_t num_nodes = static_cast<int64_t>(nx) * ny * nz;
+  mesh.x.reserve(num_nodes);
+  mesh.y.reserve(num_nodes);
+  mesh.z.reserve(num_nodes);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        mesh.x.push_back(lx * i / (nx - 1));
+        mesh.y.push_back(ly * j / (ny - 1));
+        mesh.z.push_back(lz * k / (nz - 1));
+      }
+    }
+  }
+
+  auto node_id = [nx, ny](int i, int j, int k) -> int32_t {
+    return static_cast<int32_t>((static_cast<int64_t>(k) * ny + j) * nx + i);
+  };
+
+  mesh.tets.reserve(static_cast<size_t>(6) * (nx - 1) * (ny - 1) * (nz - 1) *
+                    4);
+  for (int k = 0; k + 1 < nz; ++k) {
+    for (int j = 0; j + 1 < ny; ++j) {
+      for (int i = 0; i + 1 < nx; ++i) {
+        for (const auto& order : kAxisOrders) {
+          std::array<int, 3> corner = {i, j, k};
+          std::array<int32_t, 4> tet;
+          tet[0] = node_id(corner[0], corner[1], corner[2]);
+          for (int step = 0; step < 3; ++step) {
+            ++corner[order[step]];
+            tet[step + 1] = node_id(corner[0], corner[1], corner[2]);
+          }
+          // Half the permutations produce negatively-oriented tets; swap
+          // two nodes to keep volumes positive.
+          double ax = mesh.x[tet[1]] - mesh.x[tet[0]];
+          double ay = mesh.y[tet[1]] - mesh.y[tet[0]];
+          double az = mesh.z[tet[1]] - mesh.z[tet[0]];
+          double bx = mesh.x[tet[2]] - mesh.x[tet[0]];
+          double by = mesh.y[tet[2]] - mesh.y[tet[0]];
+          double bz = mesh.z[tet[2]] - mesh.z[tet[0]];
+          double cx = mesh.x[tet[3]] - mesh.x[tet[0]];
+          double cy = mesh.y[tet[3]] - mesh.y[tet[0]];
+          double cz = mesh.z[tet[3]] - mesh.z[tet[0]];
+          double det = ax * (by * cz - bz * cy) - ay * (bx * cz - bz * cx) +
+                       az * (bx * cy - by * cx);
+          if (det < 0) std::swap(tet[2], tet[3]);
+          mesh.tets.insert(mesh.tets.end(), tet.begin(), tet.end());
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+double TetVolume(const TetMesh& mesh, int64_t tet_index) {
+  const int32_t* t = &mesh.tets[static_cast<size_t>(tet_index) * 4];
+  double ax = mesh.x[t[1]] - mesh.x[t[0]];
+  double ay = mesh.y[t[1]] - mesh.y[t[0]];
+  double az = mesh.z[t[1]] - mesh.z[t[0]];
+  double bx = mesh.x[t[2]] - mesh.x[t[0]];
+  double by = mesh.y[t[2]] - mesh.y[t[0]];
+  double bz = mesh.z[t[2]] - mesh.z[t[0]];
+  double cx = mesh.x[t[3]] - mesh.x[t[0]];
+  double cy = mesh.y[t[3]] - mesh.y[t[0]];
+  double cz = mesh.z[t[3]] - mesh.z[t[0]];
+  double det = ax * (by * cz - bz * cy) - ay * (bx * cz - bz * cx) +
+               az * (bx * cy - by * cx);
+  return det / 6.0;
+}
+
+}  // namespace godiva::mesh

@@ -1,0 +1,36 @@
+// Unstructured tetrahedral meshes and a generator that subdivides a
+// structured box grid into conforming tetrahedra (Kuhn 6-tet subdivision).
+// Stand-in for the paper's GENx Titan-IV solid-propellant mesh.
+#ifndef GODIVA_MESH_TET_MESH_H_
+#define GODIVA_MESH_TET_MESH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace godiva::mesh {
+
+struct TetMesh {
+  // Node coordinates (parallel arrays, scientific-code style).
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  // Connectivity: 4 node ids per tetrahedron, flattened.
+  std::vector<int32_t> tets;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(x.size()); }
+  int64_t num_tets() const { return static_cast<int64_t>(tets.size()) / 4; }
+};
+
+// Generates a box of nx × ny × nz nodes spanning [0,lx]×[0,ly]×[0,lz],
+// each hexahedral cell split into 6 tetrahedra sharing the cell's main
+// diagonal (conforming across neighbouring cells). Requires nx,ny,nz ≥ 2.
+TetMesh MakeBoxTetMesh(int nx, int ny, int nz, double lx, double ly,
+                       double lz);
+
+// Signed volume of one tetrahedron (node ids into `mesh`); positive for
+// correctly-oriented tets from MakeBoxTetMesh.
+double TetVolume(const TetMesh& mesh, int64_t tet_index);
+
+}  // namespace godiva::mesh
+
+#endif  // GODIVA_MESH_TET_MESH_H_

@@ -1,0 +1,66 @@
+// Filesystem abstraction used by everything that touches files (the gsdf
+// format, the mesh snapshot writer, user read functions). Two backends:
+// PosixEnv (real disk) and SimEnv (in-memory files plus a seek/bandwidth
+// delay model, for deterministic experiments on any host).
+#ifndef GODIVA_SIM_ENV_H_
+#define GODIVA_SIM_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace godiva {
+
+// Append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const void* data, int64_t size) = 0;
+  virtual Status Close() = 0;
+};
+
+// Positioned-read file handle. Read() is non-const because backends track
+// the head position for seek-cost modeling.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Reads exactly `size` bytes at `offset` into `out`. Fails with
+  // OUT_OF_RANGE if the range extends past end of file.
+  virtual Status Read(int64_t offset, int64_t size, void* out) = 0;
+
+  virtual int64_t Size() const = 0;
+};
+
+// Factory for file handles plus basic metadata operations.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Creates (truncating) a file for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+  virtual Result<int64_t> GetFileSize(const std::string& path) const = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  // All file paths with the given prefix, sorted.
+  virtual Result<std::vector<std::string>> ListFiles(
+      const std::string& prefix) const = 0;
+};
+
+// Process-wide Env backed by the real filesystem.
+Env* GetPosixEnv();
+
+}  // namespace godiva
+
+#endif  // GODIVA_SIM_ENV_H_

@@ -1,0 +1,31 @@
+#include "sim/platform.h"
+
+#include <chrono>
+
+namespace godiva {
+
+PlatformProfile PlatformProfile::Engle() {
+  PlatformProfile p;
+  p.name = "engle";
+  p.cpu_slots = 1;
+  // Positioning cost per discontiguous dataset access. Far below a raw
+  // 7200 rpm seek because the OS page cache and readahead absorb most
+  // physical seeks for these access patterns; what remains is the
+  // effective per-request overhead.
+  p.disk.seek_time = std::chrono::milliseconds(3);
+  p.disk.bytes_per_second = 24.0 * 1024 * 1024;
+  p.cpu_speed = 1.0;
+  return p;
+}
+
+PlatformProfile PlatformProfile::Turing() {
+  PlatformProfile p;
+  p.name = "turing";
+  p.cpu_slots = 2;
+  p.disk.seek_time = std::chrono::microseconds(1800);
+  p.disk.bytes_per_second = 32.0 * 1024 * 1024;
+  p.cpu_speed = 1.1;
+  return p;
+}
+
+}  // namespace godiva

@@ -1,0 +1,34 @@
+// Calibrated platform profiles for the paper's two testbeds. Absolute
+// numbers are order-of-magnitude models of 2003 hardware (what matters for
+// the experiments is the compute/I/O ratio and the CPU count; see
+// DESIGN.md §1).
+#ifndef GODIVA_SIM_PLATFORM_H_
+#define GODIVA_SIM_PLATFORM_H_
+
+#include <string>
+
+#include "sim/sim_cpu.h"
+#include "sim/sim_env.h"
+
+namespace godiva {
+
+struct PlatformProfile {
+  std::string name;
+  int cpu_slots = 1;
+  DiskModel disk;
+  // Relative compute speed (modeled compute durations are divided by this).
+  double cpu_speed = 1.0;
+
+  // "Engle": Dell Precision 340, 1×2.0 GHz P4, IDE 7200 rpm disk, ext2.
+  static PlatformProfile Engle();
+
+  // One Turing cluster node: 2×1 GHz PIII, REISERFS. The paper observes
+  // impressive computation times there thanks to graphics software
+  // unavailable on Engle, so its effective cpu_speed is not half of
+  // Engle's.
+  static PlatformProfile Turing();
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_SIM_PLATFORM_H_

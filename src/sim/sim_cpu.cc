@@ -1,0 +1,47 @@
+#include "sim/sim_cpu.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace godiva {
+
+SimCpu::SimCpu(Options options, const TimeScale* time_scale)
+    : options_(options),
+      time_scale_(time_scale),
+      slots_sem_(options.slots) {}
+
+void SimCpu::Compute(Duration modeled) {
+  if (modeled <= Duration::zero()) return;
+  total_nanos_.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(modeled).count(),
+      std::memory_order_relaxed);
+  Duration remaining = modeled;
+  while (remaining > Duration::zero()) {
+    Duration slice = std::min(remaining, options_.quantum);
+    {
+      SemaphoreGuard slot(&slots_sem_);
+      time_scale_->SleepModeled(slice);
+    }
+    remaining -= slice;
+  }
+}
+
+double SimCpu::TotalComputeSeconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+CompetitorLoad::CompetitorLoad(SimCpu* cpu) : cpu_(cpu) {
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      cpu_->Compute(std::chrono::milliseconds(20));
+    }
+  });
+}
+
+CompetitorLoad::~CompetitorLoad() {
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+}  // namespace godiva

@@ -1,0 +1,188 @@
+#include "sim/sim_env.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace godiva {
+
+// Appends into the backing vector; optionally charges sequential transfer.
+class SimWritableFile : public WritableFile {
+ public:
+  SimWritableFile(SimEnv* env, std::shared_ptr<SimEnv::FileData> data)
+      : env_(env), data_(std::move(data)) {}
+
+  Status Append(const void* bytes, int64_t size) override {
+    if (closed_) return FailedPreconditionError("file closed");
+    const uint8_t* p = static_cast<const uint8_t*>(bytes);
+    int64_t offset = static_cast<int64_t>(data_->bytes.size());
+    data_->bytes.insert(data_->bytes.end(), p, p + size);
+    if (env_->options_.charge_writes) {
+      env_->ChargeRead(data_.get(), offset, size);
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::Ok();
+  }
+
+ private:
+  SimEnv* env_;
+  std::shared_ptr<SimEnv::FileData> data_;
+  bool closed_ = false;
+};
+
+class SimRandomAccessFile : public RandomAccessFile {
+ public:
+  SimRandomAccessFile(SimEnv* env, std::shared_ptr<SimEnv::FileData> data,
+                      std::string path)
+      : env_(env), data_(std::move(data)), path_(std::move(path)) {}
+
+  Status Read(int64_t offset, int64_t size, void* out) override {
+    int64_t file_size = static_cast<int64_t>(data_->bytes.size());
+    if (offset < 0 || size < 0 || offset + size > file_size) {
+      return OutOfRangeError(
+          StrFormat("read [%lld, %lld) beyond size %lld of %s",
+                    static_cast<long long>(offset),
+                    static_cast<long long>(offset + size),
+                    static_cast<long long>(file_size), path_.c_str()));
+    }
+    env_->ChargeRead(data_.get(), offset, size);
+    std::memcpy(out, data_->bytes.data() + offset, static_cast<size_t>(size));
+    return Status::Ok();
+  }
+
+  int64_t Size() const override {
+    return static_cast<int64_t>(data_->bytes.size());
+  }
+
+ private:
+  SimEnv* env_;
+  std::shared_ptr<SimEnv::FileData> data_;
+  std::string path_;
+};
+
+SimEnv::SimEnv(Options options) : options_(options) {}
+
+Result<std::unique_ptr<WritableFile>> SimEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  auto data = std::make_shared<FileData>();
+  files_[path] = data;  // truncating create
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<SimWritableFile>(this, std::move(data)));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> SimEnv::NewRandomAccessFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError(StrCat("no such file: ", path));
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<SimRandomAccessFile>(this, it->second, path));
+}
+
+bool SimEnv::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  return files_.count(path) > 0;
+}
+
+Result<int64_t> SimEnv::GetFileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError(StrCat("no such file: ", path));
+  return static_cast<int64_t>(it->second->bytes.size());
+}
+
+Status SimEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  if (files_.erase(path) == 0) {
+    return NotFoundError(StrCat("no such file: ", path));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> SimEnv::ListFiles(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  std::vector<std::string> out;
+  for (const auto& [path, data] : files_) {
+    if (StartsWith(path, prefix)) out.push_back(path);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+void SimEnv::ChargeRead(const FileData* file, int64_t offset, int64_t size) {
+  Duration total;
+  {
+    std::lock_guard<std::mutex> lock(disk_mutex_);
+    bool seek = (head_file_ != file || head_offset_ != offset);
+    total = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(
+            static_cast<double>(size) / options_.disk.bytes_per_second));
+    if (seek) total += options_.disk.seek_time;
+    head_file_ = file;
+    head_offset_ = offset + size;
+    ++stats_.reads;
+    if (seek) ++stats_.seeks;
+    stats_.bytes_read += size;
+    stats_.modeled_read_seconds += ToSeconds(total);
+    // Hold the head (mutex) across the modeled duration: one spindle.
+    // Sub-millisecond (wall) delays accumulate and are paid in batches to
+    // keep per-sleep OS overhead from distorting the model.
+    if (options_.time_scale != nullptr) {
+      pending_delay_ += total;
+      double pending_wall =
+          ToSeconds(pending_delay_) * options_.time_scale->scale();
+      if (pending_wall >= 0.001) {
+        options_.time_scale->SleepModeled(pending_delay_);
+        pending_delay_ = Duration::zero();
+      }
+    }
+  }
+}
+
+std::unique_ptr<SimEnv> SimEnv::Clone(Options options) const {
+  auto clone = std::make_unique<SimEnv>(options);
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  clone->files_ = files_;
+  return clone;
+}
+
+void SimEnv::SetDiskModel(const DiskModel& disk) {
+  std::lock_guard<std::mutex> lock(disk_mutex_);
+  options_.disk = disk;
+}
+
+void SimEnv::SetTimeScale(const TimeScale* time_scale) {
+  std::lock_guard<std::mutex> lock(disk_mutex_);
+  options_.time_scale = time_scale;
+}
+
+DiskStats SimEnv::stats() const {
+  std::lock_guard<std::mutex> lock(disk_mutex_);
+  return stats_;
+}
+
+void SimEnv::ResetStats() {
+  std::lock_guard<std::mutex> lock(disk_mutex_);
+  stats_ = DiskStats();
+}
+
+int64_t SimEnv::TotalFileBytes() const {
+  std::lock_guard<std::mutex> lock(fs_mutex_);
+  int64_t total = 0;
+  for (const auto& [path, data] : files_) {
+    total += static_cast<int64_t>(data->bytes.size());
+  }
+  return total;
+}
+
+}  // namespace godiva

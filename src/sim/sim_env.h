@@ -1,0 +1,115 @@
+// SimEnv: an in-memory filesystem whose reads charge modeled disk time
+// (seek + transfer) through a single-head disk model. Deterministic
+// substitute for the paper's IDE (Engle/ext2) and cluster (Turing/REISERFS)
+// storage; see DESIGN.md §1.
+#ifndef GODIVA_SIM_SIM_ENV_H_
+#define GODIVA_SIM_SIM_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "sim/env.h"
+#include "sim/virtual_time.h"
+
+namespace godiva {
+
+// One rotating disk: positioning cost per discontiguous access plus a
+// sustained transfer rate.
+struct DiskModel {
+  Duration seek_time = std::chrono::milliseconds(9);
+  double bytes_per_second = 35.0 * 1024 * 1024;
+};
+
+// Aggregate counters for everything read through a SimEnv.
+struct DiskStats {
+  int64_t reads = 0;
+  int64_t seeks = 0;
+  int64_t bytes_read = 0;
+  double modeled_read_seconds = 0.0;
+};
+
+class SimEnv : public Env {
+ public:
+  struct Options {
+    DiskModel disk;
+    // If null, no delays are charged (instant in-memory reads) — handy for
+    // unit tests that only care about contents.
+    const TimeScale* time_scale = nullptr;
+    // Charge the disk model on writes too (off: dataset generation is
+    // instant, which is what the experiments want).
+    bool charge_writes = false;
+  };
+
+  explicit SimEnv(Options options);
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+  ~SimEnv() override = default;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Result<int64_t> GetFileSize(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListFiles(
+      const std::string& prefix) const override;
+
+  DiskStats stats() const;
+  void ResetStats();
+
+  // Reconfigures the delay model at runtime (e.g. to replay the same file
+  // set on different platform profiles). Not thread safe with concurrent
+  // reads; call between experiment runs.
+  void SetDiskModel(const DiskModel& disk);
+  void SetTimeScale(const TimeScale* time_scale);
+
+  // A new SimEnv with its own disk head/stats that shares this env's
+  // current file contents (copy-on-nothing: files are immutable payloads).
+  // Models several nodes holding replicas of the same dataset. Writes to
+  // either env after cloning are NOT isolated for files that already
+  // existed; clone only read-only datasets.
+  std::unique_ptr<SimEnv> Clone(Options options) const;
+
+  // Total bytes held by all files (for memory-footprint assertions).
+  int64_t TotalFileBytes() const;
+
+ private:
+  friend class SimWritableFile;
+  friend class SimRandomAccessFile;
+
+  struct FileData {
+    std::vector<uint8_t> bytes;
+  };
+
+  // Charges the disk model for an access of `size` bytes at (`file`,
+  // `offset`): takes the (single) disk head, pays seek if discontiguous,
+  // pays transfer, sleeps the scaled total, updates stats.
+  void ChargeRead(const FileData* file, int64_t offset, int64_t size);
+
+  Options options_;
+
+  mutable std::mutex fs_mutex_;  // guards files_
+  std::map<std::string, std::shared_ptr<FileData>> files_;
+
+  // The disk head: held for the whole modeled duration of an access, so
+  // concurrent readers serialize exactly as on one spindle. Scaled sleeps
+  // shorter than ~1 ms of wall time are accumulated and paid in batches:
+  // per-sleep OS overhead (~50–100 µs) would otherwise systematically
+  // inflate seek-heavy access patterns.
+  mutable std::mutex disk_mutex_;
+  const FileData* head_file_ = nullptr;
+  int64_t head_offset_ = 0;
+  Duration pending_delay_{};
+  DiskStats stats_;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_SIM_SIM_ENV_H_

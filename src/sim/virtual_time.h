@@ -1,0 +1,41 @@
+// Modeled-time execution: experiment components express costs in *modeled*
+// seconds (what a 2003-era platform would have spent) and TimeScale maps
+// them onto scaled real sleeps, so a paper run of hundreds of seconds
+// replays in a few wall seconds while preserving overlap behaviour between
+// real threads.
+#ifndef GODIVA_SIM_VIRTUAL_TIME_H_
+#define GODIVA_SIM_VIRTUAL_TIME_H_
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace godiva {
+
+class TimeScale {
+ public:
+  // `scale` = real seconds per modeled second, in (0, 1]. E.g. 0.004 turns
+  // a 500 s modeled run into 2 s of wall time.
+  explicit TimeScale(double scale) : scale_(scale) {}
+
+  double scale() const { return scale_; }
+
+  // Blocks the calling thread for `modeled` * scale of real time.
+  void SleepModeled(Duration modeled) const {
+    if (modeled <= Duration::zero()) return;
+    std::this_thread::sleep_for(
+        std::chrono::duration_cast<Duration>(modeled * scale_));
+  }
+
+  // Converts measured wall time back into modeled seconds.
+  double WallToModeledSeconds(Duration wall) const {
+    return ToSeconds(wall) / scale_;
+  }
+
+ private:
+  double scale_;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_SIM_VIRTUAL_TIME_H_

@@ -1,0 +1,30 @@
+#include "viz/camera.h"
+
+#include <cmath>
+
+namespace godiva::viz {
+
+Camera::Camera(Options options, int image_width, int image_height)
+    : options_(options), width_(image_width), height_(image_height) {
+  forward_ = Normalized(options_.target - options_.position);
+  right_ = Normalized(Cross(forward_, options_.up));
+  up_ = Cross(right_, forward_);
+  double fov_radians = options_.vertical_fov_degrees * M_PI / 180.0;
+  focal_ = (height_ / 2.0) / std::tan(fov_radians / 2.0);
+}
+
+ProjectedPoint Camera::Project(Vec3 world) const {
+  Vec3 rel = world - options_.position;
+  double depth = Dot(rel, forward_);
+  ProjectedPoint out;
+  out.depth = depth;
+  out.in_front = depth > options_.near_plane;
+  if (!out.in_front) return out;
+  double u = Dot(rel, right_) / depth;
+  double v = Dot(rel, up_) / depth;
+  out.x = width_ / 2.0 + u * focal_;
+  out.y = height_ / 2.0 - v * focal_;
+  return out;
+}
+
+}  // namespace godiva::viz

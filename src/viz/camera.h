@@ -1,0 +1,45 @@
+// Perspective pinhole camera: world → screen projection for the software
+// rasterizer. Mirrors the role of Rocketeer's "camera position file".
+#ifndef GODIVA_VIZ_CAMERA_H_
+#define GODIVA_VIZ_CAMERA_H_
+
+#include "viz/vec.h"
+
+namespace godiva::viz {
+
+struct ProjectedPoint {
+  double x = 0;       // pixel coordinates (may lie off-screen)
+  double y = 0;
+  double depth = 0;   // distance along the view axis (for z-buffering)
+  bool in_front = false;  // false if behind the near plane
+};
+
+class Camera {
+ public:
+  struct Options {
+    Vec3 position{3.0, 2.5, -4.0};
+    Vec3 target{0.5, 0.5, 5.0};
+    Vec3 up{0, 1, 0};
+    double vertical_fov_degrees = 40.0;
+    double near_plane = 0.05;
+  };
+
+  Camera(Options options, int image_width, int image_height);
+
+  ProjectedPoint Project(Vec3 world) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  int width_;
+  int height_;
+  Vec3 forward_;
+  Vec3 right_;
+  Vec3 up_;
+  double focal_;  // pixels
+};
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_CAMERA_H_

@@ -1,0 +1,40 @@
+#include "viz/cell_to_node.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace godiva::viz {
+namespace {
+
+double AbsTetVolume(const BlockGeometry& g, const int32_t* nodes) {
+  Vec3 p0{g.x[nodes[0]], g.y[nodes[0]], g.z[nodes[0]]};
+  Vec3 p1{g.x[nodes[1]], g.y[nodes[1]], g.z[nodes[1]]};
+  Vec3 p2{g.x[nodes[2]], g.y[nodes[2]], g.z[nodes[2]]};
+  Vec3 p3{g.x[nodes[3]], g.y[nodes[3]], g.z[nodes[3]]};
+  return std::abs(Dot(p1 - p0, Cross(p2 - p0, p3 - p0))) / 6.0;
+}
+
+}  // namespace
+
+std::vector<double> CellToNode(const BlockGeometry& geometry,
+                               std::span<const double> element_values) {
+  assert(static_cast<int64_t>(element_values.size()) ==
+         geometry.num_tets());
+  std::vector<double> sums(static_cast<size_t>(geometry.num_nodes()), 0.0);
+  std::vector<double> weights(static_cast<size_t>(geometry.num_nodes()),
+                              0.0);
+  for (int64_t t = 0; t < geometry.num_tets(); ++t) {
+    const int32_t* nodes = &geometry.conn[static_cast<size_t>(t) * 4];
+    double volume = AbsTetVolume(geometry, nodes);
+    for (int corner = 0; corner < 4; ++corner) {
+      sums[nodes[corner]] += volume * element_values[t];
+      weights[nodes[corner]] += volume;
+    }
+  }
+  for (size_t n = 0; n < sums.size(); ++n) {
+    sums[n] = weights[n] > 0 ? sums[n] / weights[n] : 0.0;
+  }
+  return sums;
+}
+
+}  // namespace godiva::viz

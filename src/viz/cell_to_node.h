@@ -1,0 +1,23 @@
+// Converts element-based (per-tet) quantities to node-based values by
+// volume-weighted averaging over each node's incident tets — required to
+// render the paper datasets' element-based "average stress" quantity with
+// node-interpolating filters (isosurface, slice).
+#ifndef GODIVA_VIZ_CELL_TO_NODE_H_
+#define GODIVA_VIZ_CELL_TO_NODE_H_
+
+#include <span>
+#include <vector>
+
+#include "viz/marching_tets.h"
+
+namespace godiva::viz {
+
+// `element_values` has one value per tet of `geometry`. Returns one value
+// per node: the incident-tet average weighted by |tet volume| (nodes with
+// no incident tets get 0).
+std::vector<double> CellToNode(const BlockGeometry& geometry,
+                               std::span<const double> element_values);
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_CELL_TO_NODE_H_

@@ -1,0 +1,60 @@
+#include "viz/colormap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace godiva::viz {
+namespace {
+
+uint8_t ToByte(double v) {
+  return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+}
+
+Rgb CoolWarm(double t) {
+  // Blue (0.23,0.30,0.75) → white → red (0.70,0.02,0.15).
+  if (t < 0.5) {
+    double u = t * 2.0;
+    return Rgb{ToByte(0.23 + u * (1.0 - 0.23)), ToByte(0.30 + u * 0.70),
+               ToByte(0.75 + u * 0.25)};
+  }
+  double u = (t - 0.5) * 2.0;
+  return Rgb{ToByte(1.0 - u * (1.0 - 0.70)), ToByte(1.0 - u * 0.98),
+             ToByte(1.0 - u * 0.85)};
+}
+
+Rgb Viridis(double t) {
+  // Coarse 5-point approximation of viridis.
+  constexpr double kStops[5][3] = {
+      {0.267, 0.005, 0.329},
+      {0.229, 0.322, 0.546},
+      {0.127, 0.566, 0.551},
+      {0.369, 0.789, 0.383},
+      {0.993, 0.906, 0.144},
+  };
+  double scaled = t * 4.0;
+  int seg = std::min(3, static_cast<int>(scaled));
+  double u = scaled - seg;
+  return Rgb{ToByte(kStops[seg][0] + u * (kStops[seg + 1][0] - kStops[seg][0])),
+             ToByte(kStops[seg][1] + u * (kStops[seg + 1][1] - kStops[seg][1])),
+             ToByte(kStops[seg][2] + u * (kStops[seg + 1][2] - kStops[seg][2]))};
+}
+
+}  // namespace
+
+Rgb Colormap::Map(double value) const {
+  double t = 0.5;
+  if (max_ > min_) {
+    t = std::clamp((value - min_) / (max_ - min_), 0.0, 1.0);
+  }
+  switch (kind_) {
+    case ColormapKind::kCoolWarm:
+      return CoolWarm(t);
+    case ColormapKind::kViridis:
+      return Viridis(t);
+    case ColormapKind::kGray:
+      return Rgb{ToByte(t), ToByte(t), ToByte(t)};
+  }
+  return Rgb{};
+}
+
+}  // namespace godiva::viz

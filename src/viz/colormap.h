@@ -1,0 +1,34 @@
+// Scalar → color mapping for surface coloring (Rocketeer's "color scale").
+#ifndef GODIVA_VIZ_COLORMAP_H_
+#define GODIVA_VIZ_COLORMAP_H_
+
+#include "viz/image.h"
+
+namespace godiva::viz {
+
+enum class ColormapKind {
+  kCoolWarm,  // blue → white → red diverging
+  kViridis,   // perceptually-uniform sequential (approximation)
+  kGray,
+};
+
+class Colormap {
+ public:
+  Colormap(ColormapKind kind, double min_value, double max_value)
+      : kind_(kind), min_(min_value), max_(max_value) {}
+
+  // Maps `value` (clamped to [min,max]) to a color.
+  Rgb Map(double value) const;
+
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+
+ private:
+  ColormapKind kind_;
+  double min_;
+  double max_;
+};
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_COLORMAP_H_

@@ -1,0 +1,41 @@
+#include "viz/derived.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace godiva::viz {
+
+std::vector<double> VonMises(std::span<const double> sxx,
+                             std::span<const double> syy,
+                             std::span<const double> szz,
+                             std::span<const double> sxy,
+                             std::span<const double> syz,
+                             std::span<const double> szx) {
+  size_t n = sxx.size();
+  assert(syy.size() == n && szz.size() == n && sxy.size() == n &&
+         syz.size() == n && szx.size() == n);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    double dxy = sxx[i] - syy[i];
+    double dyz = syy[i] - szz[i];
+    double dzx = szz[i] - sxx[i];
+    out[i] = std::sqrt(0.5 * (dxy * dxy + dyz * dyz + dzx * dzx) +
+                       3.0 * (sxy[i] * sxy[i] + syz[i] * syz[i] +
+                              szx[i] * szx[i]));
+  }
+  return out;
+}
+
+std::vector<double> Magnitude(std::span<const double> vx,
+                              std::span<const double> vy,
+                              std::span<const double> vz) {
+  size_t n = vx.size();
+  assert(vy.size() == n && vz.size() == n);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::sqrt(vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+  }
+  return out;
+}
+
+}  // namespace godiva::viz

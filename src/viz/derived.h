@@ -1,0 +1,26 @@
+// Derived node-based fields computed during visualization: von Mises
+// equivalent stress from the six tensor components, and vector magnitude
+// from three components.
+#ifndef GODIVA_VIZ_DERIVED_H_
+#define GODIVA_VIZ_DERIVED_H_
+
+#include <span>
+#include <vector>
+
+namespace godiva::viz {
+
+// sqrt(0.5·[(sxx−syy)² + (syy−szz)² + (szz−sxx)²] + 3·(sxy² + syz² + szx²)).
+std::vector<double> VonMises(std::span<const double> sxx,
+                             std::span<const double> syy,
+                             std::span<const double> szz,
+                             std::span<const double> sxy,
+                             std::span<const double> syz,
+                             std::span<const double> szx);
+
+std::vector<double> Magnitude(std::span<const double> vx,
+                              std::span<const double> vy,
+                              std::span<const double> vz);
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_DERIVED_H_

@@ -1,0 +1,50 @@
+#include "viz/glyphs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "viz/vec.h"
+
+namespace godiva::viz {
+
+int64_t MakeVectorGlyphs(const BlockGeometry& geometry,
+                         std::span<const double> vx,
+                         std::span<const double> vy,
+                         std::span<const double> vz,
+                         const GlyphOptions& options, TriangleSoup* out) {
+  int64_t num_nodes = geometry.num_nodes();
+  double max_magnitude = 0;
+  for (int64_t n = 0; n < num_nodes;
+       n += std::max(1, options.node_stride)) {
+    double m = std::sqrt(vx[n] * vx[n] + vy[n] * vy[n] + vz[n] * vz[n]);
+    max_magnitude = std::max(max_magnitude, m);
+  }
+  if (max_magnitude <= 0) return 0;
+
+  int64_t emitted = 0;
+  for (int64_t n = 0; n < num_nodes;
+       n += std::max(1, options.node_stride)) {
+    Vec3 v{vx[n], vy[n], vz[n]};
+    double magnitude = Length(v);
+    if (magnitude <= 0) continue;
+    Vec3 base{geometry.x[n], geometry.y[n], geometry.z[n]};
+    double length = options.max_length * magnitude / max_magnitude;
+    Vec3 direction = Normalized(v);
+    Vec3 tip = base + length * direction;
+
+    // Two perpendicular fins so the arrow is visible from any angle.
+    Vec3 reference =
+        std::abs(direction.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+    Vec3 side1 = Normalized(Cross(direction, reference));
+    Vec3 side2 = Cross(direction, side1);
+    double half_width = 0.5 * options.width_fraction * length;
+    out->AddTriangle(base + half_width * side1, base - (half_width * side1),
+                     tip, magnitude, magnitude, magnitude);
+    out->AddTriangle(base + half_width * side2, base - (half_width * side2),
+                     tip, magnitude, magnitude, magnitude);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace godiva::viz

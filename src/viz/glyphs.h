@@ -1,0 +1,35 @@
+// Vector glyphs: small arrow-shaped triangles at (a sample of) mesh nodes,
+// oriented along a node-based vector field and colored by its magnitude —
+// how Rocketeer-class tools display velocity/displacement fields.
+#ifndef GODIVA_VIZ_GLYPHS_H_
+#define GODIVA_VIZ_GLYPHS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "viz/marching_tets.h"
+#include "viz/triangle_soup.h"
+
+namespace godiva::viz {
+
+struct GlyphOptions {
+  // Place a glyph at every Nth node.
+  int node_stride = 8;
+  // Glyph length for the largest-magnitude vector; others scale linearly.
+  double max_length = 0.25;
+  // Arrow width as a fraction of its length.
+  double width_fraction = 0.25;
+};
+
+// Appends one arrow (two triangles) per sampled node to `out`, carrying
+// the vector magnitude as the color attribute. Vectors of zero magnitude
+// are skipped. Returns the number of glyphs emitted.
+int64_t MakeVectorGlyphs(const BlockGeometry& geometry,
+                         std::span<const double> vx,
+                         std::span<const double> vy,
+                         std::span<const double> vz,
+                         const GlyphOptions& options, TriangleSoup* out);
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_GLYPHS_H_

@@ -1,0 +1,29 @@
+#include "viz/image.h"
+
+#include <memory>
+
+#include "common/strings.h"
+
+namespace godiva::viz {
+
+int64_t Image::CountNonBackground(Rgb background) const {
+  int64_t count = 0;
+  for (const Rgb& pixel : pixels_) {
+    if (!(pixel == background)) ++count;
+  }
+  return count;
+}
+
+Status Image::WritePpm(Env* env, const std::string& path) const {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          env->NewWritableFile(path));
+  std::string header = StrFormat("P6\n%d %d\n255\n", width_, height_);
+  GODIVA_RETURN_IF_ERROR(
+      file->Append(header.data(), static_cast<int64_t>(header.size())));
+  static_assert(sizeof(Rgb) == 3, "Rgb must be packed for PPM output");
+  GODIVA_RETURN_IF_ERROR(file->Append(
+      pixels_.data(), static_cast<int64_t>(pixels_.size()) * 3));
+  return file->Close();
+}
+
+}  // namespace godiva::viz

@@ -1,0 +1,59 @@
+// RGB8 framebuffer with binary PPM (P6) output through the Env VFS.
+#ifndef GODIVA_VIZ_IMAGE_H_
+#define GODIVA_VIZ_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/env.h"
+
+namespace godiva::viz {
+
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+};
+
+inline bool operator==(Rgb a, Rgb b) {
+  return a.r == b.r && a.g == b.g && a.b == b.b;
+}
+
+class Image {
+ public:
+  Image(int width, int height, Rgb background = Rgb{8, 10, 24})
+      : width_(width),
+        height_(height),
+        pixels_(static_cast<size_t>(width) * height, background) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgb Get(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void Set(int x, int y, Rgb color) {
+    pixels_[static_cast<size_t>(y) * width_ + x] = color;
+  }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  // Count of pixels differing from `background` (proxy for "something was
+  // drawn"; used by tests).
+  int64_t CountNonBackground(Rgb background = Rgb{8, 10, 24}) const;
+
+  // Writes a binary PPM (P6).
+  Status WritePpm(Env* env, const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_IMAGE_H_

@@ -1,0 +1,92 @@
+#include "viz/marching_tets.h"
+
+#include <array>
+#include <vector>
+
+namespace godiva::viz {
+namespace {
+
+struct CrossingVertex {
+  Vec3 position;
+  double attribute;
+};
+
+// Interpolated crossing of the isovalue along edge (a, b).
+CrossingVertex EdgeCrossing(const BlockGeometry& g,
+                            std::span<const double> scalar,
+                            std::span<const double> attribute,
+                            double isovalue, int32_t a, int32_t b) {
+  double sa = scalar[a];
+  double sb = scalar[b];
+  double t = (sb != sa) ? (isovalue - sa) / (sb - sa) : 0.5;
+  Vec3 pa{g.x[a], g.y[a], g.z[a]};
+  Vec3 pb{g.x[b], g.y[b], g.z[b]};
+  return CrossingVertex{Lerp(pa, pb, t),
+                        Lerp(attribute[a], attribute[b], t)};
+}
+
+}  // namespace
+
+int64_t MarchTets(const BlockGeometry& geometry,
+                  std::span<const double> scalar, double isovalue,
+                  std::span<const double> attribute, TriangleSoup* out) {
+  int64_t num_tets = geometry.num_tets();
+  for (int64_t t = 0; t < num_tets; ++t) {
+    const int32_t* nodes = &geometry.conn[static_cast<size_t>(t) * 4];
+    // Partition the 4 nodes by side of the isovalue.
+    std::array<int32_t, 4> below;
+    std::array<int32_t, 4> above;
+    int num_below = 0;
+    int num_above = 0;
+    for (int corner = 0; corner < 4; ++corner) {
+      int32_t n = nodes[corner];
+      if (scalar[n] < isovalue) {
+        below[num_below++] = n;
+      } else {
+        above[num_above++] = n;
+      }
+    }
+    if (num_below == 0 || num_above == 0) continue;  // no crossing
+
+    auto crossing = [&](int32_t a, int32_t b) {
+      return EdgeCrossing(geometry, scalar, attribute, isovalue, a, b);
+    };
+
+    if (num_below == 1 || num_above == 1) {
+      // One node isolated on its side: a single triangle across the three
+      // edges incident to it.
+      int32_t apex = (num_below == 1) ? below[0] : above[0];
+      const std::array<int32_t, 4>& base = (num_below == 1) ? above : below;
+      CrossingVertex v0 = crossing(apex, base[0]);
+      CrossingVertex v1 = crossing(apex, base[1]);
+      CrossingVertex v2 = crossing(apex, base[2]);
+      out->AddTriangle(v0.position, v1.position, v2.position, v0.attribute,
+                       v1.attribute, v2.attribute);
+    } else {
+      // 2/2 split: the crossing is a quadrilateral over the four mixed
+      // edges; emit it as two triangles in strip order.
+      CrossingVertex v0 = crossing(below[0], above[0]);
+      CrossingVertex v1 = crossing(below[0], above[1]);
+      CrossingVertex v2 = crossing(below[1], above[1]);
+      CrossingVertex v3 = crossing(below[1], above[0]);
+      out->AddTriangle(v0.position, v1.position, v2.position, v0.attribute,
+                       v1.attribute, v2.attribute);
+      out->AddTriangle(v0.position, v2.position, v3.position, v0.attribute,
+                       v2.attribute, v3.attribute);
+    }
+  }
+  return num_tets;
+}
+
+int64_t SlicePlane(const BlockGeometry& geometry, Vec3 normal, double offset,
+                   std::span<const double> attribute, TriangleSoup* out) {
+  // Signed plane distance per node, then a zero level set.
+  std::vector<double> distance(static_cast<size_t>(geometry.num_nodes()));
+  for (size_t i = 0; i < distance.size(); ++i) {
+    distance[i] = normal.x * geometry.x[i] + normal.y * geometry.y[i] +
+                  normal.z * geometry.z[i] - offset;
+  }
+  return MarchTets(geometry, distance, 0.0, attribute, out);
+}
+
+}  // namespace godiva::viz

@@ -1,0 +1,43 @@
+// Marching tetrahedra: extracts the level set of a node-based scalar field
+// over a tetrahedral block, carrying a second node-based attribute field
+// onto the surface for coloring. Plane slices are level sets of the signed
+// plane distance, so both the isosurface and cutting-plane features reduce
+// to this kernel.
+#ifndef GODIVA_VIZ_MARCHING_TETS_H_
+#define GODIVA_VIZ_MARCHING_TETS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "viz/triangle_soup.h"
+#include "viz/vec.h"
+
+namespace godiva::viz {
+
+// Block geometry in the scientific parallel-array style (matches the field
+// buffers GODIVA hands out: x/y/z coordinate arrays plus connectivity).
+struct BlockGeometry {
+  std::span<const double> x;
+  std::span<const double> y;
+  std::span<const double> z;
+  std::span<const int32_t> conn;  // 4 local node ids per tet
+
+  int64_t num_nodes() const { return static_cast<int64_t>(x.size()); }
+  int64_t num_tets() const { return static_cast<int64_t>(conn.size()) / 4; }
+};
+
+// Appends the triangles of {scalar == isovalue} to `out`. `scalar` and
+// `attribute` are node-based arrays over the block's local nodes. Returns
+// the number of tets visited.
+int64_t MarchTets(const BlockGeometry& geometry,
+                  std::span<const double> scalar, double isovalue,
+                  std::span<const double> attribute, TriangleSoup* out);
+
+// Appends the triangles of the cut {dot(p, normal) == offset}, colored by
+// `attribute`. Returns the number of tets visited.
+int64_t SlicePlane(const BlockGeometry& geometry, Vec3 normal, double offset,
+                   std::span<const double> attribute, TriangleSoup* out);
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_MARCHING_TETS_H_

@@ -1,0 +1,82 @@
+#include "viz/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace godiva::viz {
+namespace {
+
+double EdgeFunction(double ax, double ay, double bx, double by, double px,
+                    double py) {
+  return (px - ax) * (by - ay) - (py - ay) * (bx - ax);
+}
+
+}  // namespace
+
+Rasterizer::Rasterizer(int width, int height)
+    : image_(width, height),
+      depth_(static_cast<size_t>(width) * height,
+             std::numeric_limits<double>::infinity()) {}
+
+void Rasterizer::Clear(Rgb background) {
+  image_ = Image(image_.width(), image_.height(), background);
+  std::fill(depth_.begin(), depth_.end(),
+            std::numeric_limits<double>::infinity());
+}
+
+int64_t Rasterizer::Draw(const TriangleSoup& soup, const Camera& camera,
+                         const Colormap& colormap) {
+  int64_t pixels_written = 0;
+  int width = image_.width();
+  int height = image_.height();
+  for (int64_t tri = 0; tri < soup.num_triangles(); ++tri) {
+    const Vec3* p = &soup.positions[static_cast<size_t>(tri) * 3];
+    const double* attr = &soup.attributes[static_cast<size_t>(tri) * 3];
+    ProjectedPoint s0 = camera.Project(p[0]);
+    ProjectedPoint s1 = camera.Project(p[1]);
+    ProjectedPoint s2 = camera.Project(p[2]);
+    if (!s0.in_front || !s1.in_front || !s2.in_front) continue;
+
+    double area = EdgeFunction(s0.x, s0.y, s1.x, s1.y, s2.x, s2.y);
+    if (std::abs(area) < 1e-12) continue;  // degenerate
+
+    // Headlight shading: facets tilted away from the camera darken.
+    Vec3 normal = Normalized(Cross(p[1] - p[0], p[2] - p[0]));
+    Vec3 view = Normalized(camera.options().position - p[0]);
+    double shade = 0.35 + 0.65 * std::abs(Dot(normal, view));
+
+    int min_x = std::max(0, static_cast<int>(
+                                std::floor(std::min({s0.x, s1.x, s2.x}))));
+    int max_x = std::min(width - 1, static_cast<int>(std::ceil(
+                                        std::max({s0.x, s1.x, s2.x}))));
+    int min_y = std::max(0, static_cast<int>(
+                                std::floor(std::min({s0.y, s1.y, s2.y}))));
+    int max_y = std::min(height - 1, static_cast<int>(std::ceil(
+                                         std::max({s0.y, s1.y, s2.y}))));
+    for (int y = min_y; y <= max_y; ++y) {
+      for (int x = min_x; x <= max_x; ++x) {
+        double px = x + 0.5;
+        double py = y + 0.5;
+        double w0 = EdgeFunction(s1.x, s1.y, s2.x, s2.y, px, py) / area;
+        double w1 = EdgeFunction(s2.x, s2.y, s0.x, s0.y, px, py) / area;
+        double w2 = 1.0 - w0 - w1;
+        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+        double depth = w0 * s0.depth + w1 * s1.depth + w2 * s2.depth;
+        size_t index = static_cast<size_t>(y) * width + x;
+        if (depth >= depth_[index]) continue;
+        depth_[index] = depth;
+        double value = w0 * attr[0] + w1 * attr[1] + w2 * attr[2];
+        Rgb base = colormap.Map(value);
+        image_.Set(x, y,
+                   Rgb{static_cast<uint8_t>(base.r * shade),
+                       static_cast<uint8_t>(base.g * shade),
+                       static_cast<uint8_t>(base.b * shade)});
+        ++pixels_written;
+      }
+    }
+  }
+  return pixels_written;
+}
+
+}  // namespace godiva::viz

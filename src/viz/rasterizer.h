@@ -1,0 +1,39 @@
+// Software z-buffer triangle rasterizer with per-vertex attribute
+// interpolation and headlight shading — the rendering back end standing in
+// for VTK in the Rocketeer substitute.
+#ifndef GODIVA_VIZ_RASTERIZER_H_
+#define GODIVA_VIZ_RASTERIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "viz/camera.h"
+#include "viz/colormap.h"
+#include "viz/image.h"
+#include "viz/triangle_soup.h"
+
+namespace godiva::viz {
+
+class Rasterizer {
+ public:
+  Rasterizer(int width, int height);
+
+  // Rasterizes `soup` through `camera`, coloring by the vertex attribute
+  // via `colormap` and modulating with a simple view-aligned headlight.
+  // Returns the number of pixels written (z-test passes).
+  int64_t Draw(const TriangleSoup& soup, const Camera& camera,
+               const Colormap& colormap);
+
+  const Image& image() const { return image_; }
+  Image& mutable_image() { return image_; }
+
+  void Clear(Rgb background = Rgb{8, 10, 24});
+
+ private:
+  Image image_;
+  std::vector<double> depth_;
+};
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_RASTERIZER_H_

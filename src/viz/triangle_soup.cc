@@ -1,0 +1,21 @@
+#include "viz/triangle_soup.h"
+
+namespace godiva::viz {
+
+void TriangleSoup::AttributeRange(double* min_out, double* max_out) const {
+  if (attributes.empty()) {
+    *min_out = 0.0;
+    *max_out = 1.0;
+    return;
+  }
+  double lo = attributes[0];
+  double hi = attributes[0];
+  for (double a : attributes) {
+    if (a < lo) lo = a;
+    if (a > hi) hi = a;
+  }
+  *min_out = lo;
+  *max_out = hi;
+}
+
+}  // namespace godiva::viz

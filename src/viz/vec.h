@@ -1,0 +1,44 @@
+// Minimal 3-D vector math for the visualization pipeline.
+#ifndef GODIVA_VIZ_VEC_H_
+#define GODIVA_VIZ_VEC_H_
+
+#include <cmath>
+
+namespace godiva::viz {
+
+struct Vec3 {
+  double x = 0;
+  double y = 0;
+  double z = 0;
+};
+
+inline Vec3 operator+(Vec3 a, Vec3 b) {
+  return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+inline Vec3 operator-(Vec3 a, Vec3 b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+inline Vec3 operator*(double s, Vec3 v) { return {s * v.x, s * v.y, s * v.z}; }
+
+inline double Dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+inline Vec3 Cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double Length(Vec3 v) { return std::sqrt(Dot(v, v)); }
+
+inline Vec3 Normalized(Vec3 v) {
+  double len = Length(v);
+  if (len <= 0) return {0, 0, 0};
+  return (1.0 / len) * v;
+}
+
+// Linear interpolation between a and b at parameter t in [0,1].
+inline Vec3 Lerp(Vec3 a, Vec3 b, double t) { return a + t * (b - a); }
+inline double Lerp(double a, double b, double t) { return a + t * (b - a); }
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_VEC_H_

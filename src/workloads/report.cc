@@ -1,0 +1,58 @@
+#include "workloads/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+
+namespace godiva::workloads {
+namespace {
+
+std::string Bar(double value, double max_value, int width, char fill) {
+  int n = 0;
+  if (max_value > 0) {
+    n = static_cast<int>(value / max_value * width + 0.5);
+  }
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<size_t>(n), fill);
+}
+
+}  // namespace
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void PrintFigure(const std::string& title, const std::vector<BarRow>& rows) {
+  PrintHeader(title);
+  double max_total = 0;
+  for (const BarRow& row : rows) {
+    max_total = std::max(max_total, row.computation_seconds.mean +
+                                        row.visible_io_seconds.mean);
+  }
+  std::printf("%-16s %14s %14s %10s\n", "", "computation(s)",
+              "visible I/O(s)", "total(s)");
+  for (const BarRow& row : rows) {
+    double total =
+        row.computation_seconds.mean + row.visible_io_seconds.mean;
+    std::printf("%-16s %8.1f±%-5.1f %8.1f±%-5.1f %10.1f  |%s%s\n",
+                row.label.c_str(), row.computation_seconds.mean,
+                row.computation_seconds.ci95, row.visible_io_seconds.mean,
+                row.visible_io_seconds.ci95, total,
+                Bar(row.computation_seconds.mean, max_total, 40, '#')
+                    .c_str(),
+                Bar(row.visible_io_seconds.mean, max_total, 40, '.')
+                    .c_str());
+  }
+  std::printf("  (# computation, . visible I/O; bars scaled to %0.1f s)\n",
+              max_total);
+}
+
+void PrintComparison(const std::string& metric, double paper_value,
+                     double measured_value, const std::string& unit) {
+  std::printf("  %-44s paper %6.1f%-2s measured %6.1f%s\n", metric.c_str(),
+              paper_value, unit.c_str(), measured_value, unit.c_str());
+}
+
+}  // namespace godiva::workloads

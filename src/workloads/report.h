@@ -1,0 +1,36 @@
+// ASCII reporting helpers for the benchmark harnesses: Figure-3-style
+// stacked-bar tables and paper-vs-measured comparison rows.
+#ifndef GODIVA_WORKLOADS_REPORT_H_
+#define GODIVA_WORKLOADS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/experiment.h"
+
+namespace godiva::workloads {
+
+// One labelled bar of a Figure-3 chart.
+struct BarRow {
+  std::string label;  // e.g. "simple(TG)"
+  Measurement computation_seconds;
+  Measurement visible_io_seconds;
+};
+
+// Prints:
+//   label            computation   visible I/O     total
+//   simple(O)          312.4±1.2     101.3±0.4     413.7
+// plus an ASCII stacked bar per row.
+void PrintFigure(const std::string& title, const std::vector<BarRow>& rows);
+
+// Prints a "paper vs measured" comparison line, e.g.
+//   I/O volume reduction, medium        paper 24.0%   measured 25.2%
+void PrintComparison(const std::string& metric, double paper_value,
+                     double measured_value, const std::string& unit = "%");
+
+// Section header.
+void PrintHeader(const std::string& title);
+
+}  // namespace godiva::workloads
+
+#endif  // GODIVA_WORKLOADS_REPORT_H_

@@ -1,0 +1,135 @@
+#include "workloads/snapshot_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/key_util.h"
+#include "core/record.h"
+#include "gsdf/reader.h"
+#include "workloads/block_schema.h"
+
+namespace godiva::workloads {
+namespace {
+
+// Reads dataset `name` from `reader` into a fresh buffer of the record
+// field `field`, charging decode CPU.
+Status ReadDatasetIntoField(PlatformRuntime* runtime,
+                            const gsdf::Reader& reader,
+                            const std::string& name, Gbo* db, Record* record,
+                            const std::string& field) {
+  GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info, reader.Find(name));
+  GODIVA_ASSIGN_OR_RETURN(void* buffer,
+                          db->AllocFieldBuffer(record, field, info->nbytes));
+  GODIVA_RETURN_IF_ERROR(reader.Read(name, buffer, info->nbytes));
+  runtime->ChargeDecode(info->nbytes);
+  return Status::Ok();
+}
+
+// Reads dataset `name` into `out` (resized), charging decode CPU.
+template <typename T>
+Status ReadDatasetIntoVector(PlatformRuntime* runtime,
+                             const gsdf::Reader& reader,
+                             const std::string& name, std::vector<T>* out) {
+  GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info, reader.Find(name));
+  out->resize(static_cast<size_t>(info->nbytes) / sizeof(T));
+  GODIVA_RETURN_IF_ERROR(reader.Read(name, out->data(), info->nbytes));
+  runtime->ChargeDecode(info->nbytes);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
+                               const mesh::SnapshotDataset* dataset,
+                               std::vector<std::string> quantities) {
+  return [runtime, dataset, quantities = std::move(quantities)](
+             Gbo* db, const std::string& unit_name) -> Status {
+    int snapshot = SnapshotOfUnit(unit_name);
+    if (snapshot < 0 || snapshot >= dataset->spec.num_snapshots) {
+      return InvalidArgumentError(
+          StrCat("bad snapshot unit name: ", unit_name));
+    }
+    for (const std::string& path : dataset->SnapshotFiles(snapshot)) {
+      GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
+                              gsdf::Reader::Open(runtime->env(), path));
+      std::vector<int32_t> blocks;
+      GODIVA_RETURN_IF_ERROR(
+          ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks));
+      for (int32_t block_id : blocks) {
+        GODIVA_ASSIGN_OR_RETURN(Record * record,
+                                db->NewRecord(kBlockRecordType));
+        std::memcpy(*record->FieldBuffer(kFieldBlockId), &block_id, 4);
+        int32_t snapshot_id = snapshot;
+        std::memcpy(*record->FieldBuffer(kFieldSnapshotId), &snapshot_id,
+                    4);
+        GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
+            runtime, *reader, mesh::BlockDatasetName(block_id, "x"), db,
+            record, kFieldX));
+        GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
+            runtime, *reader, mesh::BlockDatasetName(block_id, "y"), db,
+            record, kFieldY));
+        GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
+            runtime, *reader, mesh::BlockDatasetName(block_id, "z"), db,
+            record, kFieldZ));
+        GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
+            runtime, *reader, mesh::BlockDatasetName(block_id, "conn"), db,
+            record, kFieldConn));
+        for (const std::string& quantity : quantities) {
+          GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
+              runtime, *reader, mesh::BlockDatasetName(block_id, quantity),
+              db, record, quantity));
+        }
+        GODIVA_RETURN_IF_ERROR(db->CommitRecord(record));
+      }
+    }
+    return Status::Ok();
+  };
+}
+
+Result<std::vector<PlainBlock>> ReadPassDirect(
+    PlatformRuntime* runtime, const mesh::SnapshotDataset& dataset,
+    int snapshot, const std::vector<std::string>& quantities,
+    bool include_conn) {
+  std::vector<PlainBlock> out;
+  for (const std::string& path : dataset.SnapshotFiles(snapshot)) {
+    GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
+                            gsdf::Reader::Open(runtime->env(), path));
+    std::vector<int32_t> blocks;
+    GODIVA_RETURN_IF_ERROR(
+        ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks));
+    for (int32_t block_id : blocks) {
+      PlainBlock block;
+      block.block_id = block_id;
+      GODIVA_RETURN_IF_ERROR(ReadDatasetIntoVector(
+          runtime, *reader, mesh::BlockDatasetName(block_id, "x"),
+          &block.x));
+      GODIVA_RETURN_IF_ERROR(ReadDatasetIntoVector(
+          runtime, *reader, mesh::BlockDatasetName(block_id, "y"),
+          &block.y));
+      GODIVA_RETURN_IF_ERROR(ReadDatasetIntoVector(
+          runtime, *reader, mesh::BlockDatasetName(block_id, "z"),
+          &block.z));
+      if (include_conn) {
+        GODIVA_RETURN_IF_ERROR(ReadDatasetIntoVector(
+            runtime, *reader, mesh::BlockDatasetName(block_id, "conn"),
+            &block.conn));
+      }
+      for (const std::string& quantity : quantities) {
+        GODIVA_RETURN_IF_ERROR(ReadDatasetIntoVector(
+            runtime, *reader, mesh::BlockDatasetName(block_id, quantity),
+            &block.fields[quantity]));
+      }
+      out.push_back(std::move(block));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlainBlock& a, const PlainBlock& b) {
+              return a.block_id < b.block_id;
+            });
+  return out;
+}
+
+}  // namespace godiva::workloads

@@ -1,0 +1,51 @@
+// Snapshot input paths for the three Voyager variants:
+//  - MakeSnapshotReadFn: the developer-supplied GODIVA read function (G/TG)
+//    that loads one snapshot unit — mesh plus the union of test quantities
+//    — into the database exactly once.
+//  - ReadPassDirect: the original Voyager's coupled read (O), invoked once
+//    per render pass, re-reading the coordinate arrays each time (the
+//    redundancy GODIVA eliminates; paper §4.2).
+#ifndef GODIVA_WORKLOADS_SNAPSHOT_IO_H_
+#define GODIVA_WORKLOADS_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gbo.h"
+#include "mesh/snapshot_writer.h"
+#include "workloads/platform_runtime.h"
+
+namespace godiva::workloads {
+
+// Returns a read function that loads the unit named "snap_NNNN": for every
+// block in the snapshot's files, creates a block record, reads x/y/z/conn
+// and each quantity in `quantities`, and commits it. Charges decode CPU on
+// the calling thread (the I/O thread under TG).
+Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
+                               const mesh::SnapshotDataset* dataset,
+                               std::vector<std::string> quantities);
+
+// Plain buffers for the original Voyager's per-pass reads.
+struct PlainBlock {
+  int32_t block_id = 0;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  std::vector<int32_t> conn;  // filled only when include_conn was set
+  std::map<std::string, std::vector<double>> fields;
+};
+
+// Reads coordinates (+connectivity if `include_conn`) and `quantities` for
+// every block of `snapshot`, the way the original tool does on every pass.
+// Returns blocks ordered by block id. Charges decode CPU inline.
+Result<std::vector<PlainBlock>> ReadPassDirect(
+    PlatformRuntime* runtime, const mesh::SnapshotDataset& dataset,
+    int snapshot, const std::vector<std::string>& quantities,
+    bool include_conn);
+
+}  // namespace godiva::workloads
+
+#endif  // GODIVA_WORKLOADS_SNAPSHOT_IO_H_

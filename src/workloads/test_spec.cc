@@ -1,0 +1,87 @@
+#include "workloads/test_spec.h"
+
+#include <algorithm>
+
+namespace godiva::workloads {
+
+std::vector<std::string> VizTestSpec::AllQuantities() const {
+  std::vector<std::string> out;
+  for (const RenderPass& pass : passes) {
+    for (const std::string& quantity : pass.quantities) {
+      if (std::find(out.begin(), out.end(), quantity) == out.end()) {
+        out.push_back(quantity);
+      }
+    }
+  }
+  return out;
+}
+
+VizTestSpec VizTestSpec::Simple() {
+  // Two passes, four quantities, one feature each: the smallest
+  // compute-to-I/O ratio of the three tests.
+  VizTestSpec spec;
+  spec.name = "simple";
+  spec.compute_seconds_per_mib = 0.20;
+  RenderPass velocity;
+  velocity.quantities = {"velx", "vely", "velz"};
+  velocity.derived = RenderPass::Derived::kMagnitude;
+  velocity.features = {Feature{Feature::Kind::kIsosurface, 0.5, {}}};
+  RenderPass displacement;
+  displacement.quantities = {"dispz"};
+  displacement.derived = RenderPass::Derived::kFirst;
+  displacement.features = {Feature{Feature::Kind::kIsosurface, 0.45, {}}};
+  spec.passes = {velocity, displacement};
+  return spec;
+}
+
+VizTestSpec VizTestSpec::Medium() {
+  // Three passes over ten quantities: the largest input volume.
+  VizTestSpec spec;
+  spec.name = "medium";
+  spec.compute_seconds_per_mib = 0.22;
+  RenderPass stress;
+  stress.quantities = {"sxx", "syy", "szz", "sxy", "syz", "szx"};
+  stress.derived = RenderPass::Derived::kVonMises;
+  stress.features = {Feature{Feature::Kind::kIsosurface, 0.5, {}},
+                     Feature{Feature::Kind::kSlice, 0.5, {0, 0, 1}}};
+  RenderPass velocity;
+  velocity.quantities = {"velx", "vely", "velz"};
+  velocity.derived = RenderPass::Derived::kMagnitude;
+  velocity.features = {Feature{Feature::Kind::kIsosurface, 0.55, {}},
+                       Feature{Feature::Kind::kGlyphs, 0.0, {}}};
+  RenderPass density;
+  density.quantities = {"density"};
+  density.derived = RenderPass::Derived::kFirst;
+  density.features = {Feature{Feature::Kind::kSlice, 0.4, {1, 0, 0}}};
+  spec.passes = {stress, velocity, density};
+  return spec;
+}
+
+VizTestSpec VizTestSpec::Complex() {
+  // Two passes over just two quantities, but many features per pass: the
+  // smallest input volume and the largest compute-to-I/O ratio.
+  VizTestSpec spec;
+  spec.name = "complex";
+  spec.compute_seconds_per_mib = 0.45;
+  RenderPass velocity;
+  velocity.quantities = {"velz"};
+  velocity.derived = RenderPass::Derived::kFirst;
+  velocity.features = {Feature{Feature::Kind::kIsosurface, 0.35, {}},
+                       Feature{Feature::Kind::kIsosurface, 0.5, {}},
+                       Feature{Feature::Kind::kIsosurface, 0.65, {}},
+                       Feature{Feature::Kind::kSlice, 0.5, {0, 0, 1}},
+                       Feature{Feature::Kind::kSlice, 0.5, {1, 0, 0}}};
+  RenderPass energy;
+  energy.quantities = {"energy"};
+  energy.derived = RenderPass::Derived::kFirst;
+  energy.features = {Feature{Feature::Kind::kIsosurface, 0.5, {}},
+                     Feature{Feature::Kind::kSlice, 0.6, {0, 1, 0}}};
+  spec.passes = {velocity, energy};
+  return spec;
+}
+
+std::vector<VizTestSpec> VizTestSpec::AllThree() {
+  return {Simple(), Medium(), Complex()};
+}
+
+}  // namespace godiva::workloads

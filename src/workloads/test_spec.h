@@ -1,0 +1,57 @@
+// The paper's three visualization tests (§4.2): "simple", "medium" and
+// "complex", which "process different variables (e.g., velocity and
+// stress) or have different visualization features". Each test is a list
+// of render passes; a pass reads a set of quantities and runs one or more
+// visualization features over them. The original (non-GODIVA) Voyager
+// re-reads mesh coordinate data for every pass, which is the redundancy
+// GODIVA eliminates.
+#ifndef GODIVA_WORKLOADS_TEST_SPEC_H_
+#define GODIVA_WORKLOADS_TEST_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/vec.h"
+
+namespace godiva::workloads {
+
+struct Feature {
+  // kGlyphs renders vector arrows and requires the pass to read at least
+  // three quantities (the vector components).
+  enum class Kind { kIsosurface, kSlice, kGlyphs };
+  Kind kind = Kind::kIsosurface;
+  // Fraction of the derived scalar's [min,max] range for isosurfaces, or
+  // of the axis extent for slice offsets (unused for glyphs).
+  double level_fraction = 0.5;
+  viz::Vec3 slice_normal{0, 0, 1};
+};
+
+struct RenderPass {
+  // Node-based quantity names read for this pass (see mesh/quantities.h).
+  std::vector<std::string> quantities;
+  // How the read quantities combine into the rendered scalar.
+  enum class Derived { kFirst, kMagnitude, kVonMises } derived =
+      Derived::kFirst;
+  std::vector<Feature> features;
+};
+
+struct VizTestSpec {
+  std::string name;
+  std::vector<RenderPass> passes;
+  // Modeled data-processing cost, in CPU-seconds per MiB of pass input
+  // (mesh + quantities), on the reference (Engle) CPU. Encodes the paper's
+  // compute-to-I/O ratios: smallest for "simple", largest for "complex".
+  double compute_seconds_per_mib = 0.5;
+
+  // Union of quantities over all passes (what GODIVA reads per unit).
+  std::vector<std::string> AllQuantities() const;
+
+  static VizTestSpec Simple();
+  static VizTestSpec Medium();
+  static VizTestSpec Complex();
+  static std::vector<VizTestSpec> AllThree();
+};
+
+}  // namespace godiva::workloads
+
+#endif  // GODIVA_WORKLOADS_TEST_SPEC_H_

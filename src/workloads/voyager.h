@@ -1,0 +1,77 @@
+// The three Voyager builds of the paper's evaluation (§4.2):
+//   O  — the original implementation: reading and processing are coupled;
+//        every render pass re-reads the coordinate data it needs.
+//   G  — Voyager with the single-thread GODIVA library: one read per
+//        snapshot unit (redundant reads eliminated), no background I/O.
+//   TG — Voyager with the multi-thread GODIVA library: as G, plus all
+//        units added up front and prefetched by the background I/O thread.
+#ifndef GODIVA_WORKLOADS_VOYAGER_H_
+#define GODIVA_WORKLOADS_VOYAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/stats.h"
+#include "mesh/snapshot_writer.h"
+#include "workloads/platform_runtime.h"
+#include "workloads/processing.h"
+#include "workloads/test_spec.h"
+
+namespace godiva::workloads {
+
+enum class Variant {
+  kOriginal,           // O
+  kGodivaSingleThread, // G
+  kGodivaMultiThread,  // TG
+};
+
+std::string_view VariantName(Variant variant);
+
+struct RunConfig {
+  const mesh::SnapshotDataset* dataset = nullptr;
+  VizTestSpec test;
+  Variant variant = Variant::kOriginal;
+  // GODIVA database memory (paper: 384 MB on both platforms).
+  int64_t godiva_memory_bytes = int64_t{384} * 1024 * 1024;
+  ProcessOptions process;
+  // Snapshots to process, in order; empty = all snapshots. Used by the
+  // parallel experiment to partition the workload across processes the
+  // way Voyager does ("assigning different processors different snapshots
+  // to process").
+  std::vector<int> snapshots;
+};
+
+// One cell of Figure 3: times in modeled seconds (wall time divided by the
+// platform's time scale).
+struct CellResult {
+  std::string test;
+  std::string variant;
+  std::string platform;
+
+  double total_seconds = 0;
+  double visible_io_seconds = 0;
+  double computation_seconds = 0;  // total − visible I/O (paper definition)
+
+  // Storage-level counters (from the simulated disk).
+  int64_t bytes_read = 0;
+  int64_t reads = 0;
+  int64_t seeks = 0;
+  double disk_modeled_seconds = 0;
+
+  // Processing counters.
+  int64_t triangles = 0;
+  int64_t tets_visited = 0;
+
+  GboStats gbo;  // zeros for the O variant
+};
+
+// Runs one (test, variant) cell over the dataset resident in the runtime's
+// env. Deterministic apart from scheduling noise.
+Result<CellResult> RunVoyager(PlatformRuntime* runtime,
+                              const RunConfig& config);
+
+}  // namespace godiva::workloads
+
+#endif  // GODIVA_WORKLOADS_VOYAGER_H_

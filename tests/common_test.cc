@@ -1,0 +1,258 @@
+// Unit tests for src/common: Status/Result, strings, clock, random, sync.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/sync.h"
+#include "common/types.h"
+
+namespace godiva {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such unit");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such unit");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such unit");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InvalidArgumentError("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(DeadlineExceededError("m").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(AbortedError("m").code(), StatusCode::kAborted);
+  EXPECT_EQ(DataLossError("m").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(UnimplementedError("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(IoError("m").code(), StatusCode::kIoError);
+  EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  GODIVA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status s = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DataTypeTest, SizesAndNames) {
+  EXPECT_EQ(SizeOf(DataType::kByte), 1);
+  EXPECT_EQ(SizeOf(DataType::kString), 1);
+  EXPECT_EQ(SizeOf(DataType::kInt32), 4);
+  EXPECT_EQ(SizeOf(DataType::kInt64), 8);
+  EXPECT_EQ(SizeOf(DataType::kFloat32), 4);
+  EXPECT_EQ(SizeOf(DataType::kFloat64), 8);
+  EXPECT_EQ(DataTypeName(DataType::kFloat64), "FLOAT64");
+  EXPECT_TRUE(IsValidDataType(0));
+  EXPECT_TRUE(IsValidDataType(5));
+  EXPECT_FALSE(IsValidDataType(6));
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(384LL * 1024 * 1024), "384.0 MiB");
+}
+
+TEST(StringsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatSeconds(4.5), "4.500 s");
+}
+
+TEST(StringsTest, Affixes) {
+  EXPECT_TRUE(StartsWith("snapshot_0001", "snapshot"));
+  EXPECT_FALSE(StartsWith("snap", "snapshot"));
+  EXPECT_TRUE(EndsWith("file.gsdf", ".gsdf"));
+  EXPECT_FALSE(EndsWith("file.gsd", ".gsdf"));
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The catalogue value for "123456789" under CRC-32/IEEE is 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  const char* text = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32(text, 44);
+  uint32_t part = Crc32(text, 17);
+  part = Crc32(text + 17, 27, part);
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32Test, SensitiveToSingleBit) {
+  uint8_t a[32] = {0};
+  uint8_t b[32] = {0};
+  b[13] = 0x01;
+  EXPECT_NE(Crc32(a, 32), Crc32(b, 32));
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(ClockTest, StopwatchAdvances) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.004);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.004);
+}
+
+TEST(ClockTest, TimeAccumulatorSumsAcrossThreads) {
+  TimeAccumulator acc;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&acc] { acc.Add(std::chrono::milliseconds(10)); });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(acc.TotalSeconds(), 0.040, 1e-9);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+}
+
+TEST(ClockTest, ConversionRoundTrip) {
+  Duration d = FromSeconds(1.25);
+  EXPECT_NEAR(ToSeconds(d), 1.25, 1e-9);
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Semaphore sem(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        SemaphoreGuard guard(&sem);
+        int now = ++inside;
+        int expected = max_inside.load();
+        while (now > expected &&
+               !max_inside.compare_exchange_weak(expected, now)) {
+        }
+        --inside;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_GE(max_inside.load(), 1);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Semaphore sem(1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+  sem.Release();
+}
+
+}  // namespace
+}  // namespace godiva

@@ -1,0 +1,261 @@
+// Tests for GODIVA caching: finished-unit eviction, LRU vs FIFO policies,
+// pinning, SetMemSpace, and the interactive revisit pattern (paper §3.2:
+// an interactive tool marks units "finished" hoping the user revisits).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+constexpr int64_t kUnitBytes = 8 * 1024;
+
+void DefineSchema(Gbo* db) {
+  ASSERT_TRUE(db->DefineField("unit", DataType::kString, 16).ok());
+  ASSERT_TRUE(
+      db->DefineField("payload", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db->DefineRecord("chunk", 1).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "unit", true).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "payload", false).ok());
+  ASSERT_TRUE(db->CommitRecordType("chunk").ok());
+}
+
+// Read function producing one ~8 KiB record per unit; counts invocations.
+Gbo::ReadFn CountingReadFn(std::atomic<int>* reads) {
+  return [reads](Gbo* db, const std::string& unit_name) -> Status {
+    reads->fetch_add(1);
+    GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("chunk"));
+    std::memcpy(*rec->FieldBuffer("unit"), PadKey(unit_name, 16).data(), 16);
+    GODIVA_ASSIGN_OR_RETURN(
+        void* payload, db->AllocFieldBuffer(rec, "payload", kUnitBytes));
+    static_cast<double*>(payload)[0] = 42.0;
+    return db->CommitRecord(rec);
+  };
+}
+
+// Single-thread database with room for `capacity_units` units.
+GboOptions CacheOptions(int capacity_units,
+                        EvictionPolicy policy = EvictionPolicy::kLru) {
+  GboOptions options = GboOptions::SingleThread();
+  options.memory_limit_bytes =
+      capacity_units * (kUnitBytes + kRecordOverheadBytes + 512);
+  options.eviction_policy = policy;
+  return options;
+}
+
+bool IsResident(Gbo* db, const std::string& unit) {
+  auto state = db->GetUnitState(unit);
+  return state.ok() && *state == UnitState::kReady;
+}
+
+TEST(CacheTest, FinishedUnitsEvictedWhenMemoryNeeded) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(2));
+  DefineSchema(&db);
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  EXPECT_EQ(reads.load(), 4);
+  EXPECT_GT(db.stats().units_evicted, 0);
+  // The oldest units are gone; the newest survives.
+  EXPECT_FALSE(IsResident(&db, "u0"));
+  EXPECT_TRUE(IsResident(&db, "u3"));
+}
+
+TEST(CacheTest, PinnedUnitsAreNeverEvicted) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(2));
+  DefineSchema(&db);
+  // u0 is read but never finished: pinned forever.
+  ASSERT_TRUE(db.ReadUnit("u0", CountingReadFn(&reads)).ok());
+  for (int i = 1; i < 5; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  EXPECT_TRUE(IsResident(&db, "u0"));
+  auto buffer =
+      db.GetFieldBuffer("chunk", "payload", {PadKey("u0", 16)});
+  EXPECT_TRUE(buffer.ok());
+}
+
+TEST(CacheTest, RevisitingFinishedUnitIsCacheHitAndRepins) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(3));
+  DefineSchema(&db);
+  ASSERT_TRUE(db.ReadUnit("u0", CountingReadFn(&reads)).ok());
+  ASSERT_TRUE(db.FinishUnit("u0").ok());
+  // Revisit: still resident → hit, no extra read.
+  ASSERT_TRUE(db.ReadUnit("u0", CountingReadFn(&reads)).ok());
+  EXPECT_EQ(reads.load(), 1);
+  EXPECT_EQ(db.stats().unit_cache_hits, 1);
+  // Re-pinned: fill memory; u0 must survive.
+  for (int i = 1; i < 6; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  EXPECT_TRUE(IsResident(&db, "u0"));
+}
+
+TEST(CacheTest, EvictedUnitReadAgainReloads) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(2));
+  DefineSchema(&db);
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  ASSERT_FALSE(IsResident(&db, "u0"));
+  ASSERT_TRUE(db.ReadUnit("u0", CountingReadFn(&reads)).ok());
+  EXPECT_EQ(reads.load(), 5);
+  auto buffer = db.GetFieldBuffer("chunk", "payload", {PadKey("u0", 16)});
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(static_cast<double*>(*buffer)[0], 42.0);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyFinished) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(3, EvictionPolicy::kLru));
+  DefineSchema(&db);
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  // Touch "a": hit + repin + finish → most recently used.
+  ASSERT_TRUE(db.ReadUnit("a", CountingReadFn(&reads)).ok());
+  ASSERT_TRUE(db.FinishUnit("a").ok());
+  // Adding "d" evicts the LRU unit, which is now "b".
+  ASSERT_TRUE(db.ReadUnit("d", CountingReadFn(&reads)).ok());
+  EXPECT_TRUE(IsResident(&db, "a"));
+  EXPECT_FALSE(IsResident(&db, "b"));
+  EXPECT_TRUE(IsResident(&db, "c"));
+}
+
+TEST(CacheTest, FifoEvictsOldestReadRegardlessOfTouches) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(3, EvictionPolicy::kFifo));
+  DefineSchema(&db);
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  // Touch "a" — FIFO ignores recency.
+  ASSERT_TRUE(db.ReadUnit("a", CountingReadFn(&reads)).ok());
+  ASSERT_TRUE(db.FinishUnit("a").ok());
+  ASSERT_TRUE(db.ReadUnit("d", CountingReadFn(&reads)).ok());
+  EXPECT_FALSE(IsResident(&db, "a"));
+  EXPECT_TRUE(IsResident(&db, "b"));
+  EXPECT_TRUE(IsResident(&db, "c"));
+}
+
+TEST(CacheTest, SetMemSpaceShrinkEvictsImmediately) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(4));
+  DefineSchema(&db);
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  int64_t before = db.memory_usage();
+  ASSERT_TRUE(db.SetMemSpace(before / 2).ok());
+  EXPECT_LE(db.memory_usage(), before / 2);
+  EXPECT_GT(db.stats().units_evicted, 0);
+}
+
+TEST(CacheTest, SetMemSpaceValidates) {
+  Gbo db(GboOptions::SingleThread());
+  EXPECT_EQ(db.SetMemSpace(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.SetMemSpace(0).ok());
+  EXPECT_EQ(db.memory_limit(), 0);
+}
+
+TEST(CacheTest, DoubleFinishIsIdempotent) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(4));
+  DefineSchema(&db);
+  ASSERT_TRUE(db.ReadUnit("u", CountingReadFn(&reads)).ok());
+  ASSERT_TRUE(db.FinishUnit("u").ok());
+  ASSERT_TRUE(db.FinishUnit("u").ok());
+  EXPECT_TRUE(IsResident(&db, "u"));
+}
+
+TEST(CacheTest, FinishBeforeReadyRejected) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(4));
+  DefineSchema(&db);
+  ASSERT_TRUE(db.AddUnit("u", CountingReadFn(&reads)).ok());
+  // Still queued in single-thread mode.
+  EXPECT_EQ(db.FinishUnit("u").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CacheTest, MultiplePinsRequireMatchingFinishes) {
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(2));
+  DefineSchema(&db);
+  ASSERT_TRUE(db.ReadUnit("u0", CountingReadFn(&reads)).ok());
+  ASSERT_TRUE(db.ReadUnit("u0", CountingReadFn(&reads)).ok());  // second pin
+  ASSERT_TRUE(db.FinishUnit("u0").ok());  // one unpin: still pinned
+  for (int i = 1; i < 5; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  EXPECT_TRUE(IsResident(&db, "u0"));
+  ASSERT_TRUE(db.FinishUnit("u0").ok());  // fully unpinned now
+  for (int i = 5; i < 8; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  EXPECT_FALSE(IsResident(&db, "u0"));
+}
+
+// Interactive exploration property: under a looping access pattern wider
+// than the cache, LRU still serves strictly fewer reads than touches, and
+// every access returns correct data.
+class CacheSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheSweepTest, LoopingPatternStaysCorrect) {
+  int capacity = GetParam();
+  std::atomic<int> reads{0};
+  Gbo db(CacheOptions(capacity));
+  DefineSchema(&db);
+  const int kUnits = 6;
+  const int kTouches = 48;
+  for (int t = 0; t < kTouches; ++t) {
+    std::string name = "u" + std::to_string(t % kUnits);
+    ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+    auto buffer =
+        db.GetFieldBuffer("chunk", "payload", {PadKey(name, 16)});
+    ASSERT_TRUE(buffer.ok());
+    EXPECT_EQ(static_cast<double*>(*buffer)[0], 42.0);
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+  }
+  if (capacity >= kUnits) {
+    EXPECT_EQ(reads.load(), kUnits);  // everything fits: compulsory only
+  } else {
+    EXPECT_GT(reads.load(), kUnits);
+    EXPECT_LE(reads.load(), kTouches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheSweepTest,
+                         ::testing::Values(1, 2, 3, 6, 8));
+
+}  // namespace
+}  // namespace godiva

@@ -1,0 +1,204 @@
+// Model-based property test: a tiny reference implementation of GODIVA's
+// unit-cache semantics (load, pin, finish, delete, LRU eviction, memory
+// accounting) is driven in lockstep with the real single-threaded Gbo over
+// thousands of random operation sequences. Any divergence in residency,
+// hit counts, or eviction counts fails the test with the trace seed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <algorithm>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+constexpr int64_t kPayloadBytes = 4096;
+// Exact memory charged per loaded unit: one record with a 16-byte key
+// buffer and the payload.
+constexpr int64_t kUnitBytes = kRecordOverheadBytes + 16 + kPayloadBytes;
+
+// Reference model of the unit cache.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(int64_t memory_limit) : limit_(memory_limit) {}
+
+  bool IsResident(const std::string& unit) const {
+    return units_.count(unit) > 0;
+  }
+
+  // Returns true if the read was a cache hit.
+  bool Read(const std::string& unit) {
+    auto it = units_.find(unit);
+    if (it != units_.end()) {
+      ++hits_;
+      ++it->second.refcount;
+      evictable_.remove(unit);
+      return true;
+    }
+    ++loads_;
+    // Loading charges memory; over-limit evicts LRU finished units. The
+    // load itself is never blocked (foreground read).
+    used_ += kUnitBytes;
+    EvictToLimit();
+    units_[unit] = UnitState{1};
+    return false;
+  }
+
+  void Finish(const std::string& unit) {
+    auto it = units_.find(unit);
+    if (it == units_.end()) return;
+    if (it->second.refcount > 0) --it->second.refcount;
+    // Becomes evictable once unpinned; an already-evictable unit is NOT
+    // moved (matching Gbo::MakeEvictableLocked's duplicate check —
+    // recency updates happen through re-pinning, not repeated finishes).
+    if (it->second.refcount == 0 &&
+        std::find(evictable_.begin(), evictable_.end(), unit) ==
+            evictable_.end()) {
+      evictable_.push_back(unit);
+    }
+  }
+
+  void Delete(const std::string& unit) {
+    auto it = units_.find(unit);
+    if (it == units_.end()) return;
+    units_.erase(it);
+    evictable_.remove(unit);
+    used_ -= kUnitBytes;
+  }
+
+  void SetLimit(int64_t limit) {
+    limit_ = limit;
+    EvictToLimit();
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t loads() const { return loads_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t used() const { return used_; }
+
+ private:
+  struct UnitState {
+    int refcount = 0;
+  };
+
+  void EvictToLimit() {
+    while (used_ > limit_ && !evictable_.empty()) {
+      std::string victim = evictable_.front();
+      evictable_.pop_front();
+      units_.erase(victim);
+      used_ -= kUnitBytes;
+      ++evictions_;
+    }
+  }
+
+  int64_t limit_;
+  int64_t used_ = 0;
+  std::map<std::string, UnitState> units_;
+  std::list<std::string> evictable_;  // front = least recently finished
+  int64_t hits_ = 0;
+  int64_t loads_ = 0;
+  int64_t evictions_ = 0;
+};
+
+Gbo::ReadFn MakeReadFn() {
+  return [](Gbo* db, const std::string& unit) -> Status {
+    GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("chunk"));
+    std::memcpy(*rec->FieldBuffer("unit"), PadKey(unit, 16).data(), 16);
+    GODIVA_RETURN_IF_ERROR(
+        db->AllocFieldBuffer(rec, "payload", kPayloadBytes).status());
+    return db->CommitRecord(rec);
+  };
+}
+
+bool GboIsResident(Gbo* db, const std::string& unit) {
+  auto state = db->GetUnitState(unit);
+  return state.ok() && *state == UnitState::kReady;
+}
+
+class ModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelTest, RandomOperationSequencesMatchTheModel) {
+  uint64_t seed = GetParam();
+  Random rng(seed);
+
+  const int kNumUnits = 8;
+  int64_t limit = 3 * kUnitBytes + kUnitBytes / 2;
+  GboOptions options = GboOptions::SingleThread();
+  options.memory_limit_bytes = limit;
+  options.eviction_policy = EvictionPolicy::kLru;
+  Gbo db(options);
+  ASSERT_TRUE(db.DefineField("unit", DataType::kString, 16).ok());
+  ASSERT_TRUE(
+      db.DefineField("payload", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db.DefineRecord("chunk", 1).ok());
+  ASSERT_TRUE(db.InsertField("chunk", "unit", true).ok());
+  ASSERT_TRUE(db.InsertField("chunk", "payload", false).ok());
+  ASSERT_TRUE(db.CommitRecordType("chunk").ok());
+
+  ReferenceModel model(limit);
+  Gbo::ReadFn read_fn = MakeReadFn();
+
+  for (int step = 0; step < 400; ++step) {
+    std::string unit =
+        "u" + std::to_string(rng.NextBounded(kNumUnits));
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      int64_t hits_before = db.stats().unit_cache_hits;
+      ASSERT_TRUE(db.ReadUnit(unit, read_fn).ok())
+          << "seed " << seed << " step " << step;
+      bool gbo_hit = db.stats().unit_cache_hits > hits_before;
+      bool model_hit = model.Read(unit);
+      ASSERT_EQ(gbo_hit, model_hit)
+          << "hit divergence at seed " << seed << " step " << step
+          << " unit " << unit;
+    } else if (dice < 0.80) {
+      Status s = db.FinishUnit(unit);
+      (void)s;  // NOT_FOUND/precondition errors are fine; model mirrors
+      model.Finish(unit);
+    } else if (dice < 0.92) {
+      Status s = db.DeleteUnit(unit);
+      (void)s;
+      model.Delete(unit);
+    } else {
+      int64_t new_limit =
+          (2 + static_cast<int64_t>(rng.NextBounded(4))) * kUnitBytes +
+          kUnitBytes / 2;
+      ASSERT_TRUE(db.SetMemSpace(new_limit).ok());
+      model.SetLimit(new_limit);
+    }
+
+    // Residency must agree after every operation.
+    for (int u = 0; u < kNumUnits; ++u) {
+      std::string name = "u" + std::to_string(u);
+      ASSERT_EQ(GboIsResident(&db, name), model.IsResident(name))
+          << "residency divergence at seed " << seed << " step " << step
+          << " unit " << name;
+    }
+    ASSERT_EQ(db.memory_usage(), model.used())
+        << "memory divergence at seed " << seed << " step " << step;
+  }
+
+  GboStats stats = db.stats();
+  EXPECT_EQ(stats.unit_cache_hits, model.hits()) << "seed " << seed;
+  EXPECT_EQ(stats.units_read_foreground, model.loads()) << "seed " << seed;
+  EXPECT_EQ(stats.units_evicted, model.evictions()) << "seed " << seed;
+  EXPECT_EQ(stats.deadlocks_detected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144, 233));
+
+}  // namespace
+}  // namespace godiva

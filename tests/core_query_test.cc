@@ -1,0 +1,242 @@
+// Tests for GODIVA key-lookup queries (paper §3.1): getFieldBuffer /
+// getFieldBufferSize semantics, key encoding, lookup statistics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+// Schema with an integer + string composite key.
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : db_(GboOptions::SingleThread()) {
+    EXPECT_TRUE(db_.DefineField("block", DataType::kInt32, 4).ok());
+    EXPECT_TRUE(db_.DefineField("step", DataType::kString, 9).ok());
+    EXPECT_TRUE(db_.DefineField("values", DataType::kFloat64, kUnknownSize)
+                    .ok());
+    EXPECT_TRUE(db_.DefineRecord("data", 2).ok());
+    EXPECT_TRUE(db_.InsertField("data", "block", true).ok());
+    EXPECT_TRUE(db_.InsertField("data", "step", true).ok());
+    EXPECT_TRUE(db_.InsertField("data", "values", false).ok());
+    EXPECT_TRUE(db_.CommitRecordType("data").ok());
+  }
+
+  Record* Insert(int32_t block, const std::string& step, int n_values) {
+    auto rec = db_.NewRecord("data");
+    EXPECT_TRUE(rec.ok());
+    std::memcpy(*(*rec)->FieldBuffer("block"), &block, 4);
+    std::memcpy(*(*rec)->FieldBuffer("step"), PadKey(step, 9).data(), 9);
+    auto buffer = db_.AllocFieldBuffer(*rec, "values", n_values * 8);
+    EXPECT_TRUE(buffer.ok());
+    double* values = static_cast<double*>(*buffer);
+    for (int i = 0; i < n_values; ++i) values[i] = block * 1000.0 + i;
+    EXPECT_TRUE(db_.CommitRecord(*rec).ok());
+    return *rec;
+  }
+
+  std::vector<std::string> Key(int32_t block, const std::string& step) {
+    return {KeyBytes(block), PadKey(step, 9)};
+  }
+
+  Gbo db_;
+};
+
+TEST_F(QueryTest, GetFieldBufferFindsTheRightRecord) {
+  Insert(1, "0.000025", 10);
+  Insert(2, "0.000025", 10);
+  Insert(1, "0.000050", 10);
+  auto buffer = db_.GetFieldBuffer("data", "values", Key(2, "0.000025"));
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  EXPECT_EQ(static_cast<double*>(*buffer)[0], 2000.0);
+}
+
+TEST_F(QueryTest, GetFieldBufferSize) {
+  Insert(3, "0.000075", 17);
+  auto size = db_.GetFieldBufferSize("data", "values", Key(3, "0.000075"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 17 * 8);
+}
+
+TEST_F(QueryTest, MissLookupIsNotFound) {
+  Insert(1, "0.000025", 4);
+  EXPECT_EQ(
+      db_.GetFieldBuffer("data", "values", Key(9, "0.000025")).status().code(),
+      StatusCode::kNotFound);
+  GboStats stats = db_.stats();
+  EXPECT_EQ(stats.key_lookups, 1);
+  EXPECT_EQ(stats.failed_lookups, 1);
+}
+
+TEST_F(QueryTest, WrongKeyCountRejected) {
+  Insert(1, "0.000025", 4);
+  EXPECT_EQ(db_.GetFieldBuffer("data", "values", {KeyBytes(int32_t{1})})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, WrongKeySizeRejected) {
+  Insert(1, "0.000025", 4);
+  // Key value for the 9-byte step field is only 5 bytes.
+  EXPECT_EQ(db_.GetFieldBuffer("data", "values",
+                               {KeyBytes(int32_t{1}), "short"})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, UnknownTypeOrFieldRejected) {
+  Insert(1, "0.000025", 4);
+  EXPECT_EQ(
+      db_.GetFieldBuffer("ghost", "values", Key(1, "0.000025"))
+          .status()
+          .code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(
+      db_.GetFieldBuffer("data", "ghost", Key(1, "0.000025")).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, UnallocatedFieldBufferIsFailedPrecondition) {
+  auto rec = db_.NewRecord("data");
+  ASSERT_TRUE(rec.ok());
+  int32_t block = 5;
+  std::memcpy(*(*rec)->FieldBuffer("block"), &block, 4);
+  std::memcpy(*(*rec)->FieldBuffer("step"), PadKey("s", 9).data(), 9);
+  ASSERT_TRUE(db_.CommitRecord(*rec).ok());
+  EXPECT_EQ(db_.GetFieldBuffer("data", "values", Key(5, "s")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryTest, UncommittedRecordsAreInvisible) {
+  auto rec = db_.NewRecord("data");
+  ASSERT_TRUE(rec.ok());
+  int32_t block = 7;
+  std::memcpy(*(*rec)->FieldBuffer("block"), &block, 4);
+  std::memcpy(*(*rec)->FieldBuffer("step"), PadKey("s", 9).data(), 9);
+  EXPECT_EQ(db_.FindRecord("data", Key(7, "s")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, ListRecordsReturnsKeyOrder) {
+  Insert(2, "b", 1);
+  Insert(1, "a", 1);
+  Insert(1, "b", 1);
+  auto listed = db_.ListRecords("data");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 3u);
+  // Keys sort by raw bytes: block little-endian int32 then padded step.
+  // block=1 sorts before block=2.
+  auto step_of = [](Record* r) {
+    const char* p = static_cast<const char*>(*r->FieldBuffer("step"));
+    return std::string(p, 1);
+  };
+  EXPECT_EQ(step_of((*listed)[0]), "a");
+  EXPECT_EQ(step_of((*listed)[1]), "b");
+}
+
+TEST_F(QueryTest, FindRecordReturnsSameHandle) {
+  Record* inserted = Insert(4, "x", 2);
+  auto found = db_.FindRecord("data", Key(4, "x"));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, inserted);
+}
+
+TEST_F(QueryTest, LookupStatsAccumulate) {
+  Insert(1, "a", 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(db_.FindRecord("data", Key(1, "a")).ok());
+  }
+  EXPECT_FALSE(db_.FindRecord("data", Key(2, "a")).ok());
+  GboStats stats = db_.stats();
+  EXPECT_EQ(stats.key_lookups, 6);
+  EXPECT_EQ(stats.failed_lookups, 1);
+}
+
+TEST_F(QueryTest, GetFieldSpanTypedAccess) {
+  Insert(6, "step-a", 8);
+  auto span = db_.GetFieldSpan<double>("data", "values", Key(6, "step-a"));
+  ASSERT_TRUE(span.ok()) << span.status();
+  ASSERT_EQ(span->size(), 8u);
+  EXPECT_EQ((*span)[0], 6000.0);
+  EXPECT_EQ((*span)[7], 6007.0);
+  // Writable through the span (GODIVA manages locations, not contents).
+  (*span)[0] = -1.0;
+  auto again = db_.GetFieldSpan<double>("data", "values", Key(6, "step-a"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)[0], -1.0);
+}
+
+TEST_F(QueryTest, GetFieldSpanRejectsWrongElementType) {
+  Insert(1, "s", 4);
+  EXPECT_EQ(
+      db_.GetFieldSpan<float>("data", "values", Key(1, "s")).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      db_.GetFieldSpan<double>("data", "ghost", Key(1, "s")).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, GetFieldSpanUnallocatedField) {
+  auto rec = db_.NewRecord("data");
+  ASSERT_TRUE(rec.ok());
+  int32_t block = 9;
+  std::memcpy(*(*rec)->FieldBuffer("block"), &block, 4);
+  std::memcpy(*(*rec)->FieldBuffer("step"), PadKey("t", 9).data(), 9);
+  ASSERT_TRUE(db_.CommitRecord(*rec).ok());
+  EXPECT_EQ(
+      db_.GetFieldSpan<double>("data", "values", Key(9, "t")).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryTest, DebugStringListsTypesAndRecords) {
+  Insert(1, "a", 2);
+  std::string debug = db_.DebugString();
+  EXPECT_NE(debug.find("data:"), std::string::npos);
+  EXPECT_NE(debug.find("1 records"), std::string::npos);
+}
+
+// Property sweep: many records, every one retrievable by its key, and the
+// paper's example query pattern ("give me the address of the pressure data
+// buffer of the block with ID B from the time-step with ID T").
+class QueryScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryScaleTest, EveryInsertedRecordIsRetrievable) {
+  int n = GetParam();
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("id", DataType::kInt64, 8).ok());
+  ASSERT_TRUE(db.DefineField("payload", DataType::kFloat64, 16).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 1).ok());
+  ASSERT_TRUE(db.InsertField("r", "id", true).ok());
+  ASSERT_TRUE(db.InsertField("r", "payload", false).ok());
+  ASSERT_TRUE(db.CommitRecordType("r").ok());
+  for (int64_t i = 0; i < n; ++i) {
+    auto rec = db.NewRecord("r");
+    ASSERT_TRUE(rec.ok());
+    std::memcpy(*(*rec)->FieldBuffer("id"), &i, 8);
+    static_cast<double*>(*(*rec)->FieldBuffer("payload"))[0] = i * 2.0;
+    ASSERT_TRUE(db.CommitRecord(*rec).ok());
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    auto buffer = db.GetFieldBuffer("r", "payload", {KeyBytes(i)});
+    ASSERT_TRUE(buffer.ok());
+    EXPECT_EQ(static_cast<double*>(*buffer)[0], i * 2.0);
+  }
+  EXPECT_EQ(db.stats().records_committed, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QueryScaleTest,
+                         ::testing::Values(1, 16, 256, 2048));
+
+}  // namespace
+}  // namespace godiva

@@ -1,0 +1,198 @@
+// Tests for record instances: creation, buffer allocation, commitment, and
+// the paper's Figure 2 record layout.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+class RecordTest : public ::testing::Test {
+ protected:
+  RecordTest() : db_(GboOptions::SingleThread()) {
+    // Paper Table 1 schema.
+    EXPECT_TRUE(db_.DefineField("block id", DataType::kString, 11).ok());
+    EXPECT_TRUE(db_.DefineField("time-step id", DataType::kString, 9).ok());
+    EXPECT_TRUE(
+        db_.DefineField("x coordinates", DataType::kFloat64, kUnknownSize)
+            .ok());
+    EXPECT_TRUE(
+        db_.DefineField("y coordinates", DataType::kFloat64, kUnknownSize)
+            .ok());
+    EXPECT_TRUE(
+        db_.DefineField("pressure", DataType::kFloat64, kUnknownSize).ok());
+    EXPECT_TRUE(
+        db_.DefineField("temperature", DataType::kFloat64, kUnknownSize)
+            .ok());
+    EXPECT_TRUE(db_.DefineRecord("fluid", 2).ok());
+    EXPECT_TRUE(db_.InsertField("fluid", "block id", true).ok());
+    EXPECT_TRUE(db_.InsertField("fluid", "time-step id", true).ok());
+    EXPECT_TRUE(db_.InsertField("fluid", "x coordinates", false).ok());
+    EXPECT_TRUE(db_.InsertField("fluid", "y coordinates", false).ok());
+    EXPECT_TRUE(db_.InsertField("fluid", "pressure", false).ok());
+    EXPECT_TRUE(db_.InsertField("fluid", "temperature", false).ok());
+    EXPECT_TRUE(db_.CommitRecordType("fluid").ok());
+  }
+
+  // Creates and commits the Figure 2 record: 100×100 grid, 101 coordinates
+  // per direction, 10,000 elements with pressure and temperature.
+  Result<Record*> MakeFigure2Record(const std::string& block,
+                                    const std::string& step) {
+    GODIVA_ASSIGN_OR_RETURN(Record * rec, db_.NewRecord("fluid"));
+    std::memcpy(*rec->FieldBuffer("block id"), PadKey(block, 11).data(), 11);
+    std::memcpy(*rec->FieldBuffer("time-step id"), PadKey(step, 9).data(),
+                9);
+    GODIVA_RETURN_IF_ERROR(
+        db_.AllocFieldBuffer(rec, "x coordinates", 101 * 8).status());
+    GODIVA_RETURN_IF_ERROR(
+        db_.AllocFieldBuffer(rec, "y coordinates", 101 * 8).status());
+    GODIVA_RETURN_IF_ERROR(
+        db_.AllocFieldBuffer(rec, "pressure", 10000 * 8).status());
+    GODIVA_RETURN_IF_ERROR(
+        db_.AllocFieldBuffer(rec, "temperature", 10000 * 8).status());
+    GODIVA_RETURN_IF_ERROR(db_.CommitRecord(rec));
+    return rec;
+  }
+
+  Gbo db_;
+};
+
+TEST_F(RecordTest, KnownSizeBuffersAllocatedEagerly) {
+  auto rec = db_.NewRecord("fluid");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE((*rec)->FieldBuffer("block id").ok());
+  EXPECT_TRUE((*rec)->FieldBuffer("time-step id").ok());
+  auto size = (*rec)->FieldBufferSize("block id");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11);
+  // Unknown-size buffers are not allocated yet.
+  EXPECT_EQ((*rec)->FieldBuffer("pressure").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecordTest, Figure2RecordLayout) {
+  auto rec = MakeFigure2Record("block_0001", "0.000025");
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  // Sizes as drawn in Figure 2: 11, 9, 808, 808, 80000, 80000.
+  EXPECT_EQ(*(*rec)->FieldBufferSize("block id"), 11);
+  EXPECT_EQ(*(*rec)->FieldBufferSize("time-step id"), 9);
+  EXPECT_EQ(*(*rec)->FieldBufferSize("x coordinates"), 808);
+  EXPECT_EQ(*(*rec)->FieldBufferSize("y coordinates"), 808);
+  EXPECT_EQ(*(*rec)->FieldBufferSize("pressure"), 80000);
+  EXPECT_EQ(*(*rec)->FieldBufferSize("temperature"), 80000);
+}
+
+TEST_F(RecordTest, BuffersAreDirectlyWritable) {
+  auto rec = MakeFigure2Record("block_0001", "0.000025");
+  ASSERT_TRUE(rec.ok());
+  auto buffer = (*rec)->FieldBuffer("pressure");
+  ASSERT_TRUE(buffer.ok());
+  double* pressure = static_cast<double*>(*buffer);
+  for (int i = 0; i < 10000; ++i) pressure[i] = i * 0.25;
+  // Re-query: same buffer, contents visible (GODIVA manages locations, not
+  // contents).
+  auto again = db_.GetFieldBuffer(
+      "fluid", "pressure",
+      {PadKey("block_0001", 11), PadKey("0.000025", 9)});
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(*again, *buffer);
+  EXPECT_EQ(static_cast<double*>(*again)[9999], 9999 * 0.25);
+}
+
+TEST_F(RecordTest, DoubleAllocationRejected) {
+  auto rec = db_.NewRecord("fluid");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(db_.AllocFieldBuffer(*rec, "pressure", 800).ok());
+  EXPECT_EQ(db_.AllocFieldBuffer(*rec, "pressure", 800).status().code(),
+            StatusCode::kAlreadyExists);
+  // Eagerly-allocated fixed-size buffers cannot be re-allocated either.
+  EXPECT_EQ(db_.AllocFieldBuffer(*rec, "block id", 11).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(RecordTest, AllocationValidatesSize) {
+  auto rec = db_.NewRecord("fluid");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(db_.AllocFieldBuffer(*rec, "pressure", -8).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.AllocFieldBuffer(*rec, "pressure", 13).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.AllocFieldBuffer(*rec, "ghost", 8).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RecordTest, UnknownRecordHandleRejected) {
+  Record* bogus = reinterpret_cast<Record*>(0x1234);
+  EXPECT_EQ(db_.AllocFieldBuffer(bogus, "pressure", 8).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.CommitRecord(bogus).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RecordTest, CommitRequiresKeyBuffers) {
+  // A record type whose keys have known sizes always has them allocated;
+  // build a type with an unallocated key scenario via a keyless type plus
+  // manual checks is impossible — instead verify commit fails when key
+  // buffers exist but the record is committed twice.
+  auto rec = MakeFigure2Record("block_0002", "0.000025");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(db_.CommitRecord(*rec).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecordTest, DuplicateKeyRejected) {
+  ASSERT_TRUE(MakeFigure2Record("block_0001", "0.000025").ok());
+  auto dup = MakeFigure2Record("block_0001", "0.000025");
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(RecordTest, SameBlockDifferentStepAllowed) {
+  ASSERT_TRUE(MakeFigure2Record("block_0001", "0.000025").ok());
+  EXPECT_TRUE(MakeFigure2Record("block_0001", "0.000050").ok());
+  EXPECT_TRUE(MakeFigure2Record("block_0002", "0.000025").ok());
+}
+
+TEST_F(RecordTest, MemoryAccountingTracksAllocations) {
+  int64_t before = db_.memory_usage();
+  auto rec = MakeFigure2Record("block_0001", "0.000025");
+  ASSERT_TRUE(rec.ok());
+  int64_t after = db_.memory_usage();
+  // 11+9+808+808+80000+80000 payload plus fixed overhead.
+  EXPECT_EQ(after - before, 161636 + kRecordOverheadBytes);
+}
+
+TEST_F(RecordTest, StatsCountRecords) {
+  ASSERT_TRUE(MakeFigure2Record("block_0001", "0.000025").ok());
+  ASSERT_TRUE(MakeFigure2Record("block_0002", "0.000025").ok());
+  GboStats stats = db_.stats();
+  EXPECT_EQ(stats.records_created, 2);
+  EXPECT_EQ(stats.records_committed, 2);
+  EXPECT_GT(stats.peak_memory_bytes, 2 * 160000);
+}
+
+TEST_F(RecordTest, KeylessTypeCommitsWithoutIndexing) {
+  ASSERT_TRUE(db_.DefineField("scratch", DataType::kFloat64, 64).ok());
+  ASSERT_TRUE(db_.DefineRecord("keyless", 0).ok());
+  ASSERT_TRUE(db_.InsertField("keyless", "scratch", false).ok());
+  ASSERT_TRUE(db_.CommitRecordType("keyless").ok());
+  auto rec = db_.NewRecord("keyless");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(db_.CommitRecord(*rec).ok());
+  // Keyless types cannot be queried by key.
+  EXPECT_EQ(db_.FindRecord("keyless", {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  // But they are listed nowhere (not indexed) — ListRecords is empty.
+  auto listed = db_.ListRecords("keyless");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_TRUE(listed->empty());
+}
+
+}  // namespace
+}  // namespace godiva

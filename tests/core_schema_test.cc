@@ -1,0 +1,164 @@
+// Tests for GODIVA schema definition: field types, record types, key
+// declarations (paper §3.1, Table 1).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/options.h"
+
+namespace godiva {
+namespace {
+
+// The exact schema from the paper's Table 1.
+Status DefineFluidSchema(Gbo* db) {
+  GODIVA_RETURN_IF_ERROR(db->DefineField("block id", DataType::kString, 11));
+  GODIVA_RETURN_IF_ERROR(
+      db->DefineField("time-step id", DataType::kString, 9));
+  GODIVA_RETURN_IF_ERROR(
+      db->DefineField("x coordinates", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(
+      db->DefineField("y coordinates", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(
+      db->DefineField("pressure", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(
+      db->DefineField("temperature", DataType::kFloat64, kUnknownSize));
+  GODIVA_RETURN_IF_ERROR(db->DefineRecord("fluid", 2));
+  GODIVA_RETURN_IF_ERROR(db->InsertField("fluid", "block id", true));
+  GODIVA_RETURN_IF_ERROR(db->InsertField("fluid", "time-step id", true));
+  GODIVA_RETURN_IF_ERROR(db->InsertField("fluid", "x coordinates", false));
+  GODIVA_RETURN_IF_ERROR(db->InsertField("fluid", "y coordinates", false));
+  GODIVA_RETURN_IF_ERROR(db->InsertField("fluid", "pressure", false));
+  GODIVA_RETURN_IF_ERROR(db->InsertField("fluid", "temperature", false));
+  return db->CommitRecordType("fluid");
+}
+
+TEST(SchemaTest, PaperTable1SchemaDefines) {
+  Gbo db(GboOptions::SingleThread());
+  EXPECT_TRUE(DefineFluidSchema(&db).ok());
+}
+
+TEST(SchemaTest, DuplicateFieldTypeRejected) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("x", DataType::kFloat64, 8).ok());
+  EXPECT_EQ(db.DefineField("x", DataType::kFloat32, 4).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyFieldNameRejected) {
+  Gbo db(GboOptions::SingleThread());
+  EXPECT_EQ(db.DefineField("", DataType::kFloat64, 8).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, FieldSizeMustMatchElementSize) {
+  Gbo db(GboOptions::SingleThread());
+  EXPECT_EQ(db.DefineField("x", DataType::kFloat64, 12).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.DefineField("y", DataType::kFloat64, 16).ok());
+  EXPECT_TRUE(db.DefineField("z", DataType::kFloat64, kUnknownSize).ok());
+}
+
+TEST(SchemaTest, DuplicateRecordTypeRejected) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  EXPECT_EQ(db.DefineRecord("r", 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, NegativeKeyCountRejected) {
+  Gbo db(GboOptions::SingleThread());
+  EXPECT_EQ(db.DefineRecord("r", -1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, InsertFieldRequiresBothTypes) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("f", DataType::kInt32, 4).ok());
+  EXPECT_EQ(db.InsertField("ghost", "f", false).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  EXPECT_EQ(db.InsertField("r", "ghost", false).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, DuplicateMemberRejected) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("f", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  ASSERT_TRUE(db.InsertField("r", "f", false).ok());
+  EXPECT_EQ(db.InsertField("r", "f", false).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, KeyFieldMustHaveKnownSize) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("f", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 1).ok());
+  EXPECT_EQ(db.InsertField("r", "f", true).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CommitValidatesDeclaredKeyCount) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("k", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineField("v", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 2).ok());  // declares 2 keys
+  ASSERT_TRUE(db.InsertField("r", "k", true).ok());
+  ASSERT_TRUE(db.InsertField("r", "v", false).ok());
+  EXPECT_EQ(db.CommitRecordType("r").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CommitEmptyRecordTypeRejected) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  EXPECT_EQ(db.CommitRecordType("r").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, DoubleCommitRejected) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("f", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  ASSERT_TRUE(db.InsertField("r", "f", false).ok());
+  ASSERT_TRUE(db.CommitRecordType("r").ok());
+  EXPECT_EQ(db.CommitRecordType("r").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaTest, InsertAfterCommitRejected) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("f", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineField("g", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  ASSERT_TRUE(db.InsertField("r", "f", false).ok());
+  ASSERT_TRUE(db.CommitRecordType("r").ok());
+  EXPECT_EQ(db.InsertField("r", "g", false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaTest, NewRecordRequiresCommittedType) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("f", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineRecord("r", 0).ok());
+  ASSERT_TRUE(db.InsertField("r", "f", false).ok());
+  EXPECT_EQ(db.NewRecord("r").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.NewRecord("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, SharedFieldTypesAcrossRecordTypes) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(db.DefineField("id", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(db.DefineField("data", DataType::kFloat64, kUnknownSize).ok());
+  for (const std::string name : {"mesh", "solution"}) {
+    ASSERT_TRUE(db.DefineRecord(name, 1).ok());
+    ASSERT_TRUE(db.InsertField(name, "id", true).ok());
+    ASSERT_TRUE(db.InsertField(name, "data", false).ok());
+    ASSERT_TRUE(db.CommitRecordType(name).ok());
+  }
+  EXPECT_TRUE(db.NewRecord("mesh").ok());
+  EXPECT_TRUE(db.NewRecord("solution").ok());
+}
+
+}  // namespace
+}  // namespace godiva

@@ -1,0 +1,350 @@
+// Tests for the gsdf scientific data format: round trips, attributes,
+// ranged reads, and corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "gsdf/format.h"
+#include "gsdf/reader.h"
+#include "gsdf/writer.h"
+#include "sim/sim_env.h"
+
+namespace godiva::gsdf {
+namespace {
+
+SimEnv MakeEnv() { return SimEnv(SimEnv::Options{}); }
+
+std::vector<double> Doubles(int n, double start = 0.0) {
+  std::vector<double> out(n);
+  for (int i = 0; i < n; ++i) out[i] = start + i * 0.5;
+  return out;
+}
+
+TEST(GsdfTest, RoundTripSingleDataset) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  std::vector<double> data = Doubles(100);
+  ASSERT_TRUE((*writer)
+                  ->AddDataset("pressure", DataType::kFloat64, data.data(),
+                               100 * 8)
+                  .ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ((*reader)->datasets().size(), 1u);
+  const DatasetInfo& info = (*reader)->datasets()[0];
+  EXPECT_EQ(info.name, "pressure");
+  EXPECT_EQ(info.type, DataType::kFloat64);
+  EXPECT_EQ(info.nbytes, 800);
+  EXPECT_EQ(info.num_elements(), 100);
+
+  std::vector<double> read_back(100);
+  ASSERT_TRUE((*reader)->Read("pressure", read_back.data(), 800).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST(GsdfTest, MultipleDatasetsPreserveOrderAndContents) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<int32_t> ids = {1, 2, 3};
+  std::vector<double> xs = Doubles(5, 10.0);
+  std::string name = "block_0001";
+  ASSERT_TRUE(
+      (*writer)->AddDataset("ids", DataType::kInt32, ids.data(), 12).ok());
+  ASSERT_TRUE(
+      (*writer)->AddDataset("xs", DataType::kFloat64, xs.data(), 40).ok());
+  ASSERT_TRUE((*writer)
+                  ->AddDataset("name", DataType::kString, name.data(),
+                               static_cast<int64_t>(name.size()))
+                  .ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->datasets().size(), 3u);
+  EXPECT_EQ((*reader)->datasets()[0].name, "ids");
+  EXPECT_EQ((*reader)->datasets()[1].name, "xs");
+  EXPECT_EQ((*reader)->datasets()[2].name, "name");
+
+  std::string got_name(name.size(), '\0');
+  ASSERT_TRUE((*reader)
+                  ->Read("name", got_name.data(),
+                         static_cast<int64_t>(got_name.size()))
+                  .ok());
+  EXPECT_EQ(got_name, name);
+}
+
+TEST(GsdfTest, DatasetAndFileAttributes) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> xs = Doubles(4);
+  ASSERT_TRUE((*writer)
+                  ->AddDataset("xs", DataType::kFloat64, xs.data(), 32,
+                               {{"units", "meters"}, {"centering", "node"}})
+                  .ok());
+  (*writer)->SetFileAttribute("time", "0.000025");
+  (*writer)->SetFileAttribute("time", "0.000050");  // overwrite
+  (*writer)->SetFileAttribute("snapshot", "2");
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  auto info = (*reader)->Find("xs");
+  ASSERT_TRUE(info.ok());
+  const std::string* units = (*info)->FindAttribute("units");
+  ASSERT_NE(units, nullptr);
+  EXPECT_EQ(*units, "meters");
+  EXPECT_EQ((*info)->FindAttribute("absent"), nullptr);
+
+  ASSERT_EQ((*reader)->file_attributes().size(), 2u);
+  EXPECT_EQ((*reader)->file_attributes()[0].first, "time");
+  EXPECT_EQ((*reader)->file_attributes()[0].second, "0.000050");
+}
+
+TEST(GsdfTest, EmptyDatasetAllowed) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->AddDataset("empty", DataType::kFloat64, nullptr, 0).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->datasets()[0].nbytes, 0);
+}
+
+TEST(GsdfTest, FileWithNoDatasets) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->datasets().empty());
+}
+
+TEST(GsdfTest, ReadRange) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> xs = Doubles(10);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("xs", DataType::kFloat64, xs.data(), 80).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  double middle[2];
+  ASSERT_TRUE((*reader)->ReadRange("xs", 4 * 8, 16, middle).ok());
+  EXPECT_EQ(middle[0], xs[4]);
+  EXPECT_EQ(middle[1], xs[5]);
+  EXPECT_EQ(
+      (*reader)->ReadRange("xs", 72, 16, middle).code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(GsdfTest, WriterRejectsBadInput) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  double d = 1.0;
+  EXPECT_EQ((*writer)->AddDataset("", DataType::kFloat64, &d, 8).code(),
+            StatusCode::kInvalidArgument);
+  // Size not a multiple of the element size.
+  EXPECT_EQ((*writer)->AddDataset("x", DataType::kFloat64, &d, 7).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*writer)->AddDataset("x", DataType::kFloat64, &d, 8).ok());
+  EXPECT_EQ((*writer)->AddDataset("x", DataType::kFloat64, &d, 8).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_EQ((*writer)->Finish().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*writer)->AddDataset("y", DataType::kFloat64, &d, 8).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GsdfTest, ReaderRejectsUnknownDataset) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  char buf[8];
+  EXPECT_EQ((*reader)->Read("ghost", buf, 8).code(), StatusCode::kNotFound);
+  EXPECT_EQ((*reader)->Find("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(GsdfTest, ReadIntoTooSmallBufferFails) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> xs = Doubles(10);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("xs", DataType::kFloat64, xs.data(), 80).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  char small[8];
+  EXPECT_EQ((*reader)->Read("xs", small, 8).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GsdfTest, CorruptMagicRejected) {
+  SimEnv env = MakeEnv();
+  std::string garbage = "NOTAGSDFFILE plus enough bytes to pass size checks";
+  auto file = env.NewWritableFile("bad");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)
+                  ->Append(garbage.data(),
+                           static_cast<int64_t>(garbage.size()))
+                  .ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(Reader::Open(&env, "bad").status().code(), StatusCode::kDataLoss);
+}
+
+TEST(GsdfTest, TruncatedFileRejected) {
+  SimEnv env = MakeEnv();
+  auto file = env.NewWritableFile("tiny");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("GSDF", 4).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(Reader::Open(&env, "tiny").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(GsdfTest, CorruptFooterRejected) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  double d = 1.0;
+  ASSERT_TRUE((*writer)->AddDataset("x", DataType::kFloat64, &d, 8).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  // Append trailing garbage: the footer no longer sits at EOF.
+  {
+    auto size = env.GetFileSize("f.gsdf");
+    ASSERT_TRUE(size.ok());
+    auto orig = env.NewRandomAccessFile("f.gsdf");
+    ASSERT_TRUE(orig.ok());
+    std::vector<char> all(static_cast<size_t>(*size));
+    ASSERT_TRUE((*orig)->Read(0, *size, all.data()).ok());
+    auto rewrite = env.NewWritableFile("f.gsdf");
+    ASSERT_TRUE(rewrite.ok());
+    ASSERT_TRUE((*rewrite)->Append(all.data(), *size).ok());
+    ASSERT_TRUE((*rewrite)->Append("junkjunk", 8).ok());
+    ASSERT_TRUE((*rewrite)->Close().ok());
+  }
+  EXPECT_EQ(Reader::Open(&env, "f.gsdf").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(GsdfChecksumTest, VerifyPassesOnIntactData) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> xs = Doubles(50);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("xs", DataType::kFloat64, xs.data(), 400).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->VerifyChecksum("xs").ok());
+  EXPECT_TRUE((*reader)->VerifyAllChecksums().ok());
+}
+
+TEST(GsdfChecksumTest, DetectsSilentPayloadCorruption) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> xs = Doubles(50);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("xs", DataType::kFloat64, xs.data(), 400).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  // Flip one payload byte: the file still parses and Read() succeeds (the
+  // format cannot see the damage), but the checksum catches it.
+  {
+    auto size = env.GetFileSize("f.gsdf");
+    ASSERT_TRUE(size.ok());
+    auto orig = env.NewRandomAccessFile("f.gsdf");
+    ASSERT_TRUE(orig.ok());
+    std::vector<char> all(static_cast<size_t>(*size));
+    ASSERT_TRUE((*orig)->Read(0, *size, all.data()).ok());
+    // First dataset payload starts right after the 16-byte header.
+    all[kHeaderSize + 20] ^= 0x40;
+    auto rewrite = env.NewWritableFile("f.gsdf");
+    ASSERT_TRUE(rewrite.ok());
+    ASSERT_TRUE((*rewrite)->Append(all.data(), *size).ok());
+    ASSERT_TRUE((*rewrite)->Close().ok());
+  }
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> read_back(50);
+  EXPECT_TRUE((*reader)->Read("xs", read_back.data(), 400).ok());
+  Status verify = (*reader)->VerifyChecksum("xs");
+  EXPECT_EQ(verify.code(), StatusCode::kDataLoss);
+  EXPECT_EQ((*reader)->VerifyAllChecksums().code(), StatusCode::kDataLoss);
+}
+
+TEST(GsdfChecksumTest, FilesWithoutChecksumsReportPrecondition) {
+  SimEnv env = MakeEnv();
+  Writer::Options options;
+  options.checksums = false;
+  auto writer = Writer::Create(&env, "f.gsdf", options);
+  ASSERT_TRUE(writer.ok());
+  double d = 1.0;
+  ASSERT_TRUE((*writer)->AddDataset("x", DataType::kFloat64, &d, 8).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->VerifyChecksum("x").code(),
+            StatusCode::kFailedPrecondition);
+  // VerifyAll skips unchecksummed datasets.
+  EXPECT_TRUE((*reader)->VerifyAllChecksums().ok());
+}
+
+// Property-style sweep: round trip across data types and sizes.
+class GsdfRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<DataType, int>> {};
+
+TEST_P(GsdfRoundTripTest, PreservesBytes) {
+  auto [type, elements] = GetParam();
+  SimEnv env = MakeEnv();
+  int64_t nbytes = elements * SizeOf(type);
+  std::vector<uint8_t> payload(static_cast<size_t>(nbytes));
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((i * 131) & 0xff);
+  }
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      (*writer)->AddDataset("d", type, payload.data(), nbytes).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  auto info = (*reader)->Find("d");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->type, type);
+  EXPECT_EQ((*info)->num_elements(), elements);
+  std::vector<uint8_t> got(static_cast<size_t>(nbytes));
+  ASSERT_TRUE((*reader)->Read("d", got.data(), nbytes).ok());
+  EXPECT_EQ(got, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesAndSizes, GsdfRoundTripTest,
+    ::testing::Combine(::testing::Values(DataType::kByte, DataType::kString,
+                                         DataType::kInt32, DataType::kInt64,
+                                         DataType::kFloat32,
+                                         DataType::kFloat64),
+                       ::testing::Values(1, 7, 64, 1000)));
+
+}  // namespace
+}  // namespace godiva::gsdf

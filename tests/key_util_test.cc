@@ -1,0 +1,63 @@
+// Tests for the key-building helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "core/key_util.h"
+
+namespace godiva {
+namespace {
+
+TEST(KeyBytesTest, Int32RoundTrip) {
+  int32_t value = 0x01020304;
+  std::string key = KeyBytes(value);
+  ASSERT_EQ(key.size(), 4u);
+  int32_t back = 0;
+  std::memcpy(&back, key.data(), 4);
+  EXPECT_EQ(back, value);
+}
+
+TEST(KeyBytesTest, DistinctValuesDistinctKeys) {
+  EXPECT_NE(KeyBytes(int64_t{1}), KeyBytes(int64_t{2}));
+  EXPECT_NE(KeyBytes(int32_t{1}), KeyBytes(int32_t{-1}));
+}
+
+TEST(KeyBytesTest, DoubleKeys) {
+  std::string key = KeyBytes(3.25);
+  ASSERT_EQ(key.size(), 8u);
+  double back = 0;
+  std::memcpy(&back, key.data(), 8);
+  EXPECT_EQ(back, 3.25);
+}
+
+TEST(PadKeyTest, PadsShortText) {
+  std::string key = PadKey("abc", 8);
+  ASSERT_EQ(key.size(), 8u);
+  EXPECT_EQ(key.substr(0, 3), "abc");
+  for (size_t i = 3; i < 8; ++i) EXPECT_EQ(key[i], '\0');
+}
+
+TEST(PadKeyTest, TruncatesLongText) {
+  EXPECT_EQ(PadKey("abcdefgh", 4), "abcd");
+}
+
+TEST(PadKeyTest, ExactSizeUnchanged) {
+  EXPECT_EQ(PadKey("block_0001$", 11), "block_0001$");
+}
+
+TEST(PadKeyTest, EmptyText) {
+  std::string key = PadKey("", 5);
+  EXPECT_EQ(key, std::string(5, '\0'));
+}
+
+TEST(PadKeyTest, PaddedKeysWithDifferentTextDiffer) {
+  EXPECT_NE(PadKey("a", 8), PadKey("b", 8));
+  // But a trailing NUL in the text collides with padding — fixed-width
+  // keys are byte strings, documented behaviour.
+  EXPECT_EQ(PadKey(std::string("a\0", 2), 8), PadKey("a", 8));
+}
+
+}  // namespace
+}  // namespace godiva

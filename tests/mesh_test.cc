@@ -1,0 +1,236 @@
+// Tests for the synthetic dataset substrate: tet mesh generation,
+// partitioning invariants, field synthesis determinism, and the snapshot
+// file layout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gsdf/reader.h"
+#include "mesh/dataset_spec.h"
+#include "mesh/fields.h"
+#include "mesh/partition.h"
+#include "mesh/quantities.h"
+#include "mesh/snapshot_writer.h"
+#include "mesh/tet_mesh.h"
+#include "sim/sim_env.h"
+
+namespace godiva::mesh {
+namespace {
+
+TEST(TetMeshTest, NodeAndTetCounts) {
+  TetMesh mesh = MakeBoxTetMesh(3, 4, 5, 1, 1, 1);
+  EXPECT_EQ(mesh.num_nodes(), 3 * 4 * 5);
+  EXPECT_EQ(mesh.num_tets(), 6 * 2 * 3 * 4);
+}
+
+TEST(TetMeshTest, AllTetsHavePositiveVolume) {
+  TetMesh mesh = MakeBoxTetMesh(4, 4, 6, 1.0, 2.0, 3.0);
+  for (int64_t t = 0; t < mesh.num_tets(); ++t) {
+    EXPECT_GT(TetVolume(mesh, t), 0.0) << "tet " << t;
+  }
+}
+
+TEST(TetMeshTest, VolumesSumToBoxVolume) {
+  TetMesh mesh = MakeBoxTetMesh(5, 6, 7, 2.0, 3.0, 4.0);
+  double total = 0;
+  for (int64_t t = 0; t < mesh.num_tets(); ++t) total += TetVolume(mesh, t);
+  EXPECT_NEAR(total, 2.0 * 3.0 * 4.0, 1e-9);
+}
+
+TEST(TetMeshTest, NodeIdsInRange) {
+  TetMesh mesh = MakeBoxTetMesh(4, 4, 4, 1, 1, 1);
+  for (int32_t node : mesh.tets) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, mesh.num_nodes());
+  }
+}
+
+TEST(TetMeshTest, TitanIvScaleMatchesPaper) {
+  DatasetSpec spec = DatasetSpec::TitanIV();
+  // Paper: 120,481 nodes and 679,008 elements. Our generator should land
+  // within a few percent.
+  EXPECT_NEAR(static_cast<double>(spec.ExpectedNodes()), 120481.0,
+              0.03 * 120481.0);
+  EXPECT_NEAR(static_cast<double>(spec.ExpectedTets()), 679008.0,
+              0.05 * 679008.0);
+  EXPECT_EQ(spec.num_blocks, 120);
+  EXPECT_EQ(spec.files_per_snapshot, 8);
+  EXPECT_EQ(spec.num_snapshots, 32);
+}
+
+TEST(PartitionTest, EveryTetInExactlyOneBlock) {
+  TetMesh mesh = MakeBoxTetMesh(5, 5, 9, 1, 1, 4);
+  std::vector<MeshBlock> blocks = PartitionMesh(mesh, 7);
+  ASSERT_EQ(blocks.size(), 7u);
+  std::set<int32_t> seen;
+  int64_t total = 0;
+  for (const MeshBlock& block : blocks) {
+    total += block.num_tets();
+    for (int32_t g : block.global_tet) {
+      EXPECT_TRUE(seen.insert(g).second) << "tet " << g << " duplicated";
+    }
+  }
+  EXPECT_EQ(total, mesh.num_tets());
+}
+
+TEST(PartitionTest, LocalConnectivityMatchesGlobal) {
+  TetMesh mesh = MakeBoxTetMesh(4, 4, 6, 1, 1, 2);
+  std::vector<MeshBlock> blocks = PartitionMesh(mesh, 5);
+  for (const MeshBlock& block : blocks) {
+    for (int64_t t = 0; t < block.num_tets(); ++t) {
+      int32_t global_tet = block.global_tet[t];
+      for (int corner = 0; corner < 4; ++corner) {
+        int32_t local = block.tets[t * 4 + corner];
+        int32_t global = mesh.tets[static_cast<size_t>(global_tet) * 4 +
+                                   corner];
+        EXPECT_EQ(block.global_node[local], global);
+        EXPECT_EQ(block.x[local], mesh.x[global]);
+        EXPECT_EQ(block.y[local], mesh.y[global]);
+        EXPECT_EQ(block.z[local], mesh.z[global]);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, BoundaryNodesAreDuplicated) {
+  TetMesh mesh = MakeBoxTetMesh(4, 4, 10, 1, 1, 4);
+  std::vector<MeshBlock> blocks = PartitionMesh(mesh, 4);
+  int64_t local_total = 0;
+  for (const MeshBlock& block : blocks) local_total += block.num_nodes();
+  // Duplication means the local sum exceeds the global count, but only by
+  // a modest boundary fraction.
+  EXPECT_GT(local_total, mesh.num_nodes());
+  EXPECT_LT(local_total, mesh.num_nodes() * 2);
+}
+
+TEST(PartitionTest, SingleBlockIsWholeMesh) {
+  TetMesh mesh = MakeBoxTetMesh(3, 3, 3, 1, 1, 1);
+  std::vector<MeshBlock> blocks = PartitionMesh(mesh, 1);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].num_tets(), mesh.num_tets());
+  EXPECT_EQ(blocks[0].num_nodes(), mesh.num_nodes());
+}
+
+TEST(FieldsTest, DeterministicAcrossCalls) {
+  DatasetSpec spec = DatasetSpec::Tiny();
+  std::vector<MeshBlock> blocks = MakeBlocks(spec);
+  std::vector<double> a = SynthesizeQuantity(blocks[0], "velx", 0.125);
+  std::vector<double> b = SynthesizeQuantity(blocks[0], "velx", 0.125);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FieldsTest, FieldsEvolveOverTime) {
+  DatasetSpec spec = DatasetSpec::Tiny();
+  std::vector<MeshBlock> blocks = MakeBlocks(spec);
+  std::vector<double> t0 = SynthesizeQuantity(blocks[0], "szz", 0.0);
+  std::vector<double> t1 = SynthesizeQuantity(blocks[0], "szz", 0.01);
+  EXPECT_NE(t0, t1);
+}
+
+TEST(FieldsTest, NodeQuantitiesHaveNodeLength) {
+  DatasetSpec spec = DatasetSpec::Tiny();
+  std::vector<MeshBlock> blocks = MakeBlocks(spec);
+  for (const QuantityDef& q : kQuantities) {
+    std::vector<double> values =
+        SynthesizeQuantity(blocks[1], q.name, 0.002);
+    int64_t expected =
+        q.node_based ? blocks[1].num_nodes() : blocks[1].num_tets();
+    EXPECT_EQ(static_cast<int64_t>(values.size()), expected) << q.name;
+    for (double v : values) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FieldsTest, FindQuantity) {
+  EXPECT_EQ(FindQuantity("stress"), 0);
+  EXPECT_GE(FindQuantity("energy"), 0);
+  EXPECT_EQ(FindQuantity("nope"), -1);
+}
+
+TEST(SnapshotWriterTest, NamingScheme) {
+  EXPECT_EQ(SnapshotFileName("data", 5, 3), "data/snap_0005_f03.gsdf");
+  EXPECT_EQ(BlockDatasetName(7, "velx"), "block_0007/velx");
+}
+
+TEST(SnapshotWriterTest, RoundRobinBlockAssignment) {
+  DatasetSpec spec = DatasetSpec::Tiny();  // 6 blocks over 2 files
+  std::vector<int32_t> f0 = BlocksInFile(spec, 0);
+  std::vector<int32_t> f1 = BlocksInFile(spec, 1);
+  EXPECT_EQ(f0, (std::vector<int32_t>{0, 2, 4}));
+  EXPECT_EQ(f1, (std::vector<int32_t>{1, 3, 5}));
+}
+
+TEST(SnapshotWriterTest, WritesAllFilesWithExpectedDatasets) {
+  SimEnv env(SimEnv::Options{});
+  DatasetSpec spec = DatasetSpec::Tiny();
+  auto dataset = WriteSnapshotDataset(&env, spec, "data");
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->files.size(),
+            static_cast<size_t>(spec.num_snapshots *
+                                spec.files_per_snapshot));
+  EXPECT_GT(dataset->total_bytes, 0);
+
+  // Inspect one file: attribute metadata plus per-block datasets.
+  auto reader = gsdf::Reader::Open(&env, dataset->files[0]);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  bool found_snapshot_attr = false;
+  for (const auto& [key, value] : (*reader)->file_attributes()) {
+    if (key == "snapshot") {
+      EXPECT_EQ(value, "0");
+      found_snapshot_attr = true;
+    }
+  }
+  EXPECT_TRUE(found_snapshot_attr);
+  // blocks 0,2,4 each with x/y/z/conn + all quantities, plus "blocks".
+  EXPECT_EQ((*reader)->datasets().size(),
+            1u + 3u * (4 + kNumQuantities));
+  EXPECT_TRUE((*reader)->Find("block_0000/x").ok());
+  EXPECT_TRUE((*reader)->Find("block_0004/stress").ok());
+  EXPECT_FALSE((*reader)->Find("block_0001/x").ok());  // in file 1
+}
+
+TEST(SnapshotWriterTest, WrittenValuesMatchSynthesis) {
+  SimEnv env(SimEnv::Options{});
+  DatasetSpec spec = DatasetSpec::Tiny();
+  auto dataset = WriteSnapshotDataset(&env, spec, "data");
+  ASSERT_TRUE(dataset.ok());
+  std::vector<MeshBlock> blocks = MakeBlocks(spec);
+
+  int snapshot = 2;
+  auto reader =
+      gsdf::Reader::Open(&env, SnapshotFileName("data", snapshot, 1));
+  ASSERT_TRUE(reader.ok());
+  const MeshBlock& block = blocks[3];  // block 3 lives in file 1
+  std::vector<double> expected =
+      SynthesizeQuantity(block, "density", spec.TimeOf(snapshot));
+  std::vector<double> got(expected.size());
+  ASSERT_TRUE((*reader)
+                  ->Read(BlockDatasetName(3, "density"), got.data(),
+                         static_cast<int64_t>(got.size()) * 8)
+                  .ok());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SnapshotWriterTest, SnapshotFilesHelper) {
+  SimEnv env(SimEnv::Options{});
+  DatasetSpec spec = DatasetSpec::Tiny();
+  auto dataset = WriteSnapshotDataset(&env, spec, "data");
+  ASSERT_TRUE(dataset.ok());
+  std::vector<std::string> snap1 = dataset->SnapshotFiles(1);
+  ASSERT_EQ(snap1.size(), 2u);
+  EXPECT_EQ(snap1[0], "data/snap_0001_f00.gsdf");
+  EXPECT_EQ(snap1[1], "data/snap_0001_f01.gsdf");
+}
+
+TEST(DatasetSpecTest, ScaledSpecShrinks) {
+  DatasetSpec full = DatasetSpec::TitanIV();
+  DatasetSpec half = DatasetSpec::TitanIVScaled(0.25);
+  EXPECT_LT(half.ExpectedNodes(), full.ExpectedNodes());
+  EXPECT_GE(half.num_blocks, half.files_per_snapshot);
+}
+
+}  // namespace
+}  // namespace godiva::mesh

@@ -1,0 +1,127 @@
+// Tests for the virtual CPU: modeled durations, slot contention, and the
+// competitor load used by the TG1 experiment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "sim/platform.h"
+#include "sim/sim_cpu.h"
+#include "sim/virtual_time.h"
+
+namespace godiva {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(TimeScaleTest, ScalesSleeps) {
+  TimeScale scale(0.01);
+  Stopwatch sw;
+  scale.SleepModeled(std::chrono::seconds(1));  // 10 ms wall
+  double wall = sw.ElapsedSeconds();
+  EXPECT_GE(wall, 0.009);
+  EXPECT_LT(wall, 0.2);
+  EXPECT_NEAR(scale.WallToModeledSeconds(FromSeconds(0.01)), 1.0, 1e-9);
+}
+
+TEST(SimCpuTest, ComputeTakesModeledTime) {
+  TimeScale scale(0.01);
+  SimCpu cpu(SimCpu::Options{.slots = 1, .quantum = milliseconds(20)},
+             &scale);
+  Stopwatch sw;
+  cpu.Compute(milliseconds(500));  // 5 ms wall
+  EXPECT_GE(sw.ElapsedSeconds(), 0.004);
+  EXPECT_NEAR(cpu.TotalComputeSeconds(), 0.5, 1e-9);
+}
+
+// Runs two threads of 300 modeled-ms each on a `slots`-slot CPU and
+// returns the best wall time of three attempts (host scheduling noise can
+// inflate any single run).
+double TwoThreadWallSeconds(int slots) {
+  TimeScale scale(0.01);
+  double best = 1e9;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    SimCpu cpu(SimCpu::Options{.slots = slots, .quantum = milliseconds(10)},
+               &scale);
+    Stopwatch sw;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&cpu] { cpu.Compute(milliseconds(300)); });
+    }
+    for (auto& th : threads) th.join();
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+TEST(SimCpuTest, SingleSlotSerializesTwoThreads) {
+  // 600 ms of modeled work on one slot → ≥ 6 ms wall.
+  EXPECT_GE(TwoThreadWallSeconds(1), 0.0055);
+}
+
+TEST(SimCpuTest, TwoSlotsRunTwoThreadsConcurrently) {
+  // Compare directly against the serialized run: absolute thresholds are
+  // fragile under host scheduling noise.
+  double serialized = TwoThreadWallSeconds(1);
+  double concurrent = TwoThreadWallSeconds(2);
+  EXPECT_LT(concurrent, serialized * 0.8);
+}
+
+TEST(SimCpuTest, ZeroDurationIsNoop) {
+  TimeScale scale(0.01);
+  SimCpu cpu(SimCpu::Options{}, &scale);
+  cpu.Compute(Duration::zero());
+  EXPECT_EQ(cpu.TotalComputeSeconds(), 0.0);
+}
+
+// Best-of-3 wall time for 200 modeled ms of work on a `slots`-slot CPU,
+// optionally with a competitor occupying one slot. Best-of mitigates host
+// scheduling noise (these are relative-behaviour tests).
+double CompetitorWallSeconds(int slots, bool with_competitor) {
+  TimeScale scale(0.01);
+  double best = 1e9;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    SimCpu cpu(SimCpu::Options{.slots = slots, .quantum = milliseconds(5)},
+               &scale);
+    std::optional<CompetitorLoad> competitor;
+    if (with_competitor) competitor.emplace(&cpu);
+    Stopwatch sw;
+    cpu.Compute(milliseconds(200));
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+TEST(CompetitorLoadTest, SlowsSharedSlotWork) {
+  // One slot: the competitor and the measured work alternate quanta, so
+  // the measured work takes roughly twice as long as when running alone.
+  double alone_seconds = CompetitorWallSeconds(1, false);
+  double contended_seconds = CompetitorWallSeconds(1, true);
+  EXPECT_GT(contended_seconds, alone_seconds * 1.4);
+}
+
+TEST(CompetitorLoadTest, DoesNotBlockSecondSlot) {
+  // Identical work under a competitor: with two slots the work proceeds
+  // on the free slot; with one it must share.
+  double two_slot_seconds = CompetitorWallSeconds(2, true);
+  double one_slot_seconds = CompetitorWallSeconds(1, true);
+  EXPECT_GT(one_slot_seconds, two_slot_seconds * 1.35);
+}
+
+TEST(PlatformProfileTest, PresetsMatchThePaperTestbeds) {
+  PlatformProfile engle = PlatformProfile::Engle();
+  EXPECT_EQ(engle.name, "engle");
+  EXPECT_EQ(engle.cpu_slots, 1);
+  PlatformProfile turing = PlatformProfile::Turing();
+  EXPECT_EQ(turing.name, "turing");
+  EXPECT_EQ(turing.cpu_slots, 2);
+  EXPECT_GT(engle.disk.bytes_per_second, 0);
+  EXPECT_GT(turing.disk.bytes_per_second, 0);
+}
+
+}  // namespace
+}  // namespace godiva

@@ -1,0 +1,305 @@
+// Integration tests for the Voyager workload layer: test specs, the GODIVA
+// block schema, both input paths, pass processing, and full O/G/TG runs on
+// a tiny dataset with the paper's qualitative invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gbo.h"
+#include "core/options.h"
+#include "mesh/dataset_spec.h"
+#include "sim/platform.h"
+#include "sim/sim_env.h"
+#include "workloads/block_schema.h"
+#include "workloads/experiment.h"
+#include "workloads/platform_runtime.h"
+#include "workloads/processing.h"
+#include "workloads/snapshot_io.h"
+#include "workloads/test_spec.h"
+#include "workloads/voyager.h"
+
+namespace godiva::workloads {
+namespace {
+
+ExperimentOptions TinyOptions() {
+  ExperimentOptions options;
+  options.spec = mesh::DatasetSpec::Tiny();
+  options.time_scale = 0.0004;
+  options.process.real_work_stride = 1;  // full real processing when tiny
+  return options;
+}
+
+TEST(TestSpecTest, ThreeTestsMatchThePaperStructure) {
+  std::vector<VizTestSpec> tests = VizTestSpec::AllThree();
+  ASSERT_EQ(tests.size(), 3u);
+  EXPECT_EQ(tests[0].name, "simple");
+  EXPECT_EQ(tests[1].name, "medium");
+  EXPECT_EQ(tests[2].name, "complex");
+  // "simple" has the smallest computation-to-I/O ratio, "complex" the
+  // largest (§4.2).
+  EXPECT_LT(tests[0].compute_seconds_per_mib,
+            tests[2].compute_seconds_per_mib);
+  // "medium" reads the most data (largest per-snapshot input volume).
+  EXPECT_GT(tests[1].AllQuantities().size(),
+            tests[0].AllQuantities().size());
+  EXPECT_GT(tests[1].AllQuantities().size(),
+            tests[2].AllQuantities().size());
+  // Every test has at least two passes (so the original tool has
+  // redundant mesh reads to eliminate).
+  for (const VizTestSpec& test : tests) {
+    EXPECT_GE(test.passes.size(), 2u) << test.name;
+  }
+}
+
+TEST(TestSpecTest, AllQuantitiesDeduplicates) {
+  VizTestSpec spec;
+  RenderPass a;
+  a.quantities = {"velx", "vely"};
+  RenderPass b;
+  b.quantities = {"vely", "velz"};
+  spec.passes = {a, b};
+  EXPECT_EQ(spec.AllQuantities(),
+            (std::vector<std::string>{"velx", "vely", "velz"}));
+}
+
+TEST(BlockSchemaTest, DefinesAndCommits) {
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(DefineBlockSchema(&db).ok());
+  auto rec = db.NewRecord(kBlockRecordType);
+  EXPECT_TRUE(rec.ok());
+}
+
+TEST(BlockSchemaTest, UnitNames) {
+  EXPECT_EQ(SnapshotUnitName(7), "snap_0007");
+  EXPECT_EQ(SnapshotOfUnit("snap_0042"), 42);
+  EXPECT_EQ(SnapshotOfUnit("bogus"), -1);
+}
+
+class WorkloadIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto experiment = Experiment::Create(TinyOptions());
+    ASSERT_TRUE(experiment.ok()) << experiment.status();
+    experiment_ = std::move(*experiment);
+  }
+
+  std::unique_ptr<Experiment> experiment_;
+};
+
+TEST_F(WorkloadIoTest, SnapshotReadFnLoadsAllBlocks) {
+  PlatformRuntime runtime(PlatformProfile::Engle(), 1e-6,
+                          experiment_->env());
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(DefineBlockSchema(&db).ok());
+  Gbo::ReadFn read_fn = MakeSnapshotReadFn(&runtime, &experiment_->dataset(),
+                                           {"velx", "density"});
+  ASSERT_TRUE(db.ReadUnit(SnapshotUnitName(1), read_fn).ok());
+  const mesh::DatasetSpec& spec = experiment_->options().spec;
+  auto records = db.RecordsInUnit(SnapshotUnitName(1));
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), static_cast<size_t>(spec.num_blocks));
+  // Requested quantities present, others absent.
+  for (int32_t b = 0; b < spec.num_blocks; ++b) {
+    auto velx = db.GetFieldBuffer(kBlockRecordType, "velx",
+                                  BlockKey(b, 1));
+    EXPECT_TRUE(velx.ok()) << velx.status();
+    auto accx = db.GetFieldBuffer(kBlockRecordType, "accx",
+                                  BlockKey(b, 1));
+    EXPECT_FALSE(accx.ok());
+  }
+}
+
+TEST_F(WorkloadIoTest, ReadFnRejectsBadUnitName) {
+  PlatformRuntime runtime(PlatformProfile::Engle(), 1e-6,
+                          experiment_->env());
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(DefineBlockSchema(&db).ok());
+  Gbo::ReadFn read_fn =
+      MakeSnapshotReadFn(&runtime, &experiment_->dataset(), {});
+  EXPECT_FALSE(db.ReadUnit("snap_9999", read_fn).ok());
+  EXPECT_FALSE(db.ReadUnit("nonsense", read_fn).ok());
+}
+
+TEST_F(WorkloadIoTest, DirectPassReadMatchesGodivaBuffers) {
+  PlatformRuntime runtime(PlatformProfile::Engle(), 1e-6,
+                          experiment_->env());
+  auto plain = ReadPassDirect(&runtime, experiment_->dataset(), 2,
+                              {"density"}, /*include_conn=*/true);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  Gbo db(GboOptions::SingleThread());
+  ASSERT_TRUE(DefineBlockSchema(&db).ok());
+  ASSERT_TRUE(db.ReadUnit(SnapshotUnitName(2),
+                          MakeSnapshotReadFn(&runtime,
+                                             &experiment_->dataset(),
+                                             {"density"}))
+                  .ok());
+  for (const PlainBlock& block : *plain) {
+    auto buffer = db.GetFieldBuffer(kBlockRecordType, "density",
+                                    BlockKey(block.block_id, 2));
+    ASSERT_TRUE(buffer.ok());
+    auto size = db.GetFieldBufferSize(kBlockRecordType, "density",
+                                      BlockKey(block.block_id, 2));
+    ASSERT_TRUE(size.ok());
+    ASSERT_EQ(static_cast<size_t>(*size / 8),
+              block.fields.at("density").size());
+    const double* godiva_values = static_cast<const double*>(*buffer);
+    for (size_t i = 0; i < block.fields.at("density").size(); ++i) {
+      EXPECT_EQ(godiva_values[i], block.fields.at("density")[i]);
+    }
+  }
+}
+
+TEST_F(WorkloadIoTest, ProcessPassCountsBytesAndExtracts) {
+  PlatformRuntime runtime(PlatformProfile::Engle(), 1e-6,
+                          experiment_->env());
+  auto plain = ReadPassDirect(&runtime, experiment_->dataset(), 0,
+                              {"velx", "vely", "velz"},
+                              /*include_conn=*/true);
+  ASSERT_TRUE(plain.ok());
+  std::vector<BlockView> views;
+  for (const PlainBlock& block : *plain) {
+    BlockView view;
+    view.block_id = block.block_id;
+    view.geometry =
+        viz::BlockGeometry{block.x, block.y, block.z, block.conn};
+    for (const auto& [name, values] : block.fields) {
+      view.fields[name] = values;
+    }
+    views.push_back(std::move(view));
+  }
+  RenderPass pass = VizTestSpec::Simple().passes[0];
+  ProcessOptions options;
+  options.real_work_stride = 1;
+  auto result = ProcessPass(pass, views, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->bytes_processed, 0);
+  EXPECT_GT(result->tets_visited, 0);
+  EXPECT_GT(result->triangles, 0);
+
+  // Missing quantity is an error.
+  RenderPass bad = pass;
+  bad.quantities = {"accx", "accy", "accz"};
+  EXPECT_FALSE(ProcessPass(bad, views, options).ok());
+}
+
+class VoyagerVariantTest : public WorkloadIoTest {};
+
+TEST_F(VoyagerVariantTest, AllVariantsProduceIdenticalGeometry) {
+  std::vector<CellResult> cells;
+  for (Variant variant :
+       {Variant::kOriginal, Variant::kGodivaSingleThread,
+        Variant::kGodivaMultiThread}) {
+    PlatformRuntime runtime(PlatformProfile::Engle(),
+                            experiment_->options().time_scale,
+                            experiment_->env());
+    RunConfig config;
+    config.dataset = &experiment_->dataset();
+    config.test = VizTestSpec::Simple();
+    config.variant = variant;
+    config.process.real_work_stride = 1;
+    auto cell = RunVoyager(&runtime, config);
+    ASSERT_TRUE(cell.ok()) << cell.status();
+    cells.push_back(*cell);
+  }
+  // Same triangles and tets regardless of the input path.
+  EXPECT_GT(cells[0].triangles, 0);
+  EXPECT_EQ(cells[0].triangles, cells[1].triangles);
+  EXPECT_EQ(cells[0].triangles, cells[2].triangles);
+  EXPECT_EQ(cells[0].tets_visited, cells[1].tets_visited);
+  EXPECT_EQ(cells[0].tets_visited, cells[2].tets_visited);
+}
+
+TEST_F(VoyagerVariantTest, GodivaReducesReadVolume) {
+  for (const VizTestSpec& test : VizTestSpec::AllThree()) {
+    std::vector<int64_t> bytes;
+    std::vector<int64_t> seeks;
+    for (Variant variant :
+         {Variant::kOriginal, Variant::kGodivaSingleThread}) {
+      PlatformRuntime runtime(PlatformProfile::Engle(),
+                              experiment_->options().time_scale,
+                              experiment_->env());
+      RunConfig config;
+      config.dataset = &experiment_->dataset();
+      config.test = test;
+      config.variant = variant;
+      config.process.real_work_stride = 4;
+      auto cell = RunVoyager(&runtime, config);
+      ASSERT_TRUE(cell.ok()) << cell.status();
+      bytes.push_back(cell->bytes_read);
+      seeks.push_back(cell->seeks);
+    }
+    EXPECT_LT(bytes[1], bytes[0]) << test.name;
+    EXPECT_LT(seeks[1], seeks[0]) << test.name;
+  }
+}
+
+TEST_F(VoyagerVariantTest, MultiThreadHidesVisibleIo) {
+  std::vector<double> visible;
+  for (Variant variant :
+       {Variant::kGodivaSingleThread, Variant::kGodivaMultiThread}) {
+    PlatformRuntime runtime(PlatformProfile::Turing(),
+                            experiment_->options().time_scale,
+                            experiment_->env());
+    RunConfig config;
+    config.dataset = &experiment_->dataset();
+    config.test = VizTestSpec::Medium();
+    // The tiny dataset has little data per snapshot; raise the modeled
+    // processing cost so there is computation for prefetching to overlap
+    // with (the paper's workloads have minutes of computation).
+    config.test.compute_seconds_per_mib = 400.0;
+    config.variant = variant;
+    config.process.real_work_stride = 4;
+    auto cell = RunVoyager(&runtime, config);
+    ASSERT_TRUE(cell.ok()) << cell.status();
+    visible.push_back(cell->visible_io_seconds);
+    if (variant == Variant::kGodivaMultiThread) {
+      EXPECT_GT(cell->gbo.units_prefetched, 0);
+    }
+  }
+  EXPECT_LT(visible[1], visible[0] * 0.6);
+}
+
+TEST_F(VoyagerVariantTest, GodivaStatsReflectBatchFlow) {
+  PlatformRuntime runtime(PlatformProfile::Engle(),
+                          experiment_->options().time_scale,
+                          experiment_->env());
+  RunConfig config;
+  config.dataset = &experiment_->dataset();
+  config.test = VizTestSpec::Simple();
+  config.variant = Variant::kGodivaMultiThread;
+  config.process.real_work_stride = 4;
+  auto cell = RunVoyager(&runtime, config);
+  ASSERT_TRUE(cell.ok());
+  const mesh::DatasetSpec& spec = experiment_->options().spec;
+  EXPECT_EQ(cell->gbo.units_added, spec.num_snapshots);
+  EXPECT_EQ(cell->gbo.units_deleted, spec.num_snapshots);
+  EXPECT_EQ(cell->gbo.deadlocks_detected, 0);
+  EXPECT_EQ(cell->gbo.records_committed,
+            spec.num_snapshots * spec.num_blocks);
+}
+
+TEST(ExperimentTest, RunCellAggregatesRepetitions) {
+  ExperimentOptions options = TinyOptions();
+  options.repetitions = 3;
+  options.process.real_work_stride = 4;
+  auto experiment = Experiment::Create(options);
+  ASSERT_TRUE(experiment.ok());
+  auto cell = (*experiment)
+                  ->RunCell(PlatformProfile::Engle(),
+                            VizTestSpec::Simple(), Variant::kOriginal);
+  ASSERT_TRUE(cell.ok()) << cell.status();
+  EXPECT_GT(cell->total_seconds.mean, 0);
+  EXPECT_GE(cell->total_seconds.ci95, 0);
+  EXPECT_GT(cell->visible_io_seconds.mean, 0);
+}
+
+TEST(ExperimentTest, PercentReduction) {
+  EXPECT_DOUBLE_EQ(PercentReduction(200, 150), 25.0);
+  EXPECT_DOUBLE_EQ(PercentReduction(0, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace godiva::workloads

@@ -1,0 +1,74 @@
+// generate_dataset: writes a synthetic GENx-like snapshot dataset to the
+// real filesystem (gsdf files a visualization tool can process, and the
+// gsdf_ls / gsdf_cat tools can inspect).
+//
+// Usage: generate_dataset --out=DIR [--factor=F] [--snapshots=N]
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "mesh/dataset_spec.h"
+#include "mesh/snapshot_writer.h"
+#include "sim/env.h"
+
+namespace godiva::tools {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string out_dir;
+  double factor = 0.15;
+  int snapshots = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--factor=", 9) == 0) {
+      factor = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--snapshots=", 12) == 0) {
+      snapshots = std::atoi(argv[i] + 12);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: generate_dataset --out=DIR [--factor=F] "
+                 "[--snapshots=N]\n");
+    return 2;
+  }
+  if (::mkdir(out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s\n", out_dir.c_str());
+    return 1;
+  }
+
+  mesh::DatasetSpec spec = factor >= 1.0
+                               ? mesh::DatasetSpec::TitanIV()
+                               : mesh::DatasetSpec::TitanIVScaled(factor);
+  spec.num_snapshots = snapshots;
+  std::printf("generating %lld nodes / %lld tets / %d blocks × %d "
+              "snapshots into %s ...\n",
+              static_cast<long long>(spec.ExpectedNodes()),
+              static_cast<long long>(spec.ExpectedTets()), spec.num_blocks,
+              spec.num_snapshots, out_dir.c_str());
+  auto dataset =
+      mesh::WriteSnapshotDataset(GetPosixEnv(), spec, out_dir);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %d files, %s\n",
+              static_cast<int>(dataset->files.size()),
+              FormatBytes(dataset->total_bytes).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace godiva::tools
+
+int main(int argc, char** argv) { return godiva::tools::Run(argc, argv); }

@@ -1,0 +1,104 @@
+// gsdf_cat: prints the values of one dataset from a gsdf file.
+//
+// Usage: gsdf_cat [--limit=N] <file> <dataset>
+//   --limit=N   print at most N elements (default 32; 0 = all)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "gsdf/reader.h"
+#include "sim/env.h"
+
+namespace godiva::tools {
+namespace {
+
+Status CatDataset(const std::string& path, const std::string& dataset,
+                  int64_t limit) {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
+                          gsdf::Reader::Open(GetPosixEnv(), path));
+  GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info,
+                          reader->Find(dataset));
+  std::vector<uint8_t> payload(static_cast<size_t>(info->nbytes));
+  GODIVA_RETURN_IF_ERROR(
+      reader->Read(dataset, payload.data(), info->nbytes));
+
+  int64_t elements = info->num_elements();
+  int64_t to_print = (limit == 0) ? elements : std::min(limit, elements);
+  switch (info->type) {
+    case DataType::kFloat64:
+      for (int64_t i = 0; i < to_print; ++i) {
+        std::printf("%.17g\n",
+                    reinterpret_cast<const double*>(payload.data())[i]);
+      }
+      break;
+    case DataType::kFloat32:
+      for (int64_t i = 0; i < to_print; ++i) {
+        std::printf("%.9g\n",
+                    reinterpret_cast<const float*>(payload.data())[i]);
+      }
+      break;
+    case DataType::kInt32:
+      for (int64_t i = 0; i < to_print; ++i) {
+        std::printf("%d\n",
+                    reinterpret_cast<const int32_t*>(payload.data())[i]);
+      }
+      break;
+    case DataType::kInt64:
+      for (int64_t i = 0; i < to_print; ++i) {
+        std::printf("%lld\n",
+                    static_cast<long long>(
+                        reinterpret_cast<const int64_t*>(payload.data())[i]));
+      }
+      break;
+    case DataType::kString:
+      std::fwrite(payload.data(), 1, static_cast<size_t>(to_print), stdout);
+      std::printf("\n");
+      break;
+    case DataType::kByte:
+      for (int64_t i = 0; i < to_print; ++i) {
+        std::printf("%02x%s", payload[static_cast<size_t>(i)],
+                    (i + 1) % 16 == 0 ? "\n" : " ");
+      }
+      std::printf("\n");
+      break;
+  }
+  if (to_print < elements) {
+    std::fprintf(stderr, "... %lld of %lld elements shown (--limit=0 for "
+                         "all)\n",
+                 static_cast<long long>(to_print),
+                 static_cast<long long>(elements));
+  }
+  return Status::Ok();
+}
+
+int Run(int argc, char** argv) {
+  int64_t limit = 32;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--limit=", 8) == 0) {
+      limit = std::atoll(argv[i] + 8);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "usage: gsdf_cat [--limit=N] <file> <dataset>\n");
+    return 2;
+  }
+  Status status = CatDataset(positional[0], positional[1], limit);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace godiva::tools
+
+int main(int argc, char** argv) { return godiva::tools::Run(argc, argv); }

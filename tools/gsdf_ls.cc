@@ -1,0 +1,90 @@
+// gsdf_ls: lists the contents of gsdf files (the h5ls/ncdump -h analogue).
+//
+// Usage: gsdf_ls [--verify] <file>...
+//   --verify   also check every dataset's CRC-32 (if present)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "gsdf/reader.h"
+#include "gsdf/writer.h"
+#include "sim/env.h"
+
+namespace godiva::tools {
+namespace {
+
+Status ListFile(const std::string& path, bool verify) {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
+                          gsdf::Reader::Open(GetPosixEnv(), path));
+  std::printf("%s\n", path.c_str());
+  if (!reader->file_attributes().empty()) {
+    std::printf("  file attributes:\n");
+    for (const auto& [key, value] : reader->file_attributes()) {
+      std::printf("    %-20s %s\n", key.c_str(), value.c_str());
+    }
+  }
+  std::printf("  %-32s %-8s %12s %12s %s\n", "dataset", "type", "elements",
+              "bytes", verify ? "crc" : "");
+  int64_t total_bytes = 0;
+  for (const gsdf::DatasetInfo& info : reader->datasets()) {
+    std::string crc_storage;
+    const char* crc_column = "";
+    if (verify) {
+      if (info.FindAttribute(gsdf::kChecksumAttribute) == nullptr) {
+        crc_column = "-";
+      } else {
+        Status status = reader->VerifyChecksum(info.name);
+        if (status.ok()) {
+          crc_column = "ok";
+        } else {
+          crc_storage = status.ToString();
+          crc_column = crc_storage.c_str();
+        }
+      }
+    }
+    std::printf("  %-32s %-8s %12lld %12lld %s\n", info.name.c_str(),
+                std::string(DataTypeName(info.type)).c_str(),
+                static_cast<long long>(info.num_elements()),
+                static_cast<long long>(info.nbytes), crc_column);
+    total_bytes += info.nbytes;
+  }
+  std::printf("  %d datasets, %s of payload\n\n",
+              static_cast<int>(reader->datasets().size()),
+              FormatBytes(total_bytes).c_str());
+  return Status::Ok();
+}
+
+int Run(int argc, char** argv) {
+  bool verify = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: gsdf_ls [--verify] <file>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : paths) {
+    Status status = ListFile(path, verify);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace godiva::tools
+
+int main(int argc, char** argv) { return godiva::tools::Run(argc, argv); }
