@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a.dir/bench_fig3a.cc.o"
+  "CMakeFiles/bench_fig3a.dir/bench_fig3a.cc.o.d"
+  "bench_fig3a"
+  "bench_fig3a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memspace.dir/bench_memspace.cc.o"
+  "CMakeFiles/bench_memspace.dir/bench_memspace.cc.o.d"
+  "bench_memspace"
+  "bench_memspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_movie.dir/batch_movie.cpp.o"
+  "CMakeFiles/batch_movie.dir/batch_movie.cpp.o.d"
+  "batch_movie"
+  "batch_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

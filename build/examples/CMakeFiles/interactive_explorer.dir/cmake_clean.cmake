@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_explorer.dir/interactive_explorer.cpp.o"
+  "CMakeFiles/interactive_explorer.dir/interactive_explorer.cpp.o.d"
+  "interactive_explorer"
+  "interactive_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

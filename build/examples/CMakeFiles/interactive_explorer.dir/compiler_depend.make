@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for interactive_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_voyager.dir/parallel_voyager.cpp.o"
+  "CMakeFiles/parallel_voyager.dir/parallel_voyager.cpp.o.d"
+  "parallel_voyager"
+  "parallel_voyager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_voyager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

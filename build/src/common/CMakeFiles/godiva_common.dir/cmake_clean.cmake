@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_common.dir/crc32.cc.o"
+  "CMakeFiles/godiva_common.dir/crc32.cc.o.d"
+  "CMakeFiles/godiva_common.dir/logging.cc.o"
+  "CMakeFiles/godiva_common.dir/logging.cc.o.d"
+  "CMakeFiles/godiva_common.dir/status.cc.o"
+  "CMakeFiles/godiva_common.dir/status.cc.o.d"
+  "CMakeFiles/godiva_common.dir/strings.cc.o"
+  "CMakeFiles/godiva_common.dir/strings.cc.o.d"
+  "CMakeFiles/godiva_common.dir/types.cc.o"
+  "CMakeFiles/godiva_common.dir/types.cc.o.d"
+  "libgodiva_common.a"
+  "libgodiva_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

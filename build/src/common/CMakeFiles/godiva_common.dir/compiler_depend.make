@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for godiva_common.
+# This may be replaced when dependencies are built.

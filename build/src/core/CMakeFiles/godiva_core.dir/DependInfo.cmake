@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gbo.cc" "src/core/CMakeFiles/godiva_core.dir/gbo.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/gbo.cc.o.d"
+  "/root/repo/src/core/gbo_units.cc" "src/core/CMakeFiles/godiva_core.dir/gbo_units.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/gbo_units.cc.o.d"
+  "/root/repo/src/core/interactive_prefetcher.cc" "src/core/CMakeFiles/godiva_core.dir/interactive_prefetcher.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/interactive_prefetcher.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/core/CMakeFiles/godiva_core.dir/record.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/record.cc.o.d"
+  "/root/repo/src/core/record_type.cc" "src/core/CMakeFiles/godiva_core.dir/record_type.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/record_type.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/godiva_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/unit_context.cc" "src/core/CMakeFiles/godiva_core.dir/unit_context.cc.o" "gcc" "src/core/CMakeFiles/godiva_core.dir/unit_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/godiva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

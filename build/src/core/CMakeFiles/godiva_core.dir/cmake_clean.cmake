@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_core.dir/gbo.cc.o"
+  "CMakeFiles/godiva_core.dir/gbo.cc.o.d"
+  "CMakeFiles/godiva_core.dir/gbo_units.cc.o"
+  "CMakeFiles/godiva_core.dir/gbo_units.cc.o.d"
+  "CMakeFiles/godiva_core.dir/interactive_prefetcher.cc.o"
+  "CMakeFiles/godiva_core.dir/interactive_prefetcher.cc.o.d"
+  "CMakeFiles/godiva_core.dir/record.cc.o"
+  "CMakeFiles/godiva_core.dir/record.cc.o.d"
+  "CMakeFiles/godiva_core.dir/record_type.cc.o"
+  "CMakeFiles/godiva_core.dir/record_type.cc.o.d"
+  "CMakeFiles/godiva_core.dir/stats.cc.o"
+  "CMakeFiles/godiva_core.dir/stats.cc.o.d"
+  "CMakeFiles/godiva_core.dir/unit_context.cc.o"
+  "CMakeFiles/godiva_core.dir/unit_context.cc.o.d"
+  "libgodiva_core.a"
+  "libgodiva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_gsdf.dir/reader.cc.o"
+  "CMakeFiles/godiva_gsdf.dir/reader.cc.o.d"
+  "CMakeFiles/godiva_gsdf.dir/writer.cc.o"
+  "CMakeFiles/godiva_gsdf.dir/writer.cc.o.d"
+  "libgodiva_gsdf.a"
+  "libgodiva_gsdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_gsdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgodiva_gsdf.a"
+)

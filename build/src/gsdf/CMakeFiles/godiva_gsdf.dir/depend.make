@@ -1,0 +1,2 @@
+# Empty dependencies file for godiva_gsdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/dataset_spec.cc" "src/mesh/CMakeFiles/godiva_mesh.dir/dataset_spec.cc.o" "gcc" "src/mesh/CMakeFiles/godiva_mesh.dir/dataset_spec.cc.o.d"
+  "/root/repo/src/mesh/fields.cc" "src/mesh/CMakeFiles/godiva_mesh.dir/fields.cc.o" "gcc" "src/mesh/CMakeFiles/godiva_mesh.dir/fields.cc.o.d"
+  "/root/repo/src/mesh/partition.cc" "src/mesh/CMakeFiles/godiva_mesh.dir/partition.cc.o" "gcc" "src/mesh/CMakeFiles/godiva_mesh.dir/partition.cc.o.d"
+  "/root/repo/src/mesh/snapshot_writer.cc" "src/mesh/CMakeFiles/godiva_mesh.dir/snapshot_writer.cc.o" "gcc" "src/mesh/CMakeFiles/godiva_mesh.dir/snapshot_writer.cc.o.d"
+  "/root/repo/src/mesh/tet_mesh.cc" "src/mesh/CMakeFiles/godiva_mesh.dir/tet_mesh.cc.o" "gcc" "src/mesh/CMakeFiles/godiva_mesh.dir/tet_mesh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/godiva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsdf/CMakeFiles/godiva_gsdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/godiva_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

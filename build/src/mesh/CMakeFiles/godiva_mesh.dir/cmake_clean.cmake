@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_mesh.dir/dataset_spec.cc.o"
+  "CMakeFiles/godiva_mesh.dir/dataset_spec.cc.o.d"
+  "CMakeFiles/godiva_mesh.dir/fields.cc.o"
+  "CMakeFiles/godiva_mesh.dir/fields.cc.o.d"
+  "CMakeFiles/godiva_mesh.dir/partition.cc.o"
+  "CMakeFiles/godiva_mesh.dir/partition.cc.o.d"
+  "CMakeFiles/godiva_mesh.dir/snapshot_writer.cc.o"
+  "CMakeFiles/godiva_mesh.dir/snapshot_writer.cc.o.d"
+  "CMakeFiles/godiva_mesh.dir/tet_mesh.cc.o"
+  "CMakeFiles/godiva_mesh.dir/tet_mesh.cc.o.d"
+  "libgodiva_mesh.a"
+  "libgodiva_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_sim.dir/platform.cc.o"
+  "CMakeFiles/godiva_sim.dir/platform.cc.o.d"
+  "CMakeFiles/godiva_sim.dir/posix_env.cc.o"
+  "CMakeFiles/godiva_sim.dir/posix_env.cc.o.d"
+  "CMakeFiles/godiva_sim.dir/sim_cpu.cc.o"
+  "CMakeFiles/godiva_sim.dir/sim_cpu.cc.o.d"
+  "CMakeFiles/godiva_sim.dir/sim_env.cc.o"
+  "CMakeFiles/godiva_sim.dir/sim_env.cc.o.d"
+  "libgodiva_sim.a"
+  "libgodiva_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

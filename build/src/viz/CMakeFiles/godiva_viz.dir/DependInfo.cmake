@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/camera.cc" "src/viz/CMakeFiles/godiva_viz.dir/camera.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/camera.cc.o.d"
+  "/root/repo/src/viz/cell_to_node.cc" "src/viz/CMakeFiles/godiva_viz.dir/cell_to_node.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/cell_to_node.cc.o.d"
+  "/root/repo/src/viz/colormap.cc" "src/viz/CMakeFiles/godiva_viz.dir/colormap.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/colormap.cc.o.d"
+  "/root/repo/src/viz/derived.cc" "src/viz/CMakeFiles/godiva_viz.dir/derived.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/derived.cc.o.d"
+  "/root/repo/src/viz/glyphs.cc" "src/viz/CMakeFiles/godiva_viz.dir/glyphs.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/glyphs.cc.o.d"
+  "/root/repo/src/viz/image.cc" "src/viz/CMakeFiles/godiva_viz.dir/image.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/image.cc.o.d"
+  "/root/repo/src/viz/marching_tets.cc" "src/viz/CMakeFiles/godiva_viz.dir/marching_tets.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/marching_tets.cc.o.d"
+  "/root/repo/src/viz/rasterizer.cc" "src/viz/CMakeFiles/godiva_viz.dir/rasterizer.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/rasterizer.cc.o.d"
+  "/root/repo/src/viz/triangle_soup.cc" "src/viz/CMakeFiles/godiva_viz.dir/triangle_soup.cc.o" "gcc" "src/viz/CMakeFiles/godiva_viz.dir/triangle_soup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/godiva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/godiva_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

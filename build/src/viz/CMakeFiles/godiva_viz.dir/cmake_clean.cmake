@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_viz.dir/camera.cc.o"
+  "CMakeFiles/godiva_viz.dir/camera.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/cell_to_node.cc.o"
+  "CMakeFiles/godiva_viz.dir/cell_to_node.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/colormap.cc.o"
+  "CMakeFiles/godiva_viz.dir/colormap.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/derived.cc.o"
+  "CMakeFiles/godiva_viz.dir/derived.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/glyphs.cc.o"
+  "CMakeFiles/godiva_viz.dir/glyphs.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/image.cc.o"
+  "CMakeFiles/godiva_viz.dir/image.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/marching_tets.cc.o"
+  "CMakeFiles/godiva_viz.dir/marching_tets.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/rasterizer.cc.o"
+  "CMakeFiles/godiva_viz.dir/rasterizer.cc.o.d"
+  "CMakeFiles/godiva_viz.dir/triangle_soup.cc.o"
+  "CMakeFiles/godiva_viz.dir/triangle_soup.cc.o.d"
+  "libgodiva_viz.a"
+  "libgodiva_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgodiva_viz.a"
+)

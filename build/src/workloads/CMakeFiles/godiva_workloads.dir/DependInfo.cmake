@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/block_schema.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/block_schema.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/block_schema.cc.o.d"
+  "/root/repo/src/workloads/experiment.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/experiment.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/experiment.cc.o.d"
+  "/root/repo/src/workloads/processing.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/processing.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/processing.cc.o.d"
+  "/root/repo/src/workloads/report.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/report.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/report.cc.o.d"
+  "/root/repo/src/workloads/snapshot_io.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/snapshot_io.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/snapshot_io.cc.o.d"
+  "/root/repo/src/workloads/test_spec.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/test_spec.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/test_spec.cc.o.d"
+  "/root/repo/src/workloads/voyager.cc" "src/workloads/CMakeFiles/godiva_workloads.dir/voyager.cc.o" "gcc" "src/workloads/CMakeFiles/godiva_workloads.dir/voyager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/godiva_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/godiva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsdf/CMakeFiles/godiva_gsdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/godiva_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/godiva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/godiva_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

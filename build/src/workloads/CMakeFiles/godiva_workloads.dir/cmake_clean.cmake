@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/godiva_workloads.dir/block_schema.cc.o"
+  "CMakeFiles/godiva_workloads.dir/block_schema.cc.o.d"
+  "CMakeFiles/godiva_workloads.dir/experiment.cc.o"
+  "CMakeFiles/godiva_workloads.dir/experiment.cc.o.d"
+  "CMakeFiles/godiva_workloads.dir/processing.cc.o"
+  "CMakeFiles/godiva_workloads.dir/processing.cc.o.d"
+  "CMakeFiles/godiva_workloads.dir/report.cc.o"
+  "CMakeFiles/godiva_workloads.dir/report.cc.o.d"
+  "CMakeFiles/godiva_workloads.dir/snapshot_io.cc.o"
+  "CMakeFiles/godiva_workloads.dir/snapshot_io.cc.o.d"
+  "CMakeFiles/godiva_workloads.dir/test_spec.cc.o"
+  "CMakeFiles/godiva_workloads.dir/test_spec.cc.o.d"
+  "CMakeFiles/godiva_workloads.dir/voyager.cc.o"
+  "CMakeFiles/godiva_workloads.dir/voyager.cc.o.d"
+  "libgodiva_workloads.a"
+  "libgodiva_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/godiva_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_concurrency_test.dir/core_concurrency_test.cc.o"
+  "CMakeFiles/core_concurrency_test.dir/core_concurrency_test.cc.o.d"
+  "core_concurrency_test"
+  "core_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsdf_test.dir/gsdf_test.cc.o"
+  "CMakeFiles/gsdf_test.dir/gsdf_test.cc.o.d"
+  "gsdf_test"
+  "gsdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_prefetcher_test.dir/interactive_prefetcher_test.cc.o"
+  "CMakeFiles/interactive_prefetcher_test.dir/interactive_prefetcher_test.cc.o.d"
+  "interactive_prefetcher_test"
+  "interactive_prefetcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_prefetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

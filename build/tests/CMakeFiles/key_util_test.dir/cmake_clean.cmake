@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_util_test.dir/key_util_test.cc.o"
+  "CMakeFiles/key_util_test.dir/key_util_test.cc.o.d"
+  "key_util_test"
+  "key_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

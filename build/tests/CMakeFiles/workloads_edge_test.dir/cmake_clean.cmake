@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_edge_test.dir/workloads_edge_test.cc.o"
+  "CMakeFiles/workloads_edge_test.dir/workloads_edge_test.cc.o.d"
+  "workloads_edge_test"
+  "workloads_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/godiva_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/godiva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/godiva_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsdf/CMakeFiles/godiva_gsdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/godiva_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/godiva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/godiva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsdf_cat.dir/gsdf_cat.cc.o"
+  "CMakeFiles/gsdf_cat.dir/gsdf_cat.cc.o.d"
+  "gsdf_cat"
+  "gsdf_cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsdf_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

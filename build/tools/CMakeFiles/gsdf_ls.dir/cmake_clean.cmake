@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsdf_ls.dir/gsdf_ls.cc.o"
+  "CMakeFiles/gsdf_ls.dir/gsdf_ls.cc.o.d"
+  "gsdf_ls"
+  "gsdf_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsdf_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_roundtrip "bash" "-c" "set -e; dir=\$(mktemp -d); trap 'rm -rf \"\$dir\"' EXIT; /root/repo/build/tools/generate_dataset --out=\$dir/data --factor=0.05 --snapshots=2; ls \$dir/data/*.gsdf | wc -l | grep -qx 16; /root/repo/build/tools/gsdf_ls --verify \$dir/data/snap_0000_f00.gsdf | grep -q 'block_0000/x'; /root/repo/build/tools/gsdf_cat --limit=4 \$dir/data/snap_0000_f00.gsdf block_0000/x | wc -l | grep -qx 4; /root/repo/build/tools/gsdf_cat \$dir/data/snap_0000_f00.gsdf block_0000/density >/dev/null; ! /root/repo/build/tools/gsdf_cat \$dir/data/snap_0000_f00.gsdf no_such_dataset 2>/dev/null; echo tools_roundtrip_ok")
+set_tests_properties(tools_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "tools_roundtrip_ok" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
