@@ -39,6 +39,7 @@ Status RunBatchMovie(const std::string& frames_dir) {
   SimEnv env{SimEnv::Options{}};
   mesh::DatasetSpec spec = mesh::DatasetSpec::TitanIVScaled(0.2);
   spec.num_snapshots = 12;
+  spec.checksums = true;  // so the verified read path below has CRCs
   GODIVA_ASSIGN_OR_RETURN(mesh::SnapshotDataset dataset,
                           mesh::WriteSnapshotDataset(&env, spec, "data"));
   std::printf("dataset: %d snapshots, %d blocks, %s\n", spec.num_snapshots,
@@ -52,8 +53,11 @@ Status RunBatchMovie(const std::string& frames_dir) {
   GODIVA_RETURN_IF_ERROR(workloads::DefineBlockSchema(&godiva));
   workloads::VizTestSpec test = workloads::VizTestSpec::Medium();
   std::vector<std::string> quantities = test.AllQuantities();
-  Gbo::ReadFn read_fn =
-      workloads::MakeSnapshotReadFn(&runtime, &dataset, quantities);
+  // Verify dataset checksums while loading; a corrupt read surfaces as
+  // DATA_LOSS, which the default GboOptions retry policy re-reads.
+  Gbo::ReadFn read_fn = workloads::MakeSnapshotReadFn(
+      &runtime, &dataset, quantities,
+      workloads::SnapshotReadOptions{.verify_checksums = true});
 
   // Batch mode: announce everything up front.
   for (int s = 0; s < spec.num_snapshots; ++s) {
@@ -132,6 +136,10 @@ Status RunBatchMovie(const std::string& frames_dir) {
   std::printf("\nprefetched %lld units in the background; visible I/O %s\n",
               static_cast<long long>(stats.units_prefetched),
               FormatSeconds(stats.visible_io_seconds).c_str());
+  if (stats.read_retries > 0) {
+    std::printf("recovered from %lld transient read failures\n",
+                static_cast<long long>(stats.read_retries));
+  }
   return Status::Ok();
 }
 

@@ -25,6 +25,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
     case StatusCode::kUnimplemented:
@@ -74,6 +76,9 @@ Status DeadlineExceededError(std::string_view message) {
 }
 Status AbortedError(std::string_view message) {
   return Status(StatusCode::kAborted, std::string(message));
+}
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, std::string(message));
 }
 Status DataLossError(std::string_view message) {
   return Status(StatusCode::kDataLoss, std::string(message));

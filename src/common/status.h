@@ -24,6 +24,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kAborted,        // e.g. deadlock detected, shutdown in progress
+  kUnavailable,    // transient storage failure; retrying may succeed
   kDataLoss,       // corrupt file contents
   kUnimplemented,
   kIoError,        // underlying storage failure
@@ -77,6 +78,7 @@ Status OutOfRangeError(std::string_view message);
 Status ResourceExhaustedError(std::string_view message);
 Status DeadlineExceededError(std::string_view message);
 Status AbortedError(std::string_view message);
+Status UnavailableError(std::string_view message);
 Status DataLossError(std::string_view message);
 Status UnimplementedError(std::string_view message);
 Status IoError(std::string_view message);

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/field_type.h"
@@ -174,24 +175,42 @@ class Gbo {
   // thread. Pins the unit on success (like WaitUnit).
   Status ReadUnit(const std::string& unit_name, ReadFn read_fn);
 
+  // Like ReadUnit, but gives up with DEADLINE_EXCEEDED once `timeout` has
+  // elapsed. When waiting on a background load, the wait is abandoned (the
+  // load itself continues and the unit can be waited for again). When the
+  // read runs on the calling thread, the deadline is checked between retry
+  // attempts — a single in-flight read-function call is never interrupted.
+  Status ReadUnitFor(const std::string& unit_name, ReadFn read_fn,
+                     Duration timeout);
+
   // Blocks until the unit is ready, then pins it against automatic
   // eviction. In the single-thread build, performs the queued read inline
   // (paper §4.2: "a readUnit operation is performed inside the
   // corresponding waitUnit call").
   Status WaitUnit(const std::string& unit_name);
 
+  // WaitUnit with a deadline; DEADLINE_EXCEEDED semantics as ReadUnitFor.
+  Status WaitUnitFor(const std::string& unit_name, Duration timeout);
+
   // Declares processing of the unit complete: unpins it; once unpinned by
   // all waiters it becomes evictable under the cache policy.
   Status FinishUnit(const std::string& unit_name);
 
   // Deletes the unit's records immediately (even if pinned — the caller
-  // asserts the data is no longer needed). Fails while the unit is loading.
+  // asserts the data is no longer needed). Fails while the unit's read
+  // function is actively running; a unit sleeping out a retry backoff is
+  // cancelled and deleted.
   Status DeleteUnit(const std::string& unit_name);
 
   // Adjusts the database memory limit at runtime.
   Status SetMemSpace(int64_t bytes);
 
   Result<UnitState> GetUnitState(const std::string& unit_name) const;
+
+  // The most recent terminal read error of the unit (OK if it never
+  // failed; the preserved error of a kFailed unit). NOT_FOUND if no unit
+  // with this name exists.
+  Status GetUnitError(const std::string& unit_name) const;
 
   // ---------------------------------------------------------------------
   // Introspection.
@@ -214,6 +233,10 @@ class Gbo {
     int refcount = 0;      // pins from WaitUnit/ReadUnit
     int waiters = 0;       // threads currently blocked on this unit
     bool finished = false; // FinishUnit was called
+    // Retry bookkeeping, meaningful while state == kLoading.
+    int attempt = 0;                // 1-based read-fn attempt number
+    bool in_backoff = false;        // sleeping between attempts
+    bool cancel_requested = false;  // DeleteUnit wants the load abandoned
     int64_t ready_seq = -1;
     int64_t memory_bytes = 0;
     std::vector<Record*> records;
@@ -244,12 +267,31 @@ class Gbo {
   // current unit. Called WITHOUT mu_ held.
   Status RunReadFn(Unit* unit);
 
+  // Runs the read function under the retry policy: rolls partial records
+  // back after every failed attempt and sleeps a jittered exponential
+  // backoff (interruptible by shutdown and DeleteUnit) before the next.
+  // `lock` is held on entry and exit, released around each attempt. The
+  // caller owns the unit's state transition.
+  Status ExecuteReadLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
+                           const TimePoint* deadline, bool on_io_thread);
+
+  // The next jittered backoff delay for the given base.
+  Duration JitteredBackoffLocked(Duration base);
+
   // Blocking load on the caller's thread (foreground read / single-thread
   // WaitUnit). `lock` is held on entry and exit.
-  Status LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit);
+  Status LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
+                          const TimePoint* deadline);
 
-  // Waits until `unit` leaves Queued/Loading. Returns its terminal status.
-  Status AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit);
+  // Waits until `unit` leaves Queued/Loading (or `deadline`, if non-null,
+  // passes). Returns the unit's terminal status or DEADLINE_EXCEEDED.
+  Status AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
+                          const TimePoint* deadline);
+
+  Status ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
+                          const TimePoint* deadline);
+  Status WaitUnitInternal(const std::string& unit_name,
+                          const TimePoint* deadline);
 
   void IoThreadMain();
   // Fails `unit` with ABORTED to break a detected deadlock.
@@ -283,6 +325,9 @@ class Gbo {
 
   // Plain counters guarded by mu_.
   GboStats counters_;
+
+  // Backoff jitter source, guarded by mu_ (fixed seed: deterministic runs).
+  Random retry_rng_{0x60D1FA};
 
   // Time accumulators (internally thread safe, updated outside mu_).
   TimeAccumulator visible_io_time_;

@@ -106,43 +106,109 @@ Status Gbo::RunReadFn(Unit* unit) {
   return unit->read_fn(this, unit->name);
 }
 
-Status Gbo::LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit) {
+Duration Gbo::JitteredBackoffLocked(Duration base) {
+  double jitter = std::clamp(options_.retry.jitter, 0.0, 1.0);
+  double factor = 1.0 - jitter * retry_rng_.NextDouble();
+  auto scaled = std::chrono::duration_cast<Duration>(base * factor);
+  return std::max(scaled, Duration::zero());
+}
+
+Status Gbo::ExecuteReadLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
+                              const TimePoint* deadline, bool on_io_thread) {
+  const RetryPolicy& policy = options_.retry;
+  Duration base_backoff = policy.initial_backoff;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    unit->attempt = attempt;
+    lock.unlock();
+    Stopwatch stopwatch;
+    status = RunReadFn(unit);
+    Duration elapsed = stopwatch.Elapsed();
+    read_fn_time_.Add(elapsed);
+    if (on_io_thread) prefetch_time_.Add(elapsed);
+    lock.lock();
+    if (status.ok()) return status;
+
+    // Roll the partial load back before deciding anything else: the
+    // database must never expose (or re-feed) a half-loaded unit, and a
+    // retry must start against a clean key index and memory accounting.
+    PurgeRecordsLocked(unit);
+    if (shutdown_ || unit->cancel_requested) return status;
+    if (!policy.IsRetryable(status.code()) ||
+        attempt >= policy.max_attempts) {
+      ++counters_.units_failed_permanent;
+      return status;
+    }
+    Duration delay = JitteredBackoffLocked(base_backoff);
+    if (deadline != nullptr && SteadyClock::now() + delay >= *deadline) {
+      ++counters_.units_failed_permanent;
+      return DeadlineExceededError(StrCat(
+          "unit ", unit->name, ": deadline expires before retry attempt ",
+          attempt + 1, " (last error: ", status.ToString(), ")"));
+    }
+    ++counters_.read_retries;
+    GODIVA_LOG(kDebug) << "unit " << unit->name << " read attempt "
+                       << attempt << " failed (" << status
+                       << "); retrying in " << FormatSeconds(ToSeconds(delay));
+    // Interruptible backoff: shutdown and DeleteUnit break the sleep.
+    unit->in_backoff = true;
+    TimePoint wake = SteadyClock::now() + delay;
+    unit_cv_.wait_until(lock, wake, [&] {
+      return shutdown_ || unit->cancel_requested;
+    });
+    unit->in_backoff = false;
+    if (shutdown_ || unit->cancel_requested) return status;
+    base_backoff =
+        std::min(std::chrono::duration_cast<Duration>(
+                     base_backoff * policy.backoff_multiplier),
+                 policy.max_backoff);
+  }
+}
+
+Status Gbo::LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
+                             const TimePoint* deadline) {
   unit->state = UnitState::kLoading;
   auto queue_pos =
       std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
   if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
   EvictToLimitLocked();  // best effort; the main thread never blocks here
 
-  lock.unlock();
-  Stopwatch stopwatch;
-  Status status = RunReadFn(unit);
-  read_fn_time_.Add(stopwatch.Elapsed());
-  lock.lock();
+  Status status =
+      ExecuteReadLocked(lock, unit, deadline, /*on_io_thread=*/false);
 
   unit->error = status;
   unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
   unit->ready_seq = next_ready_seq_++;
-  // A failed read rolls its partial records back so the database never
-  // exposes a half-loaded unit.
-  if (!status.ok()) PurgeRecordsLocked(unit);
   ++counters_.units_read_foreground;
   unit_cv_.notify_all();
   return status;
 }
 
-Status Gbo::AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit) {
+Status Gbo::AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
+                             const TimePoint* deadline) {
   ++blocked_waiters_;
   ++unit->waiters;
   // Wake the I/O thread's memory gate so it can re-run deadlock detection
   // now that a consumer is blocked.
   memory_cv_.notify_all();
-  unit_cv_.wait(lock, [&] {
+  auto done = [&] {
     return shutdown_ || unit->state == UnitState::kReady ||
            unit->state == UnitState::kFailed ||
            unit->state == UnitState::kDeleted;
-  });
+  };
+  bool completed = true;
+  if (deadline == nullptr) {
+    unit_cv_.wait(lock, done);
+  } else {
+    completed = unit_cv_.wait_until(lock, *deadline, done);
+  }
   --blocked_waiters_;
   --unit->waiters;
+  if (!completed) {
+    return DeadlineExceededError(
+        StrCat("unit ", unit->name, " not ready before the deadline (state ",
+               UnitStateName(unit->state), ")"));
+  }
   if (unit->state == UnitState::kReady) return Status::Ok();
   if (unit->state == UnitState::kFailed) return unit->error;
   if (unit->state == UnitState::kDeleted) {
@@ -174,6 +240,8 @@ Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
   unit->ready_seq = -1;
   unit->refcount = 0;
   unit->finished = false;
+  unit->attempt = 0;
+  unit->cancel_requested = false;
   prefetch_queue_.push_back(unit);
   ++counters_.units_added;
   queue_cv_.notify_one();
@@ -181,6 +249,17 @@ Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
 }
 
 Status Gbo::ReadUnit(const std::string& unit_name, ReadFn read_fn) {
+  return ReadUnitInternal(unit_name, std::move(read_fn), nullptr);
+}
+
+Status Gbo::ReadUnitFor(const std::string& unit_name, ReadFn read_fn,
+                        Duration timeout) {
+  TimePoint deadline = SteadyClock::now() + timeout;
+  return ReadUnitInternal(unit_name, std::move(read_fn), &deadline);
+}
+
+Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
+                             const TimePoint* deadline) {
   if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
   std::unique_lock<std::mutex> lock(mu_);
   auto it = units_.find(unit_name);
@@ -214,12 +293,14 @@ Status Gbo::ReadUnit(const std::string& unit_name, ReadFn read_fn) {
     unit->ready_seq = -1;
     unit->refcount = 0;
     unit->finished = false;
-    status = LoadInlineLocked(lock, unit);
+    unit->attempt = 0;
+    unit->cancel_requested = false;
+    status = LoadInlineLocked(lock, unit, deadline);
   } else if (unit->state == UnitState::kQueued && !options_.background_io) {
-    status = LoadInlineLocked(lock, unit);
+    status = LoadInlineLocked(lock, unit, deadline);
   } else {
     // Queued (multi-thread) or already loading: wait for it.
-    status = AwaitReadyLocked(lock, unit);
+    status = AwaitReadyLocked(lock, unit, deadline);
   }
   visible_io_time_.Add(stopwatch.Elapsed());
   if (status.ok()) PinLocked(unit);
@@ -227,6 +308,16 @@ Status Gbo::ReadUnit(const std::string& unit_name, ReadFn read_fn) {
 }
 
 Status Gbo::WaitUnit(const std::string& unit_name) {
+  return WaitUnitInternal(unit_name, nullptr);
+}
+
+Status Gbo::WaitUnitFor(const std::string& unit_name, Duration timeout) {
+  TimePoint deadline = SteadyClock::now() + timeout;
+  return WaitUnitInternal(unit_name, &deadline);
+}
+
+Status Gbo::WaitUnitInternal(const std::string& unit_name,
+                             const TimePoint* deadline) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end() || it->second->state == UnitState::kDeleted) {
@@ -244,9 +335,9 @@ Status Gbo::WaitUnit(const std::string& unit_name) {
   Status status;
   if (unit->state == UnitState::kQueued && !options_.background_io) {
     // Single-thread library: the read happens inside the wait (paper §4.2).
-    status = LoadInlineLocked(lock, unit);
+    status = LoadInlineLocked(lock, unit, deadline);
   } else {
-    status = AwaitReadyLocked(lock, unit);
+    status = AwaitReadyLocked(lock, unit, deadline);
   }
   visible_io_time_.Add(stopwatch.Elapsed());
   if (status.ok()) PinLocked(unit);
@@ -272,15 +363,30 @@ Status Gbo::FinishUnit(const std::string& unit_name) {
 }
 
 Status Gbo::DeleteUnit(const std::string& unit_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end() || it->second->state == UnitState::kDeleted) {
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   Unit* unit = it->second.get();
   if (unit->state == UnitState::kLoading) {
-    return FailedPreconditionError(
-        StrCat("unit ", unit_name, " is currently loading"));
+    if (!unit->in_backoff) {
+      return FailedPreconditionError(
+          StrCat("unit ", unit_name, " is currently loading"));
+    }
+    // The read function is not running; the loader is sleeping out a retry
+    // backoff. Cancel it and wait for the loader to acknowledge (it wakes
+    // immediately and fails the unit with its last error).
+    unit->cancel_requested = true;
+    unit_cv_.notify_all();
+    unit_cv_.wait(lock, [&] {
+      return shutdown_ || unit->state != UnitState::kLoading;
+    });
+    unit->cancel_requested = false;
+    if (unit->state == UnitState::kLoading) {
+      return AbortedError("database is shutting down");
+    }
+    if (unit->state == UnitState::kDeleted) return Status::Ok();  // raced
   }
   EvictUnitLocked(unit, /*explicit_delete=*/true);
   unit_cv_.notify_all();
@@ -303,6 +409,15 @@ Result<UnitState> Gbo::GetUnitState(const std::string& unit_name) const {
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   return it->second->state;
+}
+
+Status Gbo::GetUnitError(const std::string& unit_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(unit_name);
+  if (it == units_.end()) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  return it->second->error;
 }
 
 // ---------------------------------------------------------------------
@@ -360,20 +475,17 @@ void Gbo::IoThreadMain() {
     if (unit->state != UnitState::kQueued) continue;  // raced with delete
     unit->state = UnitState::kLoading;
 
-    lock.unlock();
-    Stopwatch stopwatch;
-    Status status = RunReadFn(unit);
-    Duration elapsed = stopwatch.Elapsed();
-    read_fn_time_.Add(elapsed);
-    prefetch_time_.Add(elapsed);
-    lock.lock();
+    // Retries and rollback of partial loads happen inside; backoff sleeps
+    // are interrupted by shutdown and DeleteUnit.
+    Status status =
+        ExecuteReadLocked(lock, unit, /*deadline=*/nullptr,
+                          /*on_io_thread=*/true);
 
     unit->error = status;
     unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
     unit->ready_seq = next_ready_seq_++;
     ++counters_.units_prefetched;
     if (!status.ok()) {
-      PurgeRecordsLocked(unit);  // roll back the partial load
       GODIVA_LOG(kWarning) << "prefetch of unit " << unit->name
                            << " failed: " << status;
     }

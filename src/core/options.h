@@ -2,7 +2,13 @@
 #ifndef GODIVA_CORE_OPTIONS_H_
 #define GODIVA_CORE_OPTIONS_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
 
 namespace godiva {
 
@@ -11,6 +17,39 @@ namespace godiva {
 enum class EvictionPolicy {
   kLru,
   kFifo,
+};
+
+// Unit-level retry of failed read functions with exponential backoff plus
+// jitter. A unit's whole read function is re-invoked after its partial
+// records are rolled back, so read functions need no internal retry logic
+// (they just need to be re-runnable, which rollback guarantees for record
+// operations). Backoff sleeps are interruptible: shutdown and DeleteUnit
+// cancel them promptly.
+struct RetryPolicy {
+  // Total attempts including the first one; 1 disables retries.
+  int max_attempts = 3;
+  Duration initial_backoff = std::chrono::milliseconds(1);
+  Duration max_backoff = std::chrono::milliseconds(100);
+  double backoff_multiplier = 2.0;
+  // Each backoff is scaled by a uniform factor in [1 - jitter, 1], so
+  // synchronized retry storms decorrelate.
+  double jitter = 0.25;
+  // Which failure codes are worth re-running the read function for.
+  // UNAVAILABLE: transient storage hiccup. DATA_LOSS: torn/corrupt read —
+  // re-reading a shared filesystem often succeeds.
+  std::vector<StatusCode> retryable_codes = {StatusCode::kUnavailable,
+                                             StatusCode::kDataLoss};
+
+  bool IsRetryable(StatusCode code) const {
+    return std::find(retryable_codes.begin(), retryable_codes.end(), code) !=
+           retryable_codes.end();
+  }
+
+  static RetryPolicy None() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
 };
 
 struct GboOptions {
@@ -26,6 +65,9 @@ struct GboOptions {
   bool background_io = true;
 
   EvictionPolicy eviction_policy = EvictionPolicy::kLru;
+
+  // Applied to every unit read, foreground and background alike.
+  RetryPolicy retry = {};
 
   static GboOptions SingleThread() {
     GboOptions options;

@@ -13,6 +13,8 @@ std::string GboStats::ToString() const {
       " fg=", units_read_foreground, " hits=", unit_cache_hits,
       " evicted=", units_evicted, " deleted=", units_deleted,
       " deadlocks=", deadlocks_detected,
+      "] retries[", read_retries, ", permanent_failures=",
+      units_failed_permanent,
       "] records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",
       failed_lookups, " failed] mem[cur=", FormatBytes(current_memory_bytes),

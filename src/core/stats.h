@@ -24,6 +24,12 @@ struct GboStats {
   int64_t units_deleted = 0;          // explicit DeleteUnit
   int64_t deadlocks_detected = 0;
 
+  // Fault tolerance.
+  int64_t read_retries = 0;            // read-fn re-invocations after
+                                       // retryable failures
+  int64_t units_failed_permanent = 0;  // reads that ended in kFailed after
+                                       // exhausting the retry policy
+
   // Record/query activity.
   int64_t records_created = 0;
   int64_t records_committed = 0;

@@ -186,6 +186,30 @@ Status Reader::Read(const std::string& name, void* out,
   return file_->Read(info->offset, info->nbytes, out);
 }
 
+Status Reader::ReadVerified(const std::string& name, void* out,
+                            int64_t out_bytes) const {
+  GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(name));
+  const std::string* stored = info->FindAttribute(kChecksumAttribute);
+  if (stored == nullptr) {
+    return FailedPreconditionError(
+        StrCat(path_, ": dataset ", name, " has no checksum"));
+  }
+  if (out_bytes < info->nbytes) {
+    return InvalidArgumentError(
+        StrFormat("buffer of %lld bytes too small for dataset %s (%lld)",
+                  static_cast<long long>(out_bytes), name.c_str(),
+                  static_cast<long long>(info->nbytes)));
+  }
+  GODIVA_RETURN_IF_ERROR(file_->Read(info->offset, info->nbytes, out));
+  std::string actual = StrFormat("%08x", Crc32(out, info->nbytes));
+  if (actual != *stored) {
+    return DataLossError(StrFormat(
+        "%s: dataset %s checksum mismatch (stored %s, computed %s)",
+        path_.c_str(), name.c_str(), stored->c_str(), actual.c_str()));
+  }
+  return Status::Ok();
+}
+
 Status Reader::VerifyChecksum(const std::string& name) const {
   GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(name));
   const std::string* stored = info->FindAttribute(kChecksumAttribute);

@@ -58,6 +58,13 @@ class Reader {
   Status ReadRange(const std::string& name, int64_t byte_offset,
                    int64_t nbytes, void* out) const;
 
+  // Like Read, but additionally checks the payload against its __crc32
+  // attribute in the same pass (no second read of the data). Returns
+  // DATA_LOSS on mismatch — `out` then holds the corrupt bytes and must not
+  // be used — and FAILED_PRECONDITION if the dataset carries no checksum.
+  Status ReadVerified(const std::string& name, void* out,
+                      int64_t out_bytes) const;
+
   // Reads the dataset and verifies it against its __crc32 attribute.
   // Returns DATA_LOSS on mismatch, FAILED_PRECONDITION if the file was
   // written without checksums.

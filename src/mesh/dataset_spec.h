@@ -25,6 +25,12 @@ struct DatasetSpec {
   int num_snapshots = 32;
   double dt = 2.5e-5;
 
+  // Attach per-dataset CRC-32 attributes when writing. Off by default:
+  // HDF4-era files had none, and the experiments' I/O cost model is
+  // calibrated without them. Turn on to exercise verified snapshot reads
+  // (SnapshotReadOptions::verify_checksums).
+  bool checksums = false;
+
   double TimeOf(int snapshot) const { return dt * (snapshot + 1); }
 
   int64_t ExpectedNodes() const {

@@ -95,11 +95,8 @@ Result<SnapshotDataset> WriteSnapshotDataset(Env* env,
     double t = spec.TimeOf(s);
     for (int f = 0; f < spec.files_per_snapshot; ++f) {
       std::string path = SnapshotFileName(prefix, s, f);
-      // No per-dataset checksums: HDF4-era files had none, and the
-      // experiments' I/O cost model is calibrated without the extra
-      // directory parsing.
       gsdf::Writer::Options writer_options;
-      writer_options.checksums = false;
+      writer_options.checksums = spec.checksums;
       GODIVA_ASSIGN_OR_RETURN(
           std::unique_ptr<gsdf::Writer> writer,
           gsdf::Writer::Create(env, path, writer_options));

@@ -1,0 +1,206 @@
+#include "sim/fault_env.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace godiva {
+
+bool GlobMatch(std::string_view glob, std::string_view text) {
+  // Iterative wildcard match with backtracking over the last '*'.
+  size_t g = 0, t = 0;
+  size_t star = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (g < glob.size() && (glob[g] == '?' || glob[g] == text[t])) {
+      ++g;
+      ++t;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      g = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+namespace {
+
+Status MakeInjectedError(const FaultRule& rule, const std::string& path,
+                         std::string_view op_name) {
+  return Status(rule.error_code,
+                StrCat("injected fault: ", op_name, " of ", path));
+}
+
+// Flips one bit every `stride` bytes of the payload. Deterministic in the
+// (offset, size) of the read, so repeated reads of the same range corrupt
+// identically but any checksum over the payload fails.
+void CorruptBuffer(uint8_t* data, int64_t size, int64_t stride) {
+  if (stride <= 0) stride = 1;
+  for (int64_t i = 0; i < size; i += stride) data[i] ^= 0x80;
+}
+
+}  // namespace
+
+// Forwards reads to the base file, consulting the fault plan on each.
+class FaultyRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultyRandomAccessFile(FaultInjectionEnv* env,
+                         std::unique_ptr<RandomAccessFile> base,
+                         std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Read(int64_t offset, int64_t size, void* out) override {
+    FaultInjectionEnv::Decision decision =
+        env_->Consult(path_, FaultOp::kRead);
+    if (decision.latency > Duration::zero()) {
+      std::this_thread::sleep_for(decision.latency);
+    }
+    if (!decision.fault) return base_->Read(offset, size, out);
+    switch (decision.rule.kind) {
+      case FaultKind::kError:
+        return MakeInjectedError(decision.rule, path_, "read");
+      case FaultKind::kCorrupt: {
+        GODIVA_RETURN_IF_ERROR(base_->Read(offset, size, out));
+        CorruptBuffer(static_cast<uint8_t*>(out), size,
+                      decision.rule.corrupt_stride);
+        return Status::Ok();
+      }
+      case FaultKind::kShortRead: {
+        int64_t prefix = static_cast<int64_t>(
+            static_cast<double>(size) * decision.rule.short_read_fraction);
+        prefix = std::clamp<int64_t>(prefix, 0, size);
+        if (prefix > 0) {
+          GODIVA_RETURN_IF_ERROR(base_->Read(offset, prefix, out));
+        }
+        std::memset(static_cast<uint8_t*>(out) + prefix, 0,
+                    static_cast<size_t>(size - prefix));
+        return Status::Ok();
+      }
+      case FaultKind::kLatency:
+        return base_->Read(offset, size, out);  // delay already paid
+    }
+    return base_->Read(offset, size, out);
+  }
+
+  int64_t Size() const override { return base_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+  std::string path_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
+
+void FaultInjectionEnv::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultInjectionEnv::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  match_counts_.clear();
+}
+
+void FaultInjectionEnv::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+FaultStats FaultInjectionEnv::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjectionEnv::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = FaultStats();
+}
+
+FaultInjectionEnv::Decision FaultInjectionEnv::Consult(
+    const std::string& path, FaultOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.ops_seen;
+  if (!enabled_) return Decision{};
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.op != FaultOp::kAny && rule.op != op) continue;
+    if (!GlobMatch(rule.path_glob, path)) continue;
+    int& count = match_counts_[{i, path}];
+    int position = count++;  // 0-based among this rule's matches for path
+    if (position < rule.skip_first) continue;
+    // 64-bit sum: skip_first + an INT_MAX max_faults must not overflow.
+    if (position >= static_cast<int64_t>(rule.skip_first) + rule.max_faults) {
+      continue;
+    }
+    ++stats_.faults_injected;
+    Decision decision;
+    decision.fault = true;
+    decision.rule = rule;
+    switch (rule.kind) {
+      case FaultKind::kError:
+        ++stats_.errors_injected;
+        break;
+      case FaultKind::kCorrupt:
+        ++stats_.reads_corrupted;
+        break;
+      case FaultKind::kShortRead:
+        ++stats_.short_reads;
+        break;
+      case FaultKind::kLatency:
+        ++stats_.latency_spikes;
+        decision.latency = rule.latency;
+        break;
+    }
+    return decision;
+  }
+  return Decision{};
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  return base_->NewWritableFile(path);  // faults are read-side only
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::NewRandomAccessFile(const std::string& path) {
+  Decision decision = Consult(path, FaultOp::kOpen);
+  if (decision.latency > Duration::zero()) {
+    std::this_thread::sleep_for(decision.latency);
+  }
+  if (decision.fault && decision.rule.kind == FaultKind::kError) {
+    return MakeInjectedError(decision.rule, path, "open");
+  }
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                          base_->NewRandomAccessFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultyRandomAccessFile>(this, std::move(file), path));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) const {
+  return base_->FileExists(path);
+}
+
+Result<int64_t> FaultInjectionEnv::GetFileSize(const std::string& path) const {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListFiles(
+    const std::string& prefix) const {
+  return base_->ListFiles(prefix);
+}
+
+}  // namespace godiva

@@ -1,0 +1,131 @@
+// FaultInjectionEnv: an Env decorator that injects storage-layer faults
+// according to a programmable plan, for exercising the retry / degradation
+// machinery against real file contents. Rules match accesses by path glob
+// and operation and can inject
+//   - transient or permanent errors (default UNAVAILABLE),
+//   - deterministic payload corruption (bit flips that gsdf checksums catch),
+//   - short reads (the tail of the buffer is zeroed),
+//   - latency spikes.
+// Injection counts are tracked per (rule, path), so "the first two reads of
+// every file fail" is a single rule. Thread safe.
+#ifndef GODIVA_SIM_FAULT_ENV_H_
+#define GODIVA_SIM_FAULT_ENV_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "sim/env.h"
+
+namespace godiva {
+
+// Which file operation a fault rule applies to.
+enum class FaultOp {
+  kAny,
+  kOpen,  // NewRandomAccessFile
+  kRead,  // RandomAccessFile::Read
+};
+
+enum class FaultKind {
+  kError,      // the operation fails with `error_code`
+  kCorrupt,    // the read succeeds but payload bits are flipped
+  kShortRead,  // only a prefix is read; the rest of the buffer is zeroed
+  kLatency,    // the operation succeeds after an extra delay
+};
+
+struct FaultRule {
+  // Matched against the full path; '*' matches any run (including empty),
+  // '?' matches one character.
+  std::string path_glob = "*";
+  FaultOp op = FaultOp::kAny;
+  FaultKind kind = FaultKind::kError;
+
+  StatusCode error_code = StatusCode::kUnavailable;  // kError
+  // kCorrupt: one bit is flipped every `corrupt_stride` bytes of payload.
+  int64_t corrupt_stride = 512;
+  double short_read_fraction = 0.5;  // kShortRead: prefix actually read
+  Duration latency{};                // kLatency: added delay (real time)
+
+  // Per matching path: let `skip_first` matching operations through, then
+  // inject into the next `max_faults`, then pass everything.
+  int skip_first = 0;
+  int max_faults = std::numeric_limits<int>::max();
+};
+
+struct FaultStats {
+  int64_t ops_seen = 0;  // operations checked against the plan
+  int64_t faults_injected = 0;
+  int64_t errors_injected = 0;
+  int64_t reads_corrupted = 0;
+  int64_t short_reads = 0;
+  int64_t latency_spikes = 0;
+};
+
+class FaultInjectionEnv : public Env {
+ public:
+  // `base` must outlive this env.
+  explicit FaultInjectionEnv(Env* base);
+  FaultInjectionEnv(const FaultInjectionEnv&) = delete;
+  FaultInjectionEnv& operator=(const FaultInjectionEnv&) = delete;
+  ~FaultInjectionEnv() override = default;
+
+  // Appends a rule to the plan; rules are evaluated in insertion order and
+  // the first one that fires wins.
+  void AddRule(FaultRule rule);
+  void ClearRules();
+  // Master switch; faults only fire while enabled (default on).
+  void SetEnabled(bool enabled);
+
+  FaultStats stats() const;
+  void ResetStats();
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Result<int64_t> GetFileSize(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListFiles(
+      const std::string& prefix) const override;
+
+ private:
+  friend class FaultyRandomAccessFile;
+
+  // The outcome of consulting the plan for one operation. Holds a copy of
+  // the firing rule so concurrent AddRule cannot invalidate it.
+  struct Decision {
+    bool fault = false;
+    FaultRule rule;
+    Duration latency{};
+  };
+
+  // Finds the first armed rule matching (path, op) and consumes one
+  // injection from it. Latency is returned rather than slept so the caller
+  // can sleep outside the mutex.
+  Decision Consult(const std::string& path, FaultOp op);
+
+  Env* const base_;
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  std::vector<FaultRule> rules_;
+  // (rule index, path) -> matching operations seen so far.
+  std::map<std::pair<size_t, std::string>, int> match_counts_;
+  FaultStats stats_;
+};
+
+// True iff `text` matches `glob` ('*' any run, '?' one char). Exposed for
+// tests.
+bool GlobMatch(std::string_view glob, std::string_view text);
+
+}  // namespace godiva
+
+#endif  // GODIVA_SIM_FAULT_ENV_H_

@@ -67,12 +67,20 @@ class PlatformRuntime {
   SimEnv* env() { return env_; }
   SimCpu* cpu() { return &cpu_; }
 
+  // Env the workload's file reads go through. Defaults to env(); tests
+  // interpose a decorator (e.g. FaultInjectionEnv wrapping env()) here so
+  // faults hit the read path while the disk model stays on the base env.
+  // `io_env` must outlive the runtime; pass nullptr to restore the default.
+  void SetIoEnv(Env* io_env) { io_env_ = io_env; }
+  Env* io_env() { return io_env_ != nullptr ? io_env_ : env_; }
+
  private:
   static constexpr int64_t kDecodeFlushBytes = 256 * 1024;
 
   PlatformProfile profile_;
   TimeScale scale_;
   SimEnv* env_;
+  Env* io_env_ = nullptr;  // optional decorator over env_ for file reads
   SimCpu cpu_;
   std::atomic<int64_t> pending_decode_bytes_{0};
 };

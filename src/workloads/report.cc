@@ -55,4 +55,15 @@ void PrintComparison(const std::string& metric, double paper_value,
               paper_value, unit.c_str(), measured_value, unit.c_str());
 }
 
+void PrintSkipped(const CellResult& result, int snapshots_processed) {
+  if (result.skipped.empty()) return;
+  std::printf("  %s(%s): skipped %zu/%d snapshots\n", result.test.c_str(),
+              result.variant.c_str(), result.skipped.size(),
+              snapshots_processed);
+  for (const CellResult::SkippedSnapshot& skip : result.skipped) {
+    std::printf("    snapshot %d: %s\n", skip.snapshot,
+                skip.error.ToString().c_str());
+  }
+}
+
 }  // namespace godiva::workloads

@@ -28,6 +28,12 @@ void PrintFigure(const std::string& title, const std::vector<BarRow>& rows);
 void PrintComparison(const std::string& metric, double paper_value,
                      double measured_value, const std::string& unit = "%");
 
+// Prints the snapshots a degraded run abandoned and why, e.g.
+//   simple(TG): skipped 1/8 snapshots
+//     snapshot 3: DATA_LOSS: ... checksum mismatch ...
+// No-op when nothing was skipped.
+void PrintSkipped(const CellResult& result, int snapshots_processed);
+
 // Section header.
 void PrintHeader(const std::string& title);
 

@@ -19,11 +19,13 @@ namespace {
 Status ReadDatasetIntoField(PlatformRuntime* runtime,
                             const gsdf::Reader& reader,
                             const std::string& name, Gbo* db, Record* record,
-                            const std::string& field) {
+                            const std::string& field, bool verify = false) {
   GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info, reader.Find(name));
   GODIVA_ASSIGN_OR_RETURN(void* buffer,
                           db->AllocFieldBuffer(record, field, info->nbytes));
-  GODIVA_RETURN_IF_ERROR(reader.Read(name, buffer, info->nbytes));
+  GODIVA_RETURN_IF_ERROR(verify
+                             ? reader.ReadVerified(name, buffer, info->nbytes)
+                             : reader.Read(name, buffer, info->nbytes));
   runtime->ChargeDecode(info->nbytes);
   return Status::Ok();
 }
@@ -32,10 +34,13 @@ Status ReadDatasetIntoField(PlatformRuntime* runtime,
 template <typename T>
 Status ReadDatasetIntoVector(PlatformRuntime* runtime,
                              const gsdf::Reader& reader,
-                             const std::string& name, std::vector<T>* out) {
+                             const std::string& name, std::vector<T>* out,
+                             bool verify = false) {
   GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info, reader.Find(name));
   out->resize(static_cast<size_t>(info->nbytes) / sizeof(T));
-  GODIVA_RETURN_IF_ERROR(reader.Read(name, out->data(), info->nbytes));
+  GODIVA_RETURN_IF_ERROR(
+      verify ? reader.ReadVerified(name, out->data(), info->nbytes)
+             : reader.Read(name, out->data(), info->nbytes));
   runtime->ChargeDecode(info->nbytes);
   return Status::Ok();
 }
@@ -44,20 +49,22 @@ Status ReadDatasetIntoVector(PlatformRuntime* runtime,
 
 Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
                                const mesh::SnapshotDataset* dataset,
-                               std::vector<std::string> quantities) {
-  return [runtime, dataset, quantities = std::move(quantities)](
+                               std::vector<std::string> quantities,
+                               SnapshotReadOptions options) {
+  return [runtime, dataset, quantities = std::move(quantities), options](
              Gbo* db, const std::string& unit_name) -> Status {
     int snapshot = SnapshotOfUnit(unit_name);
     if (snapshot < 0 || snapshot >= dataset->spec.num_snapshots) {
       return InvalidArgumentError(
           StrCat("bad snapshot unit name: ", unit_name));
     }
+    const bool verify = options.verify_checksums;
     for (const std::string& path : dataset->SnapshotFiles(snapshot)) {
       GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
-                              gsdf::Reader::Open(runtime->env(), path));
+                              gsdf::Reader::Open(runtime->io_env(), path));
       std::vector<int32_t> blocks;
       GODIVA_RETURN_IF_ERROR(
-          ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks));
+          ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks, verify));
       for (int32_t block_id : blocks) {
         GODIVA_ASSIGN_OR_RETURN(Record * record,
                                 db->NewRecord(kBlockRecordType));
@@ -67,20 +74,20 @@ Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
                     4);
         GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
             runtime, *reader, mesh::BlockDatasetName(block_id, "x"), db,
-            record, kFieldX));
+            record, kFieldX, verify));
         GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
             runtime, *reader, mesh::BlockDatasetName(block_id, "y"), db,
-            record, kFieldY));
+            record, kFieldY, verify));
         GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
             runtime, *reader, mesh::BlockDatasetName(block_id, "z"), db,
-            record, kFieldZ));
+            record, kFieldZ, verify));
         GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
             runtime, *reader, mesh::BlockDatasetName(block_id, "conn"), db,
-            record, kFieldConn));
+            record, kFieldConn, verify));
         for (const std::string& quantity : quantities) {
           GODIVA_RETURN_IF_ERROR(ReadDatasetIntoField(
               runtime, *reader, mesh::BlockDatasetName(block_id, quantity),
-              db, record, quantity));
+              db, record, quantity, verify));
         }
         GODIVA_RETURN_IF_ERROR(db->CommitRecord(record));
       }
@@ -96,7 +103,7 @@ Result<std::vector<PlainBlock>> ReadPassDirect(
   std::vector<PlainBlock> out;
   for (const std::string& path : dataset.SnapshotFiles(snapshot)) {
     GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
-                            gsdf::Reader::Open(runtime->env(), path));
+                            gsdf::Reader::Open(runtime->io_env(), path));
     std::vector<int32_t> blocks;
     GODIVA_RETURN_IF_ERROR(
         ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks));

@@ -20,13 +20,23 @@
 
 namespace godiva::workloads {
 
+struct SnapshotReadOptions {
+  // Verify every dataset against its stored __crc32 while loading (single
+  // pass; no re-read). A mismatch surfaces as DATA_LOSS, which the default
+  // RetryPolicy treats as retryable — a re-read of a torn file often
+  // succeeds, and a persistent mismatch fails the unit permanently.
+  bool verify_checksums = false;
+};
+
 // Returns a read function that loads the unit named "snap_NNNN": for every
 // block in the snapshot's files, creates a block record, reads x/y/z/conn
 // and each quantity in `quantities`, and commits it. Charges decode CPU on
-// the calling thread (the I/O thread under TG).
+// the calling thread (the I/O thread under TG). Files are opened through
+// runtime->io_env(), so a fault-injecting decorator set there is exercised.
 Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
                                const mesh::SnapshotDataset* dataset,
-                               std::vector<std::string> quantities);
+                               std::vector<std::string> quantities,
+                               SnapshotReadOptions options = {});
 
 // Plain buffers for the original Voyager's per-pass reads.
 struct PlainBlock {

@@ -49,10 +49,15 @@ Status RunOriginal(PlatformRuntime* runtime, const RunConfig& config,
       std::vector<PlainBlock> blocks;
       {
         ScopedTimer timer(visible_io);
-        GODIVA_ASSIGN_OR_RETURN(
-            blocks, ReadPassDirect(runtime, dataset, snapshot,
-                                   pass.quantities,
-                                   /*include_conn=*/pass_index == 0));
+        Result<std::vector<PlainBlock>> blocks_or =
+            ReadPassDirect(runtime, dataset, snapshot, pass.quantities,
+                           /*include_conn=*/pass_index == 0);
+        if (!blocks_or.ok()) {
+          if (!config.skip_failed_snapshots) return blocks_or.status();
+          result->skipped.push_back({snapshot, blocks_or.status()});
+          break;  // abandon this snapshot, continue with the next one
+        }
+        blocks = std::move(blocks_or).value();
       }
       if (pass_index == 0) {
         for (PlainBlock& block : blocks) {
@@ -90,11 +95,14 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
   GboOptions options;
   options.background_io = (config.variant == Variant::kGodivaMultiThread);
   options.memory_limit_bytes = config.godiva_memory_bytes;
+  options.retry = config.retry;
   Gbo db(options);
   GODIVA_RETURN_IF_ERROR(DefineBlockSchema(&db));
 
   std::vector<std::string> quantities = config.test.AllQuantities();
-  Gbo::ReadFn read_fn = MakeSnapshotReadFn(runtime, &dataset, quantities);
+  Gbo::ReadFn read_fn = MakeSnapshotReadFn(
+      runtime, &dataset, quantities,
+      SnapshotReadOptions{.verify_checksums = config.verify_checksums});
 
   // Batch mode: announce every unit up front, in processing order.
   std::vector<int> snapshots = SnapshotsToProcess(config);
@@ -104,7 +112,21 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
 
   for (int snapshot : snapshots) {
     std::string unit = SnapshotUnitName(snapshot);
-    GODIVA_RETURN_IF_ERROR(db.WaitUnit(unit));
+    Status wait = config.unit_wait_deadline > Duration::zero()
+                      ? db.WaitUnitFor(unit, config.unit_wait_deadline)
+                      : db.WaitUnit(unit);
+    if (!wait.ok()) {
+      if (!config.skip_failed_snapshots) return wait;
+      // Prefer the unit's own terminal error (the one that exhausted the
+      // retry policy) over the wait status when both exist.
+      Status cause = db.GetUnitError(unit);
+      result->skipped.push_back({snapshot, cause.ok() ? wait : cause});
+      // Best-effort drop of the failed unit's bookkeeping; a unit still
+      // mid-read after a deadline expiry refuses deletion, which is fine —
+      // the sweep moves on either way.
+      (void)db.DeleteUnit(unit);
+      continue;
+    }
 
     // Build views straight over the GODIVA field buffers: no copies, the
     // mesh is read once per snapshot no matter how many passes use it.

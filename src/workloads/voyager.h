@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "core/options.h"
 #include "core/stats.h"
 #include "mesh/snapshot_writer.h"
 #include "workloads/platform_runtime.h"
@@ -41,6 +44,21 @@ struct RunConfig {
   // way Voyager does ("assigning different processors different snapshots
   // to process").
   std::vector<int> snapshots;
+
+  // --- Fault tolerance (G/TG variants; O has no retry layer) ---
+
+  // Unit-read retry policy handed to the GODIVA database.
+  RetryPolicy retry = {};
+  // CRC-check every dataset while loading; corruption surfaces as a
+  // retryable DATA_LOSS instead of silently wrong pixels.
+  bool verify_checksums = false;
+  // On a permanent unit failure, record the snapshot in
+  // CellResult::skipped and keep rendering the remaining frames instead of
+  // aborting the sweep. Also honored by the O variant (per-snapshot skip).
+  bool skip_failed_snapshots = false;
+  // Upper bound for each per-snapshot wait; zero means wait indefinitely.
+  // Expiry counts as a failure (skipped or fatal per the flag above).
+  Duration unit_wait_deadline = Duration::zero();
 };
 
 // One cell of Figure 3: times in modeled seconds (wall time divided by the
@@ -63,6 +81,15 @@ struct CellResult {
   // Processing counters.
   int64_t triangles = 0;
   int64_t tets_visited = 0;
+
+  // Snapshots abandoned under RunConfig::skip_failed_snapshots, with the
+  // error that exhausted the retry policy (or the deadline expiry). Empty
+  // on a clean run.
+  struct SkippedSnapshot {
+    int snapshot = -1;
+    Status error;
+  };
+  std::vector<SkippedSnapshot> skipped;
 
   GboStats gbo;  // zeros for the O variant
 };
