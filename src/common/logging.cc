@@ -2,15 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
 
 namespace godiva {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
-std::mutex g_log_mutex;
+// Leaf rank: GODIVA_LOG fires under Gbo::mu_ and the sim locks, so the
+// sink mutex must order after everything else.
+Mutex g_log_mutex(lock_rank::kLogging, "logging");
 
 char LevelLetter(LogLevel level) {
   switch (level) {
@@ -42,7 +45,7 @@ void Emit(LogLevel level, std::string_view file, int line,
           std::string_view message) {
   size_t slash = file.find_last_of('/');
   if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "[%c %.*s:%d] %.*s\n", LevelLetter(level),
                static_cast<int>(file.size()), file.data(), line,
                static_cast<int>(message.size()), message.data());

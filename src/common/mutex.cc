@@ -1,0 +1,166 @@
+#include "common/mutex.h"
+
+#ifdef GODIVA_LOCK_RANK_CHECKS
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+#endif
+
+namespace godiva {
+
+#ifdef GODIVA_LOCK_RANK_CHECKS
+
+namespace {
+
+// The calling thread's current lock set, in acquisition order. Function-
+// local thread_local so it works from static initializers and detached
+// threads alike.
+std::vector<const Mutex*>& HeldSet() {
+  static thread_local std::vector<const Mutex*> held;
+  return held;
+}
+
+// Renders the thread's lock set as "name(rank) -> name(rank)".
+void PrintHeldSet(const std::vector<const Mutex*>& held) {
+  if (held.empty()) {
+    std::fprintf(stderr, "  (no locks held)\n");
+    return;
+  }
+  for (const Mutex* mu : held) {
+    std::fprintf(stderr, "  held: %s (rank %d, %p)\n", mu->name(), mu->rank(),
+                 static_cast<const void*>(mu));
+  }
+}
+
+[[noreturn]] void Fail(const char* what, const Mutex* mu) {
+  std::fprintf(stderr,
+               "godiva: %s: mutex %s (rank %d, %p); this thread's lock set "
+               "in acquisition order:\n",
+               what, mu->name(), mu->rank(), static_cast<const void*>(mu));
+  PrintHeldSet(HeldSet());
+  std::abort();
+}
+
+// Runs the ordering check for an acquisition of `mu`, then records it.
+// Called before blocking on the raw mutex so violations abort instead of
+// deadlocking.
+void OnAcquire(const Mutex* mu) {
+  std::vector<const Mutex*>& held = HeldSet();
+  for (const Mutex* h : held) {
+    if (h == mu) {
+      Fail("lock-rank violation: mutex already held by this thread "
+           "(self-deadlock)",
+           mu);
+    }
+  }
+  if (mu->rank() != lock_rank::kUnranked) {
+    for (const Mutex* h : held) {
+      if (h->rank() != lock_rank::kUnranked && h->rank() >= mu->rank()) {
+        Fail("lock-rank violation: acquisition out of global order", mu);
+      }
+    }
+  }
+  held.push_back(mu);
+}
+
+void OnRelease(const Mutex* mu) {
+  std::vector<const Mutex*>& held = HeldSet();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  Fail("lock-rank bookkeeping: releasing a mutex this thread does not hold",
+       mu);
+}
+
+bool IsHeld(const Mutex* mu) {
+  for (const Mutex* h : HeldSet()) {
+    if (h == mu) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Mutex::Lock() {
+  OnAcquire(this);
+  raw_.lock();
+}
+
+void Mutex::Unlock() {
+  OnRelease(this);
+  raw_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!raw_.try_lock()) return false;
+  // Record (and order-check) only successful acquisitions; a failed
+  // try_lock cannot deadlock and leaves the lock set untouched.
+  OnAcquire(this);
+  return true;
+}
+
+void Mutex::AssertHeld() const {
+  if (!IsHeld(this)) {
+    Fail("AssertHeld failed: mutex not held by this thread", this);
+  }
+}
+
+void Mutex::AssertNotHeld() const {
+  if (IsHeld(this)) {
+    Fail("AssertNotHeld failed: mutex held by this thread", this);
+  }
+}
+
+void CondVar::Wait(Mutex* mu) {
+  OnRelease(mu);
+  std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  OnAcquire(mu);
+}
+
+bool CondVar::WaitUntil(Mutex* mu, TimePoint deadline) {
+  OnRelease(mu);
+  std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+  std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  OnAcquire(mu);
+  return status == std::cv_status::no_timeout;
+}
+
+#else  // !GODIVA_LOCK_RANK_CHECKS
+
+void Mutex::Lock() { raw_.lock(); }
+
+void Mutex::Unlock() { raw_.unlock(); }
+
+bool Mutex::TryLock() { return raw_.try_lock(); }
+
+void Mutex::AssertHeld() const {}
+
+void Mutex::AssertNotHeld() const {}
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitUntil(Mutex* mu, TimePoint deadline) {
+  std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+  std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+#endif  // GODIVA_LOCK_RANK_CHECKS
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace godiva

@@ -1,0 +1,126 @@
+// godiva::Mutex / MutexLock / CondVar: thin wrappers over std::mutex and
+// std::condition_variable carrying (a) Clang thread-safety capability
+// attributes, so a Clang build with -Wthread-safety -Werror statically
+// checks which members are touched under which lock, and (b) a debug-build
+// lock-rank checker that aborts — with the offending thread's full lock
+// set — the moment any thread acquires mutexes out of the global order,
+// turning every potential lock-order deadlock into a deterministic crash
+// at the acquisition site instead of a timing-dependent hang.
+//
+// Ranking rule: a thread may acquire a ranked mutex only while every
+// ranked mutex it already holds has a strictly *lower* rank. Acquiring the
+// same mutex twice (self-deadlock — e.g. a GODIVA read function invoked
+// with Gbo::mu_ held) aborts regardless of rank. Default-constructed
+// mutexes are unranked: they are tracked (so AssertHeld and re-acquisition
+// detection work) but exempt from the ordering rule.
+//
+// The checker is compiled in when GODIVA_LOCK_RANK_CHECKS is defined (the
+// default build; see the GODIVA_DEBUG_CHECKS CMake option) and costs one
+// thread-local vector push/pop per acquisition.
+#ifndef GODIVA_COMMON_MUTEX_H_
+#define GODIVA_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+
+namespace godiva {
+
+// The global lock-order registry: every long-lived mutex in the system is
+// constructed with one of these ranks, and DESIGN.md §6 documents what
+// each one guards. Lower ranks are acquired first; two mutexes of equal
+// rank must never be held together.
+namespace lock_rank {
+inline constexpr int kUnranked = -1;  // exempt from ordering checks
+// InteractivePrefetcher::mu_ — held across blocking Gbo calls, so it must
+// rank below (be acquired before) Gbo::mu_.
+inline constexpr int kInteractivePrefetcher = 100;
+// Gbo::mu_ — the database lock. Never held while a user read function
+// runs; the re-acquisition check enforces exactly that invariant, because
+// every record operation a read function may legally call re-locks it.
+inline constexpr int kGboMu = 200;
+// SimEnv::fs_mutex_ — the in-memory filesystem directory.
+inline constexpr int kSimFilesystem = 300;
+// FaultInjectionEnv::mu_ — the fault plan, consulted before base I/O.
+inline constexpr int kFaultPlan = 320;
+// SimEnv::disk_mutex_ — the modeled disk head; held across scaled sleeps.
+inline constexpr int kSimDisk = 340;
+// Semaphore::mutex_ — leaf: nothing is ever acquired under it.
+inline constexpr int kSemaphore = 900;
+// The global logging sink — leaf, below only nothing: GODIVA_LOG runs
+// under Gbo::mu_ and the sim locks.
+inline constexpr int kLogging = 1000;
+}  // namespace lock_rank
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  // An unranked mutex: tracked by the checker but exempt from ordering.
+  Mutex() : Mutex(lock_rank::kUnranked, "unranked") {}
+  // A ranked mutex participating in the global acquisition order.
+  explicit Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE();
+  void Unlock() RELEASE();
+  bool TryLock() TRY_ACQUIRE(true);
+
+  // Aborts unless the calling thread holds / does not hold this mutex.
+  // No-ops when the lock-rank checker is compiled out.
+  void AssertHeld() const ASSERT_CAPABILITY(this);
+  void AssertNotHeld() const EXCLUDES(this);
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex raw_;
+  const int rank_;
+  const char* const name_;
+};
+
+// RAII scoped lock (the std::lock_guard of this world).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to godiva::Mutex. Waits release and re-acquire
+// the mutex (updating the lock-rank bookkeeping around the block), and
+// both waits return on spurious wakeups — callers loop over an explicit
+// predicate, which keeps every guarded read inside a REQUIRES-annotated
+// function where the static analysis can see it (lambda predicates are
+// opaque to -Wthread-safety).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified (or spuriously woken).
+  void Wait(Mutex* mu) REQUIRES(mu);
+
+  // Blocks until notified, spuriously woken, or `deadline`. Returns false
+  // iff the deadline passed (the caller re-checks its predicate last).
+  bool WaitUntil(Mutex* mu, TimePoint deadline) REQUIRES(mu);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_MUTEX_H_

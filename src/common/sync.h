@@ -1,47 +1,75 @@
 // Synchronization helpers: a counting semaphore with a runtime-chosen slot
 // count (std::counting_semaphore fixes the max at compile time and cannot
-// report occupancy, which SimCpu needs).
+// report occupancy, which SimCpu needs). Built on godiva::Mutex so slot
+// accounting is covered by the Clang thread-safety analysis and the
+// debug-build lock-rank checker (the internal mutex is a leaf: nothing may
+// be acquired while holding it).
 #ifndef GODIVA_COMMON_SYNC_H_
 #define GODIVA_COMMON_SYNC_H_
 
-#include <condition_variable>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace godiva {
 
 // A counting semaphore: `slots` concurrent holders.
 class Semaphore {
  public:
-  explicit Semaphore(int slots) : available_(slots) {}
+  explicit Semaphore(int slots)
+      : mutex_(lock_rank::kSemaphore, "Semaphore::mutex_"),
+        slots_(slots),
+        available_(slots) {}
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
 
-  void Acquire() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return available_ > 0; });
+  void Acquire() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    while (available_ <= 0) cv_.Wait(&mutex_);
     --available_;
   }
 
   // Returns false instead of blocking when no slot is free.
-  bool TryAcquire() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool TryAcquire() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     if (available_ <= 0) return false;
     --available_;
     return true;
   }
 
-  void Release() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++available_;
+  void Release() EXCLUDES(mutex_) { ReleaseN(1); }
+
+  // Returns `n` slots at once, waking enough waiters to consume them.
+  // Notifies while still holding the lock: a waiter that observed the
+  // increment could otherwise acquire, finish, and destroy the semaphore
+  // between our unlock and the notify, leaving the condition variable to
+  // be signalled after its storage is gone. Holding the lock across the
+  // notify makes release ordering independent of that race.
+  void ReleaseN(int n) EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    available_ += n;
+    if (n == 1) {
+      cv_.NotifyOne();
+    } else {
+      cv_.NotifyAll();
     }
-    cv_.notify_one();
   }
 
+  // Occupancy accessors: free slots right now, and slots handed out.
+  int available() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return available_;
+  }
+  int in_use() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return slots_ - available_;
+  }
+  int slots() const { return slots_; }
+
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int available_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  const int slots_;
+  int available_ GUARDED_BY(mutex_);
 };
 
 // RAII slot holder.

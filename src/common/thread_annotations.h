@@ -1,0 +1,87 @@
+// Clang thread-safety-analysis attribute macros (no-ops on other
+// compilers). Applied to godiva::Mutex and every class whose members are
+// guarded by one, so a Clang build with -Wthread-safety -Werror proves the
+// locking discipline at compile time. Names and semantics follow the Clang
+// documentation ("Thread Safety Analysis") and Abseil conventions:
+//
+//   GUARDED_BY(mu)   data member may only be touched with mu held
+//   REQUIRES(mu)     function may only be called with mu held
+//   EXCLUDES(mu)     function may only be called with mu NOT held
+//   ACQUIRE/RELEASE  function acquires/releases the capability
+//   ASSERT_CAPABILITY function asserts (at run time) the capability is held
+#ifndef GODIVA_COMMON_THREAD_ANNOTATIONS_H_
+#define GODIVA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define GODIVA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define GODIVA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) GODIVA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY GODIVA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) GODIVA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) GODIVA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GODIVA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+#endif
+
+#endif  // GODIVA_COMMON_THREAD_ANNOTATIONS_H_

@@ -40,12 +40,12 @@ Gbo::Gbo(GboOptions options)
 
 Gbo::~Gbo() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  queue_cv_.notify_all();
-  memory_cv_.notify_all();
-  unit_cv_.notify_all();
+  queue_cv_.NotifyAll();
+  memory_cv_.NotifyAll();
+  unit_cv_.NotifyAll();
   if (io_thread_.joinable()) io_thread_.join();
 }
 
@@ -60,7 +60,7 @@ Status Gbo::DefineField(const std::string& name, DataType type,
     return InvalidArgumentError(
         StrCat("field ", name, ": invalid default size ", size_bytes));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = field_types_.try_emplace(name);
   if (!inserted) {
     return AlreadyExistsError(StrCat("field type already defined: ", name));
@@ -75,7 +75,7 @@ Status Gbo::DefineRecord(const std::string& name, int num_key_fields) {
   if (num_key_fields < 0) {
     return InvalidArgumentError("negative key field count");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = record_types_.try_emplace(name);
   if (!inserted) {
     return AlreadyExistsError(StrCat("record type already defined: ", name));
@@ -86,7 +86,7 @@ Status Gbo::DefineRecord(const std::string& name, int num_key_fields) {
 
 Status Gbo::InsertField(const std::string& record_type,
                         const std::string& field_name, bool is_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto type_it = record_types_.find(record_type);
   if (type_it == record_types_.end()) {
     return NotFoundError(StrCat("no record type named ", record_type));
@@ -99,7 +99,7 @@ Status Gbo::InsertField(const std::string& record_type,
 }
 
 Status Gbo::CommitRecordType(const std::string& record_type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = record_types_.find(record_type);
   if (it == record_types_.end()) {
     return NotFoundError(StrCat("no record type named ", record_type));
@@ -124,7 +124,7 @@ Result<RecordType*> Gbo::FindCommittedTypeLocked(
 }
 
 Result<Record*> Gbo::NewRecord(const std::string& record_type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   GODIVA_ASSIGN_OR_RETURN(RecordType * type,
                           FindCommittedTypeLocked(record_type));
   auto record = std::make_unique<Record>(type);
@@ -163,7 +163,7 @@ Result<Record*> Gbo::NewRecord(const std::string& record_type) {
 Result<void*> Gbo::AllocFieldBuffer(Record* record,
                                     const std::string& field_name,
                                     int64_t size_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto rec_it = records_.find(record);
   if (rec_it == records_.end()) {
     return InvalidArgumentError("unknown record handle");
@@ -186,7 +186,7 @@ Result<void*> Gbo::AllocFieldBuffer(Record* record,
 }
 
 Status Gbo::CommitRecord(Record* record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto rec_it = records_.find(record);
   if (rec_it == records_.end()) {
     return InvalidArgumentError("unknown record handle");
@@ -267,14 +267,14 @@ Result<Record*> Gbo::FindRecordLocked(
 
 Result<Record*> Gbo::FindRecord(const std::string& record_type,
                                 const std::vector<std::string>& key_values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FindRecordLocked(record_type, key_values);
 }
 
 Result<void*> Gbo::GetFieldBuffer(const std::string& record_type,
                                   const std::string& field_name,
                                   const std::vector<std::string>& key_values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   GODIVA_ASSIGN_OR_RETURN(Record * record,
                           FindRecordLocked(record_type, key_values));
   return record->FieldBuffer(field_name);
@@ -283,14 +283,14 @@ Result<void*> Gbo::GetFieldBuffer(const std::string& record_type,
 Result<int64_t> Gbo::GetFieldBufferSize(
     const std::string& record_type, const std::string& field_name,
     const std::vector<std::string>& key_values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   GODIVA_ASSIGN_OR_RETURN(Record * record,
                           FindRecordLocked(record_type, key_values));
   return record->FieldBufferSize(field_name);
 }
 
 Result<std::vector<Record*>> Gbo::ListRecords(const std::string& record_type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   GODIVA_ASSIGN_OR_RETURN(RecordType * type,
                           FindCommittedTypeLocked(record_type));
   std::vector<Record*> out;
@@ -303,7 +303,7 @@ Result<std::vector<Record*>> Gbo::ListRecords(const std::string& record_type) {
 }
 
 Result<std::vector<Record*>> Gbo::RecordsInUnit(const std::string& unit_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end()) {
     return NotFoundError(StrCat("no unit named ", unit_name));
@@ -315,7 +315,7 @@ Result<std::vector<Record*>> Gbo::RecordsInUnit(const std::string& unit_name) {
 // Introspection.
 
 GboStats Gbo::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   GboStats out = counters_;
   out.current_memory_bytes = memory_used_;
   out.visible_io_seconds = visible_io_time_.TotalSeconds();
@@ -325,17 +325,17 @@ GboStats Gbo::stats() const {
 }
 
 int64_t Gbo::memory_usage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memory_used_;
 }
 
 int64_t Gbo::memory_limit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memory_limit_;
 }
 
 std::string Gbo::DebugString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = StrCat("Gbo{", options_.background_io
                                        ? "multi-thread"
                                        : "single-thread",

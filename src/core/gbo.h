@@ -16,19 +16,20 @@
 //
 // Threading model: one "main" application thread (or several) plus the
 // internal I/O thread. All public methods are thread safe. User read
-// functions run without internal locks held and may call any record
-// operation on the same Gbo.
+// functions run without internal locks held — enforced at compile time by
+// the Clang thread-safety annotations below and at run time by the
+// lock-rank checker (a read function that were invoked with mu_ held
+// would re-acquire mu_ through any record operation and abort with both
+// lock sets) — and may call any record operation on the same Gbo.
 #ifndef GODIVA_CORE_GBO_H_
 #define GODIVA_CORE_GBO_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -36,8 +37,10 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/field_type.h"
 #include "core/options.h"
@@ -79,18 +82,20 @@ class Gbo {
   // Defines a named field type with an element type and a default buffer
   // size in bytes (kUnknownSize if discovered at read time).
   Status DefineField(const std::string& name, DataType type,
-                     int64_t size_bytes);
+                     int64_t size_bytes) EXCLUDES(mu_);
 
   // Starts a record type expecting exactly `num_key_fields` key fields.
-  Status DefineRecord(const std::string& name, int num_key_fields);
+  Status DefineRecord(const std::string& name, int num_key_fields)
+      EXCLUDES(mu_);
 
   // Adds a previously defined field type to a record type. `is_key` marks
   // it a key field; key fields must have known (fixed) sizes.
   Status InsertField(const std::string& record_type,
-                     const std::string& field_name, bool is_key);
+                     const std::string& field_name, bool is_key)
+      EXCLUDES(mu_);
 
   // Freezes the record type; records can be created from it afterwards.
-  Status CommitRecordType(const std::string& record_type);
+  Status CommitRecordType(const std::string& record_type) EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
   // Record instances.
@@ -101,17 +106,17 @@ class Gbo {
   // (never auto-evicted, freed only with the database).
   // The returned pointer is owned by the database and valid until the
   // record's unit is deleted/evicted or the Gbo is destroyed.
-  Result<Record*> NewRecord(const std::string& record_type);
+  Result<Record*> NewRecord(const std::string& record_type) EXCLUDES(mu_);
 
   // Allocates the buffer of a field whose size was UNKNOWN at definition
   // time (or simply not yet allocated). Returns the buffer.
   Result<void*> AllocFieldBuffer(Record* record, const std::string& field_name,
-                                 int64_t size_bytes);
+                                 int64_t size_bytes) EXCLUDES(mu_);
 
   // Inserts the record into the key index. All key-field buffers must be
   // filled with final values first (GODIVA does not detect later key
   // mutation — paper §3.3).
-  Status CommitRecord(Record* record);
+  Status CommitRecord(Record* record) EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
   // Dataset queries. `key_values` holds the raw bytes of each key field in
@@ -120,19 +125,22 @@ class Gbo {
 
   Result<void*> GetFieldBuffer(const std::string& record_type,
                                const std::string& field_name,
-                               const std::vector<std::string>& key_values);
-  Result<int64_t> GetFieldBufferSize(
-      const std::string& record_type, const std::string& field_name,
-      const std::vector<std::string>& key_values);
+                               const std::vector<std::string>& key_values)
+      EXCLUDES(mu_);
+  Result<int64_t> GetFieldBufferSize(const std::string& record_type,
+                                     const std::string& field_name,
+                                     const std::vector<std::string>& key_values)
+      EXCLUDES(mu_);
 
   // Typed view over a field buffer: GetFieldBuffer + GetFieldBufferSize in
   // one lookup, checked against the field's element type. T must match the
   // declared element size (e.g. double for FLOAT64 fields).
   template <typename T>
-  Result<std::span<T>> GetFieldSpan(
-      const std::string& record_type, const std::string& field_name,
-      const std::vector<std::string>& key_values) {
-    std::lock_guard<std::mutex> lock(mu_);
+  Result<std::span<T>> GetFieldSpan(const std::string& record_type,
+                                    const std::string& field_name,
+                                    const std::vector<std::string>& key_values)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     GODIVA_ASSIGN_OR_RETURN(Record * record,
                             FindRecordLocked(record_type, key_values));
     int index = record->type().FindMemberIndex(field_name);
@@ -155,25 +163,28 @@ class Gbo {
 
   // The record with the given key, or NOT_FOUND.
   Result<Record*> FindRecord(const std::string& record_type,
-                             const std::vector<std::string>& key_values);
+                             const std::vector<std::string>& key_values)
+      EXCLUDES(mu_);
 
   // All committed records of a type, in key order.
-  Result<std::vector<Record*>> ListRecords(const std::string& record_type);
+  Result<std::vector<Record*>> ListRecords(const std::string& record_type)
+      EXCLUDES(mu_);
 
   // All records bound to a unit (insertion order). The unit must exist.
-  Result<std::vector<Record*>> RecordsInUnit(const std::string& unit_name);
+  Result<std::vector<Record*>> RecordsInUnit(const std::string& unit_name)
+      EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
   // Background I/O (paper §3.2).
 
   // Appends a unit to the prefetch FIFO; the I/O thread will read it with
   // `read_fn` as memory allows. Non-blocking.
-  Status AddUnit(const std::string& unit_name, ReadFn read_fn);
+  Status AddUnit(const std::string& unit_name, ReadFn read_fn) EXCLUDES(mu_);
 
   // Blocking read. If the unit is already resident this is a cache hit; if
   // it is being prefetched, waits for it; otherwise reads it on the calling
   // thread. Pins the unit on success (like WaitUnit).
-  Status ReadUnit(const std::string& unit_name, ReadFn read_fn);
+  Status ReadUnit(const std::string& unit_name, ReadFn read_fn) EXCLUDES(mu_);
 
   // Like ReadUnit, but gives up with DEADLINE_EXCEEDED once `timeout` has
   // elapsed. When waiting on a background load, the wait is abandoned (the
@@ -181,48 +192,57 @@ class Gbo {
   // read runs on the calling thread, the deadline is checked between retry
   // attempts — a single in-flight read-function call is never interrupted.
   Status ReadUnitFor(const std::string& unit_name, ReadFn read_fn,
-                     Duration timeout);
+                     Duration timeout) EXCLUDES(mu_);
 
   // Blocks until the unit is ready, then pins it against automatic
   // eviction. In the single-thread build, performs the queued read inline
   // (paper §4.2: "a readUnit operation is performed inside the
   // corresponding waitUnit call").
-  Status WaitUnit(const std::string& unit_name);
+  Status WaitUnit(const std::string& unit_name) EXCLUDES(mu_);
 
   // WaitUnit with a deadline; DEADLINE_EXCEEDED semantics as ReadUnitFor.
-  Status WaitUnitFor(const std::string& unit_name, Duration timeout);
+  Status WaitUnitFor(const std::string& unit_name, Duration timeout)
+      EXCLUDES(mu_);
 
   // Declares processing of the unit complete: unpins it; once unpinned by
   // all waiters it becomes evictable under the cache policy.
-  Status FinishUnit(const std::string& unit_name);
+  Status FinishUnit(const std::string& unit_name) EXCLUDES(mu_);
 
   // Deletes the unit's records immediately (even if pinned — the caller
   // asserts the data is no longer needed). Fails while the unit's read
   // function is actively running; a unit sleeping out a retry backoff is
   // cancelled and deleted.
-  Status DeleteUnit(const std::string& unit_name);
+  Status DeleteUnit(const std::string& unit_name) EXCLUDES(mu_);
 
   // Adjusts the database memory limit at runtime.
-  Status SetMemSpace(int64_t bytes);
+  Status SetMemSpace(int64_t bytes) EXCLUDES(mu_);
 
-  Result<UnitState> GetUnitState(const std::string& unit_name) const;
+  Result<UnitState> GetUnitState(const std::string& unit_name) const
+      EXCLUDES(mu_);
 
   // The most recent terminal read error of the unit (OK if it never
   // failed; the preserved error of a kFailed unit). NOT_FOUND if no unit
   // with this name exists.
-  Status GetUnitError(const std::string& unit_name) const;
+  Status GetUnitError(const std::string& unit_name) const EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
   // Introspection.
 
-  GboStats stats() const;
-  int64_t memory_usage() const;
-  int64_t memory_limit() const;
+  GboStats stats() const EXCLUDES(mu_);
+  int64_t memory_usage() const EXCLUDES(mu_);
+  int64_t memory_limit() const EXCLUDES(mu_);
   const GboOptions& options() const { return options_; }
 
   // Human-readable snapshot of the database: record types, units and
   // their states, memory. For debugging and logging only.
-  std::string DebugString() const;
+  std::string DebugString() const EXCLUDES(mu_);
+
+  // Runs the internal consistency audit (LRU list vs unit states vs memory
+  // accounting vs waiter counts) and returns the first violation found, or
+  // OK. Always compiled (the GODIVA_DEBUG_INVARIANTS build additionally
+  // runs it, fatally, at every unit state transition); exposed so tests
+  // can assert the database is coherent at interesting points.
+  Status CheckInvariants() const EXCLUDES(mu_);
 
  private:
   struct Unit {
@@ -242,92 +262,115 @@ class Gbo {
     std::vector<Record*> records;
   };
 
-  // --- helpers; all *Locked functions require mu_ held.
+  // --- helpers; all *Locked functions require mu_ held (and say so to the
+  // static analysis via REQUIRES).
 
-  Result<RecordType*> FindCommittedTypeLocked(const std::string& record_type);
+  Result<RecordType*> FindCommittedTypeLocked(const std::string& record_type)
+      REQUIRES(mu_);
   Result<Record*> FindRecordLocked(const std::string& record_type,
-                                   const std::vector<std::string>& key_values);
+                                   const std::vector<std::string>& key_values)
+      REQUIRES(mu_);
   Status EncodeLookupKeyLocked(const RecordType& type,
                                const std::vector<std::string>& key_values,
-                               std::string* key) const;
+                               std::string* key) const REQUIRES(mu_);
 
-  void ChargeMemoryLocked(Unit* unit, int64_t bytes);
+  void ChargeMemoryLocked(Unit* unit, int64_t bytes) REQUIRES(mu_);
   // Evicts one evictable unit; returns false if none.
-  bool EvictOneLocked();
+  bool EvictOneLocked() REQUIRES(mu_);
   // Evicts until memory_used_ < memory_limit_ or nothing evictable.
-  void EvictToLimitLocked();
+  void EvictToLimitLocked() REQUIRES(mu_);
   // Removes a unit's records from the index and frees their memory
   // (rollback of failed loads; first half of eviction).
-  void PurgeRecordsLocked(Unit* unit);
-  void EvictUnitLocked(Unit* unit, bool explicit_delete);
-  void MakeEvictableLocked(Unit* unit);
-  void PinLocked(Unit* unit);
+  void PurgeRecordsLocked(Unit* unit) REQUIRES(mu_);
+  void EvictUnitLocked(Unit* unit, bool explicit_delete) REQUIRES(mu_);
+  void MakeEvictableLocked(Unit* unit) REQUIRES(mu_);
+  void PinLocked(Unit* unit) REQUIRES(mu_);
 
   // Runs the read function with the unit bound as the calling thread's
-  // current unit. Called WITHOUT mu_ held.
-  Status RunReadFn(Unit* unit);
+  // current unit. Called WITHOUT mu_ held — the read function re-enters
+  // the public API (any record operation re-locks mu_; the lock-rank
+  // checker turns a violation of this rule into a self-deadlock abort).
+  Status RunReadFn(Unit* unit) EXCLUDES(mu_);
 
   // Runs the read function under the retry policy: rolls partial records
   // back after every failed attempt and sleeps a jittered exponential
   // backoff (interruptible by shutdown and DeleteUnit) before the next.
-  // `lock` is held on entry and exit, released around each attempt. The
+  // mu_ is held on entry and exit, released around each attempt. The
   // caller owns the unit's state transition.
-  Status ExecuteReadLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
-                           const TimePoint* deadline, bool on_io_thread);
+  Status ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
+                           bool on_io_thread) REQUIRES(mu_);
 
   // The next jittered backoff delay for the given base.
-  Duration JitteredBackoffLocked(Duration base);
+  Duration JitteredBackoffLocked(Duration base) REQUIRES(mu_);
 
   // Blocking load on the caller's thread (foreground read / single-thread
-  // WaitUnit). `lock` is held on entry and exit.
-  Status LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
-                          const TimePoint* deadline);
+  // WaitUnit). mu_ is held on entry and exit.
+  Status LoadInlineLocked(Unit* unit, const TimePoint* deadline)
+      REQUIRES(mu_);
 
   // Waits until `unit` leaves Queued/Loading (or `deadline`, if non-null,
   // passes). Returns the unit's terminal status or DEADLINE_EXCEEDED.
-  Status AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
-                          const TimePoint* deadline);
+  Status AwaitReadyLocked(Unit* unit, const TimePoint* deadline)
+      REQUIRES(mu_);
+
+  // True once `unit` is out of Queued/Loading — AwaitReadyLocked's wait
+  // predicate (backoff sleeps count as settled enough for a foreground
+  // caller to take over the load).
+  bool UnitSettledLocked(const Unit& unit) const REQUIRES(mu_);
 
   Status ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
-                          const TimePoint* deadline);
+                          const TimePoint* deadline) EXCLUDES(mu_);
   Status WaitUnitInternal(const std::string& unit_name,
-                          const TimePoint* deadline);
+                          const TimePoint* deadline) EXCLUDES(mu_);
 
-  void IoThreadMain();
+  void IoThreadMain() EXCLUDES(mu_);
   // Fails `unit` with ABORTED to break a detected deadlock.
-  void ResolveDeadlockLocked(Unit* unit);
+  void ResolveDeadlockLocked(Unit* unit) REQUIRES(mu_);
   // A queued unit some thread is blocked on (deadlock candidate), if any.
-  Unit* FindBlockedQueuedUnitLocked();
+  Unit* FindBlockedQueuedUnitLocked() REQUIRES(mu_);
+
+  // The audit behind CheckInvariants(): walks units_, records_, indexes_,
+  // prefetch_queue_ and evictable_ and cross-checks them against the
+  // memory accounting and waiter counters. Returns the first violation.
+  Status AuditInvariantsLocked() const REQUIRES(mu_);
+  // Fatal wrapper, compiled to a no-op unless GODIVA_DEBUG_INVARIANTS:
+  // called at every unit state transition; logs and aborts on violation.
+  void CheckInvariantsLocked() REQUIRES(mu_);
 
   const GboOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable unit_cv_;    // unit state transitions
-  std::condition_variable memory_cv_;  // memory freed / evictables appeared
-  std::condition_variable queue_cv_;   // prefetch queue / shutdown
+  mutable Mutex mu_{lock_rank::kGboMu, "Gbo::mu_"};
+  CondVar unit_cv_;    // unit state transitions
+  CondVar memory_cv_;  // memory freed / evictables appeared
+  CondVar queue_cv_;   // prefetch queue / shutdown
 
-  std::map<std::string, std::unique_ptr<FieldTypeDef>> field_types_;
-  std::map<std::string, std::unique_ptr<RecordType>> record_types_;
+  std::map<std::string, std::unique_ptr<FieldTypeDef>> field_types_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RecordType>> record_types_
+      GUARDED_BY(mu_);
   // Key index per record type: an RB-tree map, as in the paper ("organized
   // in a C++ STL map, indexed with the key field values").
-  std::map<const RecordType*, std::map<std::string, Record*>> indexes_;
-  std::map<Record*, std::unique_ptr<Record>> records_;
+  std::map<const RecordType*, std::map<std::string, Record*>> indexes_
+      GUARDED_BY(mu_);
+  std::map<Record*, std::unique_ptr<Record>> records_ GUARDED_BY(mu_);
 
-  std::map<std::string, std::unique_ptr<Unit>> units_;
-  std::deque<Unit*> prefetch_queue_;
-  std::list<Unit*> evictable_;  // eviction order per options_.eviction_policy
+  std::map<std::string, std::unique_ptr<Unit>> units_ GUARDED_BY(mu_);
+  std::deque<Unit*> prefetch_queue_ GUARDED_BY(mu_);
+  // Eviction order per options_.eviction_policy.
+  std::list<Unit*> evictable_ GUARDED_BY(mu_);
 
-  int64_t memory_limit_;
-  int64_t memory_used_ = 0;
-  int64_t next_ready_seq_ = 0;
-  int blocked_waiters_ = 0;
-  bool shutdown_ = false;
+  int64_t memory_limit_ GUARDED_BY(mu_);
+  int64_t memory_used_ GUARDED_BY(mu_) = 0;
+  int64_t next_ready_seq_ GUARDED_BY(mu_) = 0;
+  int blocked_waiters_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
-  // Plain counters guarded by mu_.
-  GboStats counters_;
+  // Plain counters guarded by mu_; mutable so the const audit path can
+  // count itself.
+  mutable GboStats counters_ GUARDED_BY(mu_);
 
-  // Backoff jitter source, guarded by mu_ (fixed seed: deterministic runs).
-  Random retry_rng_{0x60D1FA};
+  // Backoff jitter source (fixed seed: deterministic runs).
+  Random retry_rng_ GUARDED_BY(mu_){0x60D1FA};
 
   // Time accumulators (internally thread safe, updated outside mu_).
   TimeAccumulator visible_io_time_;

@@ -1,0 +1,190 @@
+// Gbo internal consistency audit: cross-checks the unit state machine, the
+// prefetch queue, the eviction list, the key indexes and the memory
+// accounting against each other. The GODIVA_DEBUG_INVARIANTS build runs
+// the audit fatally at every unit state transition; CheckInvariants() is
+// always available for tests.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/gbo.h"
+
+namespace godiva {
+
+Status Gbo::AuditInvariantsLocked() const {
+  // 1. Memory accounting: the sum of all live records' charges equals
+  //    memory_used_, and each unit's memory_bytes equals the sum over its
+  //    own records.
+  int64_t total_bytes = 0;
+  for (const auto& [raw, owned] : records_) {
+    total_bytes += raw->MemoryUsage();
+  }
+  if (total_bytes != memory_used_) {
+    return InternalError(StrCat("invariant violation: memory_used_ is ",
+                                memory_used_, " but live records sum to ",
+                                total_bytes, " bytes"));
+  }
+
+  std::set<const Unit*> in_queue;
+  for (const Unit* unit : prefetch_queue_) {
+    if (!in_queue.insert(unit).second) {
+      return InternalError(StrCat("invariant violation: unit ", unit->name,
+                                  " appears twice in the prefetch queue"));
+    }
+    if (unit->state != UnitState::kQueued) {
+      return InternalError(StrCat(
+          "invariant violation: unit ", unit->name,
+          " is in the prefetch queue in state ", UnitStateName(unit->state)));
+    }
+  }
+
+  std::set<const Unit*> in_evictable;
+  for (const Unit* unit : evictable_) {
+    if (!in_evictable.insert(unit).second) {
+      return InternalError(StrCat("invariant violation: unit ", unit->name,
+                                  " appears twice in the evictable list"));
+    }
+    if (unit->state != UnitState::kReady || unit->refcount != 0 ||
+        !unit->finished) {
+      return InternalError(StrCat(
+          "invariant violation: evictable unit ", unit->name, " is ",
+          UnitStateName(unit->state), " with refcount ", unit->refcount,
+          unit->finished ? "" : ", not finished"));
+    }
+  }
+
+  int64_t total_waiters = 0;
+  for (const auto& [name, unit] : units_) {
+    if (unit->refcount < 0 || unit->waiters < 0) {
+      return InternalError(StrCat("invariant violation: unit ", name,
+                                  " has negative refcount (", unit->refcount,
+                                  ") or waiters (", unit->waiters, ")"));
+    }
+    total_waiters += unit->waiters;
+
+    int64_t unit_bytes = 0;
+    for (Record* record : unit->records) {
+      if (records_.find(record) == records_.end()) {
+        return InternalError(StrCat("invariant violation: unit ", name,
+                                    " holds a record that is not in the "
+                                    "record table"));
+      }
+      unit_bytes += record->MemoryUsage();
+    }
+    if (unit_bytes != unit->memory_bytes) {
+      return InternalError(StrCat(
+          "invariant violation: unit ", name, " accounts ",
+          unit->memory_bytes, " bytes but its records sum to ", unit_bytes));
+    }
+
+    switch (unit->state) {
+      case UnitState::kQueued:
+        if (in_queue.count(unit.get()) == 0) {
+          return InternalError(StrCat("invariant violation: unit ", name,
+                                      " is QUEUED but not in the prefetch "
+                                      "queue"));
+        }
+        [[fallthrough]];
+      case UnitState::kFailed:
+        // Failed loads are rolled back before the transition; queued units
+        // have not loaded anything yet.
+        if (!unit->records.empty() || unit->memory_bytes != 0) {
+          return InternalError(StrCat(
+              "invariant violation: ", UnitStateName(unit->state), " unit ",
+              name, " still holds ", unit->records.size(), " records (",
+              unit->memory_bytes, " bytes)"));
+        }
+        break;
+      case UnitState::kReady:
+        if (unit->refcount == 0 && unit->finished &&
+            in_evictable.count(unit.get()) == 0) {
+          return InternalError(StrCat("invariant violation: unit ", name,
+                                      " is READY, unpinned and finished but "
+                                      "not evictable"));
+        }
+        break;
+      case UnitState::kDeleted:
+        if (unit->refcount != 0 || !unit->records.empty() ||
+            unit->memory_bytes != 0) {
+          return InternalError(StrCat("invariant violation: DELETED unit ",
+                                      name, " still has refcount ",
+                                      unit->refcount, ", ",
+                                      unit->records.size(), " records, ",
+                                      unit->memory_bytes, " bytes"));
+        }
+        break;
+      case UnitState::kLoading:
+        break;  // records and memory are in flux by design
+    }
+    if (unit->state != UnitState::kQueued && in_queue.count(unit.get()) > 0) {
+      return InternalError(StrCat("invariant violation: non-queued unit ",
+                                  name, " is in the prefetch queue"));
+    }
+    if (unit->state != UnitState::kReady &&
+        in_evictable.count(unit.get()) > 0) {
+      return InternalError(StrCat("invariant violation: non-ready unit ",
+                                  name, " is in the evictable list"));
+    }
+  }
+  if (total_waiters != blocked_waiters_) {
+    return InternalError(StrCat("invariant violation: blocked_waiters_ is ",
+                                blocked_waiters_, " but per-unit waiters sum "
+                                "to ", total_waiters));
+  }
+
+  // 2. Key indexes: every index entry points at a live, committed record
+  //    whose cached key matches its index key.
+  for (const auto& [type, index] : indexes_) {
+    for (const auto& [key, record] : index) {
+      if (records_.find(record) == records_.end()) {
+        return InternalError(
+            StrCat("invariant violation: index of type ", type->name(),
+                   " references a record that is not in the record table"));
+      }
+      if (!record->committed_ || record->key_ != key) {
+        return InternalError(StrCat(
+            "invariant violation: index of type ", type->name(),
+            " entry is ", record->committed_ ? "committed" : "uncommitted",
+            " with cached key ", record->key_ == key ? "matching"
+                                                     : "mismatching"));
+      }
+    }
+  }
+  // ...and every committed keyed record is findable through its index.
+  for (const auto& [raw, owned] : records_) {
+    if (!raw->committed_ || raw->key_.empty()) continue;
+    auto index_it = indexes_.find(&raw->type());
+    if (index_it == indexes_.end() ||
+        index_it->second.find(raw->key_) == index_it->second.end()) {
+      return InternalError(
+          StrCat("invariant violation: committed record of type ",
+                 raw->type().name(), " is missing from its key index"));
+    }
+  }
+
+  return Status::Ok();
+}
+
+void Gbo::CheckInvariantsLocked() {
+#ifdef GODIVA_DEBUG_INVARIANTS
+  ++counters_.invariant_checks;
+  Status status = AuditInvariantsLocked();
+  if (!status.ok()) {
+    GODIVA_LOG(kError) << "Gbo invariant audit failed: " << status;
+    std::fprintf(stderr, "godiva: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+#endif
+}
+
+Status Gbo::CheckInvariants() const {
+  MutexLock lock(&mu_);
+  return AuditInvariantsLocked();
+}
+
+}  // namespace godiva

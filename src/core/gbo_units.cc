@@ -2,12 +2,12 @@
 // prefetching, cache eviction, and deadlock detection (paper §3.2–§3.3).
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "core/gbo.h"
 #include "core/unit_context.h"
@@ -41,7 +41,7 @@ void Gbo::MakeEvictableLocked(Unit* unit) {
     }
     evictable_.insert(pos, unit);
   }
-  memory_cv_.notify_all();
+  memory_cv_.NotifyAll();
 }
 
 void Gbo::PinLocked(Unit* unit) {
@@ -61,7 +61,7 @@ void Gbo::PurgeRecordsLocked(Unit* unit) {
   unit->records.clear();
   memory_used_ -= unit->memory_bytes;
   unit->memory_bytes = 0;
-  memory_cv_.notify_all();
+  memory_cv_.NotifyAll();
 }
 
 void Gbo::EvictUnitLocked(Unit* unit, bool explicit_delete) {
@@ -79,7 +79,7 @@ void Gbo::EvictUnitLocked(Unit* unit, bool explicit_delete) {
     ++counters_.units_evicted;
     GODIVA_LOG(kDebug) << "evicted unit " << unit->name;
   }
-  memory_cv_.notify_all();
+  memory_cv_.NotifyAll();
 }
 
 bool Gbo::EvictOneLocked() {
@@ -87,6 +87,7 @@ bool Gbo::EvictOneLocked() {
   Unit* victim = evictable_.front();
   evictable_.pop_front();
   EvictUnitLocked(victim, /*explicit_delete=*/false);
+  CheckInvariantsLocked();
   return true;
 }
 
@@ -113,20 +114,20 @@ Duration Gbo::JitteredBackoffLocked(Duration base) {
   return std::max(scaled, Duration::zero());
 }
 
-Status Gbo::ExecuteReadLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
-                              const TimePoint* deadline, bool on_io_thread) {
+Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
+                              bool on_io_thread) {
   const RetryPolicy& policy = options_.retry;
   Duration base_backoff = policy.initial_backoff;
   Status status;
   for (int attempt = 1;; ++attempt) {
     unit->attempt = attempt;
-    lock.unlock();
+    mu_.Unlock();
     Stopwatch stopwatch;
     status = RunReadFn(unit);
     Duration elapsed = stopwatch.Elapsed();
     read_fn_time_.Add(elapsed);
     if (on_io_thread) prefetch_time_.Add(elapsed);
-    lock.lock();
+    mu_.Lock();
     if (status.ok()) return status;
 
     // Roll the partial load back before deciding anything else: the
@@ -153,9 +154,9 @@ Status Gbo::ExecuteReadLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
     // Interruptible backoff: shutdown and DeleteUnit break the sleep.
     unit->in_backoff = true;
     TimePoint wake = SteadyClock::now() + delay;
-    unit_cv_.wait_until(lock, wake, [&] {
-      return shutdown_ || unit->cancel_requested;
-    });
+    while (!shutdown_ && !unit->cancel_requested) {
+      if (!unit_cv_.WaitUntil(&mu_, wake)) break;  // backoff elapsed
+    }
     unit->in_backoff = false;
     if (shutdown_ || unit->cancel_requested) return status;
     base_backoff =
@@ -165,42 +166,47 @@ Status Gbo::ExecuteReadLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
   }
 }
 
-Status Gbo::LoadInlineLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
-                             const TimePoint* deadline) {
+Status Gbo::LoadInlineLocked(Unit* unit, const TimePoint* deadline) {
   unit->state = UnitState::kLoading;
   auto queue_pos =
       std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
   if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
   EvictToLimitLocked();  // best effort; the main thread never blocks here
 
-  Status status =
-      ExecuteReadLocked(lock, unit, deadline, /*on_io_thread=*/false);
+  Status status = ExecuteReadLocked(unit, deadline, /*on_io_thread=*/false);
 
   unit->error = status;
   unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
   unit->ready_seq = next_ready_seq_++;
   ++counters_.units_read_foreground;
-  unit_cv_.notify_all();
+  CheckInvariantsLocked();
+  unit_cv_.NotifyAll();
   return status;
 }
 
-Status Gbo::AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
-                             const TimePoint* deadline) {
+bool Gbo::UnitSettledLocked(const Unit& unit) const {
+  return unit.state == UnitState::kReady ||
+         unit.state == UnitState::kFailed ||
+         unit.state == UnitState::kDeleted;
+}
+
+Status Gbo::AwaitReadyLocked(Unit* unit, const TimePoint* deadline) {
   ++blocked_waiters_;
   ++unit->waiters;
   // Wake the I/O thread's memory gate so it can re-run deadlock detection
   // now that a consumer is blocked.
-  memory_cv_.notify_all();
-  auto done = [&] {
-    return shutdown_ || unit->state == UnitState::kReady ||
-           unit->state == UnitState::kFailed ||
-           unit->state == UnitState::kDeleted;
-  };
+  memory_cv_.NotifyAll();
   bool completed = true;
   if (deadline == nullptr) {
-    unit_cv_.wait(lock, done);
+    while (!shutdown_ && !UnitSettledLocked(*unit)) unit_cv_.Wait(&mu_);
   } else {
-    completed = unit_cv_.wait_until(lock, *deadline, done);
+    while (!shutdown_ && !UnitSettledLocked(*unit)) {
+      if (!unit_cv_.WaitUntil(&mu_, *deadline)) {
+        // Timed out: one final predicate check under the re-held lock.
+        completed = shutdown_ || UnitSettledLocked(*unit);
+        break;
+      }
+    }
   }
   --blocked_waiters_;
   --unit->waiters;
@@ -223,7 +229,7 @@ Status Gbo::AwaitReadyLocked(std::unique_lock<std::mutex>& lock, Unit* unit,
 Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
   if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
   if (!read_fn) return InvalidArgumentError("read function is null");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = units_.try_emplace(unit_name);
   if (!inserted && it->second->state != UnitState::kDeleted &&
       it->second->state != UnitState::kFailed) {
@@ -244,7 +250,8 @@ Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
   unit->cancel_requested = false;
   prefetch_queue_.push_back(unit);
   ++counters_.units_added;
-  queue_cv_.notify_one();
+  CheckInvariantsLocked();
+  queue_cv_.NotifyOne();
   return Status::Ok();
 }
 
@@ -261,7 +268,7 @@ Status Gbo::ReadUnitFor(const std::string& unit_name, ReadFn read_fn,
 Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
                              const TimePoint* deadline) {
   if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   // Deleted and failed units are re-readable (ReadUnit retries a failed
   // load with the new read function).
@@ -295,12 +302,12 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
     unit->finished = false;
     unit->attempt = 0;
     unit->cancel_requested = false;
-    status = LoadInlineLocked(lock, unit, deadline);
+    status = LoadInlineLocked(unit, deadline);
   } else if (unit->state == UnitState::kQueued && !options_.background_io) {
-    status = LoadInlineLocked(lock, unit, deadline);
+    status = LoadInlineLocked(unit, deadline);
   } else {
     // Queued (multi-thread) or already loading: wait for it.
-    status = AwaitReadyLocked(lock, unit, deadline);
+    status = AwaitReadyLocked(unit, deadline);
   }
   visible_io_time_.Add(stopwatch.Elapsed());
   if (status.ok()) PinLocked(unit);
@@ -318,7 +325,7 @@ Status Gbo::WaitUnitFor(const std::string& unit_name, Duration timeout) {
 
 Status Gbo::WaitUnitInternal(const std::string& unit_name,
                              const TimePoint* deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end() || it->second->state == UnitState::kDeleted) {
     return NotFoundError(StrCat("no unit named ", unit_name));
@@ -335,9 +342,9 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
   Status status;
   if (unit->state == UnitState::kQueued && !options_.background_io) {
     // Single-thread library: the read happens inside the wait (paper §4.2).
-    status = LoadInlineLocked(lock, unit, deadline);
+    status = LoadInlineLocked(unit, deadline);
   } else {
-    status = AwaitReadyLocked(lock, unit, deadline);
+    status = AwaitReadyLocked(unit, deadline);
   }
   visible_io_time_.Add(stopwatch.Elapsed());
   if (status.ok()) PinLocked(unit);
@@ -345,7 +352,7 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
 }
 
 Status Gbo::FinishUnit(const std::string& unit_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end() || it->second->state == UnitState::kDeleted) {
     return NotFoundError(StrCat("no unit named ", unit_name));
@@ -359,11 +366,12 @@ Status Gbo::FinishUnit(const std::string& unit_name) {
   if (unit->refcount > 0) --unit->refcount;
   unit->finished = true;
   if (unit->refcount == 0) MakeEvictableLocked(unit);
+  CheckInvariantsLocked();
   return Status::Ok();
 }
 
 Status Gbo::DeleteUnit(const std::string& unit_name) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end() || it->second->state == UnitState::kDeleted) {
     return NotFoundError(StrCat("no unit named ", unit_name));
@@ -378,10 +386,10 @@ Status Gbo::DeleteUnit(const std::string& unit_name) {
     // backoff. Cancel it and wait for the loader to acknowledge (it wakes
     // immediately and fails the unit with its last error).
     unit->cancel_requested = true;
-    unit_cv_.notify_all();
-    unit_cv_.wait(lock, [&] {
-      return shutdown_ || unit->state != UnitState::kLoading;
-    });
+    unit_cv_.NotifyAll();
+    while (!shutdown_ && unit->state == UnitState::kLoading) {
+      unit_cv_.Wait(&mu_);
+    }
     unit->cancel_requested = false;
     if (unit->state == UnitState::kLoading) {
       return AbortedError("database is shutting down");
@@ -389,21 +397,23 @@ Status Gbo::DeleteUnit(const std::string& unit_name) {
     if (unit->state == UnitState::kDeleted) return Status::Ok();  // raced
   }
   EvictUnitLocked(unit, /*explicit_delete=*/true);
-  unit_cv_.notify_all();
+  CheckInvariantsLocked();
+  unit_cv_.NotifyAll();
   return Status::Ok();
 }
 
 Status Gbo::SetMemSpace(int64_t bytes) {
   if (bytes < 0) return InvalidArgumentError("negative memory limit");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   memory_limit_ = bytes;
   EvictToLimitLocked();
-  memory_cv_.notify_all();
+  CheckInvariantsLocked();
+  memory_cv_.NotifyAll();
   return Status::Ok();
 }
 
 Result<UnitState> Gbo::GetUnitState(const std::string& unit_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end()) {
     return NotFoundError(StrCat("no unit named ", unit_name));
@@ -412,7 +422,7 @@ Result<UnitState> Gbo::GetUnitState(const std::string& unit_name) const {
 }
 
 Status Gbo::GetUnitError(const std::string& unit_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = units_.find(unit_name);
   if (it == units_.end()) {
     return NotFoundError(StrCat("no unit named ", unit_name));
@@ -448,14 +458,14 @@ void Gbo::ResolveDeadlockLocked(Unit* unit) {
       ") and no finished units are evictable"));
   ++counters_.deadlocks_detected;
   GODIVA_LOG(kError) << unit->error.message();
-  unit_cv_.notify_all();
+  CheckInvariantsLocked();
+  unit_cv_.NotifyAll();
 }
 
 void Gbo::IoThreadMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (!shutdown_) {
-    queue_cv_.wait(lock,
-                   [&] { return shutdown_ || !prefetch_queue_.empty(); });
+    while (!shutdown_ && prefetch_queue_.empty()) queue_cv_.Wait(&mu_);
     if (shutdown_) return;
 
     // Memory gate: prefetch only while there is room to hold more data
@@ -466,7 +476,7 @@ void Gbo::IoThreadMain() {
         ResolveDeadlockLocked(blocked);
         continue;
       }
-      memory_cv_.wait(lock);
+      memory_cv_.Wait(&mu_);
       continue;  // re-evaluate everything (shutdown, queue, memory)
     }
 
@@ -477,9 +487,8 @@ void Gbo::IoThreadMain() {
 
     // Retries and rollback of partial loads happen inside; backoff sleeps
     // are interrupted by shutdown and DeleteUnit.
-    Status status =
-        ExecuteReadLocked(lock, unit, /*deadline=*/nullptr,
-                          /*on_io_thread=*/true);
+    Status status = ExecuteReadLocked(unit, /*deadline=*/nullptr,
+                                      /*on_io_thread=*/true);
 
     unit->error = status;
     unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
@@ -489,7 +498,8 @@ void Gbo::IoThreadMain() {
       GODIVA_LOG(kWarning) << "prefetch of unit " << unit->name
                            << " failed: " << status;
     }
-    unit_cv_.notify_all();
+    CheckInvariantsLocked();
+    unit_cv_.NotifyAll();
   }
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace godiva {
 
@@ -15,7 +16,7 @@ InteractivePrefetcher::InteractivePrefetcher(Gbo* db, Options options,
       name_fn_(std::move(name_fn)),
       read_fn_(std::move(read_fn)) {}
 
-std::vector<int> InteractivePrefetcher::PredictNext(int index) const {
+std::vector<int> InteractivePrefetcher::PredictNextLocked(int index) const {
   int direction = direction_;
   if (last_access_ >= 0 && index != last_access_) {
     direction = index > last_access_ ? +1 : -1;
@@ -28,10 +29,21 @@ std::vector<int> InteractivePrefetcher::PredictNext(int index) const {
   return out;
 }
 
+std::vector<int> InteractivePrefetcher::PredictNext(int index) const {
+  MutexLock lock(&mu_);
+  return PredictNextLocked(index);
+}
+
+InteractivePrefetcher::Stats InteractivePrefetcher::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
 Status InteractivePrefetcher::Access(int index) {
   if (index < 0 || index >= options_.num_items) {
     return InvalidArgumentError("access index out of range");
   }
+  MutexLock lock(&mu_);
   ++stats_.accesses;
 
   // Retire stale speculations: anything speculated but not consumed is
@@ -69,7 +81,7 @@ Status InteractivePrefetcher::Access(int index) {
   outstanding_speculations_.erase(index);
 
   // Speculate along the scan direction.
-  for (int next : PredictNext(index)) {
+  for (int next : PredictNextLocked(index)) {
     std::string next_unit = name_fn_(next);
     auto state = db_->GetUnitState(next_unit);
     if (state.ok() && *state != UnitState::kDeleted &&

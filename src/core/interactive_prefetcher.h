@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/gbo.h"
 
 namespace godiva {
@@ -54,27 +56,38 @@ class InteractivePrefetcher {
   // Serves a user access to item `index` (blocking until resident) and
   // schedules speculative prefetches. After it returns, the unit is
   // pinned; call Release(index) when the user moves on.
-  Status Access(int index);
+  //
+  // Thread safe: concurrent accesses are serialized on mu_, which is held
+  // across the blocking Gbo calls — legal because mu_ ranks below Gbo::mu_
+  // in the global lock order (common/mutex.h).
+  Status Access(int index) EXCLUDES(mu_);
 
   // Unpins a previously accessed item (FinishUnit).
   Status Release(int index);
 
-  const Stats& stats() const { return stats_; }
+  // Snapshot of the counters (by value: the live ones are guarded by mu_).
+  Stats stats() const EXCLUDES(mu_);
 
   // The indices a new access at `index` would speculate on (exposed for
   // tests and tuning): `lookahead` steps along the current direction.
-  std::vector<int> PredictNext(int index) const;
+  std::vector<int> PredictNext(int index) const EXCLUDES(mu_);
 
  private:
-  Gbo* db_;
-  Options options_;
-  NameFn name_fn_;
-  Gbo::ReadFn read_fn_;
-  Stats stats_;
+  std::vector<int> PredictNextLocked(int index) const REQUIRES(mu_);
 
-  int last_access_ = -1;
-  int direction_ = +1;  // last observed scan direction
-  std::set<int> outstanding_speculations_;
+  Gbo* const db_;
+  const Options options_;
+  const NameFn name_fn_;
+  const Gbo::ReadFn read_fn_;
+
+  // Held across blocking Gbo calls; ranked before (below) Gbo::mu_.
+  mutable Mutex mu_{lock_rank::kInteractivePrefetcher,
+                    "InteractivePrefetcher::mu_"};
+  Stats stats_ GUARDED_BY(mu_);
+
+  int last_access_ GUARDED_BY(mu_) = -1;
+  int direction_ GUARDED_BY(mu_) = +1;  // last observed scan direction
+  std::set<int> outstanding_speculations_ GUARDED_BY(mu_);
 };
 
 }  // namespace godiva

@@ -15,7 +15,8 @@ std::string GboStats::ToString() const {
       " deadlocks=", deadlocks_detected,
       "] retries[", read_retries, ", permanent_failures=",
       units_failed_permanent,
-      "] records[created=", records_created,
+      "] invariant_checks=", invariant_checks,
+      " records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",
       failed_lookups, " failed] mem[cur=", FormatBytes(current_memory_bytes),
       " peak=", FormatBytes(peak_memory_bytes),

@@ -30,6 +30,10 @@ struct GboStats {
   int64_t units_failed_permanent = 0;  // reads that ended in kFailed after
                                        // exhausting the retry policy
 
+  // Debug-build consistency audits that ran (GODIVA_DEBUG_INVARIANTS; see
+  // Gbo::CheckInvariants). Stays 0 when the checks are compiled out.
+  int64_t invariant_checks = 0;
+
   // Record/query activity.
   int64_t records_created = 0;
   int64_t records_committed = 0;

@@ -1,11 +1,16 @@
 #include "core/unit_context.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 namespace godiva::internal_unit_context {
 namespace {
 
+// All state here is thread local: each thread sees only its own frame
+// stack, so no mutex is needed (and none of the thread-safety annotations
+// in common/mutex.h apply).
 using Frame = std::pair<const Gbo*, std::string>;
 
 std::vector<Frame>& Stack() {
@@ -19,7 +24,17 @@ void Push(const Gbo* gbo, const std::string& unit_name) {
   Stack().emplace_back(gbo, unit_name);
 }
 
-void Pop() { Stack().pop_back(); }
+void Pop() {
+#ifdef GODIVA_DEBUG_INVARIANTS
+  if (Stack().empty()) {
+    std::fprintf(stderr,
+                 "godiva: unit-context underflow: Pop() with no frame "
+                 "pushed on this thread\n");
+    std::abort();
+  }
+#endif
+  Stack().pop_back();
+}
 
 const std::string* Current(const Gbo* gbo) {
   const std::vector<Frame>& stack = Stack();

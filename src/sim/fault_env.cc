@@ -101,34 +101,34 @@ class FaultyRandomAccessFile : public RandomAccessFile {
 FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
 
 void FaultInjectionEnv::AddRule(FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.push_back(std::move(rule));
 }
 
 void FaultInjectionEnv::ClearRules() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
   match_counts_.clear();
 }
 
 void FaultInjectionEnv::SetEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enabled_ = enabled;
 }
 
 FaultStats FaultInjectionEnv::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void FaultInjectionEnv::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_ = FaultStats();
 }
 
 FaultInjectionEnv::Decision FaultInjectionEnv::Consult(
     const std::string& path, FaultOp op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.ops_seen;
   if (!enabled_) return Decision{};
   for (size_t i = 0; i < rules_.size(); ++i) {

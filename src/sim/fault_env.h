@@ -15,13 +15,14 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/env.h"
 
 namespace godiva {
@@ -78,13 +79,13 @@ class FaultInjectionEnv : public Env {
 
   // Appends a rule to the plan; rules are evaluated in insertion order and
   // the first one that fires wins.
-  void AddRule(FaultRule rule);
-  void ClearRules();
+  void AddRule(FaultRule rule) EXCLUDES(mu_);
+  void ClearRules() EXCLUDES(mu_);
   // Master switch; faults only fire while enabled (default on).
-  void SetEnabled(bool enabled);
+  void SetEnabled(bool enabled) EXCLUDES(mu_);
 
-  FaultStats stats() const;
-  void ResetStats();
+  FaultStats stats() const EXCLUDES(mu_);
+  void ResetStats() EXCLUDES(mu_);
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -110,16 +111,17 @@ class FaultInjectionEnv : public Env {
   // Finds the first armed rule matching (path, op) and consumes one
   // injection from it. Latency is returned rather than slept so the caller
   // can sleep outside the mutex.
-  Decision Consult(const std::string& path, FaultOp op);
+  Decision Consult(const std::string& path, FaultOp op) EXCLUDES(mu_);
 
   Env* const base_;
 
-  mutable std::mutex mu_;
-  bool enabled_ = true;
-  std::vector<FaultRule> rules_;
+  mutable Mutex mu_{lock_rank::kFaultPlan, "FaultInjectionEnv::mu_"};
+  bool enabled_ GUARDED_BY(mu_) = true;
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
   // (rule index, path) -> matching operations seen so far.
-  std::map<std::pair<size_t, std::string>, int> match_counts_;
-  FaultStats stats_;
+  std::map<std::pair<size_t, std::string>, int> match_counts_
+      GUARDED_BY(mu_);
+  FaultStats stats_ GUARDED_BY(mu_);
 };
 
 // True iff `text` matches `glob` ('*' any run, '?' one char). Exposed for

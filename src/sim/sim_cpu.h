@@ -36,6 +36,9 @@ class SimCpu {
   double TotalComputeSeconds() const;
 
   int slots() const { return options_.slots; }
+  // Slots currently held by computing threads (instantaneous occupancy,
+  // from the semaphore's own accounting).
+  int busy_slots() const { return slots_sem_.in_use(); }
   const TimeScale* time_scale() const { return time_scale_; }
 
  private:

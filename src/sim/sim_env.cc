@@ -22,7 +22,7 @@ class SimWritableFile : public WritableFile {
     const uint8_t* p = static_cast<const uint8_t*>(bytes);
     int64_t offset = static_cast<int64_t>(data_->bytes.size());
     data_->bytes.insert(data_->bytes.end(), p, p + size);
-    if (env_->options_.charge_writes) {
+    if (env_->charge_writes_) {
       env_->ChargeRead(data_.get(), offset, size);
     }
     return Status::Ok();
@@ -69,11 +69,14 @@ class SimRandomAccessFile : public RandomAccessFile {
   std::string path_;
 };
 
-SimEnv::SimEnv(Options options) : options_(options) {}
+SimEnv::SimEnv(Options options)
+    : charge_writes_(options.charge_writes),
+      disk_(options.disk),
+      time_scale_(options.time_scale) {}
 
 Result<std::unique_ptr<WritableFile>> SimEnv::NewWritableFile(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   auto data = std::make_shared<FileData>();
   files_[path] = data;  // truncating create
   return std::unique_ptr<WritableFile>(
@@ -82,7 +85,7 @@ Result<std::unique_ptr<WritableFile>> SimEnv::NewWritableFile(
 
 Result<std::unique_ptr<RandomAccessFile>> SimEnv::NewRandomAccessFile(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return NotFoundError(StrCat("no such file: ", path));
   return std::unique_ptr<RandomAccessFile>(
@@ -90,19 +93,19 @@ Result<std::unique_ptr<RandomAccessFile>> SimEnv::NewRandomAccessFile(
 }
 
 bool SimEnv::FileExists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   return files_.count(path) > 0;
 }
 
 Result<int64_t> SimEnv::GetFileSize(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return NotFoundError(StrCat("no such file: ", path));
   return static_cast<int64_t>(it->second->bytes.size());
 }
 
 Status SimEnv::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   if (files_.erase(path) == 0) {
     return NotFoundError(StrCat("no such file: ", path));
   }
@@ -111,7 +114,7 @@ Status SimEnv::DeleteFile(const std::string& path) {
 
 Result<std::vector<std::string>> SimEnv::ListFiles(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   std::vector<std::string> out;
   for (const auto& [path, data] : files_) {
     if (StartsWith(path, prefix)) out.push_back(path);
@@ -120,64 +123,71 @@ Result<std::vector<std::string>> SimEnv::ListFiles(
 }
 
 void SimEnv::ChargeRead(const FileData* file, int64_t offset, int64_t size) {
-  Duration total;
-  {
-    std::lock_guard<std::mutex> lock(disk_mutex_);
-    bool seek = (head_file_ != file || head_offset_ != offset);
-    total = std::chrono::duration_cast<Duration>(
-        std::chrono::duration<double>(
-            static_cast<double>(size) / options_.disk.bytes_per_second));
-    if (seek) total += options_.disk.seek_time;
-    head_file_ = file;
-    head_offset_ = offset + size;
-    ++stats_.reads;
-    if (seek) ++stats_.seeks;
-    stats_.bytes_read += size;
-    stats_.modeled_read_seconds += ToSeconds(total);
-    // Hold the head (mutex) across the modeled duration: one spindle.
-    // Sub-millisecond (wall) delays accumulate and are paid in batches to
-    // keep per-sleep OS overhead from distorting the model.
-    if (options_.time_scale != nullptr) {
-      pending_delay_ += total;
-      double pending_wall =
-          ToSeconds(pending_delay_) * options_.time_scale->scale();
-      if (pending_wall >= 0.001) {
-        options_.time_scale->SleepModeled(pending_delay_);
-        pending_delay_ = Duration::zero();
-      }
+  MutexLock lock(&disk_mutex_);
+  bool seek = (head_file_ != file || head_offset_ != offset);
+  Duration total = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(
+          static_cast<double>(size) / disk_.bytes_per_second));
+  if (seek) total += disk_.seek_time;
+  head_file_ = file;
+  head_offset_ = offset + size;
+  ++stats_.reads;
+  if (seek) ++stats_.seeks;
+  stats_.bytes_read += size;
+  stats_.modeled_read_seconds += ToSeconds(total);
+  // Hold the head (mutex) across the modeled duration: one spindle.
+  // Sub-millisecond (wall) delays accumulate and are paid in batches to
+  // keep per-sleep OS overhead from distorting the model.
+  if (time_scale_ != nullptr) {
+    pending_delay_ += total;
+    double pending_wall = ToSeconds(pending_delay_) * time_scale_->scale();
+    if (pending_wall >= 0.001) {
+      time_scale_->SleepModeled(pending_delay_);
+      pending_delay_ = Duration::zero();
     }
   }
 }
 
 std::unique_ptr<SimEnv> SimEnv::Clone(Options options) const {
   auto clone = std::make_unique<SimEnv>(options);
-  std::lock_guard<std::mutex> lock(fs_mutex_);
-  clone->files_ = files_;
+  // Copy the directory out under our own lock, then install it under the
+  // clone's lock. The two critical sections are sequential, never nested:
+  // all fs_mutex_ instances share one lock rank, so nesting them would (by
+  // design) trip the lock-rank checker.
+  std::map<std::string, std::shared_ptr<FileData>> copy;
+  {
+    MutexLock lock(&fs_mutex_);
+    copy = files_;
+  }
+  {
+    MutexLock clone_lock(&clone->fs_mutex_);
+    clone->files_ = std::move(copy);
+  }
   return clone;
 }
 
 void SimEnv::SetDiskModel(const DiskModel& disk) {
-  std::lock_guard<std::mutex> lock(disk_mutex_);
-  options_.disk = disk;
+  MutexLock lock(&disk_mutex_);
+  disk_ = disk;
 }
 
 void SimEnv::SetTimeScale(const TimeScale* time_scale) {
-  std::lock_guard<std::mutex> lock(disk_mutex_);
-  options_.time_scale = time_scale;
+  MutexLock lock(&disk_mutex_);
+  time_scale_ = time_scale;
 }
 
 DiskStats SimEnv::stats() const {
-  std::lock_guard<std::mutex> lock(disk_mutex_);
+  MutexLock lock(&disk_mutex_);
   return stats_;
 }
 
 void SimEnv::ResetStats() {
-  std::lock_guard<std::mutex> lock(disk_mutex_);
+  MutexLock lock(&disk_mutex_);
   stats_ = DiskStats();
 }
 
 int64_t SimEnv::TotalFileBytes() const {
-  std::lock_guard<std::mutex> lock(fs_mutex_);
+  MutexLock lock(&fs_mutex_);
   int64_t total = 0;
   for (const auto& [path, data] : files_) {
     total += static_cast<int64_t>(data->bytes.size());

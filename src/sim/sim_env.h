@@ -8,12 +8,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/env.h"
 #include "sim/virtual_time.h"
 
@@ -52,33 +53,36 @@ class SimEnv : public Env {
   ~SimEnv() override = default;
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
-      const std::string& path) override;
+      const std::string& path) override EXCLUDES(fs_mutex_);
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
-      const std::string& path) override;
-  bool FileExists(const std::string& path) const override;
-  Result<int64_t> GetFileSize(const std::string& path) const override;
-  Status DeleteFile(const std::string& path) override;
+      const std::string& path) override EXCLUDES(fs_mutex_);
+  bool FileExists(const std::string& path) const override
+      EXCLUDES(fs_mutex_);
+  Result<int64_t> GetFileSize(const std::string& path) const override
+      EXCLUDES(fs_mutex_);
+  Status DeleteFile(const std::string& path) override EXCLUDES(fs_mutex_);
   Result<std::vector<std::string>> ListFiles(
-      const std::string& prefix) const override;
+      const std::string& prefix) const override EXCLUDES(fs_mutex_);
 
-  DiskStats stats() const;
-  void ResetStats();
+  DiskStats stats() const EXCLUDES(disk_mutex_);
+  void ResetStats() EXCLUDES(disk_mutex_);
 
   // Reconfigures the delay model at runtime (e.g. to replay the same file
-  // set on different platform profiles). Not thread safe with concurrent
-  // reads; call between experiment runs.
-  void SetDiskModel(const DiskModel& disk);
-  void SetTimeScale(const TimeScale* time_scale);
+  // set on different platform profiles). Takes the disk head, so it is
+  // safe with concurrent reads, but reconfiguring mid-read-burst makes the
+  // modeled times a mix of both models; call between experiment runs.
+  void SetDiskModel(const DiskModel& disk) EXCLUDES(disk_mutex_);
+  void SetTimeScale(const TimeScale* time_scale) EXCLUDES(disk_mutex_);
 
   // A new SimEnv with its own disk head/stats that shares this env's
   // current file contents (copy-on-nothing: files are immutable payloads).
   // Models several nodes holding replicas of the same dataset. Writes to
   // either env after cloning are NOT isolated for files that already
   // existed; clone only read-only datasets.
-  std::unique_ptr<SimEnv> Clone(Options options) const;
+  std::unique_ptr<SimEnv> Clone(Options options) const EXCLUDES(fs_mutex_);
 
   // Total bytes held by all files (for memory-footprint assertions).
-  int64_t TotalFileBytes() const;
+  int64_t TotalFileBytes() const EXCLUDES(fs_mutex_);
 
  private:
   friend class SimWritableFile;
@@ -91,23 +95,28 @@ class SimEnv : public Env {
   // Charges the disk model for an access of `size` bytes at (`file`,
   // `offset`): takes the (single) disk head, pays seek if discontiguous,
   // pays transfer, sleeps the scaled total, updates stats.
-  void ChargeRead(const FileData* file, int64_t offset, int64_t size);
+  void ChargeRead(const FileData* file, int64_t offset, int64_t size)
+      EXCLUDES(disk_mutex_);
 
-  Options options_;
+  // Immutable after construction; read lock-free on the write path.
+  const bool charge_writes_;
 
-  mutable std::mutex fs_mutex_;  // guards files_
-  std::map<std::string, std::shared_ptr<FileData>> files_;
+  mutable Mutex fs_mutex_{lock_rank::kSimFilesystem, "SimEnv::fs_mutex_"};
+  std::map<std::string, std::shared_ptr<FileData>> files_
+      GUARDED_BY(fs_mutex_);
 
   // The disk head: held for the whole modeled duration of an access, so
   // concurrent readers serialize exactly as on one spindle. Scaled sleeps
   // shorter than ~1 ms of wall time are accumulated and paid in batches:
   // per-sleep OS overhead (~50–100 µs) would otherwise systematically
   // inflate seek-heavy access patterns.
-  mutable std::mutex disk_mutex_;
-  const FileData* head_file_ = nullptr;
-  int64_t head_offset_ = 0;
-  Duration pending_delay_{};
-  DiskStats stats_;
+  mutable Mutex disk_mutex_{lock_rank::kSimDisk, "SimEnv::disk_mutex_"};
+  DiskModel disk_ GUARDED_BY(disk_mutex_);
+  const TimeScale* time_scale_ GUARDED_BY(disk_mutex_);
+  const FileData* head_file_ GUARDED_BY(disk_mutex_) = nullptr;
+  int64_t head_offset_ GUARDED_BY(disk_mutex_) = 0;
+  Duration pending_delay_ GUARDED_BY(disk_mutex_){};
+  DiskStats stats_ GUARDED_BY(disk_mutex_);
 };
 
 }  // namespace godiva

@@ -254,5 +254,74 @@ TEST(SemaphoreTest, TryAcquire) {
   sem.Release();
 }
 
+TEST(SemaphoreTest, OccupancyAccessors) {
+  Semaphore sem(3);
+  EXPECT_EQ(sem.slots(), 3);
+  EXPECT_EQ(sem.available(), 3);
+  EXPECT_EQ(sem.in_use(), 0);
+  sem.Acquire();
+  sem.Acquire();
+  EXPECT_EQ(sem.available(), 1);
+  EXPECT_EQ(sem.in_use(), 2);
+  sem.Release();
+  sem.Release();
+  EXPECT_EQ(sem.available(), 3);
+  EXPECT_EQ(sem.in_use(), 0);
+}
+
+TEST(SemaphoreTest, ReleaseNWakesMultipleWaiters) {
+  Semaphore sem(3);
+  sem.Acquire();
+  sem.Acquire();
+  sem.Acquire();
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      sem.Acquire();
+      ++acquired;
+    });
+  }
+  // All three are blocked on an empty semaphore; one batched release must
+  // wake all of them.
+  sem.ReleaseN(3);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(acquired.load(), 3);
+  EXPECT_EQ(sem.available(), 0);
+  EXPECT_EQ(sem.in_use(), 3);
+  sem.ReleaseN(3);
+  EXPECT_EQ(sem.available(), 3);
+}
+
+TEST(SemaphoreTest, TryAcquireContention) {
+  Semaphore sem(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (!sem.TryAcquire()) continue;
+        ++successes;
+        int now = ++inside;
+        int expected = max_inside.load();
+        while (now > expected &&
+               !max_inside.compare_exchange_weak(expected, now)) {
+        }
+        --inside;
+        sem.Release();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // TryAcquire must respect the slot bound under contention and never
+  // leak a slot on the failure path.
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_GE(successes.load(), 1);
+  EXPECT_EQ(sem.available(), 2);
+  EXPECT_EQ(sem.in_use(), 0);
+}
+
 }  // namespace
 }  // namespace godiva

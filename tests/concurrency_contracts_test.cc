@@ -1,0 +1,225 @@
+// Tests for the concurrency contracts (DESIGN.md §6): the lock-rank
+// deadlock checker must turn out-of-order and re-entrant acquisitions into
+// deterministic aborts, and the Gbo invariant audit must hold across unit
+// state transitions — including the deadlock-resolution path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+void DefineUnitSchema(Gbo* db) {
+  ASSERT_TRUE(db->DefineField("unit", DataType::kString, 16).ok());
+  ASSERT_TRUE(db->DefineField("index", DataType::kInt32, 4).ok());
+  ASSERT_TRUE(
+      db->DefineField("payload", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db->DefineRecord("chunk", 2).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "unit", true).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "index", true).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "payload", false).ok());
+  ASSERT_TRUE(db->CommitRecordType("chunk").ok());
+}
+
+Gbo::ReadFn MakeReadFn(int records_per_unit, int64_t payload_bytes) {
+  return [=](Gbo* db, const std::string& unit_name) -> Status {
+    for (int32_t i = 0; i < records_per_unit; ++i) {
+      GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("chunk"));
+      std::memcpy(*rec->FieldBuffer("unit"), PadKey(unit_name, 16).data(),
+                  16);
+      std::memcpy(*rec->FieldBuffer("index"), &i, 4);
+      GODIVA_ASSIGN_OR_RETURN(
+          void* payload, db->AllocFieldBuffer(rec, "payload", payload_bytes));
+      static_cast<double*>(payload)[0] = i + 0.5;
+      GODIVA_RETURN_IF_ERROR(db->CommitRecord(rec));
+    }
+    return Status::Ok();
+  };
+}
+
+// ---------------------------------------------------------------------
+// Lock-rank checker.
+
+#ifdef GODIVA_LOCK_RANK_CHECKS
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex low(100, "low");
+        Mutex high(200, "high");
+        MutexLock hold_high(&high);
+        MutexLock hold_low(&low);  // 100 after 200: out of global order
+      },
+      "lock-rank violation: acquisition out of global order");
+}
+
+TEST(LockRankDeathTest, SelfReacquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu(100, "mu");
+        mu.Lock();
+        mu.Lock();  // self-deadlock, caught before blocking
+      },
+      "lock-rank violation: mutex already held by this thread");
+}
+
+TEST(LockRankDeathTest, EqualRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a(100, "a");
+        Mutex b(100, "b");
+        MutexLock hold_a(&a);
+        MutexLock hold_b(&b);  // two same-rank mutexes held together
+      },
+      "lock-rank violation: acquisition out of global order");
+}
+
+TEST(LockRankDeathTest, AssertHeldAbortsWhenNotHeld) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu(100, "mu");
+        mu.AssertHeld();
+      },
+      "AssertHeld failed");
+}
+
+TEST(LockRankTest, InOrderAcquisitionIsFine) {
+  Mutex low(100, "low");
+  Mutex high(200, "high");
+  Mutex unranked;
+  MutexLock hold_low(&low);
+  MutexLock hold_unranked(&unranked);  // unranked: exempt from ordering
+  MutexLock hold_high(&high);
+  low.AssertHeld();
+  high.AssertHeld();
+}
+
+TEST(LockRankTest, TryLockFailureLeavesNoBookkeeping) {
+  Mutex mu(100, "mu");
+  mu.Lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.TryLock());
+    mu.AssertNotHeld();  // the failed TryLock must not be recorded
+  });
+  other.join();
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.AssertHeld();
+  mu.Unlock();
+}
+
+#else  // !GODIVA_LOCK_RANK_CHECKS
+
+TEST(LockRankTest, CheckerCompiledOut) {
+  GTEST_SKIP() << "built without GODIVA_LOCK_RANK_CHECKS";
+}
+
+#endif  // GODIVA_LOCK_RANK_CHECKS
+
+// ---------------------------------------------------------------------
+// The read-function no-lock invariant: a read function re-enters the
+// public Gbo API freely, which would self-deadlock (and, in this build,
+// abort with both lock sets) if Gbo held mu_ across the callback.
+
+TEST(ConcurrencyContractsTest, ReadFnReentersPublicApiWithoutDeadlock) {
+  Gbo db;
+  DefineUnitSchema(&db);
+  std::atomic<int> reentrant_calls{0};
+  ASSERT_TRUE(db.ReadUnit("u",
+                          [&](Gbo* g, const std::string& n) -> Status {
+                            // Every one of these re-locks mu_.
+                            GODIVA_RETURN_IF_ERROR(MakeReadFn(2, 64)(g, n));
+                            (void)g->stats();
+                            (void)g->memory_usage();
+                            auto records = g->RecordsInUnit(n);
+                            if (!records.ok()) return records.status();
+                            reentrant_calls.fetch_add(1);
+                            return Status::Ok();
+                          })
+                  .ok());
+  EXPECT_EQ(reentrant_calls.load(), 1);
+  ASSERT_TRUE(db.CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------
+// Invariant audit across deadlock resolution.
+
+TEST(ConcurrencyContractsTest, ResolveDeadlockLeavesDatabaseConsistent) {
+  // The paper's deadlock case: two units each bigger than the budget, the
+  // first never finished. ResolveDeadlockLocked fails the second — and the
+  // database must audit clean immediately after (the transition itself
+  // runs CheckInvariantsLocked fatally in this build).
+  GboOptions options;
+  options.memory_limit_bytes = 64 * 1024;
+  Gbo db(options);
+  DefineUnitSchema(&db);
+  ASSERT_TRUE(db.AddUnit("u1", MakeReadFn(2, 40 * 1024)).ok());
+  ASSERT_TRUE(db.AddUnit("u2", MakeReadFn(2, 40 * 1024)).ok());
+  ASSERT_TRUE(db.WaitUnit("u1").ok());
+  Status s = db.WaitUnit("u2");
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_NE(s.message().find("deadlock"), std::string::npos) << s;
+  EXPECT_EQ(db.stats().deadlocks_detected, 1);
+
+  EXPECT_TRUE(db.CheckInvariants().ok());
+#ifdef GODIVA_DEBUG_INVARIANTS
+  // The fatal audit ran at every transition along the way.
+  EXPECT_GE(db.stats().invariant_checks, 1);
+#else
+  EXPECT_EQ(db.stats().invariant_checks, 0);
+#endif
+}
+
+TEST(ConcurrencyContractsTest, AuditHoldsAcrossFullUnitLifecycle) {
+  GboOptions options;
+  options.memory_limit_bytes = 256 * 1024;
+  Gbo db(options);
+  DefineUnitSchema(&db);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        db.AddUnit("u" + std::to_string(i), MakeReadFn(2, 8 * 1024)).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "u" + std::to_string(i);
+    ASSERT_TRUE(db.WaitUnit(name).ok());
+    ASSERT_TRUE(db.CheckInvariants().ok()) << name;
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+    ASSERT_TRUE(db.CheckInvariants().ok()) << name;
+  }
+  ASSERT_TRUE(db.DeleteUnit("u0").ok());
+  ASSERT_TRUE(db.SetMemSpace(16 * 1024).ok());  // force evictions
+  EXPECT_TRUE(db.CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------
+// Semaphore leaf rank: Gbo operations may run while a Semaphore slot is
+// merely *held* (Acquire returned), since the slot is not a lock.
+
+TEST(ConcurrencyContractsTest, GboRunsUnderSemaphoreSlot) {
+  Semaphore sem(1);
+  SemaphoreGuard slot(&sem);
+  Gbo db(GboOptions::SingleThread());
+  DefineUnitSchema(&db);
+  ASSERT_TRUE(db.ReadUnit("u", MakeReadFn(1, 64)).ok());
+  EXPECT_TRUE(db.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace godiva

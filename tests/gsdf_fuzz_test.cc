@@ -2,81 +2,28 @@
 // flips, truncations, and garbage prefixes over a valid file must yield
 // clean Status errors (or consistent data) — never crashes, hangs, or
 // out-of-bounds reads. Run under ASan in CI-style verification.
+//
+// The corruption loop itself lives in gsdf_fuzz_harness.h (FuzzOneInput),
+// shared with the optional libFuzzer target; these tests supply the
+// deterministic corpora.
 #include <gtest/gtest.h>
 
-#include <cstring>
-#include <memory>
-#include <string>
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"
-#include "common/status.h"
-#include "common/types.h"
-#include "gsdf/reader.h"
-#include "gsdf/writer.h"
+#include "gsdf_fuzz_harness.h"
 #include "sim/sim_env.h"
 
 namespace godiva::gsdf {
 namespace {
 
-// Builds a representative file: several datasets with attributes.
-std::vector<uint8_t> MakeValidFile() {
-  SimEnv env{SimEnv::Options{}};
-  auto writer = Writer::Create(&env, "f");
-  EXPECT_TRUE(writer.ok());
-  std::vector<double> doubles(300);
-  for (size_t i = 0; i < doubles.size(); ++i) doubles[i] = i * 0.5;
-  std::vector<int32_t> ints(100);
-  for (size_t i = 0; i < ints.size(); ++i) ints[i] = static_cast<int>(i);
-  std::string text = "metadata payload";
-  EXPECT_TRUE((*writer)
-                  ->AddDataset("coords", DataType::kFloat64, doubles.data(),
-                               300 * 8, {{"units", "m"}, {"axis", "x"}})
-                  .ok());
-  EXPECT_TRUE(
-      (*writer)->AddDataset("conn", DataType::kInt32, ints.data(), 400).ok());
-  EXPECT_TRUE((*writer)
-                  ->AddDataset("name", DataType::kString, text.data(),
-                               static_cast<int64_t>(text.size()))
-                  .ok());
-  (*writer)->SetFileAttribute("snapshot", "7");
-  EXPECT_TRUE((*writer)->Finish().ok());
-
-  auto size = env.GetFileSize("f");
-  EXPECT_TRUE(size.ok());
-  std::vector<uint8_t> bytes(static_cast<size_t>(*size));
-  auto file = env.NewRandomAccessFile("f");
-  EXPECT_TRUE(file.ok());
-  EXPECT_TRUE((*file)->Read(0, *size, bytes.data()).ok());
-  return bytes;
-}
-
-// Writes `bytes` as file "f" in a fresh env and attempts a full read of
-// every dataset. Must not crash; returns silently on clean errors.
-void TryReadCorrupted(const std::vector<uint8_t>& bytes) {
-  SimEnv env{SimEnv::Options{}};
-  auto file = env.NewWritableFile("f");
-  ASSERT_TRUE(file.ok());
-  if (!bytes.empty()) {
-    ASSERT_TRUE((*file)
-                    ->Append(bytes.data(),
-                             static_cast<int64_t>(bytes.size()))
-                    .ok());
-  }
-  ASSERT_TRUE((*file)->Close().ok());
-
-  auto reader = Reader::Open(&env, "f");
-  if (!reader.ok()) return;  // clean rejection
-  for (const DatasetInfo& info : (*reader)->datasets()) {
-    if (info.nbytes < 0 || info.nbytes > (1 << 26)) continue;
-    std::vector<uint8_t> buffer(static_cast<size_t>(info.nbytes));
-    Status s = (*reader)->Read(info.name, buffer.data(), info.nbytes);
-    (void)s;  // either OK or a clean error
-  }
+void FuzzBytes(const std::vector<uint8_t>& bytes) {
+  FuzzOneInput(bytes.data(), bytes.size());
 }
 
 TEST(GsdfFuzzTest, SingleBitFlipsNeverCrash) {
-  std::vector<uint8_t> valid = MakeValidFile();
+  std::vector<uint8_t> valid = MakeSeedInput();
   Random rng(42);
   for (int trial = 0; trial < 400; ++trial) {
     std::vector<uint8_t> corrupted = valid;
@@ -84,12 +31,12 @@ TEST(GsdfFuzzTest, SingleBitFlipsNeverCrash) {
         rng.NextBounded(static_cast<uint64_t>(corrupted.size())));
     corrupted[position] ^=
         static_cast<uint8_t>(1u << rng.NextBounded(8));
-    TryReadCorrupted(corrupted);
+    FuzzBytes(corrupted);
   }
 }
 
 TEST(GsdfFuzzTest, MultiByteGarbageNeverCrashes) {
-  std::vector<uint8_t> valid = MakeValidFile();
+  std::vector<uint8_t> valid = MakeSeedInput();
   Random rng(1337);
   for (int trial = 0; trial < 200; ++trial) {
     std::vector<uint8_t> corrupted = valid;
@@ -99,21 +46,21 @@ TEST(GsdfFuzzTest, MultiByteGarbageNeverCrashes) {
           rng.NextBounded(static_cast<uint64_t>(corrupted.size())));
       corrupted[position] = static_cast<uint8_t>(rng.NextUint64());
     }
-    TryReadCorrupted(corrupted);
+    FuzzBytes(corrupted);
   }
 }
 
 TEST(GsdfFuzzTest, EveryTruncationLengthNeverCrashes) {
-  std::vector<uint8_t> valid = MakeValidFile();
+  std::vector<uint8_t> valid = MakeSeedInput();
   for (size_t length = 0; length < valid.size(); ++length) {
     std::vector<uint8_t> truncated(valid.begin(),
                                    valid.begin() + static_cast<long>(length));
-    TryReadCorrupted(truncated);
+    FuzzBytes(truncated);
   }
 }
 
 TEST(GsdfFuzzTest, RandomPrefixAndSuffixNeverCrash) {
-  std::vector<uint8_t> valid = MakeValidFile();
+  std::vector<uint8_t> valid = MakeSeedInput();
   Random rng(7);
   for (int trial = 0; trial < 100; ++trial) {
     std::vector<uint8_t> mutated = valid;
@@ -126,13 +73,13 @@ TEST(GsdfFuzzTest, RandomPrefixAndSuffixNeverCrash) {
     } else {
       mutated.insert(mutated.end(), junk.begin(), junk.end());
     }
-    TryReadCorrupted(mutated);
+    FuzzBytes(mutated);
   }
 }
 
 TEST(GsdfFuzzTest, UncorruptedFileStillReadsAfterHarness) {
-  // Sanity: the harness itself round-trips the valid image.
-  std::vector<uint8_t> valid = MakeValidFile();
+  // Sanity: the harness's seed image round-trips cleanly.
+  std::vector<uint8_t> valid = MakeSeedInput();
   SimEnv env{SimEnv::Options{}};
   auto file = env.NewWritableFile("f");
   ASSERT_TRUE(file.ok());

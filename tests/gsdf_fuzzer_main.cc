@@ -1,0 +1,13 @@
+// libFuzzer driver for the gsdf reader (built only with
+// -DGODIVA_LIBFUZZER=ON, which requires Clang's -fsanitize=fuzzer).
+// Run as: ./gsdf_fuzzer corpus_dir — seed the corpus with the image from
+// MakeSeedInput() for much better coverage than starting empty.
+#include <cstddef>
+#include <cstdint>
+
+#include "gsdf_fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  godiva::gsdf::FuzzOneInput(data, size);
+  return 0;
+}
