@@ -56,6 +56,7 @@ int Run(int argc, char** argv) {
                             cell->visible_io_seconds});
       cells[test.name][std::string(workloads::VariantName(variant))] =
           *cell;
+      workloads::PrintResilience(cell->last);
     }
   }
   workloads::PrintFigure("Figure 3(a) — Engle workstation", rows);

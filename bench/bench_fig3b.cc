@@ -68,6 +68,7 @@ int Run(int argc, char** argv) {
                             cell->computation_seconds,
                             cell->visible_io_seconds});
       cells[test.name][cell_spec.label] = *cell;
+      workloads::PrintResilience(cell->last);
     }
   }
   workloads::PrintFigure("Figure 3(b) — Turing cluster node", rows);

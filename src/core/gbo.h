@@ -181,6 +181,14 @@ class Gbo {
   // `read_fn` as memory allows. Non-blocking.
   Status AddUnit(const std::string& unit_name, ReadFn read_fn) EXCLUDES(mu_);
 
+  // Like AddUnit, additionally declaring the files the read function will
+  // touch. Declared resources feed the per-file health tracker: permanent
+  // read failures count against each file, and once a file trips
+  // options().quarantine_threshold the unit (and any later unit declaring
+  // that file) fails fast with DATA_LOSS instead of being read.
+  Status AddUnit(const std::string& unit_name, ReadFn read_fn,
+                 std::vector<std::string> resources) EXCLUDES(mu_);
+
   // Blocking read. If the unit is already resident this is a cache hit; if
   // it is being prefetched, waits for it; otherwise reads it on the calling
   // thread. Pins the unit on success (like WaitUnit).
@@ -226,6 +234,26 @@ class Gbo {
   Status GetUnitError(const std::string& unit_name) const EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
+  // File health (per-file circuit breaker).
+
+  // True iff the file has tripped the quarantine threshold.
+  bool IsFileQuarantined(const std::string& path) const EXCLUDES(mu_);
+
+  // All currently quarantined files, sorted (for run reports).
+  std::vector<std::string> QuarantinedFiles() const EXCLUDES(mu_);
+
+  // Manually forgives a file: clears its failure count and lifts its
+  // quarantine (e.g. after the operator replaced the file on disk).
+  // NOT_FOUND if the file was never tracked.
+  Status ResetFileHealth(const std::string& path) EXCLUDES(mu_);
+
+  // Read functions report gsdf-level resilience events so they surface in
+  // this database's stats: a file whose structural metadata was torn (it
+  // needed a salvage open), and how many datasets the salvage recovered.
+  void ReportTornWrite() EXCLUDES(mu_);
+  void ReportSalvagedDatasets(int64_t count) EXCLUDES(mu_);
+
+  // ---------------------------------------------------------------------
   // Introspection.
 
   GboStats stats() const EXCLUDES(mu_);
@@ -260,6 +288,15 @@ class Gbo {
     int64_t ready_seq = -1;
     int64_t memory_bytes = 0;
     std::vector<Record*> records;
+    // Files this unit's read function touches (AddUnit's resources
+    // argument); input to the per-file circuit breaker.
+    std::vector<std::string> resources;
+  };
+
+  // Health record of one declared resource file.
+  struct FileHealth {
+    int permanent_failures = 0;
+    bool quarantined = false;
   };
 
   // --- helpers; all *Locked functions require mu_ held (and say so to the
@@ -323,6 +360,18 @@ class Gbo {
   Status WaitUnitInternal(const std::string& unit_name,
                           const TimePoint* deadline) EXCLUDES(mu_);
 
+  // Circuit-breaker bookkeeping: charges a permanent unit failure against
+  // each of the unit's declared resource files, quarantining any that reach
+  // the threshold.
+  void RecordUnitFailureLocked(const Unit& unit) REQUIRES(mu_);
+  // The first quarantined resource of `unit`, or nullptr.
+  const std::string* QuarantinedResourceLocked(const Unit& unit) const
+      REQUIRES(mu_);
+  // Fails `unit` fast with DATA_LOSS naming the quarantined `path`, without
+  // running its read function. The unit must not hold records.
+  void ShortCircuitUnitLocked(Unit* unit, const std::string& path)
+      REQUIRES(mu_);
+
   void IoThreadMain() EXCLUDES(mu_);
   // Fails `unit` with ABORTED to break a detected deadlock.
   void ResolveDeadlockLocked(Unit* unit) REQUIRES(mu_);
@@ -356,6 +405,8 @@ class Gbo {
 
   std::map<std::string, std::unique_ptr<Unit>> units_ GUARDED_BY(mu_);
   std::deque<Unit*> prefetch_queue_ GUARDED_BY(mu_);
+  // Declared resource file → failure count / quarantine flag.
+  std::map<std::string, FileHealth> file_health_ GUARDED_BY(mu_);
   // Eviction order per options_.eviction_policy.
   std::list<Unit*> evictable_ GUARDED_BY(mu_);
 

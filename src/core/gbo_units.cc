@@ -114,6 +114,83 @@ Duration Gbo::JitteredBackoffLocked(Duration base) {
   return std::max(scaled, Duration::zero());
 }
 
+// ---------------------------------------------------------------------
+// Per-file circuit breaker.
+
+void Gbo::RecordUnitFailureLocked(const Unit& unit) {
+  if (options_.quarantine_threshold <= 0) return;
+  for (const std::string& path : unit.resources) {
+    FileHealth& health = file_health_[path];
+    ++health.permanent_failures;
+    if (!health.quarantined &&
+        health.permanent_failures >= options_.quarantine_threshold) {
+      health.quarantined = true;
+      ++counters_.files_quarantined;
+      GODIVA_LOG(kWarning) << "quarantining file " << path << " after "
+                           << health.permanent_failures
+                           << " permanent unit read failures";
+    }
+  }
+}
+
+const std::string* Gbo::QuarantinedResourceLocked(const Unit& unit) const {
+  for (const std::string& path : unit.resources) {
+    auto it = file_health_.find(path);
+    if (it != file_health_.end() && it->second.quarantined) return &path;
+  }
+  return nullptr;
+}
+
+void Gbo::ShortCircuitUnitLocked(Unit* unit, const std::string& path) {
+  auto queue_pos =
+      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
+  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  unit->error = DataLossError(
+      StrCat("unit ", unit->name, ": file ", path,
+             " is quarantined after repeated permanent failures "
+             "(ResetFileHealth to retry)"));
+  unit->state = UnitState::kFailed;
+  unit->ready_seq = next_ready_seq_++;
+  ++counters_.reads_short_circuited;
+  CheckInvariantsLocked();
+  unit_cv_.NotifyAll();
+}
+
+bool Gbo::IsFileQuarantined(const std::string& path) const {
+  MutexLock lock(&mu_);
+  auto it = file_health_.find(path);
+  return it != file_health_.end() && it->second.quarantined;
+}
+
+std::vector<std::string> Gbo::QuarantinedFiles() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, health] : file_health_) {
+    if (health.quarantined) out.push_back(path);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+Status Gbo::ResetFileHealth(const std::string& path) {
+  MutexLock lock(&mu_);
+  auto it = file_health_.find(path);
+  if (it == file_health_.end()) {
+    return NotFoundError(StrCat("no health record for file ", path));
+  }
+  file_health_.erase(it);
+  return Status::Ok();
+}
+
+void Gbo::ReportTornWrite() {
+  MutexLock lock(&mu_);
+  ++counters_.torn_writes_detected;
+}
+
+void Gbo::ReportSalvagedDatasets(int64_t count) {
+  MutexLock lock(&mu_);
+  counters_.salvaged_datasets += count;
+}
+
 Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
                               bool on_io_thread) {
   const RetryPolicy& policy = options_.retry;
@@ -138,11 +215,13 @@ Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
     if (!policy.IsRetryable(status.code()) ||
         attempt >= policy.max_attempts) {
       ++counters_.units_failed_permanent;
+      RecordUnitFailureLocked(*unit);
       return status;
     }
     Duration delay = JitteredBackoffLocked(base_backoff);
     if (deadline != nullptr && SteadyClock::now() + delay >= *deadline) {
       ++counters_.units_failed_permanent;
+      RecordUnitFailureLocked(*unit);
       return DeadlineExceededError(StrCat(
           "unit ", unit->name, ": deadline expires before retry attempt ",
           attempt + 1, " (last error: ", status.ToString(), ")"));
@@ -167,6 +246,10 @@ Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
 }
 
 Status Gbo::LoadInlineLocked(Unit* unit, const TimePoint* deadline) {
+  if (const std::string* quarantined = QuarantinedResourceLocked(*unit)) {
+    ShortCircuitUnitLocked(unit, *quarantined);
+    return unit->error;
+  }
   unit->state = UnitState::kLoading;
   auto queue_pos =
       std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
@@ -227,6 +310,11 @@ Status Gbo::AwaitReadyLocked(Unit* unit, const TimePoint* deadline) {
 // Public unit interfaces.
 
 Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
+  return AddUnit(unit_name, std::move(read_fn), {});
+}
+
+Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn,
+                    std::vector<std::string> resources) {
   if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
   if (!read_fn) return InvalidArgumentError("read function is null");
   MutexLock lock(&mu_);
@@ -241,6 +329,7 @@ Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn) {
   }
   Unit* unit = it->second.get();
   unit->read_fn = std::move(read_fn);
+  unit->resources = std::move(resources);
   unit->state = UnitState::kQueued;
   unit->error = Status::Ok();
   unit->ready_seq = -1;
@@ -483,6 +572,12 @@ void Gbo::IoThreadMain() {
     Unit* unit = prefetch_queue_.front();
     prefetch_queue_.pop_front();
     if (unit->state != UnitState::kQueued) continue;  // raced with delete
+    // Circuit breaker: a unit over a quarantined file fails fast — the
+    // prefetcher never spends an I/O slot (or a retry budget) on it.
+    if (const std::string* quarantined = QuarantinedResourceLocked(*unit)) {
+      ShortCircuitUnitLocked(unit, *quarantined);
+      continue;
+    }
     unit->state = UnitState::kLoading;
 
     // Retries and rollback of partial loads happen inside; backoff sleeps

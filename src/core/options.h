@@ -69,6 +69,14 @@ struct GboOptions {
   // Applied to every unit read, foreground and background alike.
   RetryPolicy retry = {};
 
+  // Per-file circuit breaker: once this many unit reads have failed
+  // permanently against the same declared resource file (see the AddUnit
+  // overload taking resources), the file is quarantined — further units
+  // touching it fail fast with DATA_LOSS, without invoking their read
+  // functions, until Gbo::ResetFileHealth. 0 disables the breaker. Units
+  // that declare no resources never participate.
+  int quarantine_threshold = 3;
+
   static GboOptions SingleThread() {
     GboOptions options;
     options.background_io = false;

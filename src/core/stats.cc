@@ -15,6 +15,10 @@ std::string GboStats::ToString() const {
       " deadlocks=", deadlocks_detected,
       "] retries[", read_retries, ", permanent_failures=",
       units_failed_permanent,
+      "] resilience[quarantined=", files_quarantined,
+      " short_circuited=", reads_short_circuited,
+      " salvaged=", salvaged_datasets,
+      " torn_writes=", torn_writes_detected,
       "] invariant_checks=", invariant_checks,
       " records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",

@@ -30,6 +30,15 @@ struct GboStats {
   int64_t units_failed_permanent = 0;  // reads that ended in kFailed after
                                        // exhausting the retry policy
 
+  // Corruption resilience (PR 3). The first two are maintained by the
+  // per-file circuit breaker; the last two are reported by read functions
+  // via ReportSalvagedDatasets/ReportTornWrite when gsdf salvage kicks in.
+  int64_t files_quarantined = 0;       // files tripped by the circuit breaker
+  int64_t reads_short_circuited = 0;   // unit reads failed fast against a
+                                       // quarantined file (no read-fn call)
+  int64_t salvaged_datasets = 0;       // datasets recovered by salvage scans
+  int64_t torn_writes_detected = 0;    // files that needed a salvage open
+
   // Debug-build consistency audits that ran (GODIVA_DEBUG_INVARIANTS; see
   // Gbo::CheckInvariants). Stays 0 when the checks are compiled out.
   int64_t invariant_checks = 0;

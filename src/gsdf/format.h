@@ -1,6 +1,6 @@
 // On-disk layout of the GODIVA Scientific Data Format (gsdf) — the
 // self-describing container this repo uses in place of HDF4 (see
-// DESIGN.md §1). Layout (all integers little-endian):
+// DESIGN.md §1 and §7). Layout (all integers little-endian):
 //
 //   header:   "GSDF" | u32 version | u64 reserved
 //   payloads: raw dataset bytes, in AddDataset order
@@ -8,7 +8,15 @@
 //       u32 name_len | name | u8 dtype | u64 offset | u64 nbytes |
 //       u32 nattrs | nattrs × (u32 klen | key | u32 vlen | value)
 //   file attrs: u32 nattrs | nattrs × (u32 klen | key | u32 vlen | value)
-//   footer:   u64 dir_offset | u64 dataset_count | "FDSG"
+//   footer v1: u64 dir_offset | u64 dataset_count | "FDSG"
+//   footer v2: u64 dir_offset | u64 dataset_count | u32 tail_crc | "FDSG"
+//
+// v2's tail_crc is a CRC-32 over [dir_offset, file_size - 8): the whole
+// directory, the file attributes, and the footer's own dir_offset and
+// dataset_count fields — everything the reader trusts to locate payloads.
+// Readers accept both versions; writers emit v2 unless asked for v1.
+// Files are written to `<path>.tmp` and renamed into place on Finish(), so
+// a file that exists at its final path is structurally complete (§7).
 #ifndef GODIVA_GSDF_FORMAT_H_
 #define GODIVA_GSDF_FORMAT_H_
 
@@ -20,9 +28,19 @@ namespace godiva::gsdf {
 
 inline constexpr char kMagic[4] = {'G', 'S', 'D', 'F'};
 inline constexpr char kFooterMagic[4] = {'F', 'D', 'S', 'G'};
-inline constexpr uint32_t kVersion = 1;
+inline constexpr uint32_t kVersionV1 = 1;   // no tail CRC
+inline constexpr uint32_t kVersion = 2;     // current: CRC-protected tail
 inline constexpr int64_t kHeaderSize = 4 + 4 + 8;
-inline constexpr int64_t kFooterSize = 8 + 8 + 4;
+inline constexpr int64_t kFooterSizeV1 = 8 + 8 + 4;
+inline constexpr int64_t kFooterSize = 8 + 8 + 4 + 4;
+
+inline constexpr bool IsSupportedVersion(uint32_t version) {
+  return version == kVersionV1 || version == kVersion;
+}
+
+inline constexpr int64_t FooterSizeForVersion(uint32_t version) {
+  return version == kVersionV1 ? kFooterSizeV1 : kFooterSize;
+}
 
 // Little-endian scalar encode/decode into byte buffers. The hosts we target
 // are little-endian; these helpers centralize the assumption.

@@ -46,6 +46,7 @@ class Cursor {
   }
 
   int64_t remaining() const { return size_ - pos_; }
+  int64_t position() const { return pos_; }
 
   Result<AttributeList> ReadAttributes() {
     GODIVA_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
@@ -96,10 +97,27 @@ Result<std::unique_ptr<Reader>> Reader::Open(Env* env,
   return reader;
 }
 
+Result<std::unique_ptr<Reader>> Reader::OpenSalvage(Env* env,
+                                                    const std::string& path) {
+  auto reader = std::unique_ptr<Reader>(new Reader(env, path));
+  Status status = reader->Load();
+  if (status.ok()) return reader;
+  // A structurally broken file falls back to the recovery scan; an
+  // unreadable one (missing, I/O error) does not — there is nothing to scan.
+  if (reader->file_ == nullptr) return status;
+  reader->datasets_.clear();
+  reader->dataset_index_.clear();
+  reader->file_attributes_.clear();
+  reader->salvaged_ = true;
+  reader->salvage_error_ = status;
+  GODIVA_RETURN_IF_ERROR(reader->LoadSalvage());
+  return reader;
+}
+
 Status Reader::Load() {
   GODIVA_ASSIGN_OR_RETURN(file_, env_->NewRandomAccessFile(path_));
   int64_t file_size = file_->Size();
-  if (file_size < kHeaderSize + kFooterSize) {
+  if (file_size < kHeaderSize + kFooterSizeV1) {
     return DataLossError(StrCat(path_, ": too small to be a gsdf file"));
   }
 
@@ -109,26 +127,45 @@ Status Reader::Load() {
     return DataLossError(StrCat(path_, ": bad gsdf magic"));
   }
   uint32_t version = DecodeU32(header + 4);
-  if (version != kVersion) {
+  if (!IsSupportedVersion(version)) {
     return DataLossError(
         StrFormat("%s: unsupported gsdf version %u", path_.c_str(), version));
   }
+  version_ = version;
+  const int64_t footer_size = FooterSizeForVersion(version);
+  if (file_size < kHeaderSize + footer_size) {
+    return DataLossError(StrCat(path_, ": too small to be a gsdf file"));
+  }
 
-  uint8_t footer[kFooterSize];
+  uint8_t footer[kFooterSize];  // large enough for either version
   GODIVA_RETURN_IF_ERROR(
-      file_->Read(file_size - kFooterSize, kFooterSize, footer));
-  if (std::memcmp(footer + 16, kFooterMagic, sizeof(kFooterMagic)) != 0) {
+      file_->Read(file_size - footer_size, footer_size, footer));
+  if (std::memcmp(footer + footer_size - 4, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
     return DataLossError(StrCat(path_, ": bad gsdf footer magic"));
   }
   int64_t dir_offset = static_cast<int64_t>(DecodeU64(footer));
   int64_t dataset_count = static_cast<int64_t>(DecodeU64(footer + 8));
-  if (dir_offset < kHeaderSize || dir_offset > file_size - kFooterSize) {
+  if (dir_offset < kHeaderSize || dir_offset > file_size - footer_size) {
     return DataLossError(StrCat(path_, ": directory offset out of range"));
   }
 
-  int64_t dir_size = file_size - kFooterSize - dir_offset;
+  int64_t dir_size = file_size - footer_size - dir_offset;
   std::vector<uint8_t> dir_bytes(static_cast<size_t>(dir_size));
   GODIVA_RETURN_IF_ERROR(file_->Read(dir_offset, dir_size, dir_bytes.data()));
+
+  if (version >= kVersion) {
+    // v2 tail CRC covers [dir_offset, file_size - 8): the directory bytes
+    // plus the footer's dir_offset and dataset_count fields.
+    uint32_t computed = Crc32(dir_bytes.data(), dir_size);
+    computed = Crc32(footer, 16, computed);
+    uint32_t stored = DecodeU32(footer + 16);
+    if (computed != stored) {
+      return DataLossError(StrFormat(
+          "%s: directory CRC mismatch (stored %08x, computed %08x)",
+          path_.c_str(), stored, computed));
+    }
+  }
 
   // A directory entry is at least name-length + type + offset + size +
   // attribute-count = 25 bytes; a larger claimed count is corruption.
@@ -163,6 +200,87 @@ Status Reader::Load() {
     datasets_.push_back(std::move(info));
   }
   GODIVA_ASSIGN_OR_RETURN(file_attributes_, cursor.ReadAttributes());
+  return Status::Ok();
+}
+
+namespace {
+
+// A directory entry is at least name_len + 1-char name + type + offset +
+// nbytes + attr count.
+constexpr int64_t kMinEntrySize = 4 + 1 + 1 + 8 + 8 + 4;
+
+// Attempts to parse one directory entry at `pos` of the in-memory file
+// image and prove it genuine: plausible printable name, valid dtype,
+// payload fully inside [kHeaderSize, pos), and a __crc32 attribute that
+// matches the payload bytes. Returns the encoded entry size on success, -1
+// on any mismatch. The CRC requirement makes false positives on payload
+// bytes that merely look like an entry all but impossible.
+int64_t TrySalvageEntry(const uint8_t* data, int64_t pos, int64_t size,
+                        DatasetInfo* out) {
+  Cursor cursor(data + pos, size - pos);
+  Result<std::string> name = cursor.ReadString();
+  if (!name.ok() || name->empty() || name->size() > 4096) return -1;
+  for (char c : *name) {
+    if (c < 0x20 || c > 0x7e) return -1;  // gsdf names are printable ASCII
+  }
+  Result<uint8_t> raw_type = cursor.ReadU8();
+  if (!raw_type.ok() || !IsValidDataType(*raw_type)) return -1;
+  Result<uint64_t> offset = cursor.ReadU64();
+  Result<uint64_t> nbytes = cursor.ReadU64();
+  if (!offset.ok() || !nbytes.ok()) return -1;
+  int64_t payload_offset = static_cast<int64_t>(*offset);
+  int64_t payload_bytes = static_cast<int64_t>(*nbytes);
+  if (payload_bytes < 0 || payload_offset < kHeaderSize ||
+      payload_bytes > pos || payload_offset > pos - payload_bytes) {
+    return -1;  // payloads always precede the directory
+  }
+  Result<AttributeList> attributes = cursor.ReadAttributes();
+  if (!attributes.ok()) return -1;
+  const std::string* stored = nullptr;
+  for (const auto& [key, value] : *attributes) {
+    if (key == kChecksumAttribute) stored = &value;
+  }
+  // Unchecksummed datasets cannot be proven intact; salvage skips them.
+  if (stored == nullptr) return -1;
+  std::string actual =
+      StrFormat("%08x", Crc32(data + payload_offset, payload_bytes));
+  if (actual != *stored) return -1;
+  out->name = std::move(*name);
+  out->type = static_cast<DataType>(*raw_type);
+  out->offset = payload_offset;
+  out->nbytes = payload_bytes;
+  out->attributes = std::move(*attributes);
+  return cursor.position();
+}
+
+}  // namespace
+
+Status Reader::LoadSalvage() {
+  int64_t file_size = file_->Size();
+  if (file_size < kHeaderSize) {
+    return DataLossError(StrCat(path_, ": too small to salvage"));
+  }
+  std::vector<uint8_t> all(static_cast<size_t>(file_size));
+  GODIVA_RETURN_IF_ERROR(file_->Read(0, file_size, all.data()));
+  if (std::memcmp(all.data(), kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError(StrCat(path_, ": bad gsdf magic"));
+  }
+  version_ = DecodeU32(all.data() + 4);  // best effort; may itself be torn
+  // Forward scan: at each byte try to parse a provably-intact directory
+  // entry; on success jump past it, otherwise advance one byte. A crash
+  // mid-directory thus recovers every complete entry before the tear.
+  for (int64_t pos = kHeaderSize; pos + kMinEntrySize <= file_size;) {
+    DatasetInfo info;
+    int64_t consumed = TrySalvageEntry(all.data(), pos, file_size, &info);
+    if (consumed < 0) {
+      ++pos;
+      continue;
+    }
+    pos += consumed;
+    if (dataset_index_.count(info.name) > 0) continue;  // first wins
+    dataset_index_.emplace(info.name, datasets_.size());
+    datasets_.push_back(std::move(info));
+  }
   return Status::Ok();
 }
 

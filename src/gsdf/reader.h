@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "gsdf/format.h"
 #include "gsdf/writer.h"
 #include "sim/env.h"
 
@@ -35,9 +36,19 @@ struct DatasetInfo {
 // RandomAccessFile is (both provided backends are).
 class Reader {
  public:
-  // Opens `path`, validates magic/version, and loads the directory.
+  // Opens `path`, validates magic/version (v1 and v2 accepted; v2 also
+  // checks the tail CRC), and loads the directory.
   static Result<std::unique_ptr<Reader>> Open(Env* env,
                                               const std::string& path);
+
+  // Like Open, but when the footer/directory is corrupt or truncated,
+  // forward-scans the file for directory entries whose payload CRC-32
+  // verifies, and serves exactly those datasets. The structural error that
+  // forced the scan is kept in salvage_error() (a DATA_LOSS, so callers can
+  // surface partial results as degraded rather than unavailable). Fails
+  // only if the file cannot be read at all or lacks the gsdf magic.
+  static Result<std::unique_ptr<Reader>> OpenSalvage(Env* env,
+                                                     const std::string& path);
 
   Reader(const Reader&) = delete;
   Reader& operator=(const Reader&) = delete;
@@ -46,6 +57,12 @@ class Reader {
   const std::vector<DatasetInfo>& datasets() const { return datasets_; }
   const AttributeList& file_attributes() const { return file_attributes_; }
   const std::string& path() const { return path_; }
+  uint32_t version() const { return version_; }
+
+  // True iff this reader was produced by a salvage scan (the normal load
+  // failed). salvage_error() then holds why.
+  bool salvaged() const { return salvaged_; }
+  const Status& salvage_error() const { return salvage_error_; }
 
   // Returns the directory entry for `name`, or NOT_FOUND.
   Result<const DatasetInfo*> Find(const std::string& name) const;
@@ -77,6 +94,9 @@ class Reader {
   Reader(Env* env, std::string path);
 
   Status Load();
+  // Best-effort recovery scan over the whole file; populates datasets_ with
+  // every parseable, checksum-valid directory entry.
+  Status LoadSalvage();
 
   std::string path_;
   std::unique_ptr<RandomAccessFile> file_;
@@ -86,6 +106,9 @@ class Reader {
   std::unordered_map<std::string, size_t> dataset_index_;
   AttributeList file_attributes_;
   Env* env_;
+  uint32_t version_ = kVersion;
+  bool salvaged_ = false;
+  Status salvage_error_ = Status::Ok();
 };
 
 }  // namespace godiva::gsdf

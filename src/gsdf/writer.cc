@@ -26,21 +26,51 @@ void EncodeAttributes(const AttributeList& attributes, std::string* out) {
 
 }  // namespace
 
-Writer::Writer(std::unique_ptr<WritableFile> file, Options options)
-    : file_(std::move(file)), options_(options) {}
+Writer::Writer(Env* env, std::unique_ptr<WritableFile> file,
+               std::string final_path, std::string write_path, Options options)
+    : env_(env),
+      file_(std::move(file)),
+      final_path_(std::move(final_path)),
+      write_path_(std::move(write_path)),
+      options_(options) {}
+
+Writer::~Writer() {
+  if (!finished_) Abandon();
+}
+
+void Writer::Abandon() {
+  if (file_ != nullptr) {
+    (void)file_->Close();
+    file_ = nullptr;
+  }
+  // Best effort: after a crash-point fault even the delete fails, which is
+  // exactly right — a dead machine cannot clean up its torn temp file.
+  (void)env_->DeleteFile(write_path_);
+}
 
 Result<std::unique_ptr<Writer>> Writer::Create(Env* env,
                                                const std::string& path,
                                                Options options) {
+  if (options.version == 0) options.version = kVersion;
+  if (!IsSupportedVersion(options.version)) {
+    return InvalidArgumentError(
+        StrCat("unsupported gsdf version ", options.version));
+  }
+  std::string write_path = options.atomic ? TempPath(path) : path;
   GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                          env->NewWritableFile(path));
-  auto writer =
-      std::unique_ptr<Writer>(new Writer(std::move(file), options));
+                          env->NewWritableFile(write_path));
+  auto writer = std::unique_ptr<Writer>(
+      new Writer(env, std::move(file), path, std::move(write_path), options));
   std::string header(kMagic, sizeof(kMagic));
-  EncodeU32(kVersion, &header);
+  EncodeU32(options.version, &header);
   EncodeU64(0, &header);  // reserved
-  GODIVA_RETURN_IF_ERROR(writer->file_->Append(header.data(),
-                                               static_cast<int64_t>(header.size())));
+  Status status = writer->file_->Append(
+      header.data(), static_cast<int64_t>(header.size()));
+  if (!status.ok()) {
+    writer->Abandon();
+    writer->finished_ = true;  // Abandoned; keep the destructor idempotent.
+    return status;
+  }
   writer->write_offset_ = static_cast<int64_t>(header.size());
   return writer;
 }
@@ -87,6 +117,12 @@ void Writer::SetFileAttribute(const std::string& key,
 Status Writer::Finish() {
   if (finished_) return FailedPreconditionError("writer already finished");
   finished_ = true;
+  Status status = FinishInternal();
+  if (!status.ok()) Abandon();
+  return status;
+}
+
+Status Writer::FinishInternal() {
   int64_t dir_offset = write_offset_;
   std::string tail;
   for (const DatasetEntry& entry : datasets_) {
@@ -99,10 +135,21 @@ Status Writer::Finish() {
   EncodeAttributes(file_attributes_, &tail);
   EncodeU64(static_cast<uint64_t>(dir_offset), &tail);
   EncodeU64(static_cast<uint64_t>(datasets_.size()), &tail);
+  if (options_.version >= kVersion) {
+    // v2: CRC over everything the reader trusts to locate payloads — the
+    // directory, file attrs, and the dir_offset/count just encoded.
+    EncodeU32(Crc32(tail.data(), static_cast<int64_t>(tail.size())), &tail);
+  }
   tail.append(kFooterMagic, sizeof(kFooterMagic));
   GODIVA_RETURN_IF_ERROR(
       file_->Append(tail.data(), static_cast<int64_t>(tail.size())));
-  return file_->Close();
+  GODIVA_RETURN_IF_ERROR(file_->Sync());
+  GODIVA_RETURN_IF_ERROR(file_->Close());
+  file_ = nullptr;
+  if (options_.atomic) {
+    GODIVA_RETURN_IF_ERROR(env_->RenameFile(write_path_, final_path_));
+  }
+  return Status::Ok();
 }
 
 }  // namespace godiva::gsdf

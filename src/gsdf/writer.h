@@ -20,16 +20,24 @@ using AttributeList = std::vector<std::pair<std::string, std::string>>;
 // digits); written by default, verified via Reader::VerifyChecksum.
 inline constexpr char kChecksumAttribute[] = "__crc32";
 
-// Writes datasets in call order; Finish() emits directory + footer. Not
-// thread safe.
+// Writes datasets in call order; Finish() emits directory + footer, syncs,
+// and atomically renames the temp file into place. Not thread safe.
 class Writer {
  public:
   struct Options {
     // Attach a CRC-32 of each payload as the __crc32 dataset attribute.
     bool checksums = true;
+    // Format version to emit: kVersion (v2, CRC-protected tail) or
+    // kVersionV1 for compatibility testing with pre-CRC readers.
+    uint32_t version = 0;  // 0 = current (format.h kVersion)
+    // Write to `<path>.tmp` and rename on Finish() so readers never see a
+    // partial file at the final path. Off: write `path` directly (the
+    // pre-crash-consistency behavior; the abort path still deletes it).
+    bool atomic = true;
   };
 
-  // Creates/truncates `path` on `env` and writes the header.
+  // Opens the write target on `env` and writes the header. With
+  // options.atomic the target is `<path>.tmp` until Finish() renames it.
   static Result<std::unique_ptr<Writer>> Create(Env* env,
                                                 const std::string& path,
                                                 Options options);
@@ -40,7 +48,14 @@ class Writer {
 
   Writer(const Writer&) = delete;
   Writer& operator=(const Writer&) = delete;
-  ~Writer() = default;
+  // Abandoning a writer without Finish() deletes the partial file.
+  ~Writer();
+
+  // The path being appended to right now (`<path>.tmp` under the atomic
+  // protocol); exposed so fault plans can target the in-flight file.
+  static std::string TempPath(const std::string& path) {
+    return path + ".tmp";
+  }
 
   // Appends one named, typed dataset. `nbytes` must be a multiple of
   // SizeOf(type). Dataset names must be unique within the file.
@@ -50,7 +65,9 @@ class Writer {
   // Sets a file-level attribute (overwrites an existing key).
   void SetFileAttribute(const std::string& key, const std::string& value);
 
-  // Writes directory and footer and closes the file. Must be the last call.
+  // Writes directory and footer, syncs, closes, and (atomic mode) renames
+  // the temp file to the final path. Must be the last call. On failure the
+  // in-progress file is deleted; nothing appears at the final path.
   Status Finish();
 
  private:
@@ -62,9 +79,17 @@ class Writer {
     AttributeList attributes;
   };
 
-  Writer(std::unique_ptr<WritableFile> file, Options options);
+  Writer(Env* env, std::unique_ptr<WritableFile> file, std::string final_path,
+         std::string write_path, Options options);
 
+  Status FinishInternal();
+  // Closes and best-effort deletes the in-progress file.
+  void Abandon();
+
+  Env* env_;
   std::unique_ptr<WritableFile> file_;
+  std::string final_path_;
+  std::string write_path_;  // == final_path_ when !options_.atomic
   Options options_;
   int64_t write_offset_ = 0;
   std::vector<DatasetEntry> datasets_;

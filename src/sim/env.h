@@ -21,6 +21,12 @@ class WritableFile {
   virtual ~WritableFile() = default;
 
   virtual Status Append(const void* data, int64_t size) = 0;
+
+  // Flushes buffered data to stable storage. After Sync() returns OK, the
+  // bytes appended so far survive a crash of the process (and, for real
+  // disks, of the machine).
+  virtual Status Sync() = 0;
+
   virtual Status Close() = 0;
 };
 
@@ -52,6 +58,11 @@ class Env {
   virtual bool FileExists(const std::string& path) const = 0;
   virtual Result<int64_t> GetFileSize(const std::string& path) const = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
+
+  // Atomically renames `from` to `to`, replacing `to` if it exists. This is
+  // the commit point of the gsdf temp-file write protocol: readers see
+  // either the old file or the complete new one, never a partial write.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
 
   // All file paths with the given prefix, sorted.
   virtual Result<std::vector<std::string>> ListFiles(

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -39,6 +40,10 @@ Status MakeInjectedError(const FaultRule& rule, const std::string& path,
                 StrCat("injected fault: ", op_name, " of ", path));
 }
 
+Status CrashedError(const std::string& path) {
+  return IoError(StrCat("injected crash: ", path, " lost power"));
+}
+
 // Flips one bit every `stride` bytes of the payload. Deterministic in the
 // (offset, size) of the read, so repeated reads of the same range corrupt
 // identically but any checksum over the payload fails.
@@ -48,6 +53,92 @@ void CorruptBuffer(uint8_t* data, int64_t size, int64_t stride) {
 }
 
 }  // namespace
+
+// Forwards appends to the base file, consulting the fault plan on each.
+// Tracks the bytes actually forwarded so byte-positioned crash rules can
+// truncate the crossing append exactly at their crash point.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base,
+                     std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(const void* data, int64_t size) override {
+    FaultInjectionEnv::Decision decision =
+        env_->ConsultWrite(path_, offset_, size);
+    if (decision.latency > Duration::zero()) {
+      std::this_thread::sleep_for(decision.latency);
+    }
+    if (!decision.fault) {
+      GODIVA_RETURN_IF_ERROR(base_->Append(data, size));
+      offset_ += size;
+      return Status::Ok();
+    }
+    if (decision.crashed) {
+      int64_t keep = std::clamp<int64_t>(decision.keep_bytes, 0, size);
+      if (keep > 0 && base_->Append(data, keep).ok()) offset_ += keep;
+      return CrashedError(path_);
+    }
+    switch (decision.rule.kind) {
+      case FaultKind::kError:
+        return MakeInjectedError(decision.rule, path_, "write");
+      case FaultKind::kCorrupt: {
+        std::vector<uint8_t> flipped(static_cast<const uint8_t*>(data),
+                                     static_cast<const uint8_t*>(data) + size);
+        CorruptBuffer(flipped.data(), size, decision.rule.corrupt_stride);
+        GODIVA_RETURN_IF_ERROR(base_->Append(flipped.data(), size));
+        offset_ += size;
+        return Status::Ok();
+      }
+      case FaultKind::kShortRead: {
+        // Torn write: only a prefix lands, but the op reports success.
+        int64_t prefix = static_cast<int64_t>(
+            static_cast<double>(size) * decision.rule.short_read_fraction);
+        prefix = std::clamp<int64_t>(prefix, 0, size);
+        if (prefix > 0) {
+          GODIVA_RETURN_IF_ERROR(base_->Append(data, prefix));
+          offset_ += prefix;
+        }
+        return Status::Ok();
+      }
+      case FaultKind::kLatency:
+      case FaultKind::kCrashPoint:  // crash decisions carry `crashed`
+        break;
+    }
+    GODIVA_RETURN_IF_ERROR(base_->Append(data, size));
+    offset_ += size;
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    FaultInjectionEnv::Decision decision =
+        env_->Consult(path_, FaultOp::kSync);
+    if (decision.latency > Duration::zero()) {
+      std::this_thread::sleep_for(decision.latency);
+    }
+    if (decision.fault) {
+      if (decision.crashed) return CrashedError(path_);
+      if (decision.rule.kind == FaultKind::kError) {
+        return MakeInjectedError(decision.rule, path_, "sync");
+      }
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    // Close the base handle either way so nothing leaks; a crashed path
+    // still reports the crash to the caller.
+    Status base_status = base_->Close();
+    if (env_->PathCrashed(path_)) return CrashedError(path_);
+    return base_status;
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+  int64_t offset_ = 0;  // bytes forwarded to the base file so far
+};
 
 // Forwards reads to the base file, consulting the fault plan on each.
 class FaultyRandomAccessFile : public RandomAccessFile {
@@ -85,6 +176,7 @@ class FaultyRandomAccessFile : public RandomAccessFile {
         return Status::Ok();
       }
       case FaultKind::kLatency:
+      case FaultKind::kCrashPoint:  // never fires on reads
         return base_->Read(offset, size, out);  // delay already paid
     }
     return base_->Read(offset, size, out);
@@ -126,15 +218,46 @@ void FaultInjectionEnv::ResetStats() {
   stats_ = FaultStats();
 }
 
+bool FaultInjectionEnv::PathCrashed(const std::string& path) const {
+  MutexLock lock(&mu_);
+  return crashed_paths_.count(path) > 0;
+}
+
+void FaultInjectionEnv::ClearCrashedPaths() {
+  MutexLock lock(&mu_);
+  crashed_paths_.clear();
+}
+
+namespace {
+
+bool IsMutatingOp(FaultOp op) {
+  return op == FaultOp::kCreate || op == FaultOp::kWrite ||
+         op == FaultOp::kSync || op == FaultOp::kRename;
+}
+
+}  // namespace
+
 FaultInjectionEnv::Decision FaultInjectionEnv::Consult(
     const std::string& path, FaultOp op) {
   MutexLock lock(&mu_);
   ++stats_.ops_seen;
+  if (IsMutatingOp(op) && crashed_paths_.count(path) > 0) {
+    Decision decision;
+    decision.fault = true;
+    decision.crashed = true;
+    return decision;
+  }
   if (!enabled_) return Decision{};
   for (size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& rule = rules_[i];
     if (rule.op != FaultOp::kAny && rule.op != op) continue;
     if (!GlobMatch(rule.path_glob, path)) continue;
+    // Crash points never fire on the read side, and their byte-positioned
+    // kWrite form is evaluated by ConsultWrite, not here.
+    if (rule.kind == FaultKind::kCrashPoint &&
+        (op == FaultOp::kOpen || op == FaultOp::kRead)) {
+      continue;
+    }
     int& count = match_counts_[{i, path}];
     int position = count++;  // 0-based among this rule's matches for path
     if (position < rule.skip_first) continue;
@@ -160,6 +283,73 @@ FaultInjectionEnv::Decision FaultInjectionEnv::Consult(
         ++stats_.latency_spikes;
         decision.latency = rule.latency;
         break;
+      case FaultKind::kCrashPoint:
+        ++stats_.crashes_injected;
+        decision.crashed = true;
+        crashed_paths_.insert(path);
+        break;
+    }
+    return decision;
+  }
+  return Decision{};
+}
+
+FaultInjectionEnv::Decision FaultInjectionEnv::ConsultWrite(
+    const std::string& path, int64_t offset, int64_t size) {
+  MutexLock lock(&mu_);
+  ++stats_.ops_seen;
+  if (crashed_paths_.count(path) > 0) {
+    Decision decision;
+    decision.fault = true;
+    decision.crashed = true;
+    return decision;
+  }
+  if (!enabled_) return Decision{};
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.op != FaultOp::kAny && rule.op != FaultOp::kWrite) continue;
+    if (!GlobMatch(rule.path_glob, path)) continue;
+    if (rule.kind == FaultKind::kCrashPoint) {
+      // Positional in the byte stream, not the op sequence: fire on the
+      // append that reaches the crash point.
+      if (offset + size <= rule.crash_at_bytes) continue;
+      crashed_paths_.insert(path);
+      ++stats_.faults_injected;
+      ++stats_.crashes_injected;
+      Decision decision;
+      decision.fault = true;
+      decision.crashed = true;
+      decision.rule = rule;
+      decision.keep_bytes =
+          std::clamp<int64_t>(rule.crash_at_bytes - offset, 0, size);
+      return decision;
+    }
+    int& count = match_counts_[{i, path}];
+    int position = count++;
+    if (position < rule.skip_first) continue;
+    if (position >= static_cast<int64_t>(rule.skip_first) + rule.max_faults) {
+      continue;
+    }
+    ++stats_.faults_injected;
+    Decision decision;
+    decision.fault = true;
+    decision.rule = rule;
+    switch (rule.kind) {
+      case FaultKind::kError:
+        ++stats_.errors_injected;
+        break;
+      case FaultKind::kCorrupt:
+        ++stats_.reads_corrupted;
+        break;
+      case FaultKind::kShortRead:
+        ++stats_.short_reads;
+        break;
+      case FaultKind::kLatency:
+        ++stats_.latency_spikes;
+        decision.latency = rule.latency;
+        break;
+      case FaultKind::kCrashPoint:
+        break;  // handled above
     }
     return decision;
   }
@@ -168,7 +358,20 @@ FaultInjectionEnv::Decision FaultInjectionEnv::Consult(
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
-  return base_->NewWritableFile(path);  // faults are read-side only
+  Decision decision = Consult(path, FaultOp::kCreate);
+  if (decision.latency > Duration::zero()) {
+    std::this_thread::sleep_for(decision.latency);
+  }
+  if (decision.fault) {
+    if (decision.crashed) return CrashedError(path);
+    if (decision.rule.kind == FaultKind::kError) {
+      return MakeInjectedError(decision.rule, path, "create");
+    }
+  }
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultyWritableFile>(this, std::move(file), path));
 }
 
 Result<std::unique_ptr<RandomAccessFile>>
@@ -195,7 +398,24 @@ Result<int64_t> FaultInjectionEnv::GetFileSize(const std::string& path) const {
 }
 
 Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  if (PathCrashed(path)) return CrashedError(path);
   return base_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  Decision decision = Consult(from, FaultOp::kRename);
+  if (decision.latency > Duration::zero()) {
+    std::this_thread::sleep_for(decision.latency);
+  }
+  if (decision.fault) {
+    if (decision.crashed) return CrashedError(from);
+    if (decision.rule.kind == FaultKind::kError) {
+      return MakeInjectedError(decision.rule, from, "rename");
+    }
+  }
+  if (PathCrashed(to)) return CrashedError(to);
+  return base_->RenameFile(from, to);
 }
 
 Result<std::vector<std::string>> FaultInjectionEnv::ListFiles(

@@ -4,8 +4,12 @@
 // and operation and can inject
 //   - transient or permanent errors (default UNAVAILABLE),
 //   - deterministic payload corruption (bit flips that gsdf checksums catch),
-//   - short reads (the tail of the buffer is zeroed),
-//   - latency spikes.
+//   - short reads (the tail of the buffer is zeroed) and torn writes (only
+//     a prefix of an append reaches the base env, silently),
+//   - latency spikes,
+//   - crash points: the file "loses power" at byte N of its write stream —
+//     the crossing append is truncated at N and every later mutating op on
+//     that path fails, while reads keep working (post-reboot inspection).
 // Injection counts are tracked per (rule, path), so "the first two reads of
 // every file fail" is a single rule. Thread safe.
 #ifndef GODIVA_SIM_FAULT_ENV_H_
@@ -15,6 +19,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,15 +35,26 @@ namespace godiva {
 // Which file operation a fault rule applies to.
 enum class FaultOp {
   kAny,
-  kOpen,  // NewRandomAccessFile
-  kRead,  // RandomAccessFile::Read
+  kOpen,    // NewRandomAccessFile
+  kRead,    // RandomAccessFile::Read
+  kCreate,  // NewWritableFile
+  kWrite,   // WritableFile::Append
+  kSync,    // WritableFile::Sync
+  kRename,  // Env::RenameFile (matched against the source path)
 };
 
 enum class FaultKind {
   kError,      // the operation fails with `error_code`
-  kCorrupt,    // the read succeeds but payload bits are flipped
-  kShortRead,  // only a prefix is read; the rest of the buffer is zeroed
+  kCorrupt,    // reads: payload bits flipped; writes: flipped before landing
+  kShortRead,  // reads: prefix read, rest zeroed; writes: torn append — only
+               // the prefix reaches the base env but the op reports success
   kLatency,    // the operation succeeds after an extra delay
+  kCrashPoint,  // power loss at `crash_at_bytes` of the path's write stream:
+                // the crossing append lands truncated, the op fails, and all
+                // later mutating ops on the path fail until
+                // ClearCrashedPaths(). On kCreate/kSync/kRename ops the
+                // crash fires positionally (when the rule's window admits
+                // it) instead of by byte offset.
 };
 
 struct FaultRule {
@@ -53,9 +69,14 @@ struct FaultRule {
   int64_t corrupt_stride = 512;
   double short_read_fraction = 0.5;  // kShortRead: prefix actually read
   Duration latency{};                // kLatency: added delay (real time)
+  // kCrashPoint with op kWrite/kAny: the write stream dies once it has
+  // absorbed this many bytes. 0 crashes before the first appended byte.
+  int64_t crash_at_bytes = 0;
 
   // Per matching path: let `skip_first` matching operations through, then
-  // inject into the next `max_faults`, then pass everything.
+  // inject into the next `max_faults`, then pass everything. (Byte-based
+  // kCrashPoint decisions on kWrite ignore the window; they are positional
+  // in the byte stream, not in the op sequence.)
   int skip_first = 0;
   int max_faults = std::numeric_limits<int>::max();
 };
@@ -67,6 +88,7 @@ struct FaultStats {
   int64_t reads_corrupted = 0;
   int64_t short_reads = 0;
   int64_t latency_spikes = 0;
+  int64_t crashes_injected = 0;  // kCrashPoint firings (not repeat failures)
 };
 
 class FaultInjectionEnv : public Env {
@@ -87,6 +109,13 @@ class FaultInjectionEnv : public Env {
   FaultStats stats() const EXCLUDES(mu_);
   void ResetStats() EXCLUDES(mu_);
 
+  // True iff a kCrashPoint rule has fired for `path` (and the crash has not
+  // been cleared). Mutating ops on crashed paths fail; reads pass through.
+  bool PathCrashed(const std::string& path) const EXCLUDES(mu_);
+  // "Reboot": crashed paths accept mutating ops again. The torn bytes that
+  // already landed in the base env stay as-is.
+  void ClearCrashedPaths() EXCLUDES(mu_);
+
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
@@ -94,24 +123,37 @@ class FaultInjectionEnv : public Env {
   bool FileExists(const std::string& path) const override;
   Result<int64_t> GetFileSize(const std::string& path) const override;
   Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
   Result<std::vector<std::string>> ListFiles(
       const std::string& prefix) const override;
 
  private:
   friend class FaultyRandomAccessFile;
+  friend class FaultyWritableFile;
 
   // The outcome of consulting the plan for one operation. Holds a copy of
   // the firing rule so concurrent AddRule cannot invalidate it.
   struct Decision {
     bool fault = false;
+    // The path is (now) crashed: the caller must fail the op, forwarding at
+    // most `keep_bytes` of an append first.
+    bool crashed = false;
     FaultRule rule;
     Duration latency{};
+    int64_t keep_bytes = 0;
   };
 
   // Finds the first armed rule matching (path, op) and consumes one
   // injection from it. Latency is returned rather than slept so the caller
-  // can sleep outside the mutex.
+  // can sleep outside the mutex. For mutating ops on crashed paths it
+  // returns a crashed decision without consulting the plan.
   Decision Consult(const std::string& path, FaultOp op) EXCLUDES(mu_);
+
+  // Consult() for an append of `size` bytes landing at byte `offset` of the
+  // path's write stream (= base-file length), which is what byte-positioned
+  // kCrashPoint rules match against.
+  Decision ConsultWrite(const std::string& path, int64_t offset, int64_t size)
+      EXCLUDES(mu_);
 
   Env* const base_;
 
@@ -121,6 +163,7 @@ class FaultInjectionEnv : public Env {
   // (rule index, path) -> matching operations seen so far.
   std::map<std::pair<size_t, std::string>, int> match_counts_
       GUARDED_BY(mu_);
+  std::set<std::string> crashed_paths_ GUARDED_BY(mu_);
   FaultStats stats_ GUARDED_BY(mu_);
 };
 

@@ -38,6 +38,13 @@ class PosixWritableFile : public WritableFile {
     return Status::Ok();
   }
 
+  Status Sync() override {
+    if (file_ == nullptr) return FailedPreconditionError("file closed");
+    if (std::fflush(file_) != 0) return ErrnoError("flush", path_);
+    if (::fsync(::fileno(file_)) != 0) return ErrnoError("fsync", path_);
+    return Status::Ok();
+  }
+
   Status Close() override {
     if (file_ == nullptr) return Status::Ok();
     int rc = std::fclose(file_);
@@ -118,6 +125,13 @@ class PosixEnv : public Env {
 
   Status DeleteFile(const std::string& path) override {
     if (::unlink(path.c_str()) != 0) return ErrnoError("unlink", path);
+    return Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename", from);
+    }
     return Status::Ok();
   }
 

@@ -28,6 +28,13 @@ class SimWritableFile : public WritableFile {
     return Status::Ok();
   }
 
+  Status Sync() override {
+    // In-memory bytes are already "durable" within the simulation; crash
+    // semantics are modeled by FaultInjectionEnv, not here.
+    if (closed_) return FailedPreconditionError("file closed");
+    return Status::Ok();
+  }
+
   Status Close() override {
     closed_ = true;
     return Status::Ok();
@@ -109,6 +116,18 @@ Status SimEnv::DeleteFile(const std::string& path) {
   if (files_.erase(path) == 0) {
     return NotFoundError(StrCat("no such file: ", path));
   }
+  return Status::Ok();
+}
+
+Status SimEnv::RenameFile(const std::string& from, const std::string& to) {
+  MutexLock lock(&fs_mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return NotFoundError(StrCat("no such file: ", from));
+  }
+  if (from == to) return Status::Ok();
+  files_[to] = it->second;  // replaces `to` if present, like POSIX rename
+  files_.erase(from);
   return Status::Ok();
 }
 

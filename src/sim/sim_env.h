@@ -61,6 +61,8 @@ class SimEnv : public Env {
   Result<int64_t> GetFileSize(const std::string& path) const override
       EXCLUDES(fs_mutex_);
   Status DeleteFile(const std::string& path) override EXCLUDES(fs_mutex_);
+  Status RenameFile(const std::string& from, const std::string& to) override
+      EXCLUDES(fs_mutex_);
   Result<std::vector<std::string>> ListFiles(
       const std::string& prefix) const override EXCLUDES(fs_mutex_);
 

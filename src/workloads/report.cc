@@ -66,4 +66,28 @@ void PrintSkipped(const CellResult& result, int snapshots_processed) {
   }
 }
 
+std::string FormatResilience(const CellResult& result) {
+  const GboStats& gbo = result.gbo;
+  if (gbo.files_quarantined == 0 && gbo.reads_short_circuited == 0 &&
+      gbo.salvaged_datasets == 0 && gbo.torn_writes_detected == 0 &&
+      result.quarantined_files.empty()) {
+    return "";
+  }
+  std::string out = StrCat(
+      "  ", result.test, "(", result.variant, "): resilience: ",
+      gbo.files_quarantined, " files quarantined, ",
+      gbo.reads_short_circuited, " reads short-circuited, ",
+      gbo.salvaged_datasets, " datasets salvaged from ",
+      gbo.torn_writes_detected, " torn writes\n");
+  for (const std::string& path : result.quarantined_files) {
+    out += StrCat("    quarantined: ", path, "\n");
+  }
+  return out;
+}
+
+void PrintResilience(const CellResult& result) {
+  std::string text = FormatResilience(result);
+  if (!text.empty()) std::printf("%s", text.c_str());
+}
+
 }  // namespace godiva::workloads

@@ -34,6 +34,17 @@ void PrintComparison(const std::string& metric, double paper_value,
 // No-op when nothing was skipped.
 void PrintSkipped(const CellResult& result, int snapshots_processed);
 
+// Formats the corruption-resilience counters of one cell, e.g.
+//   simple(TG): resilience: 1 file quarantined, 3 reads short-circuited,
+//   5 datasets salvaged from 1 torn write
+//     quarantined: /data/snap_0003.gsdf
+// Returns "" when every counter is zero and no file is quarantined, so
+// clean runs stay silent. Separated from PrintResilience for testability.
+std::string FormatResilience(const CellResult& result);
+
+// Prints FormatResilience(result) when non-empty.
+void PrintResilience(const CellResult& result);
+
 // Section header.
 void PrintHeader(const std::string& title);
 

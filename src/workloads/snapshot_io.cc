@@ -45,6 +45,27 @@ Status ReadDatasetIntoVector(PlatformRuntime* runtime,
   return Status::Ok();
 }
 
+// Opens `path`, falling back to a salvage scan when permitted and the
+// structural open fails with DATA_LOSS (torn footer, directory CRC
+// mismatch). A salvage open reports the torn write and the number of
+// recovered datasets to `db` so they show up in GboStats.
+Result<std::unique_ptr<gsdf::Reader>> OpenSnapshotFile(
+    PlatformRuntime* runtime, const std::string& path, bool salvage,
+    Gbo* db) {
+  Result<std::unique_ptr<gsdf::Reader>> reader =
+      gsdf::Reader::Open(runtime->io_env(), path);
+  if (reader.ok() || !salvage ||
+      reader.status().code() != StatusCode::kDataLoss) {
+    return reader;
+  }
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> salvaged,
+                          gsdf::Reader::OpenSalvage(runtime->io_env(), path));
+  db->ReportTornWrite();
+  db->ReportSalvagedDatasets(
+      static_cast<int64_t>(salvaged->datasets().size()));
+  return salvaged;
+}
+
 }  // namespace
 
 Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
@@ -60,8 +81,9 @@ Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
     }
     const bool verify = options.verify_checksums;
     for (const std::string& path : dataset->SnapshotFiles(snapshot)) {
-      GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
-                              gsdf::Reader::Open(runtime->io_env(), path));
+      GODIVA_ASSIGN_OR_RETURN(
+          std::unique_ptr<gsdf::Reader> reader,
+          OpenSnapshotFile(runtime, path, options.salvage, db));
       std::vector<int32_t> blocks;
       GODIVA_RETURN_IF_ERROR(
           ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks, verify));

@@ -26,6 +26,13 @@ struct SnapshotReadOptions {
   // RetryPolicy treats as retryable — a re-read of a torn file often
   // succeeds, and a persistent mismatch fails the unit permanently.
   bool verify_checksums = false;
+
+  // When a snapshot file fails to open with DATA_LOSS (torn footer or a
+  // directory CRC mismatch), reopen it with gsdf::Reader::OpenSalvage and
+  // serve whatever checksum-valid datasets survive. The read fn reports
+  // torn_writes_detected/salvaged_datasets to the database; a block whose
+  // required datasets did not survive still fails the unit with DATA_LOSS.
+  bool salvage = false;
 };
 
 // Returns a read function that loads the unit named "snap_NNNN": for every

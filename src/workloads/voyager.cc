@@ -96,18 +96,23 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
   options.background_io = (config.variant == Variant::kGodivaMultiThread);
   options.memory_limit_bytes = config.godiva_memory_bytes;
   options.retry = config.retry;
+  options.quarantine_threshold = config.quarantine_threshold;
   Gbo db(options);
   GODIVA_RETURN_IF_ERROR(DefineBlockSchema(&db));
 
   std::vector<std::string> quantities = config.test.AllQuantities();
   Gbo::ReadFn read_fn = MakeSnapshotReadFn(
       runtime, &dataset, quantities,
-      SnapshotReadOptions{.verify_checksums = config.verify_checksums});
+      SnapshotReadOptions{.verify_checksums = config.verify_checksums,
+                          .salvage = config.salvage});
 
-  // Batch mode: announce every unit up front, in processing order.
+  // Batch mode: announce every unit up front, in processing order. Each
+  // unit declares the snapshot files it reads so the per-file circuit
+  // breaker can quarantine a persistently failing file.
   std::vector<int> snapshots = SnapshotsToProcess(config);
   for (int snapshot : snapshots) {
-    GODIVA_RETURN_IF_ERROR(db.AddUnit(SnapshotUnitName(snapshot), read_fn));
+    GODIVA_RETURN_IF_ERROR(db.AddUnit(SnapshotUnitName(snapshot), read_fn,
+                                      dataset.SnapshotFiles(snapshot)));
   }
 
   for (int snapshot : snapshots) {
@@ -177,6 +182,7 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
     GODIVA_RETURN_IF_ERROR(db.DeleteUnit(unit));
   }
   result->gbo = db.stats();
+  result->quarantined_files = db.QuarantinedFiles();
   return Status::Ok();
 }
 

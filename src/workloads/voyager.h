@@ -59,6 +59,15 @@ struct RunConfig {
   // Upper bound for each per-snapshot wait; zero means wait indefinitely.
   // Expiry counts as a failure (skipped or fatal per the flag above).
   Duration unit_wait_deadline = Duration::zero();
+  // Reopen structurally torn snapshot files (DATA_LOSS on open) with the
+  // gsdf salvage scanner and serve the checksum-valid datasets that
+  // survive. See SnapshotReadOptions::salvage.
+  bool salvage = false;
+  // Per-file circuit breaker handed to GboOptions::quarantine_threshold:
+  // after this many permanent unit failures against the same snapshot
+  // file, further units touching it fail fast (DATA_LOSS) without invoking
+  // their read functions. 0 disables.
+  int quarantine_threshold = 3;
 };
 
 // One cell of Figure 3: times in modeled seconds (wall time divided by the
@@ -90,6 +99,10 @@ struct CellResult {
     Status error;
   };
   std::vector<SkippedSnapshot> skipped;
+
+  // Snapshot files the per-file circuit breaker quarantined during the
+  // run (sorted). Empty unless reads failed permanently enough times.
+  std::vector<std::string> quarantined_files;
 
   GboStats gbo;  // zeros for the O variant
 };

@@ -1,0 +1,227 @@
+// Tests for the per-file health circuit breaker (GboOptions::
+// quarantine_threshold): after N permanent unit failures against the same
+// declared resource file, further units touching it fail fast with
+// DATA_LOSS — their read functions never run — while units on healthy
+// files keep streaming. ResetFileHealth re-arms the file.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+void DefineUnitSchema(Gbo* db) {
+  ASSERT_TRUE(db->DefineField("unit", DataType::kString, 16).ok());
+  ASSERT_TRUE(
+      db->DefineField("payload", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db->DefineRecord("chunk", 1).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "unit", true).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "payload", false).ok());
+  ASSERT_TRUE(db->CommitRecordType("chunk").ok());
+}
+
+// A read fn that always fails with DATA_LOSS, counting invocations.
+Gbo::ReadFn FailingReadFn(std::atomic<int>* reads) {
+  return [reads](Gbo*, const std::string&) -> Status {
+    reads->fetch_add(1);
+    return DataLossError("simulated corrupt read");
+  };
+}
+
+// A read fn that commits one small record, counting invocations.
+Gbo::ReadFn GoodReadFn(std::atomic<int>* reads) {
+  return [reads](Gbo* db, const std::string& unit_name) -> Status {
+    reads->fetch_add(1);
+    GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("chunk"));
+    std::memcpy(*rec->FieldBuffer("unit"), PadKey(unit_name, 16).data(), 16);
+    GODIVA_ASSIGN_OR_RETURN(void* payload,
+                            db->AllocFieldBuffer(rec, "payload", 64));
+    static_cast<double*>(payload)[0] = 1.0;
+    return db->CommitRecord(rec);
+  };
+}
+
+GboOptions SingleThreadNoRetry(int quarantine_threshold) {
+  GboOptions options = GboOptions::SingleThread();
+  options.retry = RetryPolicy::None();
+  options.quarantine_threshold = quarantine_threshold;
+  return options;
+}
+
+TEST(QuarantineTest, FileQuarantinedAfterThresholdFailures) {
+  Gbo db(SingleThreadNoRetry(2));
+  DefineUnitSchema(&db);
+  std::atomic<int> reads{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.AddUnit("u" + std::to_string(i), FailingReadFn(&reads),
+                           {"bad.gsdf"})
+                    .ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    Status wait = db.WaitUnit("u" + std::to_string(i));
+    EXPECT_EQ(wait.code(), StatusCode::kDataLoss) << wait;
+  }
+  // Only the first two failures ran the read function; the breaker
+  // swallowed the rest.
+  EXPECT_EQ(reads.load(), 2);
+  EXPECT_TRUE(db.IsFileQuarantined("bad.gsdf"));
+  EXPECT_EQ(db.QuarantinedFiles(),
+            std::vector<std::string>{"bad.gsdf"});
+  GboStats stats = db.stats();
+  EXPECT_EQ(stats.files_quarantined, 1);
+  EXPECT_EQ(stats.reads_short_circuited, 3);
+  EXPECT_EQ(stats.units_failed_permanent, 2);
+}
+
+TEST(QuarantineTest, ShortCircuitErrorNamesTheFile) {
+  Gbo db(SingleThreadNoRetry(1));
+  DefineUnitSchema(&db);
+  std::atomic<int> reads{0};
+  ASSERT_TRUE(db.AddUnit("first", FailingReadFn(&reads), {"bad.gsdf"}).ok());
+  ASSERT_TRUE(db.AddUnit("second", FailingReadFn(&reads), {"bad.gsdf"}).ok());
+  EXPECT_FALSE(db.WaitUnit("first").ok());
+  Status second = db.WaitUnit("second");
+  EXPECT_EQ(second.code(), StatusCode::kDataLoss);
+  EXPECT_NE(second.ToString().find("bad.gsdf"), std::string::npos)
+      << second;
+  EXPECT_NE(second.ToString().find("quarantined"), std::string::npos)
+      << second;
+  EXPECT_EQ(reads.load(), 1);
+}
+
+TEST(QuarantineTest, HealthyFilesStreamWhileDeadFileIsQuarantined) {
+  // Background-I/O mode: a dead file burns at most threshold read
+  // attempts while units over the healthy file all complete.
+  GboOptions options;  // background_io = true
+  options.retry = RetryPolicy::None();
+  options.quarantine_threshold = 2;
+  Gbo db(options);
+  DefineUnitSchema(&db);
+  std::atomic<int> dead_reads{0};
+  std::atomic<int> good_reads{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.AddUnit("dead" + std::to_string(i),
+                           FailingReadFn(&dead_reads), {"dead.gsdf"})
+                    .ok());
+    ASSERT_TRUE(db.AddUnit("good" + std::to_string(i),
+                           GoodReadFn(&good_reads), {"good.gsdf"})
+                    .ok());
+  }
+  int dead_failures = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (!db.WaitUnit("dead" + std::to_string(i)).ok()) ++dead_failures;
+    EXPECT_TRUE(db.WaitUnit("good" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(dead_failures, 8);
+  // At most `threshold` actual read attempts hit the dead file.
+  EXPECT_LE(dead_reads.load(), 2);
+  EXPECT_EQ(good_reads.load(), 8);
+  EXPECT_TRUE(db.IsFileQuarantined("dead.gsdf"));
+  EXPECT_FALSE(db.IsFileQuarantined("good.gsdf"));
+}
+
+TEST(QuarantineTest, ResetFileHealthReenablesReads) {
+  Gbo db(SingleThreadNoRetry(1));
+  DefineUnitSchema(&db);
+  std::atomic<int> reads{0};
+  ASSERT_TRUE(db.AddUnit("u0", FailingReadFn(&reads), {"flaky.gsdf"}).ok());
+  EXPECT_FALSE(db.WaitUnit("u0").ok());
+  ASSERT_TRUE(db.IsFileQuarantined("flaky.gsdf"));
+
+  // The operator repaired the file (say via gsdf_fsck) and re-arms it.
+  ASSERT_TRUE(db.ResetFileHealth("flaky.gsdf").ok());
+  EXPECT_FALSE(db.IsFileQuarantined("flaky.gsdf"));
+  std::atomic<int> good_reads{0};
+  ASSERT_TRUE(
+      db.AddUnit("u1", GoodReadFn(&good_reads), {"flaky.gsdf"}).ok());
+  EXPECT_TRUE(db.WaitUnit("u1").ok());
+  EXPECT_EQ(good_reads.load(), 1);
+
+  // Unknown files are reported, not silently accepted.
+  EXPECT_EQ(db.ResetFileHealth("never-seen.gsdf").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QuarantineTest, ZeroThresholdDisablesTheBreaker) {
+  Gbo db(SingleThreadNoRetry(0));
+  DefineUnitSchema(&db);
+  std::atomic<int> reads{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db.AddUnit("u" + std::to_string(i), FailingReadFn(&reads),
+                           {"bad.gsdf"})
+                    .ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(db.WaitUnit("u" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(reads.load(), 4);  // every unit really tried
+  EXPECT_FALSE(db.IsFileQuarantined("bad.gsdf"));
+  EXPECT_EQ(db.stats().files_quarantined, 0);
+  EXPECT_EQ(db.stats().reads_short_circuited, 0);
+}
+
+TEST(QuarantineTest, UnitsWithoutResourcesNeverParticipate) {
+  Gbo db(SingleThreadNoRetry(1));
+  DefineUnitSchema(&db);
+  std::atomic<int> reads{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        db.AddUnit("u" + std::to_string(i), FailingReadFn(&reads)).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(db.WaitUnit("u" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(reads.load(), 3);
+  EXPECT_TRUE(db.QuarantinedFiles().empty());
+  EXPECT_EQ(db.stats().files_quarantined, 0);
+}
+
+TEST(QuarantineTest, RetriesCountOncePerPermanentFailure) {
+  // With a retry policy, one unit burns max_attempts read invocations but
+  // only ONE permanent failure is charged to the file's health.
+  GboOptions options = GboOptions::SingleThread();
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = std::chrono::milliseconds(0);
+  options.quarantine_threshold = 2;
+  Gbo db(options);
+  DefineUnitSchema(&db);
+  std::atomic<int> reads{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.AddUnit("u" + std::to_string(i), FailingReadFn(&reads),
+                           {"bad.gsdf"})
+                    .ok());
+  }
+  EXPECT_FALSE(db.WaitUnit("u0").ok());
+  EXPECT_FALSE(db.WaitUnit("u1").ok());
+  EXPECT_FALSE(db.WaitUnit("u2").ok());
+  // Units 0 and 1: 3 attempts each; unit 2 short-circuited.
+  EXPECT_EQ(reads.load(), 6);
+  EXPECT_TRUE(db.IsFileQuarantined("bad.gsdf"));
+  EXPECT_EQ(db.stats().reads_short_circuited, 1);
+}
+
+TEST(QuarantineTest, ReportHooksFeedStats) {
+  Gbo db(SingleThreadNoRetry(3));
+  DefineUnitSchema(&db);
+  db.ReportTornWrite();
+  db.ReportSalvagedDatasets(7);
+  db.ReportSalvagedDatasets(2);
+  GboStats stats = db.stats();
+  EXPECT_EQ(stats.torn_writes_detected, 1);
+  EXPECT_EQ(stats.salvaged_datasets, 9);
+}
+
+}  // namespace
+}  // namespace godiva

@@ -84,12 +84,30 @@ inline void FuzzOneInput(const uint8_t* data, size_t size) {
   fuzz_internal::CheckOk((*file)->Close().ok(), "Close");
 
   auto reader = Reader::Open(&env, "f");
-  if (!reader.ok()) return;  // clean rejection
-  for (const DatasetInfo& info : (*reader)->datasets()) {
+  if (reader.ok()) {
+    for (const DatasetInfo& info : (*reader)->datasets()) {
+      if (info.nbytes < 0 || info.nbytes > (1 << 26)) continue;
+      std::vector<uint8_t> buffer(static_cast<size_t>(info.nbytes));
+      Status s = (*reader)->Read(info.name, buffer.data(), info.nbytes);
+      (void)s;  // either OK or a clean error
+    }
+  }
+
+  // Salvage pass: the recovery scanner must also survive arbitrary input.
+  // When the structural open failed and a real salvage scan ran, every
+  // dataset it surfaces carries a verified checksum, so reading it back
+  // must succeed and re-verify. (A structurally clean file with a corrupt
+  // payload opens normally — no salvage — and may serve CRC mismatches.)
+  auto salvage = Reader::OpenSalvage(&env, "f");
+  if (!salvage.ok()) return;  // clean rejection (no magic / unreadable)
+  for (const DatasetInfo& info : (*salvage)->datasets()) {
     if (info.nbytes < 0 || info.nbytes > (1 << 26)) continue;
     std::vector<uint8_t> buffer(static_cast<size_t>(info.nbytes));
-    Status s = (*reader)->Read(info.name, buffer.data(), info.nbytes);
-    (void)s;  // either OK or a clean error
+    Status s =
+        (*salvage)->ReadVerified(info.name, buffer.data(), info.nbytes);
+    if ((*salvage)->salvaged()) {
+      fuzz_internal::CheckOk(s.ok(), "salvaged dataset failed re-verify");
+    }
   }
 }
 

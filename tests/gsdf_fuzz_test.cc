@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -75,6 +78,59 @@ TEST(GsdfFuzzTest, RandomPrefixAndSuffixNeverCrash) {
     }
     FuzzBytes(mutated);
   }
+}
+
+TEST(GsdfFuzzTest, CheckedInCorpusReplays) {
+  // The checked-in corpus (tests/corpus) pins known-nasty shapes —
+  // truncations at every structural boundary and a payload CRC flip — so
+  // regressions reproduce without the random trials above. Also the seed
+  // corpus for the libFuzzer target.
+  std::filesystem::path dir(GODIVA_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename() == "README.md") continue;
+    std::FILE* f = std::fopen(entry.path().c_str(), "rb");
+    ASSERT_NE(f, nullptr) << entry.path();
+    std::vector<uint8_t> bytes(static_cast<size_t>(entry.file_size()));
+    if (!bytes.empty()) {
+      ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    }
+    std::fclose(f);
+    FuzzBytes(bytes);
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 8);  // seed + 6 truncations + 1 corruption
+}
+
+TEST(GsdfFuzzTest, SalvageRecoversFromTruncatedCorpusImages) {
+  // The footer-shaved truncation leaves every payload and directory entry
+  // intact: salvage must recover all three datasets. The header-only
+  // truncation has nothing to recover but must still open.
+  std::vector<uint8_t> valid = MakeSeedInput();
+  SimEnv env{SimEnv::Options{}};
+  auto write = [&](const std::string& name, const std::vector<uint8_t>& b) {
+    auto file = env.NewWritableFile(name);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(
+        (*file)->Append(b.data(), static_cast<int64_t>(b.size())).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  };
+  std::vector<uint8_t> shaved(valid.begin(), valid.end() - 9);
+  write("shaved", shaved);
+  auto salvaged = Reader::OpenSalvage(&env, "shaved");
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  EXPECT_TRUE((*salvaged)->salvaged());
+  EXPECT_EQ((*salvaged)->datasets().size(), 3u);
+  std::vector<double> coords(300);
+  ASSERT_TRUE((*salvaged)->ReadVerified("coords", coords.data(), 2400).ok());
+  EXPECT_EQ(coords[10], 5.0);
+
+  std::vector<uint8_t> header_only(valid.begin(), valid.begin() + 16);
+  write("header_only", header_only);
+  auto empty = Reader::OpenSalvage(&env, "header_only");
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE((*empty)->datasets().empty());
 }
 
 TEST(GsdfFuzzTest, UncorruptedFileStillReadsAfterHarness) {

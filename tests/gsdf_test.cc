@@ -2,6 +2,7 @@
 // ranged reads, and corruption handling.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -243,6 +244,129 @@ TEST(GsdfTest, CorruptFooterRejected) {
   }
   EXPECT_EQ(Reader::Open(&env, "f.gsdf").status().code(),
             StatusCode::kDataLoss);
+}
+
+TEST(GsdfWriterLifecycleTest, AbandonedWriterDeletesPartialFile) {
+  // Regression: dropping a writer without Finish() used to leak the
+  // partial file. Now the destructor removes it.
+  SimEnv env = MakeEnv();
+  {
+    auto writer = Writer::Create(&env, "f.gsdf");
+    ASSERT_TRUE(writer.ok());
+    std::vector<double> data = Doubles(10);
+    ASSERT_TRUE(
+        (*writer)->AddDataset("d", DataType::kFloat64, data.data(), 80).ok());
+    // No Finish(): the writer goes out of scope mid-write.
+  }
+  EXPECT_FALSE(env.FileExists("f.gsdf"));
+  EXPECT_FALSE(env.FileExists(Writer::TempPath("f.gsdf")));
+}
+
+TEST(GsdfWriterLifecycleTest, AtomicWriteHidesTheFileUntilFinish) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> data = Doubles(10);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("d", DataType::kFloat64, data.data(), 80).ok());
+  // Mid-write: only the temp file exists.
+  EXPECT_FALSE(env.FileExists("f.gsdf"));
+  EXPECT_TRUE(env.FileExists(Writer::TempPath("f.gsdf")));
+  ASSERT_TRUE((*writer)->Finish().ok());
+  // Committed: the rename consumed the temp file.
+  EXPECT_TRUE(env.FileExists("f.gsdf"));
+  EXPECT_FALSE(env.FileExists(Writer::TempPath("f.gsdf")));
+}
+
+TEST(GsdfWriterLifecycleTest, NonAtomicModeWritesThePathDirectly) {
+  SimEnv env = MakeEnv();
+  Writer::Options options;
+  options.atomic = false;
+  auto writer = Writer::Create(&env, "f.gsdf", options);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(env.FileExists("f.gsdf"));
+  EXPECT_FALSE(env.FileExists(Writer::TempPath("f.gsdf")));
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+}
+
+TEST(GsdfVersionTest, V1FilesStillOpen) {
+  SimEnv env = MakeEnv();
+  Writer::Options options;
+  options.version = kVersionV1;
+  auto writer = Writer::Create(&env, "v1.gsdf", options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  std::vector<double> data = Doubles(50);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("d", DataType::kFloat64, data.data(), 400).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = Reader::Open(&env, "v1.gsdf");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ((*reader)->version(), kVersionV1);
+  std::vector<double> read_back(50);
+  ASSERT_TRUE((*reader)->Read("d", read_back.data(), 400).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST(GsdfVersionTest, CurrentFilesAreV2) {
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ((*reader)->version(), kVersion);
+}
+
+TEST(GsdfVersionTest, UnsupportedVersionRejected) {
+  SimEnv env = MakeEnv();
+  Writer::Options options;
+  options.version = 3;
+  auto writer = Writer::Create(&env, "f.gsdf", options);
+  EXPECT_EQ(writer.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(env.FileExists(Writer::TempPath("f.gsdf")));
+}
+
+TEST(GsdfVersionTest, TailCrcDetectsDirectoryCorruption) {
+  // Flip one byte inside the directory region of a v2 file: the payloads
+  // and footer fields still parse, but the tail CRC catches it.
+  SimEnv env = MakeEnv();
+  auto writer = Writer::Create(&env, "f.gsdf");
+  ASSERT_TRUE(writer.ok());
+  std::vector<double> data = Doubles(20);
+  ASSERT_TRUE(
+      (*writer)->AddDataset("d", DataType::kFloat64, data.data(), 160).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto size = env.GetFileSize("f.gsdf");
+  ASSERT_TRUE(size.ok());
+  std::vector<uint8_t> image(static_cast<size_t>(*size));
+  {
+    auto file = env.NewRandomAccessFile("f.gsdf");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Read(0, *size, image.data()).ok());
+  }
+  int64_t dir_offset = static_cast<int64_t>(
+      DecodeU64(image.data() + *size - kFooterSize));
+  ASSERT_GT(dir_offset, 0);
+  ASSERT_LT(dir_offset, *size);
+  image[static_cast<size_t>(dir_offset) + 2] ^= 0x10;  // inside the name len
+  {
+    auto file = env.NewWritableFile("f.gsdf");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(
+        (*file)->Append(image.data(), static_cast<int64_t>(image.size()))
+            .ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().ToString().find("CRC"), std::string::npos)
+      << reader.status();
 }
 
 TEST(GsdfChecksumTest, VerifyPassesOnIntactData) {

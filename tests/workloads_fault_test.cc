@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -176,6 +177,103 @@ TEST_F(VoyagerFaultTest, ChecksumVerificationTurnsCorruptionIntoASkip) {
   EXPECT_EQ(cell->skipped[0].error.code(), StatusCode::kDataLoss);
   EXPECT_GT(cell->triangles, 0);
   EXPECT_GE(fault_->stats().reads_corrupted, 1);
+}
+
+TEST_F(VoyagerFaultTest, SalvageServesTornSnapshotFile) {
+  RunConfig config = BaseConfig(Variant::kGodivaMultiThread);
+  auto clean = RunClean(config);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // Tear the footer off one of snapshot 1's files, the way a power loss
+  // under a non-atomic writer would. The directory and all payload CRCs
+  // stay intact, so salvage recovers every dataset.
+  Env* env = experiment_->env();
+  const std::string path = experiment_->dataset().SnapshotFiles(1)[0];
+  auto size = env->GetFileSize(path);
+  ASSERT_TRUE(size.ok()) << size.status();
+  std::vector<uint8_t> image(static_cast<size_t>(*size));
+  {
+    auto file = env->NewRandomAccessFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Read(0, *size, image.data()).ok());
+  }
+  {
+    auto file = env->NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(image.data(), *size - 9).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  // Without salvage the snapshot is lost (DATA_LOSS, skipped)...
+  config.retry.max_attempts = 2;
+  config.skip_failed_snapshots = true;
+  auto degraded = RunClean(config);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  ASSERT_EQ(degraded->skipped.size(), 1u);
+  EXPECT_EQ(degraded->skipped[0].snapshot, 1);
+  EXPECT_EQ(degraded->skipped[0].error.code(), StatusCode::kDataLoss);
+
+  // ... with salvage the sweep renders every frame, identically.
+  config.salvage = true;
+  auto salvaged = RunClean(config);
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  EXPECT_TRUE(salvaged->skipped.empty());
+  EXPECT_EQ(salvaged->triangles, clean->triangles);
+  EXPECT_EQ(salvaged->tets_visited, clean->tets_visited);
+  EXPECT_GE(salvaged->gbo.torn_writes_detected, 1);
+  EXPECT_GT(salvaged->gbo.salvaged_datasets, 0);
+  // The degraded-run report mentions the recovery.
+  std::string report = FormatResilience(*salvaged);
+  EXPECT_NE(report.find("salvaged"), std::string::npos) << report;
+}
+
+TEST_F(VoyagerFaultTest, QuarantinedFilesSurfaceInTheCellResult) {
+  // Snapshot 2's files fail permanently; with a threshold of 1 the first
+  // exhausted retry quarantines both declared files of that unit.
+  FaultRule rule;
+  rule.path_glob = "*snap_0002_*";
+  rule.op = FaultOp::kOpen;
+  fault_->AddRule(rule);
+  RunConfig config = BaseConfig(Variant::kGodivaMultiThread);
+  config.retry.max_attempts = 2;
+  config.skip_failed_snapshots = true;
+  config.quarantine_threshold = 1;
+
+  auto cell = RunFaulty(config);
+  ASSERT_TRUE(cell.ok()) << cell.status();
+  ASSERT_EQ(cell->skipped.size(), 1u);
+  EXPECT_EQ(cell->skipped[0].snapshot, 2);
+  ASSERT_EQ(cell->quarantined_files.size(), 2u);
+  for (const std::string& path : cell->quarantined_files) {
+    EXPECT_NE(path.find("snap_0002"), std::string::npos) << path;
+  }
+  EXPECT_EQ(cell->gbo.files_quarantined, 2);
+  std::string report = FormatResilience(*cell);
+  EXPECT_NE(report.find("2 files quarantined"), std::string::npos) << report;
+  EXPECT_NE(report.find("quarantined: "), std::string::npos) << report;
+  PrintResilience(*cell);  // smoke
+}
+
+TEST(ReportResilienceTest, FormatsCountersAndStaysSilentWhenClean) {
+  CellResult result;
+  result.test = "simple";
+  result.variant = "TG";
+  EXPECT_EQ(FormatResilience(result), "");  // clean runs print nothing
+
+  result.gbo.files_quarantined = 1;
+  result.gbo.reads_short_circuited = 3;
+  result.gbo.salvaged_datasets = 5;
+  result.gbo.torn_writes_detected = 1;
+  result.quarantined_files = {"/data/snap_0003_f00.gsdf"};
+  std::string text = FormatResilience(result);
+  EXPECT_NE(text.find("simple(TG)"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 files quarantined"), std::string::npos) << text;
+  EXPECT_NE(text.find("3 reads short-circuited"), std::string::npos) << text;
+  EXPECT_NE(text.find("5 datasets salvaged"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 torn writes"), std::string::npos) << text;
+  EXPECT_NE(text.find("quarantined: /data/snap_0003_f00.gsdf"),
+            std::string::npos)
+      << text;
 }
 
 TEST_F(VoyagerFaultTest, VerifiedCleanSweepMatchesUnverifiedResults) {

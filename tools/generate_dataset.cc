@@ -3,6 +3,9 @@
 // gsdf_ls / gsdf_cat tools can inspect).
 //
 // Usage: generate_dataset --out=DIR [--factor=F] [--snapshots=N]
+//                         [--checksums]
+//   --checksums   attach per-dataset CRC-32 attributes (needed for
+//                 gsdf_ls/gsdf_cat --verify and any salvage recovery)
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -23,6 +26,7 @@ int Run(int argc, char** argv) {
   std::string out_dir;
   double factor = 0.15;
   int snapshots = 4;
+  bool checksums = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_dir = argv[i] + 6;
@@ -30,6 +34,8 @@ int Run(int argc, char** argv) {
       factor = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--snapshots=", 12) == 0) {
       snapshots = std::atoi(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--checksums") == 0) {
+      checksums = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -38,7 +44,7 @@ int Run(int argc, char** argv) {
   if (out_dir.empty()) {
     std::fprintf(stderr,
                  "usage: generate_dataset --out=DIR [--factor=F] "
-                 "[--snapshots=N]\n");
+                 "[--snapshots=N] [--checksums]\n");
     return 2;
   }
   if (::mkdir(out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
@@ -50,6 +56,7 @@ int Run(int argc, char** argv) {
                                ? mesh::DatasetSpec::TitanIV()
                                : mesh::DatasetSpec::TitanIVScaled(factor);
   spec.num_snapshots = snapshots;
+  spec.checksums = checksums;
   std::printf("generating %lld nodes / %lld tets / %d blocks × %d "
               "snapshots into %s ...\n",
               static_cast<long long>(spec.ExpectedNodes()),

@@ -1,7 +1,11 @@
 // gsdf_cat: prints the values of one dataset from a gsdf file.
 //
-// Usage: gsdf_cat [--limit=N] <file> <dataset>
+// Usage: gsdf_cat [--limit=N] [--verify] [--salvage] <file> <dataset>
 //   --limit=N   print at most N elements (default 32; 0 = all)
+//   --verify    check the dataset against its __crc32 while reading; a
+//               mismatch prints nothing and exits nonzero
+//   --salvage   when the footer/directory is corrupt, serve the dataset
+//               from a salvage scan (checksum-valid entries only)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,14 +22,26 @@ namespace godiva::tools {
 namespace {
 
 Status CatDataset(const std::string& path, const std::string& dataset,
-                  int64_t limit) {
-  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
-                          gsdf::Reader::Open(GetPosixEnv(), path));
+                  int64_t limit, bool verify, bool salvage) {
+  std::unique_ptr<gsdf::Reader> reader;
+  Result<std::unique_ptr<gsdf::Reader>> opened =
+      gsdf::Reader::Open(GetPosixEnv(), path);
+  if (opened.ok()) {
+    reader = std::move(*opened);
+  } else if (salvage) {
+    GODIVA_ASSIGN_OR_RETURN(reader,
+                            gsdf::Reader::OpenSalvage(GetPosixEnv(), path));
+    std::fprintf(stderr, "%s: salvage mode — %s\n", path.c_str(),
+                 reader->salvage_error().ToString().c_str());
+  } else {
+    return opened.status();
+  }
   GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info,
                           reader->Find(dataset));
   std::vector<uint8_t> payload(static_cast<size_t>(info->nbytes));
   GODIVA_RETURN_IF_ERROR(
-      reader->Read(dataset, payload.data(), info->nbytes));
+      verify ? reader->ReadVerified(dataset, payload.data(), info->nbytes)
+             : reader->Read(dataset, payload.data(), info->nbytes));
 
   int64_t elements = info->num_elements();
   int64_t to_print = (limit == 0) ? elements : std::min(limit, elements);
@@ -78,19 +94,28 @@ Status CatDataset(const std::string& path, const std::string& dataset,
 
 int Run(int argc, char** argv) {
   int64_t limit = 32;
+  bool verify = false;
+  bool salvage = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--limit=", 8) == 0) {
       limit = std::atoll(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (std::strcmp(argv[i], "--salvage") == 0) {
+      salvage = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (positional.size() != 2) {
-    std::fprintf(stderr, "usage: gsdf_cat [--limit=N] <file> <dataset>\n");
+    std::fprintf(stderr,
+                 "usage: gsdf_cat [--limit=N] [--verify] [--salvage] "
+                 "<file> <dataset>\n");
     return 2;
   }
-  Status status = CatDataset(positional[0], positional[1], limit);
+  Status status =
+      CatDataset(positional[0], positional[1], limit, verify, salvage);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;

@@ -1,0 +1,152 @@
+// gsdf_fsck: integrity checker and salvage tool for gsdf files.
+//
+// Usage: gsdf_fsck [--salvage] [--out=PATH] <file>...
+//   default      structural open (magic, version, footer, v2 tail CRC) plus
+//                every dataset's payload CRC-32. Prints one "ok" line per
+//                healthy file; one-line error to stderr and exit 1 otherwise.
+//   --salvage    when the structural open fails, forward-scan for
+//                checksum-valid datasets and report what survives. The exit
+//                code stays nonzero — data was lost even if some came back.
+//   --out=PATH   rewrite the verified (or salvaged) datasets and file
+//                attributes into a fresh file at PATH (single input file
+//                only). The copy is written with the current format version
+//                and fresh checksums.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "gsdf/reader.h"
+#include "gsdf/writer.h"
+#include "sim/env.h"
+
+namespace godiva::tools {
+namespace {
+
+// Copies every dataset `reader` serves into a fresh gsdf file at `out_path`.
+// The stored __crc32 attribute is dropped from the copy: the Writer computes
+// a fresh one over the bytes it actually writes.
+Status Rewrite(const gsdf::Reader& reader, const std::string& out_path) {
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Writer> writer,
+                          gsdf::Writer::Create(GetPosixEnv(), out_path));
+  for (const auto& [key, value] : reader.file_attributes()) {
+    writer->SetFileAttribute(key, value);
+  }
+  for (const gsdf::DatasetInfo& info : reader.datasets()) {
+    std::vector<uint8_t> payload(static_cast<size_t>(info.nbytes));
+    // Never launder corrupt bytes under a fresh checksum: checksummed
+    // datasets are verified while copying, and a mismatch skips the dataset.
+    if (info.FindAttribute(gsdf::kChecksumAttribute) != nullptr) {
+      Status read = reader.ReadVerified(info.name, payload.data(),
+                                        info.nbytes);
+      if (read.code() == StatusCode::kDataLoss) {
+        std::fprintf(stderr, "  skipping corrupt dataset %s: %s\n",
+                     info.name.c_str(), read.ToString().c_str());
+        continue;
+      }
+      GODIVA_RETURN_IF_ERROR(read);
+    } else {
+      GODIVA_RETURN_IF_ERROR(
+          reader.Read(info.name, payload.data(), info.nbytes));
+    }
+    gsdf::AttributeList attributes;
+    for (const auto& attribute : info.attributes) {
+      if (attribute.first != gsdf::kChecksumAttribute) {
+        attributes.push_back(attribute);
+      }
+    }
+    GODIVA_RETURN_IF_ERROR(writer->AddDataset(info.name, info.type,
+                                              payload.data(), info.nbytes,
+                                              std::move(attributes)));
+  }
+  return writer->Finish();
+}
+
+// Checks one file. Returns OK iff the file is fully healthy; prints findings
+// either way. `salvaged_out` receives the reader to rewrite from (healthy or
+// salvage), or stays null when nothing is readable.
+Status CheckFile(const std::string& path, bool salvage,
+                 std::unique_ptr<gsdf::Reader>* reader_out) {
+  Result<std::unique_ptr<gsdf::Reader>> opened =
+      gsdf::Reader::Open(GetPosixEnv(), path);
+  if (opened.ok()) {
+    Status verify = (*opened)->VerifyAllChecksums();
+    if (verify.ok()) {
+      std::printf("%s: ok (v%u, %d datasets)\n", path.c_str(),
+                  (*opened)->version(),
+                  static_cast<int>((*opened)->datasets().size()));
+      *reader_out = std::move(*opened);
+      return Status::Ok();
+    }
+    *reader_out = std::move(*opened);
+    return verify;
+  }
+  if (!salvage) return opened.status();
+
+  // Structural damage: fall back to the salvage scan.
+  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
+                          gsdf::Reader::OpenSalvage(GetPosixEnv(), path));
+  std::printf("%s: structural damage (%s); salvaged %d checksum-valid "
+              "datasets\n",
+              path.c_str(), reader->salvage_error().ToString().c_str(),
+              static_cast<int>(reader->datasets().size()));
+  for (const gsdf::DatasetInfo& info : reader->datasets()) {
+    std::printf("  recovered %-32s %12lld bytes\n", info.name.c_str(),
+                static_cast<long long>(info.nbytes));
+  }
+  Status cause = opened.status();
+  *reader_out = std::move(reader);
+  return cause;
+}
+
+int Run(int argc, char** argv) {
+  bool salvage = false;
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--salvage") == 0) {
+      salvage = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty() || (!out_path.empty() && paths.size() != 1)) {
+    std::fprintf(stderr,
+                 "usage: gsdf_fsck [--salvage] [--out=PATH] <file>...\n"
+                 "       (--out accepts exactly one input file)\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::unique_ptr<gsdf::Reader> reader;
+    Status status = CheckFile(path, salvage, &reader);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      ++failures;
+    }
+    if (!out_path.empty() && reader != nullptr) {
+      Status rewrite = Rewrite(*reader, out_path);
+      if (!rewrite.ok()) {
+        std::fprintf(stderr, "%s: rewrite to %s failed: %s\n", path.c_str(),
+                     out_path.c_str(), rewrite.ToString().c_str());
+        ++failures;
+      } else {
+        std::printf("%s: wrote %d datasets to %s\n", path.c_str(),
+                    static_cast<int>(reader->datasets().size()),
+                    out_path.c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace godiva::tools
+
+int main(int argc, char** argv) { return godiva::tools::Run(argc, argv); }

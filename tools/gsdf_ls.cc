@@ -1,7 +1,10 @@
 // gsdf_ls: lists the contents of gsdf files (the h5ls/ncdump -h analogue).
 //
-// Usage: gsdf_ls [--verify] <file>...
-//   --verify   also check every dataset's CRC-32 (if present)
+// Usage: gsdf_ls [--verify] [--salvage] <file>...
+//   --verify    also check every dataset's CRC-32 (if present)
+//   --salvage   when the footer/directory is corrupt, list the
+//               checksum-valid datasets a salvage scan recovers (the file
+//               still counts as failed: exit stays nonzero)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -17,10 +20,25 @@
 namespace godiva::tools {
 namespace {
 
-Status ListFile(const std::string& path, bool verify) {
-  GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Reader> reader,
-                          gsdf::Reader::Open(GetPosixEnv(), path));
+Status ListFile(const std::string& path, bool verify, bool salvage) {
+  Status open_error;  // non-OK when listing salvage results
+  std::unique_ptr<gsdf::Reader> reader;
+  Result<std::unique_ptr<gsdf::Reader>> opened =
+      gsdf::Reader::Open(GetPosixEnv(), path);
+  if (opened.ok()) {
+    reader = std::move(*opened);
+  } else if (salvage) {
+    GODIVA_ASSIGN_OR_RETURN(reader,
+                            gsdf::Reader::OpenSalvage(GetPosixEnv(), path));
+    open_error = opened.status();
+  } else {
+    return opened.status();
+  }
   std::printf("%s\n", path.c_str());
+  if (reader->salvaged()) {
+    std::printf("  SALVAGED — %s\n",
+                reader->salvage_error().ToString().c_str());
+  }
   if (!reader->file_attributes().empty()) {
     std::printf("  file attributes:\n");
     for (const auto& [key, value] : reader->file_attributes()) {
@@ -55,26 +73,30 @@ Status ListFile(const std::string& path, bool verify) {
   std::printf("  %d datasets, %s of payload\n\n",
               static_cast<int>(reader->datasets().size()),
               FormatBytes(total_bytes).c_str());
-  return Status::Ok();
+  // A salvage listing still reports the structural failure to the caller.
+  return open_error;
 }
 
 int Run(int argc, char** argv) {
   bool verify = false;
+  bool salvage = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[i], "--salvage") == 0) {
+      salvage = true;
     } else {
       paths.push_back(argv[i]);
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: gsdf_ls [--verify] <file>...\n");
+    std::fprintf(stderr, "usage: gsdf_ls [--verify] [--salvage] <file>...\n");
     return 2;
   }
   int failures = 0;
   for (const std::string& path : paths) {
-    Status status = ListFile(path, verify);
+    Status status = ListFile(path, verify, salvage);
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    status.ToString().c_str());
