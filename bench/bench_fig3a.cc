@@ -57,9 +57,23 @@ int Run(int argc, char** argv) {
       cells[test.name][std::string(workloads::VariantName(variant))] =
           *cell;
       workloads::PrintResilience(cell->last);
+      workloads::PrintPoolStats(cell->last);
     }
   }
   workloads::PrintFigure("Figure 3(a) — Engle workstation", rows);
+
+  BenchJson json("bench_fig3a");
+  for (const auto& [test_name, variants] : cells) {
+    for (const auto& [variant_name, cell] : variants) {
+      std::string prefix = StrCat(test_name, "_", variant_name);
+      json.Add(StrCat(prefix, "_total_s"), cell.total_seconds.mean);
+      json.Add(StrCat(prefix, "_visible_io_s"),
+               cell.visible_io_seconds.mean);
+      json.Add(StrCat(prefix, "_bytes_read_mib"),
+               static_cast<double>(cell.last.bytes_read) / (1024.0 * 1024.0));
+    }
+  }
+  if (!json.WriteTo(flags.json_path)) return 1;
 
   // §4.2 derived metrics, paper values in comments/rows.
   struct PaperRow {

@@ -69,9 +69,21 @@ int Run(int argc, char** argv) {
                             cell->visible_io_seconds});
       cells[test.name][cell_spec.label] = *cell;
       workloads::PrintResilience(cell->last);
+      workloads::PrintPoolStats(cell->last);
     }
   }
   workloads::PrintFigure("Figure 3(b) — Turing cluster node", rows);
+
+  BenchJson json("bench_fig3b");
+  for (const auto& [test_name, labels] : cells) {
+    for (const auto& [label, cell] : labels) {
+      std::string prefix = StrCat(test_name, "_", label);
+      json.Add(StrCat(prefix, "_total_s"), cell.total_seconds.mean);
+      json.Add(StrCat(prefix, "_visible_io_s"),
+               cell.visible_io_seconds.mean);
+    }
+  }
+  if (!json.WriteTo(flags.json_path)) return 1;
 
   struct PaperRow {
     const char* test;

@@ -6,6 +6,8 @@
 //   --reps=R        repetitions per cell (paper used 5; default 1)
 //   --stride=K      real feature extraction on every Kth block (default 16)
 //   --quick         shorthand for --factor=0.12 --snapshots=8
+//   --json=PATH     also write the headline metrics as JSON (for
+//                   tools/bench_diff regression tracking)
 #ifndef GODIVA_BENCH_BENCH_UTIL_H_
 #define GODIVA_BENCH_BENCH_UTIL_H_
 
@@ -13,6 +15,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "mesh/dataset_spec.h"
@@ -26,6 +30,7 @@ struct BenchFlags {
   double scale = 0.02;
   int reps = 1;
   int stride = 16;
+  std::string json_path;  // empty = no JSON output
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -41,6 +46,8 @@ struct BenchFlags {
         flags.reps = std::atoi(arg + 7);
       } else if (std::strncmp(arg, "--stride=", 9) == 0) {
         flags.stride = std::atoi(arg + 9);
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        flags.json_path = arg + 7;
       } else if (std::strcmp(arg, "--quick") == 0) {
         flags.factor = 0.12;
         flags.snapshots = 8;
@@ -63,6 +70,48 @@ struct BenchFlags {
     options.process.real_work_stride = stride;
     return options;
   }
+};
+
+// Collects named scalar metrics and writes them as the flat JSON document
+// tools/bench_diff consumes:
+//   {"bench": "bench_fig3a", "metrics": {"simple_O_total_s": 413.7, ...}}
+// Metric names should be stable across runs; values are doubles. Insertion
+// order is preserved so diffs of the files stay readable.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  // Writes the document to `path` ("" = no-op). Returns false on I/O
+  // failure (after printing a diagnostic): benches treat that as fatal so
+  // CI never diffs against a half-written file.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(out, "    \"%s\": %.6g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second,
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    bool ok = std::fclose(out) == 0;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 inline void PrintDatasetBanner(const workloads::Experiment& experiment) {

@@ -34,7 +34,17 @@ std::string_view UnitStateName(UnitState state) {
 Gbo::Gbo(GboOptions options)
     : options_(options), memory_limit_(options.memory_limit_bytes) {
   if (options_.background_io) {
-    io_thread_ = std::thread([this] { IoThreadMain(); });
+    size_t pool_size =
+        static_cast<size_t>(std::max(1, options_.io_threads));
+    io_busy_.reserve(pool_size);
+    io_threads_.reserve(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+      io_busy_.push_back(std::make_unique<TimeAccumulator>());
+    }
+    // Spawn only after io_busy_ is fully built: threads index into it.
+    for (size_t i = 0; i < pool_size; ++i) {
+      io_threads_.emplace_back([this, i] { IoThreadMain(i); });
+    }
   }
 }
 
@@ -46,7 +56,9 @@ Gbo::~Gbo() {
   queue_cv_.NotifyAll();
   memory_cv_.NotifyAll();
   unit_cv_.NotifyAll();
-  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& thread : io_threads_) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -321,6 +333,12 @@ GboStats Gbo::stats() const {
   out.visible_io_seconds = visible_io_time_.TotalSeconds();
   out.read_fn_seconds = read_fn_time_.TotalSeconds();
   out.prefetch_seconds = prefetch_time_.TotalSeconds();
+  out.io_thread_busy_seconds.reserve(io_busy_.size());
+  for (const std::unique_ptr<TimeAccumulator>& busy : io_busy_) {
+    double seconds = busy->TotalSeconds();
+    out.io_thread_busy_seconds.push_back(seconds);
+    out.io_busy_seconds += seconds;
+  }
   return out;
 }
 
@@ -336,11 +354,14 @@ int64_t Gbo::memory_limit() const {
 
 std::string Gbo::DebugString() const {
   MutexLock lock(&mu_);
-  std::string out = StrCat("Gbo{", options_.background_io
-                                       ? "multi-thread"
-                                       : "single-thread",
-                           ", mem ", FormatBytes(memory_used_), "/",
-                           FormatBytes(memory_limit_), "\n");
+  std::string out =
+      StrCat("Gbo{",
+             options_.background_io
+                 ? StrCat("multi-thread (", io_threads_.size(),
+                          " I/O threads)")
+                 : "single-thread",
+             ", mem ", FormatBytes(memory_used_), "/",
+             FormatBytes(memory_limit_), "\n");
   out += "  record types:\n";
   for (const auto& [name, type] : record_types_) {
     auto index_it = indexes_.find(type.get());
@@ -359,6 +380,8 @@ std::string Gbo::DebugString() const {
                   unit->refcount, unit->finished ? ", finished" : "", "\n");
   }
   out += StrCat("  prefetch queue: ", prefetch_queue_.size(),
+                ", demand queue: ", demand_queue_.size(),
+                ", loading: ", loads_in_flight_,
                 ", evictable: ", evictable_.size(), "}");
   return out;
 }

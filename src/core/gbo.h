@@ -14,13 +14,17 @@
 //   finishUnit → FinishUnit   deleteUnit → DeleteUnit
 //   setMemSpace → SetMemSpace
 //
-// Threading model: one "main" application thread (or several) plus the
-// internal I/O thread. All public methods are thread safe. User read
-// functions run without internal locks held — enforced at compile time by
-// the Clang thread-safety annotations below and at run time by the
-// lock-rank checker (a read function that were invoked with mu_ held
-// would re-acquire mu_ through any record operation and abort with both
-// lock sets) — and may call any record operation on the same Gbo.
+// Threading model: one "main" application thread (or several) plus an
+// internal I/O pool of GboOptions::io_threads threads (1 reproduces the
+// paper's single background thread). All public methods are thread safe.
+// User read functions run without internal locks held — enforced at
+// compile time by the Clang thread-safety annotations below and at run
+// time by the lock-rank checker (a read function that were invoked with
+// mu_ held would re-acquire mu_ through any record operation and abort
+// with both lock sets) — and may call any record operation on the same
+// Gbo. With io_threads > 1 several read functions run concurrently, so
+// they must also be re-entrant against each other (the provided gsdf read
+// paths are; see DESIGN.md §8).
 #ifndef GODIVA_CORE_GBO_H_
 #define GODIVA_CORE_GBO_H_
 
@@ -253,6 +257,11 @@ class Gbo {
   void ReportTornWrite() EXCLUDES(mu_);
   void ReportSalvagedDatasets(int64_t count) EXCLUDES(mu_);
 
+  // Read functions report how many dataset reads per-file coalescing
+  // merged away (gsdf::Reader::ReadBatch; see DESIGN.md §8), so the
+  // saving shows up in this database's stats.
+  void ReportCoalescedReads(int64_t count) EXCLUDES(mu_);
+
   // ---------------------------------------------------------------------
   // Introspection.
 
@@ -372,11 +381,29 @@ class Gbo {
   void ShortCircuitUnitLocked(Unit* unit, const std::string& path)
       REQUIRES(mu_);
 
-  void IoThreadMain() EXCLUDES(mu_);
+  // Body of one I/O pool thread. `thread_index` selects the per-thread
+  // busy-time accumulator.
+  void IoThreadMain(size_t thread_index) EXCLUDES(mu_);
   // Fails `unit` with ABORTED to break a detected deadlock.
   void ResolveDeadlockLocked(Unit* unit) REQUIRES(mu_);
   // A queued unit some thread is blocked on (deadlock candidate), if any.
+  // Scans the demand queue first, then the speculative queue.
   Unit* FindBlockedQueuedUnitLocked() REQUIRES(mu_);
+
+  // Erases `unit` from both the demand and the speculative queue (it
+  // appears in at most one).
+  void RemoveFromQueuesLocked(Unit* unit) REQUIRES(mu_);
+  // The next unit a pool thread should load: demand queue first (a thread
+  // is blocked on those), then the speculative prefetch FIFO. Null when
+  // both queues are empty.
+  Unit* PopNextQueuedLocked() REQUIRES(mu_);
+  // Moves a still-queued unit a thread just blocked on from the
+  // speculative queue to the back of the demand queue. Only active with
+  // io_threads > 1 — with a single I/O thread the paper's strict FIFO
+  // order is preserved byte for byte.
+  void PromoteToDemandLocked(Unit* unit) REQUIRES(mu_);
+  // Records the current queued-unit count into the high-water stat.
+  void NoteQueueDepthLocked() REQUIRES(mu_);
 
   // The audit behind CheckInvariants(): walks units_, records_, indexes_,
   // prefetch_queue_ and evictable_ and cross-checks them against the
@@ -404,7 +431,12 @@ class Gbo {
   std::map<Record*, std::unique_ptr<Record>> records_ GUARDED_BY(mu_);
 
   std::map<std::string, std::unique_ptr<Unit>> units_ GUARDED_BY(mu_);
+  // Speculative prefetch FIFO (AddUnit order) …
   std::deque<Unit*> prefetch_queue_ GUARDED_BY(mu_);
+  // … and the priority lane in front of it: queued units some thread is
+  // already blocked on (demand misses). Pool threads drain this first.
+  // Always empty when io_threads == 1. A unit sits in at most one queue.
+  std::deque<Unit*> demand_queue_ GUARDED_BY(mu_);
   // Declared resource file → failure count / quarantine flag.
   std::map<std::string, FileHealth> file_health_ GUARDED_BY(mu_);
   // Eviction order per options_.eviction_policy.
@@ -414,6 +446,10 @@ class Gbo {
   int64_t memory_used_ GUARDED_BY(mu_) = 0;
   int64_t next_ready_seq_ GUARDED_BY(mu_) = 0;
   int blocked_waiters_ GUARDED_BY(mu_) = 0;
+  // Units currently being loaded by pool threads. Deadlock detection may
+  // only fire when this is zero: an in-flight load can still complete and
+  // let its waiter free memory.
+  int loads_in_flight_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
 
   // Plain counters guarded by mu_; mutable so the const audit path can
@@ -427,8 +463,12 @@ class Gbo {
   TimeAccumulator visible_io_time_;
   TimeAccumulator read_fn_time_;
   TimeAccumulator prefetch_time_;
+  // One busy-time accumulator per pool thread; each thread writes only its
+  // own slot, stats() reads them all. Sized at construction, never
+  // resized, so the slots are safe to touch without mu_.
+  std::vector<std::unique_ptr<TimeAccumulator>> io_busy_;
 
-  std::thread io_thread_;  // joinable only when options_.background_io
+  std::vector<std::thread> io_threads_;  // empty unless background_io
 };
 
 }  // namespace godiva

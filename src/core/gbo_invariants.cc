@@ -30,16 +30,29 @@ Status Gbo::AuditInvariantsLocked() const {
                                 total_bytes, " bytes"));
   }
 
+  // A unit sits in at most one of the two queues; entries of either queue
+  // are always kQueued; demand promotion only happens with a pool.
+  if (options_.io_threads <= 1 && !demand_queue_.empty()) {
+    return InternalError(StrCat(
+        "invariant violation: demand queue holds ", demand_queue_.size(),
+        " units but io_threads is ", options_.io_threads,
+        " (promotion must be pool-only)"));
+  }
   std::set<const Unit*> in_queue;
-  for (const Unit* unit : prefetch_queue_) {
-    if (!in_queue.insert(unit).second) {
-      return InternalError(StrCat("invariant violation: unit ", unit->name,
-                                  " appears twice in the prefetch queue"));
-    }
-    if (unit->state != UnitState::kQueued) {
-      return InternalError(StrCat(
-          "invariant violation: unit ", unit->name,
-          " is in the prefetch queue in state ", UnitStateName(unit->state)));
+  for (const std::deque<Unit*>* queue : {&demand_queue_, &prefetch_queue_}) {
+    const char* queue_name =
+        queue == &demand_queue_ ? "demand" : "prefetch";
+    for (const Unit* unit : *queue) {
+      if (!in_queue.insert(unit).second) {
+        return InternalError(StrCat("invariant violation: unit ", unit->name,
+                                    " appears twice across the ", queue_name,
+                                    "/other I/O queue"));
+      }
+      if (unit->state != UnitState::kQueued) {
+        return InternalError(StrCat(
+            "invariant violation: unit ", unit->name, " is in the ",
+            queue_name, " queue in state ", UnitStateName(unit->state)));
+      }
     }
   }
 
@@ -86,7 +99,7 @@ Status Gbo::AuditInvariantsLocked() const {
       case UnitState::kQueued:
         if (in_queue.count(unit.get()) == 0) {
           return InternalError(StrCat("invariant violation: unit ", name,
-                                      " is QUEUED but not in the prefetch "
+                                      " is QUEUED but in neither I/O "
                                       "queue"));
         }
         [[fallthrough]];
@@ -123,7 +136,7 @@ Status Gbo::AuditInvariantsLocked() const {
     }
     if (unit->state != UnitState::kQueued && in_queue.count(unit.get()) > 0) {
       return InternalError(StrCat("invariant violation: non-queued unit ",
-                                  name, " is in the prefetch queue"));
+                                  name, " is in an I/O queue"));
     }
     if (unit->state != UnitState::kReady &&
         in_evictable.count(unit.get()) > 0) {

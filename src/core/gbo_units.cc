@@ -1,5 +1,8 @@
-// Gbo: processing-unit lifecycle, the background I/O thread, memory-capped
+// Gbo: processing-unit lifecycle, the background I/O pool, memory-capped
 // prefetching, cache eviction, and deadlock detection (paper §3.2–§3.3).
+// The pool drains a two-level queue: demand misses (demand_queue_) before
+// speculative prefetches (prefetch_queue_); io_threads == 1 degenerates to
+// the paper's single FIFO prefetcher.
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -70,9 +73,7 @@ void Gbo::EvictUnitLocked(Unit* unit, bool explicit_delete) {
   unit->refcount = 0;
   unit->finished = false;
   evictable_.remove(unit);
-  auto queue_pos =
-      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
-  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  RemoveFromQueuesLocked(unit);
   if (explicit_delete) {
     ++counters_.units_deleted;
   } else {
@@ -142,9 +143,7 @@ const std::string* Gbo::QuarantinedResourceLocked(const Unit& unit) const {
 }
 
 void Gbo::ShortCircuitUnitLocked(Unit* unit, const std::string& path) {
-  auto queue_pos =
-      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
-  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  RemoveFromQueuesLocked(unit);
   unit->error = DataLossError(
       StrCat("unit ", unit->name, ": file ", path,
              " is quarantined after repeated permanent failures "
@@ -189,6 +188,56 @@ void Gbo::ReportTornWrite() {
 void Gbo::ReportSalvagedDatasets(int64_t count) {
   MutexLock lock(&mu_);
   counters_.salvaged_datasets += count;
+}
+
+void Gbo::ReportCoalescedReads(int64_t count) {
+  MutexLock lock(&mu_);
+  counters_.coalesced_reads += count;
+}
+
+// ---------------------------------------------------------------------
+// Two-level prefetch queue. Demand misses (units an application thread is
+// blocked on) live in demand_queue_ and are always served before the
+// speculative prefetch_queue_. A unit sits in at most one of the two.
+
+void Gbo::RemoveFromQueuesLocked(Unit* unit) {
+  auto pos = std::find(demand_queue_.begin(), demand_queue_.end(), unit);
+  if (pos != demand_queue_.end()) {
+    demand_queue_.erase(pos);
+    return;
+  }
+  pos = std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
+  if (pos != prefetch_queue_.end()) prefetch_queue_.erase(pos);
+}
+
+Gbo::Unit* Gbo::PopNextQueuedLocked() {
+  if (!demand_queue_.empty()) {
+    Unit* unit = demand_queue_.front();
+    demand_queue_.pop_front();
+    return unit;
+  }
+  if (!prefetch_queue_.empty()) {
+    Unit* unit = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    return unit;
+  }
+  return nullptr;
+}
+
+void Gbo::PromoteToDemandLocked(Unit* unit) {
+  auto pos = std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
+  if (pos == prefetch_queue_.end()) return;  // already demand or dequeued
+  prefetch_queue_.erase(pos);
+  demand_queue_.push_back(unit);
+  ++counters_.demand_promotions;
+  queue_cv_.NotifyOne();
+}
+
+void Gbo::NoteQueueDepthLocked() {
+  int64_t depth =
+      static_cast<int64_t>(demand_queue_.size() + prefetch_queue_.size());
+  counters_.queue_depth_high_water =
+      std::max(counters_.queue_depth_high_water, depth);
 }
 
 Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
@@ -251,9 +300,7 @@ Status Gbo::LoadInlineLocked(Unit* unit, const TimePoint* deadline) {
     return unit->error;
   }
   unit->state = UnitState::kLoading;
-  auto queue_pos =
-      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
-  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  RemoveFromQueuesLocked(unit);
   EvictToLimitLocked();  // best effort; the main thread never blocks here
 
   Status status = ExecuteReadLocked(unit, deadline, /*on_io_thread=*/false);
@@ -339,6 +386,7 @@ Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn,
   unit->cancel_requested = false;
   prefetch_queue_.push_back(unit);
   ++counters_.units_added;
+  NoteQueueDepthLocked();
   CheckInvariantsLocked();
   queue_cv_.NotifyOne();
   return Status::Ok();
@@ -395,7 +443,13 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
   } else if (unit->state == UnitState::kQueued && !options_.background_io) {
     status = LoadInlineLocked(unit, deadline);
   } else {
-    // Queued (multi-thread) or already loading: wait for it.
+    // Queued (multi-thread) or already loading: wait for it. With a pool
+    // (> 1 thread) a still-queued unit is a demand miss — promote it past
+    // the speculative queue. A single I/O thread keeps strict FIFO order
+    // so the paper's TG library stays byte-for-byte reproducible.
+    if (unit->state == UnitState::kQueued && options_.io_threads > 1) {
+      PromoteToDemandLocked(unit);
+    }
     status = AwaitReadyLocked(unit, deadline);
   }
   visible_io_time_.Add(stopwatch.Elapsed());
@@ -433,6 +487,11 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
     // Single-thread library: the read happens inside the wait (paper §4.2).
     status = LoadInlineLocked(unit, deadline);
   } else {
+    // Demand miss: with an I/O pool, jump the unit ahead of speculative
+    // prefetches (single-thread pools keep the paper's FIFO order).
+    if (unit->state == UnitState::kQueued && options_.io_threads > 1) {
+      PromoteToDemandLocked(unit);
+    }
     status = AwaitReadyLocked(unit, deadline);
   }
   visible_io_time_.Add(stopwatch.Elapsed());
@@ -520,9 +579,12 @@ Status Gbo::GetUnitError(const std::string& unit_name) const {
 }
 
 // ---------------------------------------------------------------------
-// Background I/O thread.
+// Background I/O pool.
 
 Gbo::Unit* Gbo::FindBlockedQueuedUnitLocked() {
+  for (Unit* unit : demand_queue_) {
+    if (unit->waiters > 0 && unit->state == UnitState::kQueued) return unit;
+  }
   for (Unit* unit : prefetch_queue_) {
     if (unit->waiters > 0 && unit->state == UnitState::kQueued) return unit;
   }
@@ -536,9 +598,7 @@ void Gbo::ResolveDeadlockLocked(Unit* unit) {
   // Finish/DeleteUnit), so prefetching can never proceed: fail the unit to
   // wake its waiters (paper §3.3 — this happens "when developers neglect
   // to delete processed units or mark those units finished").
-  auto queue_pos =
-      std::find(prefetch_queue_.begin(), prefetch_queue_.end(), unit);
-  if (queue_pos != prefetch_queue_.end()) prefetch_queue_.erase(queue_pos);
+  RemoveFromQueuesLocked(unit);
   unit->state = UnitState::kFailed;
   unit->error = AbortedError(StrCat(
       "GODIVA deadlock detected: cannot prefetch unit ", unit->name,
@@ -551,26 +611,33 @@ void Gbo::ResolveDeadlockLocked(Unit* unit) {
   unit_cv_.NotifyAll();
 }
 
-void Gbo::IoThreadMain() {
+void Gbo::IoThreadMain(size_t thread_index) {
   MutexLock lock(&mu_);
   while (!shutdown_) {
-    while (!shutdown_ && prefetch_queue_.empty()) queue_cv_.Wait(&mu_);
+    while (!shutdown_ && demand_queue_.empty() && prefetch_queue_.empty()) {
+      queue_cv_.Wait(&mu_);
+    }
     if (shutdown_) return;
 
     // Memory gate: prefetch only while there is room to hold more data
-    // (paper §3.2). Eviction and deadlock detection happen here.
+    // (paper §3.2). Eviction and deadlock detection happen here. With a
+    // pool, deadlock is declared only once every thread is idle: a load in
+    // flight on a sibling thread may still free memory indirectly (its
+    // consumer finishes and deletes units), so it is not a deadlock yet.
     if (memory_used_ >= memory_limit_) {
       if (EvictOneLocked()) continue;  // re-evaluate with freed memory
-      if (Unit* blocked = FindBlockedQueuedUnitLocked()) {
-        ResolveDeadlockLocked(blocked);
-        continue;
+      if (loads_in_flight_ == 0) {
+        if (Unit* blocked = FindBlockedQueuedUnitLocked()) {
+          ResolveDeadlockLocked(blocked);
+          continue;
+        }
       }
       memory_cv_.Wait(&mu_);
       continue;  // re-evaluate everything (shutdown, queue, memory)
     }
 
-    Unit* unit = prefetch_queue_.front();
-    prefetch_queue_.pop_front();
+    Unit* unit = PopNextQueuedLocked();
+    if (unit == nullptr) continue;
     if (unit->state != UnitState::kQueued) continue;  // raced with delete
     // Circuit breaker: a unit over a quarantined file fails fast — the
     // prefetcher never spends an I/O slot (or a retry budget) on it.
@@ -579,12 +646,17 @@ void Gbo::IoThreadMain() {
       continue;
     }
     unit->state = UnitState::kLoading;
+    ++loads_in_flight_;
+    Stopwatch busy;
 
     // Retries and rollback of partial loads happen inside; backoff sleeps
-    // are interrupted by shutdown and DeleteUnit.
+    // are interrupted by shutdown and DeleteUnit. mu_ is released around
+    // each read-function attempt, so pool siblings keep draining queues.
     Status status = ExecuteReadLocked(unit, /*deadline=*/nullptr,
                                       /*on_io_thread=*/true);
 
+    --loads_in_flight_;
+    io_busy_[thread_index]->Add(busy.Elapsed());
     unit->error = status;
     unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
     unit->ready_seq = next_ready_seq_++;
@@ -595,6 +667,10 @@ void Gbo::IoThreadMain() {
     }
     CheckInvariantsLocked();
     unit_cv_.NotifyAll();
+    // A settled load may have freed a memory-gated sibling's wait (e.g. the
+    // unit failed and rolled back) — and loads_in_flight_ changed, which
+    // the deadlock gate reads.
+    memory_cv_.NotifyAll();
   }
 }
 

@@ -64,6 +64,14 @@ struct GboOptions {
   //         performs the read inline, so all I/O is visible.
   bool background_io = true;
 
+  // Number of background I/O threads when background_io is true (ignored
+  // otherwise). 1 reproduces the paper's TG library exactly: a single FIFO
+  // prefetcher. Values > 1 enable the I/O pool: N threads drain a
+  // two-level queue where demand misses (units some thread is blocked on)
+  // are served ahead of speculative prefetches, so deep storage queues
+  // (DiskModel::queue_depth, NVMe-class hardware) are actually filled.
+  int io_threads = 1;
+
   EvictionPolicy eviction_policy = EvictionPolicy::kLru;
 
   // Applied to every unit read, foreground and background alike.

@@ -5,11 +5,21 @@
 namespace godiva {
 
 std::string GboStats::ToString() const {
+  std::string per_thread;
+  for (size_t i = 0; i < io_thread_busy_seconds.size(); ++i) {
+    if (i > 0) per_thread += "/";
+    per_thread += FormatSeconds(io_thread_busy_seconds[i]);
+  }
   return StrCat(
       "GboStats{visible_io=", FormatSeconds(visible_io_seconds),
       " read_fn=", FormatSeconds(read_fn_seconds),
       " prefetch=", FormatSeconds(prefetch_seconds),
-      " units[added=", units_added, " prefetched=", units_prefetched,
+      " pool[queue_hw=", queue_depth_high_water,
+      " promotions=", demand_promotions,
+      " coalesced=", coalesced_reads,
+      " busy=", FormatSeconds(io_busy_seconds),
+      per_thread.empty() ? "" : StrCat(" (", per_thread, ")"),
+      "] units[added=", units_added, " prefetched=", units_prefetched,
       " fg=", units_read_foreground, " hits=", unit_cache_hits,
       " evicted=", units_evicted, " deleted=", units_deleted,
       " deadlocks=", deadlocks_detected,

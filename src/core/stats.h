@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace godiva {
 
@@ -14,6 +15,21 @@ struct GboStats {
   double visible_io_seconds = 0;    // blocking ReadUnit + WaitUnit waits
   double read_fn_seconds = 0;       // total time inside user read functions
   double prefetch_seconds = 0;      // read-function time on the I/O thread
+
+  // I/O pool (PR 4). With io_threads == 1 these stay at their zero
+  // defaults except queue_depth_high_water, which then records the deepest
+  // the single prefetch FIFO ever got.
+  int64_t demand_promotions = 0;     // queued units jumped ahead of the
+                                     // speculative queue because a thread
+                                     // blocked on them
+  int64_t coalesced_reads = 0;       // dataset reads merged away by per-file
+                                     // coalescing (reported by read fns)
+  int64_t queue_depth_high_water = 0;  // max queued units (demand +
+                                       // speculative) ever outstanding
+  double io_busy_seconds = 0;        // summed busy time of all pool threads
+  // Busy seconds per pool thread (size == io_threads for a background_io
+  // database, empty otherwise): time from dequeuing a unit to settling it.
+  std::vector<double> io_thread_busy_seconds;
 
   // Unit lifecycle.
   int64_t units_added = 0;

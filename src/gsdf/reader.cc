@@ -1,5 +1,6 @@
 #include "gsdf/reader.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -354,6 +355,99 @@ Status Reader::VerifyAllChecksums() const {
     GODIVA_RETURN_IF_ERROR(VerifyChecksum(info.name));
   }
   return Status::Ok();
+}
+
+Result<BatchStats> Reader::ReadBatch(
+    const std::vector<BatchRequest>& requests,
+    const BatchOptions& options) const {
+  struct Resolved {
+    const DatasetInfo* info;
+    const BatchRequest* request;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(requests.size());
+  for (const BatchRequest& request : requests) {
+    GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(request.name));
+    if (request.out_bytes < info->nbytes) {
+      return InvalidArgumentError(StrFormat(
+          "buffer of %lld bytes too small for dataset %s (%lld)",
+          static_cast<long long>(request.out_bytes), request.name.c_str(),
+          static_cast<long long>(info->nbytes)));
+    }
+    if (options.verify &&
+        info->FindAttribute(kChecksumAttribute) == nullptr) {
+      return FailedPreconditionError(
+          StrCat(path_, ": dataset ", request.name, " has no checksum"));
+    }
+    resolved.push_back({info, &request});
+  }
+  std::sort(resolved.begin(), resolved.end(),
+            [](const Resolved& a, const Resolved& b) {
+              return a.info->offset < b.info->offset;
+            });
+
+  BatchStats stats;
+  std::vector<uint8_t> scratch;
+  int64_t max_gap = std::max<int64_t>(0, options.max_gap);
+  int64_t max_transfer = std::max<int64_t>(1, options.max_transfer);
+  for (size_t begin = 0; begin < resolved.size();) {
+    // Grow the run while the next dataset starts within max_gap of the
+    // run's end and the merged span stays under max_transfer.
+    int64_t run_start = resolved[begin].info->offset;
+    int64_t run_end = run_start + resolved[begin].info->nbytes;
+    size_t end = begin + 1;
+    while (end < resolved.size()) {
+      const DatasetInfo* next = resolved[end].info;
+      if (next->offset > run_end + max_gap) break;
+      int64_t merged_end = std::max(run_end, next->offset + next->nbytes);
+      if (merged_end - run_start > max_transfer &&
+          run_end - run_start > 0) {
+        break;
+      }
+      run_end = merged_end;
+      ++end;
+    }
+
+    ++stats.transfers;
+    if (end == begin + 1) {
+      // Lone dataset: straight into its destination, no scratch copy.
+      const Resolved& only = resolved[begin];
+      GODIVA_RETURN_IF_ERROR(file_->Read(only.info->offset,
+                                         only.info->nbytes,
+                                         only.request->out));
+    } else {
+      int64_t span = run_end - run_start;
+      scratch.resize(static_cast<size_t>(span));
+      GODIVA_RETURN_IF_ERROR(file_->Read(run_start, span, scratch.data()));
+      int64_t payload_bytes = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const Resolved& entry = resolved[i];
+        std::memcpy(entry.request->out,
+                    scratch.data() + (entry.info->offset - run_start),
+                    static_cast<size_t>(entry.info->nbytes));
+        payload_bytes += entry.info->nbytes;
+      }
+      stats.coalesced += static_cast<int64_t>(end - begin) - 1;
+      stats.gap_bytes += std::max<int64_t>(0, span - payload_bytes);
+    }
+    begin = end;
+  }
+
+  if (options.verify) {
+    for (const Resolved& entry : resolved) {
+      const std::string* stored =
+          entry.info->FindAttribute(kChecksumAttribute);
+      std::string actual = StrFormat(
+          "%08x", Crc32(entry.request->out, entry.info->nbytes));
+      if (actual != *stored) {
+        return DataLossError(StrFormat(
+            "%s: dataset %s checksum mismatch (stored %s, computed %s)",
+            path_.c_str(), entry.info->name.c_str(), stored->c_str(),
+            actual.c_str()));
+      }
+    }
+  }
+  return stats;
 }
 
 Status Reader::ReadRange(const std::string& name, int64_t byte_offset,

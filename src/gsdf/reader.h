@@ -32,6 +32,35 @@ struct DatasetInfo {
   const std::string* FindAttribute(const std::string& key) const;
 };
 
+// One request of a ReadBatch: a whole dataset read into `out`, which must
+// hold at least the dataset's nbytes.
+struct BatchRequest {
+  std::string name;
+  void* out = nullptr;
+  int64_t out_bytes = 0;
+};
+
+// What a ReadBatch actually issued against the file.
+struct BatchStats {
+  int64_t transfers = 0;  // file reads performed
+  int64_t coalesced = 0;  // requests that rode along a neighbour's transfer
+  int64_t gap_bytes = 0;  // inter-dataset bytes read and discarded
+};
+
+// Coalescing thresholds for ReadBatch.
+struct BatchOptions {
+  // Two runs of datasets are merged into one transfer when the file gap
+  // between them is at most this many bytes (the discarded gap is cheaper
+  // than a seek, cf. the paper's HDF4 access costs).
+  int64_t max_gap = 64 * 1024;
+  // Upper bound on a single merged transfer, so coalescing never needs an
+  // unboundedly large scratch buffer.
+  int64_t max_transfer = 8 * 1024 * 1024;
+  // Check each dataset against its __crc32 attribute after the bytes land
+  // (FAILED_PRECONDITION if a dataset carries no checksum).
+  bool verify = false;
+};
+
 // Thread-compatible: concurrent Read()s are safe iff the underlying
 // RandomAccessFile is (both provided backends are).
 class Reader {
@@ -74,6 +103,17 @@ class Reader {
   // Reads `nbytes` starting `byte_offset` into the payload of `name`.
   Status ReadRange(const std::string& name, int64_t byte_offset,
                    int64_t nbytes, void* out) const;
+
+  // Reads several whole datasets in one pass, merging requests that sit
+  // adjacent in the file (within options.max_gap, up to
+  // options.max_transfer per merged transfer) into single reads — so a
+  // block's x/y/z/conn/quantity arrays, written back to back by the
+  // snapshot writer, cost one seek instead of five. Validates every
+  // request (and, with options.verify, every checksum) and fails without
+  // partial effects being reported; buffer contents are unspecified on
+  // error. Returns what was actually issued.
+  Result<BatchStats> ReadBatch(const std::vector<BatchRequest>& requests,
+                               const BatchOptions& options = {}) const;
 
   // Like Read, but additionally checks the payload against its __crc32
   // attribute in the same pass (no second read of the data). Returns

@@ -1,4 +1,5 @@
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -58,12 +59,14 @@ class PosixWritableFile : public WritableFile {
   std::string path_;
 };
 
+// Positional pread on a raw fd: no shared file position, so concurrent
+// reads from the I/O pool need no serialization.
 class PosixRandomAccessFile : public RandomAccessFile {
  public:
-  PosixRandomAccessFile(std::FILE* file, int64_t size, std::string path)
-      : file_(file), size_(size), path_(std::move(path)) {}
+  PosixRandomAccessFile(int fd, int64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
   ~PosixRandomAccessFile() override {
-    if (file_ != nullptr) std::fclose(file_);
+    if (fd_ >= 0) ::close(fd_);
   }
 
   Status Read(int64_t offset, int64_t size, void* out) override {
@@ -74,12 +77,22 @@ class PosixRandomAccessFile : public RandomAccessFile {
                     static_cast<long long>(offset + size),
                     static_cast<long long>(size_), path_.c_str()));
     }
-    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return ErrnoError("seek", path_);
-    }
-    if (std::fread(out, 1, static_cast<size_t>(size), file_) !=
-        static_cast<size_t>(size)) {
-      return ErrnoError("read", path_);
+    char* dst = static_cast<char*>(out);
+    int64_t remaining = size;
+    int64_t position = offset;
+    while (remaining > 0) {
+      ssize_t n = ::pread(fd_, dst, static_cast<size_t>(remaining),
+                          static_cast<off_t>(position));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("pread", path_);
+      }
+      if (n == 0) {
+        return IoError(StrCat("pread ", path_, ": unexpected EOF"));
+      }
+      dst += n;
+      remaining -= n;
+      position += n;
     }
     return Status::Ok();
   }
@@ -87,7 +100,7 @@ class PosixRandomAccessFile : public RandomAccessFile {
   int64_t Size() const override { return size_; }
 
  private:
-  std::FILE* file_;
+  int fd_;
   int64_t size_;
   std::string path_;
 };
@@ -104,12 +117,17 @@ class PosixEnv : public Env {
 
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override {
-    std::FILE* file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr) return ErrnoError("open for read", path);
-    std::fseek(file, 0, SEEK_END);
-    int64_t size = std::ftell(file);
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoError("open for read", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status status = ErrnoError("fstat", path);
+      ::close(fd);
+      return status;
+    }
     return std::unique_ptr<RandomAccessFile>(
-        std::make_unique<PosixRandomAccessFile>(file, size, path));
+        std::make_unique<PosixRandomAccessFile>(
+            fd, static_cast<int64_t>(st.st_size), path));
   }
 
   bool FileExists(const std::string& path) const override {

@@ -79,7 +79,11 @@ class SimRandomAccessFile : public RandomAccessFile {
 SimEnv::SimEnv(Options options)
     : charge_writes_(options.charge_writes),
       disk_(options.disk),
-      time_scale_(options.time_scale) {}
+      time_scale_(options.time_scale) {
+  if (disk_.queue_depth > 1) {
+    disk_gate_ = std::make_unique<Semaphore>(disk_.queue_depth);
+  }
+}
 
 Result<std::unique_ptr<WritableFile>> SimEnv::NewWritableFile(
     const std::string& path) {
@@ -142,29 +146,43 @@ Result<std::vector<std::string>> SimEnv::ListFiles(
 }
 
 void SimEnv::ChargeRead(const FileData* file, int64_t offset, int64_t size) {
-  MutexLock lock(&disk_mutex_);
-  bool seek = (head_file_ != file || head_offset_ != offset);
-  Duration total = std::chrono::duration_cast<Duration>(
-      std::chrono::duration<double>(
-          static_cast<double>(size) / disk_.bytes_per_second));
-  if (seek) total += disk_.seek_time;
-  head_file_ = file;
-  head_offset_ = offset + size;
-  ++stats_.reads;
-  if (seek) ++stats_.seeks;
-  stats_.bytes_read += size;
-  stats_.modeled_read_seconds += ToSeconds(total);
-  // Hold the head (mutex) across the modeled duration: one spindle.
-  // Sub-millisecond (wall) delays accumulate and are paid in batches to
-  // keep per-sleep OS overhead from distorting the model.
-  if (time_scale_ != nullptr) {
+  Semaphore* gate = nullptr;
+  const TimeScale* time_scale = nullptr;
+  Duration batch;
+  {
+    MutexLock lock(&disk_mutex_);
+    bool seek = (head_file_ != file || head_offset_ != offset);
+    Duration total = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(
+            static_cast<double>(size) / disk_.bytes_per_second));
+    if (seek) total += disk_.seek_time;
+    head_file_ = file;
+    head_offset_ = offset + size;
+    ++stats_.reads;
+    if (seek) ++stats_.seeks;
+    stats_.bytes_read += size;
+    stats_.modeled_read_seconds += ToSeconds(total);
+    if (time_scale_ == nullptr) return;
+    // Sub-millisecond (wall) delays accumulate and are paid in batches to
+    // keep per-sleep OS overhead from distorting the model.
     pending_delay_ += total;
     double pending_wall = ToSeconds(pending_delay_) * time_scale_->scale();
-    if (pending_wall >= 0.001) {
-      time_scale_->SleepModeled(pending_delay_);
-      pending_delay_ = Duration::zero();
+    if (pending_wall < 0.001) return;
+    batch = pending_delay_;
+    pending_delay_ = Duration::zero();
+    if (disk_gate_ == nullptr) {
+      // queue_depth 1: hold the head (mutex) across the modeled duration —
+      // concurrent readers serialize exactly as on one spindle.
+      time_scale_->SleepModeled(batch);
+      return;
     }
+    gate = disk_gate_.get();
+    time_scale = time_scale_;
   }
+  // queue_depth > 1: pay the wait outside the head lock, inside one of the
+  // device's command-queue slots, so up to queue_depth transfers overlap.
+  SemaphoreGuard slot(gate);
+  time_scale->SleepModeled(batch);
 }
 
 std::unique_ptr<SimEnv> SimEnv::Clone(Options options) const {
@@ -188,6 +206,15 @@ std::unique_ptr<SimEnv> SimEnv::Clone(Options options) const {
 void SimEnv::SetDiskModel(const DiskModel& disk) {
   MutexLock lock(&disk_mutex_);
   disk_ = disk;
+  // Resize the command-queue gate. Destroying the old gate while a reader
+  // sleeps in one of its slots is a use-after-free — the existing contract
+  // (reconfigure only between experiment runs) already forbids that.
+  if (disk.queue_depth <= 1) {
+    disk_gate_.reset();
+  } else if (disk_gate_ == nullptr ||
+             disk_gate_->slots() != disk.queue_depth) {
+    disk_gate_ = std::make_unique<Semaphore>(disk.queue_depth);
+  }
 }
 
 void SimEnv::SetTimeScale(const TimeScale* time_scale) {

@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_annotations.h"
 #include "sim/env.h"
 #include "sim/virtual_time.h"
@@ -25,6 +26,13 @@ namespace godiva {
 struct DiskModel {
   Duration seek_time = std::chrono::milliseconds(9);
   double bytes_per_second = 35.0 * 1024 * 1024;
+  // How many transfers the device services concurrently (its command-queue
+  // depth). 1 models the paper's single-head IDE/SCSI spindle exactly: the
+  // head is held for the whole modeled duration of each access. Values > 1
+  // model queued devices (NVMe-class or striped arrays): each access still
+  // pays its own seek+transfer time, but up to queue_depth of those waits
+  // overlap, so an I/O pool with enough threads sees real speedup.
+  int queue_depth = 1;
 };
 
 // Aggregate counters for everything read through a SimEnv.
@@ -107,7 +115,8 @@ class SimEnv : public Env {
   std::map<std::string, std::shared_ptr<FileData>> files_
       GUARDED_BY(fs_mutex_);
 
-  // The disk head: held for the whole modeled duration of an access, so
+  // The disk head: held while the model computes an access's cost, and —
+  // with queue_depth 1 — across the whole modeled duration too, so
   // concurrent readers serialize exactly as on one spindle. Scaled sleeps
   // shorter than ~1 ms of wall time are accumulated and paid in batches:
   // per-sleep OS overhead (~50–100 µs) would otherwise systematically
@@ -119,6 +128,11 @@ class SimEnv : public Env {
   int64_t head_offset_ GUARDED_BY(disk_mutex_) = 0;
   Duration pending_delay_ GUARDED_BY(disk_mutex_){};
   DiskStats stats_ GUARDED_BY(disk_mutex_);
+  // Present iff queue_depth > 1: the device's command-queue slots. Modeled
+  // waits are then paid OUTSIDE disk_mutex_, inside one of these slots, so
+  // up to queue_depth transfers overlap. Only the owning pointer is
+  // guarded; the Semaphore itself is internally synchronized.
+  std::unique_ptr<Semaphore> disk_gate_ GUARDED_BY(disk_mutex_);
 };
 
 }  // namespace godiva

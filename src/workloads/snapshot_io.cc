@@ -66,6 +66,59 @@ Result<std::unique_ptr<gsdf::Reader>> OpenSnapshotFile(
   return salvaged;
 }
 
+// Coalesced load of one snapshot file: creates all block records and field
+// buffers first, then gathers every dataset into a single ReadBatch so the
+// reader can merge file-adjacent payloads into one transfer each. Commits
+// the records only after the whole batch landed (and verified).
+Status LoadFileCoalesced(PlatformRuntime* runtime, const gsdf::Reader& reader,
+                         const std::vector<int32_t>& blocks, int snapshot,
+                         const std::vector<std::string>& quantities,
+                         bool verify, Gbo* db) {
+  std::vector<gsdf::BatchRequest> batch;
+  std::vector<Record*> records;
+  records.reserve(blocks.size());
+  int64_t total_bytes = 0;
+  for (int32_t block_id : blocks) {
+    GODIVA_ASSIGN_OR_RETURN(Record * record, db->NewRecord(kBlockRecordType));
+    std::memcpy(*record->FieldBuffer(kFieldBlockId), &block_id, 4);
+    int32_t snapshot_id = snapshot;
+    std::memcpy(*record->FieldBuffer(kFieldSnapshotId), &snapshot_id, 4);
+    auto gather = [&](const std::string& name,
+                      const std::string& field) -> Status {
+      GODIVA_ASSIGN_OR_RETURN(const gsdf::DatasetInfo* info,
+                              reader.Find(name));
+      GODIVA_ASSIGN_OR_RETURN(
+          void* buffer, db->AllocFieldBuffer(record, field, info->nbytes));
+      batch.push_back({name, buffer, info->nbytes});
+      total_bytes += info->nbytes;
+      return Status::Ok();
+    };
+    GODIVA_RETURN_IF_ERROR(
+        gather(mesh::BlockDatasetName(block_id, "x"), kFieldX));
+    GODIVA_RETURN_IF_ERROR(
+        gather(mesh::BlockDatasetName(block_id, "y"), kFieldY));
+    GODIVA_RETURN_IF_ERROR(
+        gather(mesh::BlockDatasetName(block_id, "z"), kFieldZ));
+    GODIVA_RETURN_IF_ERROR(
+        gather(mesh::BlockDatasetName(block_id, "conn"), kFieldConn));
+    for (const std::string& quantity : quantities) {
+      GODIVA_RETURN_IF_ERROR(
+          gather(mesh::BlockDatasetName(block_id, quantity), quantity));
+    }
+    records.push_back(record);
+  }
+  gsdf::BatchOptions batch_options;
+  batch_options.verify = verify;
+  GODIVA_ASSIGN_OR_RETURN(gsdf::BatchStats stats,
+                          reader.ReadBatch(batch, batch_options));
+  runtime->ChargeDecode(total_bytes);
+  if (stats.coalesced > 0) db->ReportCoalescedReads(stats.coalesced);
+  for (Record* record : records) {
+    GODIVA_RETURN_IF_ERROR(db->CommitRecord(record));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
@@ -87,6 +140,11 @@ Gbo::ReadFn MakeSnapshotReadFn(PlatformRuntime* runtime,
       std::vector<int32_t> blocks;
       GODIVA_RETURN_IF_ERROR(
           ReadDatasetIntoVector(runtime, *reader, "blocks", &blocks, verify));
+      if (options.coalesce) {
+        GODIVA_RETURN_IF_ERROR(LoadFileCoalesced(
+            runtime, *reader, blocks, snapshot, quantities, verify, db));
+        continue;
+      }
       for (int32_t block_id : blocks) {
         GODIVA_ASSIGN_OR_RETURN(Record * record,
                                 db->NewRecord(kBlockRecordType));

@@ -33,6 +33,16 @@ struct SnapshotReadOptions {
   // torn_writes_detected/salvaged_datasets to the database; a block whose
   // required datasets did not survive still fails the unit with DATA_LOSS.
   bool salvage = false;
+
+  // Per-file coalescing: gather each file's datasets into one
+  // gsdf::Reader::ReadBatch, which merges adjacent payloads into single
+  // transfers (one seek per run instead of one per dataset). Off by
+  // default — the per-dataset path is the paper's access pattern and the
+  // byte-for-byte baseline. The number of merged-away reads is reported
+  // via Gbo::ReportCoalescedReads. Incompatible with salvage readers only
+  // in the sense that missing datasets fail the batch exactly as they fail
+  // the per-dataset path.
+  bool coalesce = false;
 };
 
 // Returns a read function that loads the unit named "snap_NNNN": for every

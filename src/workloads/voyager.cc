@@ -94,6 +94,7 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
   const mesh::SnapshotDataset& dataset = *config.dataset;
   GboOptions options;
   options.background_io = (config.variant == Variant::kGodivaMultiThread);
+  options.io_threads = config.io_threads;
   options.memory_limit_bytes = config.godiva_memory_bytes;
   options.retry = config.retry;
   options.quarantine_threshold = config.quarantine_threshold;
@@ -104,7 +105,8 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
   Gbo::ReadFn read_fn = MakeSnapshotReadFn(
       runtime, &dataset, quantities,
       SnapshotReadOptions{.verify_checksums = config.verify_checksums,
-                          .salvage = config.salvage});
+                          .salvage = config.salvage,
+                          .coalesce = config.coalesce_reads});
 
   // Batch mode: announce every unit up front, in processing order. Each
   // unit declares the snapshot files it reads so the per-file circuit

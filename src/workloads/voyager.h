@@ -68,6 +68,17 @@ struct RunConfig {
   // file, further units touching it fail fast (DATA_LOSS) without invoking
   // their read functions. 0 disables.
   int quarantine_threshold = 3;
+
+  // --- I/O pool (TG variant; ignored by O/G) ---
+
+  // Background I/O threads handed to GboOptions::io_threads. 1 is the
+  // paper's TG library; > 1 enables the demand-priority pool, which pays
+  // off on storage with queue_depth > 1.
+  int io_threads = 1;
+  // Per-file read coalescing inside the snapshot read function
+  // (SnapshotReadOptions::coalesce): merge file-adjacent datasets into
+  // single transfers.
+  bool coalesce_reads = false;
 };
 
 // One cell of Figure 3: times in modeled seconds (wall time divided by the

@@ -1,0 +1,204 @@
+// Property-based cache tests: random read/finish/delete traces against a
+// reference model of the evictable-unit recency order. Checked after every
+// operation, for single-thread, 1-I/O-thread, and 4-I/O-thread databases:
+//
+//   1. cache bytes never exceed the configured limit (the trace keeps the
+//      pinned working set strictly under capacity, so eviction can always
+//      make room);
+//   2. eviction respects LRU order among evictable_ units: the resident
+//      evictable units are always a suffix of the reference
+//      least-to-most-recently-finished order;
+//   3. unit_cache_hits plus read-function invocations (misses) equals the
+//      total number of ReadUnit accesses.
+//
+// Traces replay deterministically from their printed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+
+namespace godiva {
+namespace {
+
+constexpr int64_t kUnitBytes = 8 * 1024;
+constexpr int kUniverse = 8;    // distinct unit names in a trace
+constexpr int kCapacityUnits = 4;
+constexpr int kMaxPinned = 2;   // strictly below capacity: room always exists
+constexpr int kOpsPerTrace = 300;
+
+void DefineSchema(Gbo* db) {
+  ASSERT_TRUE(db->DefineField("unit", DataType::kString, 16).ok());
+  ASSERT_TRUE(
+      db->DefineField("payload", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db->DefineRecord("chunk", 1).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "unit", true).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "payload", false).ok());
+  ASSERT_TRUE(db->CommitRecordType("chunk").ok());
+}
+
+Gbo::ReadFn CountingReadFn(std::atomic<int>* reads) {
+  return [reads](Gbo* db, const std::string& unit_name) -> Status {
+    reads->fetch_add(1);
+    GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("chunk"));
+    std::memcpy(*rec->FieldBuffer("unit"), PadKey(unit_name, 16).data(), 16);
+    GODIVA_ASSIGN_OR_RETURN(
+        void* payload, db->AllocFieldBuffer(rec, "payload", kUnitBytes));
+    static_cast<double*>(payload)[0] = 42.0;
+    return db->CommitRecord(rec);
+  };
+}
+
+bool IsResident(Gbo* db, const std::string& unit) {
+  auto state = db->GetUnitState(unit);
+  return state.ok() && *state == UnitState::kReady;
+}
+
+// Reference model of the pieces of Gbo cache state the properties need:
+// per-unit pin counts and the least-to-most-recently-finished order of
+// unpinned (evictable) units. Deliberately does NOT model which units the
+// database actually evicted — that is what the suffix property checks.
+struct CacheModel {
+  std::map<std::string, int> pins;       // units with pin count > 0
+  std::vector<std::string> recency;      // evictable, LRU first
+
+  int pinned_count() const { return static_cast<int>(pins.size()); }
+
+  void RemoveFromRecency(const std::string& name) {
+    recency.erase(std::remove(recency.begin(), recency.end(), name),
+                  recency.end());
+  }
+
+  void OnRead(const std::string& name) {
+    RemoveFromRecency(name);  // pinned units are not evictable
+    ++pins[name];
+  }
+
+  void OnFinish(const std::string& name) {
+    auto it = pins.find(name);
+    if (it == pins.end()) return;  // idempotent double-finish
+    if (--it->second == 0) {
+      pins.erase(it);
+      recency.push_back(name);  // most recently finished = safest
+    }
+  }
+
+  void OnDelete(const std::string& name) { RemoveFromRecency(name); }
+};
+
+// The LRU property: scanning the reference order from least to most
+// recently finished, residency must be monotone — once a unit is found
+// resident, every more-recently-finished evictable unit is resident too.
+// (Evicting anything but a least-recent prefix violates this.)
+void CheckLruSuffix(Gbo* db, const CacheModel& model, int op_index) {
+  bool seen_resident = false;
+  for (const std::string& name : model.recency) {
+    bool resident = IsResident(db, name);
+    if (seen_resident) {
+      ASSERT_TRUE(resident)
+          << "op " << op_index << ": evictable unit '" << name
+          << "' was evicted ahead of a less recently finished unit";
+    }
+    seen_resident = seen_resident || resident;
+  }
+}
+
+void RunTrace(uint64_t seed, const GboOptions& base_options) {
+  SCOPED_TRACE("trace seed " + std::to_string(seed));
+  std::atomic<int> reads{0};
+  GboOptions options = base_options;
+  options.memory_limit_bytes =
+      kCapacityUnits * (kUnitBytes + kRecordOverheadBytes + 512);
+  options.eviction_policy = EvictionPolicy::kLru;
+  Gbo db(options);
+  DefineSchema(&db);
+
+  CacheModel model;
+  Random rng(seed);
+  int accesses = 0;
+  for (int op = 0; op < kOpsPerTrace; ++op) {
+    std::string name =
+        "u" + std::to_string(rng.NextBounded(kUniverse));
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // ReadUnit: pin (possibly loading on a miss)
+        if (model.pinned_count() >= kMaxPinned &&
+            model.pins.find(name) == model.pins.end()) {
+          break;  // keep the pinned working set under capacity
+        }
+        ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+        ++accesses;
+        model.OnRead(name);
+        auto buffer =
+            db.GetFieldBuffer("chunk", "payload", {PadKey(name, 16)});
+        ASSERT_TRUE(buffer.ok());
+        EXPECT_EQ(static_cast<double*>(*buffer)[0], 42.0);
+        break;
+      }
+      case 2: {  // FinishUnit: unpin (→ MRU end of evictable order)
+        if (model.pins.find(name) == model.pins.end()) break;
+        ASSERT_TRUE(db.FinishUnit(name).ok());
+        model.OnFinish(name);
+        break;
+      }
+      case 3: {  // DeleteUnit an unpinned unit
+        if (model.pins.find(name) != model.pins.end()) break;
+        Status deleted = db.DeleteUnit(name);
+        if (deleted.ok()) model.OnDelete(name);
+        break;
+      }
+    }
+    ASSERT_LE(db.memory_usage(), db.memory_limit())
+        << "op " << op << ": cache bytes exceed the configured limit";
+    CheckLruSuffix(&db, model, op);
+    if (::testing::Test::HasFailure()) return;
+  }
+
+  // Hits plus misses (read-function invocations) account for every access.
+  GboStats stats = db.stats();
+  EXPECT_EQ(stats.unit_cache_hits + reads.load(), accesses);
+  EXPECT_TRUE(db.CheckInvariants().ok());
+}
+
+TEST(CachePropertyTest, SingleThreadTraces) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunTrace(seed, GboOptions::SingleThread());
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(CachePropertyTest, OneIoThreadTraces) {
+  GboOptions options;
+  options.background_io = true;
+  options.io_threads = 1;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunTrace(seed, options);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(CachePropertyTest, FourIoThreadTraces) {
+  // ReadUnit serializes each caller on its own unit, so the trace stays
+  // deterministic even though loads run on pool threads.
+  GboOptions options;
+  options.background_io = true;
+  options.io_threads = 4;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunTrace(seed, options);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace godiva

@@ -470,5 +470,214 @@ INSTANTIATE_TEST_SUITE_P(
                                          DataType::kFloat64),
                        ::testing::Values(1, 7, 64, 1000)));
 
+// ---- ReadBatch: coalesced multi-dataset transfers ----
+
+// A file with `n` consecutive float64 datasets d0..d{n-1}, each holding
+// `elements` doubles starting at a dataset-specific base value.
+void WriteBatchFile(SimEnv* env, const std::string& path, int n,
+                    int elements) {
+  auto writer = Writer::Create(env, path);
+  ASSERT_TRUE(writer.ok());
+  for (int d = 0; d < n; ++d) {
+    std::vector<double> data = Doubles(elements, d * 1000.0);
+    ASSERT_TRUE((*writer)
+                    ->AddDataset("d" + std::to_string(d), DataType::kFloat64,
+                                 data.data(), elements * 8)
+                    .ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+TEST(GsdfBatchTest, AdjacentDatasetsCoalesceIntoOneTransfer) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 4, kElements = 50;
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+
+  std::vector<std::vector<double>> out(kDatasets,
+                                       std::vector<double>(kElements));
+  std::vector<BatchRequest> batch;
+  for (int d = 0; d < kDatasets; ++d) {
+    batch.push_back({"d" + std::to_string(d), out[d].data(), kElements * 8});
+  }
+  env.ResetStats();
+  auto stats = (*reader)->ReadBatch(batch);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // gsdf lays payloads back to back (directory at the tail), so the four
+  // datasets are one contiguous span: one merged transfer, one disk read.
+  EXPECT_EQ(stats->transfers, 1);
+  EXPECT_EQ(stats->coalesced, kDatasets - 1);
+  EXPECT_EQ(stats->gap_bytes, 0);
+  EXPECT_EQ(env.stats().reads, 1);
+  for (int d = 0; d < kDatasets; ++d) {
+    EXPECT_EQ(out[d], Doubles(kElements, d * 1000.0)) << "dataset " << d;
+  }
+}
+
+TEST(GsdfBatchTest, SkippedDatasetGapHonoursMaxGap) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 3, kElements = 20;  // 160-byte payloads
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> first(kElements), third(kElements);
+  // Request d0 and d2 only: d1's 160 payload bytes sit between them.
+  std::vector<BatchRequest> batch = {
+      {"d0", first.data(), kElements * 8},
+      {"d2", third.data(), kElements * 8}};
+
+  // Default 64 KiB gap tolerance: one transfer reading d1's bytes too.
+  auto merged = (*reader)->ReadBatch(batch);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->transfers, 1);
+  EXPECT_EQ(merged->coalesced, 1);
+  EXPECT_EQ(merged->gap_bytes, kElements * 8);
+  EXPECT_EQ(first, Doubles(kElements, 0.0));
+  EXPECT_EQ(third, Doubles(kElements, 2000.0));
+
+  // A gap tolerance smaller than d1 forbids the merge: two transfers.
+  BatchOptions tight;
+  tight.max_gap = kElements * 8 - 1;
+  auto split = (*reader)->ReadBatch(batch, tight);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->transfers, 2);
+  EXPECT_EQ(split->coalesced, 0);
+  EXPECT_EQ(split->gap_bytes, 0);
+  EXPECT_EQ(first, Doubles(kElements, 0.0));
+  EXPECT_EQ(third, Doubles(kElements, 2000.0));
+}
+
+TEST(GsdfBatchTest, MaxTransferSplitsRuns) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 4, kElements = 100;  // 800 bytes payload each
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<double>> out(kDatasets,
+                                       std::vector<double>(kElements));
+  std::vector<BatchRequest> batch;
+  for (int d = 0; d < kDatasets; ++d) {
+    batch.push_back({"d" + std::to_string(d), out[d].data(), kElements * 8});
+  }
+  BatchOptions options;
+  options.max_transfer = 2000;  // fits ~2 datasets + headers, not 4
+  auto stats = (*reader)->ReadBatch(batch, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->transfers, 1);
+  EXPECT_LT(stats->transfers, kDatasets);
+  for (int d = 0; d < kDatasets; ++d) {
+    EXPECT_EQ(out[d], Doubles(kElements, d * 1000.0));
+  }
+}
+
+TEST(GsdfBatchTest, RequestOrderDoesNotMatter) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 4, kElements = 30;
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<double>> out(kDatasets,
+                                       std::vector<double>(kElements));
+  // Reverse order: ReadBatch sorts by file offset internally.
+  std::vector<BatchRequest> batch;
+  for (int d = kDatasets - 1; d >= 0; --d) {
+    batch.push_back({"d" + std::to_string(d), out[d].data(), kElements * 8});
+  }
+  auto stats = (*reader)->ReadBatch(batch);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->transfers, 1);
+  for (int d = 0; d < kDatasets; ++d) {
+    EXPECT_EQ(out[d], Doubles(kElements, d * 1000.0));
+  }
+}
+
+TEST(GsdfBatchTest, EmptyBatchIsANoOp) {
+  SimEnv env = MakeEnv();
+  WriteBatchFile(&env, "f.gsdf", 1, 10);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  auto stats = (*reader)->ReadBatch({});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->transfers, 0);
+  EXPECT_EQ(stats->coalesced, 0);
+}
+
+TEST(GsdfBatchTest, UnknownDatasetFailsBeforeAnyTransfer) {
+  SimEnv env = MakeEnv();
+  WriteBatchFile(&env, "f.gsdf", 2, 10);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> a(10), b(10);
+  std::vector<BatchRequest> batch = {{"d0", a.data(), 80},
+                                     {"absent", b.data(), 80}};
+  env.ResetStats();
+  auto stats = (*reader)->ReadBatch(batch);
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(env.stats().reads, 0);  // validated up front, nothing issued
+}
+
+TEST(GsdfBatchTest, WrongBufferSizeRejected) {
+  SimEnv env = MakeEnv();
+  WriteBatchFile(&env, "f.gsdf", 1, 10);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> out(10);
+  std::vector<BatchRequest> batch = {{"d0", out.data(), 72}};  // nbytes is 80
+  auto stats = (*reader)->ReadBatch(batch);
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(GsdfBatchTest, VerifyCatchesCorruptionInMergedRun) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 3, kElements = 50;
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  // Flip one byte inside the middle dataset's payload.
+  {
+    auto size = env.GetFileSize("f.gsdf");
+    ASSERT_TRUE(size.ok());
+    auto orig = env.NewRandomAccessFile("f.gsdf");
+    ASSERT_TRUE(orig.ok());
+    std::vector<char> all(static_cast<size_t>(*size));
+    ASSERT_TRUE((*orig)->Read(0, *size, all.data()).ok());
+    all[static_cast<size_t>(*size) / 2] ^= 0x01;
+    auto rewrite = env.NewWritableFile("f.gsdf");
+    ASSERT_TRUE(rewrite.ok());
+    ASSERT_TRUE((*rewrite)->Append(all.data(), *size).ok());
+    ASSERT_TRUE((*rewrite)->Close().ok());
+  }
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<double>> out(kDatasets,
+                                       std::vector<double>(kElements));
+  std::vector<BatchRequest> batch;
+  for (int d = 0; d < kDatasets; ++d) {
+    batch.push_back({"d" + std::to_string(d), out[d].data(), kElements * 8});
+  }
+  BatchOptions verify_options;
+  verify_options.verify = true;
+  EXPECT_EQ((*reader)->ReadBatch(batch, verify_options).status().code(),
+            StatusCode::kDataLoss);
+  // Without verification the same batch reads the damaged bytes silently.
+  EXPECT_TRUE((*reader)->ReadBatch(batch).ok());
+}
+
+TEST(GsdfBatchTest, MatchesIndividualReads) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 5, kElements = 17;
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  for (int d = 0; d < kDatasets; ++d) {
+    std::vector<double> individual(kElements), batched(kElements);
+    std::string name = "d" + std::to_string(d);
+    ASSERT_TRUE(
+        (*reader)->Read(name, individual.data(), kElements * 8).ok());
+    std::vector<BatchRequest> batch = {{name, batched.data(), kElements * 8}};
+    ASSERT_TRUE((*reader)->ReadBatch(batch).ok());
+    EXPECT_EQ(batched, individual);
+  }
+}
+
 }  // namespace
 }  // namespace godiva::gsdf

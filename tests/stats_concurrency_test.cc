@@ -1,0 +1,158 @@
+// Multi-writer stats tests, meant to run under TSan: TimeAccumulator must
+// accumulate exactly under 8-thread contention, and Gbo::stats() /
+// DebugString() must be safe to call while pool threads and application
+// threads are mutating the database.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/gbo.h"
+#include "core/key_util.h"
+#include "core/options.h"
+#include "core/record.h"
+#include "core/stats.h"
+
+namespace godiva {
+namespace {
+
+constexpr int kWriters = 8;
+
+TEST(StatsConcurrencyTest, TimeAccumulatorMultiWriterExact) {
+  TimeAccumulator accumulator;
+  constexpr int kAddsPerWriter = 20000;
+  static constexpr auto kQuantum = std::chrono::nanoseconds(137);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&accumulator] {
+      for (int i = 0; i < kAddsPerWriter; ++i) {
+        accumulator.Add(kQuantum);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  auto expected = std::chrono::nanoseconds(
+      static_cast<int64_t>(kWriters) * kAddsPerWriter * kQuantum.count());
+  EXPECT_EQ(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                accumulator.Total()),
+            expected);
+}
+
+TEST(StatsConcurrencyTest, TimeAccumulatorResetRaces) {
+  // Reset concurrent with Add must not corrupt the counter: after all
+  // threads finish the total is some valid partial sum, never garbage.
+  TimeAccumulator accumulator;
+  static constexpr auto kQuantum = std::chrono::microseconds(1);
+  constexpr int kAdds = 5000;
+  std::atomic<bool> stop{false};
+  std::thread resetter([&accumulator, &stop] {
+    while (!stop.load()) accumulator.Reset();
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&accumulator] {
+      for (int i = 0; i < kAdds; ++i) accumulator.Add(kQuantum);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  resetter.join();
+  double total = accumulator.TotalSeconds();
+  EXPECT_GE(total, 0.0);
+  EXPECT_LE(total, ToSeconds(kQuantum) * kWriters * kAdds);
+}
+
+TEST(StatsConcurrencyTest, ScopedTimerMultiThread) {
+  TimeAccumulator accumulator;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWriters; ++w) {
+    workers.emplace_back([&accumulator] {
+      for (int i = 0; i < 50; ++i) {
+        ScopedTimer timer(&accumulator);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_GT(accumulator.TotalSeconds(), 0.0);
+}
+
+// ---- Gbo stats under load ----
+
+constexpr int64_t kUnitBytes = 8 * 1024;
+
+void DefineSchema(Gbo* db) {
+  ASSERT_TRUE(db->DefineField("unit", DataType::kString, 16).ok());
+  ASSERT_TRUE(
+      db->DefineField("payload", DataType::kFloat64, kUnknownSize).ok());
+  ASSERT_TRUE(db->DefineRecord("chunk", 1).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "unit", true).ok());
+  ASSERT_TRUE(db->InsertField("chunk", "payload", false).ok());
+  ASSERT_TRUE(db->CommitRecordType("chunk").ok());
+}
+
+Gbo::ReadFn MakeReadFn(std::atomic<int>* reads) {
+  return [reads](Gbo* db, const std::string& unit_name) -> Status {
+    reads->fetch_add(1);
+    GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("chunk"));
+    std::memcpy(*rec->FieldBuffer("unit"), PadKey(unit_name, 16).data(), 16);
+    GODIVA_ASSIGN_OR_RETURN(
+        void* payload, db->AllocFieldBuffer(rec, "payload", kUnitBytes));
+    static_cast<double*>(payload)[0] = 1.0;
+    return db->CommitRecord(rec);
+  };
+}
+
+TEST(StatsConcurrencyTest, GboStatsReadableWhilePoolRuns) {
+  GboOptions options;
+  options.background_io = true;
+  options.io_threads = 4;
+  Gbo db(options);
+  DefineSchema(&db);
+  std::atomic<int> reads{0};
+  std::atomic<bool> stop{false};
+
+  // Reader threads poll the aggregate stats and the debug dump while the
+  // pool loads and the app thread cycles units. TSan flags any unguarded
+  // access; the assertions below only need self-consistency.
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 2; ++p) {
+    pollers.emplace_back([&db, &stop] {
+      while (!stop.load()) {
+        GboStats stats = db.stats();
+        EXPECT_GE(stats.units_added, stats.units_deleted);
+        EXPECT_EQ(stats.io_thread_busy_seconds.size(), 4u);
+        EXPECT_FALSE(db.DebugString().empty());
+        EXPECT_FALSE(stats.ToString().empty());
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  constexpr int kRounds = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    std::string name = "unit" + std::to_string(round);
+    ASSERT_TRUE(db.AddUnit(name, MakeReadFn(&reads)).ok());
+    ASSERT_TRUE(db.WaitUnit(name).ok());
+    ASSERT_TRUE(db.FinishUnit(name).ok());
+    ASSERT_TRUE(db.DeleteUnit(name).ok());
+  }
+  stop.store(true);
+  for (std::thread& poller : pollers) poller.join();
+
+  GboStats stats = db.stats();
+  EXPECT_EQ(stats.units_added, kRounds);
+  EXPECT_EQ(stats.units_deleted, kRounds);
+  EXPECT_EQ(reads.load(), kRounds);
+  EXPECT_TRUE(db.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace godiva

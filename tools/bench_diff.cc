@@ -1,0 +1,249 @@
+// Compares benchmark JSON outputs (bench_* --json=...) against a checked-in
+// baseline and fails on regressions.
+//
+//   bench_diff --write-baseline=BENCH_baseline.json a.json b.json ...
+//       merges the per-bench files into one baseline document, each metric
+//       prefixed with its bench name ("bench_parallel.pool_t1_total_s").
+//
+//   bench_diff --baseline=BENCH_baseline.json a.json b.json ...
+//       compares; exits 1 when any metric regresses by more than the
+//       threshold (default 10%, --threshold=0.15 to widen) AND by more
+//       than the absolute floor (default 0.1, --abs-floor=0.5 to widen —
+//       keeps near-zero second counts from tripping on noise).
+//
+// Metrics are treated as costs (lower is better) unless the name contains
+// "ratio", which flips the direction (higher is better). Metrics missing
+// on either side are reported but never fail the run, so adding or
+// retiring a metric does not break CI before the baseline refresh lands.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Document {
+  std::string bench;  // "" in a merged baseline
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// Minimal parser for the flat documents the benches emit: a "bench" string
+// field (optional) and a "metrics" object of string → number. Anything
+// else in the file is ignored.
+bool ParseDocument(const std::string& path, Document* doc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  auto parse_string = [&](std::string* out) -> bool {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    out->clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;  // keep escaped char
+      out->push_back(text[i++]);
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  bool in_metrics = false;
+  while (i < text.size()) {
+    skip_ws();
+    if (i >= text.size()) break;
+    char c = text[i];
+    if (c == '"') {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (i >= text.size() || text[i] != ':') return false;
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '"') {
+        std::string value;
+        if (!parse_string(&value)) return false;
+        if (key == "bench") doc->bench = value;
+      } else if (i < text.size() && text[i] == '{') {
+        ++i;
+        if (key == "metrics") in_metrics = true;
+      } else {
+        char* end = nullptr;
+        double value = std::strtod(text.c_str() + i, &end);
+        if (end == text.c_str() + i) {
+          std::fprintf(stderr, "bench_diff: bad value for \"%s\" in %s\n",
+                       key.c_str(), path.c_str());
+          return false;
+        }
+        i = static_cast<size_t>(end - text.c_str());
+        if (in_metrics) doc->metrics.emplace_back(key, value);
+      }
+    } else if (c == '}') {
+      ++i;
+      in_metrics = false;
+    } else {
+      ++i;  // commas, braces opening the document, stray tokens
+    }
+  }
+  return true;
+}
+
+const double* FindMetric(const Document& doc, const std::string& name) {
+  for (const auto& [key, value] : doc.metrics) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HigherIsBetter(const std::string& name) {
+  return name.find("ratio") != std::string::npos;
+}
+
+int WriteBaseline(const std::string& path,
+                  const std::vector<Document>& docs) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_diff: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"metrics\": {\n");
+  bool first = true;
+  for (const Document& doc : docs) {
+    for (const auto& [key, value] : doc.metrics) {
+      std::fprintf(out, "%s    \"%s.%s\": %.6g", first ? "" : ",\n",
+                   doc.bench.c_str(), key.c_str(), value);
+      first = false;
+    }
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  if (std::fclose(out) != 0) return 1;
+  std::printf("bench_diff: wrote baseline %s\n", path.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  std::string baseline_path;
+  std::string write_path;
+  double threshold = 0.10;
+  double abs_floor = 0.1;
+  std::vector<std::string> current_paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--write-baseline=", 17) == 0) {
+      write_path = arg + 17;
+    } else if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      threshold = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--abs-floor=", 12) == 0) {
+      abs_floor = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg);
+      return 2;
+    } else {
+      current_paths.push_back(arg);
+    }
+  }
+  if ((baseline_path.empty() == write_path.empty()) ||
+      current_paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_diff --baseline=B.json a.json [b.json ...]\n"
+                 "       bench_diff --write-baseline=B.json a.json ...\n");
+    return 2;
+  }
+
+  std::vector<Document> docs;
+  for (const std::string& path : current_paths) {
+    Document doc;
+    if (!ParseDocument(path, &doc)) return 2;
+    if (doc.bench.empty()) {
+      std::fprintf(stderr, "bench_diff: %s has no \"bench\" field\n",
+                   path.c_str());
+      return 2;
+    }
+    docs.push_back(std::move(doc));
+  }
+  if (!write_path.empty()) return WriteBaseline(write_path, docs);
+
+  Document baseline;
+  if (!ParseDocument(baseline_path, &baseline)) return 2;
+
+  int regressions = 0;
+  int compared = 0;
+  std::printf("%-52s %12s %12s %9s\n", "metric", "baseline", "current",
+              "delta");
+  for (const Document& doc : docs) {
+    for (const auto& [key, current] : doc.metrics) {
+      std::string full = doc.bench + "." + key;
+      const double* base = FindMetric(baseline, full);
+      if (base == nullptr) {
+        std::printf("%-52s %12s %12.4g %9s  (new; refresh baseline)\n",
+                    full.c_str(), "-", current, "-");
+        continue;
+      }
+      ++compared;
+      double delta = current - *base;
+      double relative = (*base != 0) ? delta / *base : 0;
+      bool worse = HigherIsBetter(key) ? delta < 0 : delta > 0;
+      bool fails = worse && std::fabs(relative) > threshold &&
+                   std::fabs(delta) > abs_floor;
+      if (fails) ++regressions;
+      std::printf("%-52s %12.4g %12.4g %+8.1f%%%s\n", full.c_str(), *base,
+                  current, 100.0 * relative,
+                  fails ? "  REGRESSION" : "");
+    }
+  }
+  for (const auto& [key, value] : baseline.metrics) {
+    bool found = false;
+    for (const Document& doc : docs) {
+      std::string prefix = doc.bench + ".";
+      if (key.compare(0, prefix.size(), prefix) == 0 &&
+          FindMetric(doc, key.substr(prefix.size())) != nullptr) {
+        found = true;
+        break;
+      }
+      // Baselines may hold benches not being compared this run; only
+      // flag keys whose bench was supplied.
+      if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    }
+    if (!found) {
+      bool bench_supplied = false;
+      for (const Document& doc : docs) {
+        if (key.compare(0, doc.bench.size() + 1, doc.bench + ".") == 0) {
+          bench_supplied = true;
+        }
+      }
+      if (bench_supplied) {
+        std::printf("%-52s %12.4g %12s %9s  (missing from current)\n",
+                    key.c_str(), value, "-", "-");
+      }
+    }
+  }
+  std::printf("compared %d metrics, %d regression%s (threshold %.0f%%)\n",
+              compared, regressions, regressions == 1 ? "" : "s",
+              100.0 * threshold);
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
