@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,15 +73,57 @@ struct BenchFlags {
   }
 };
 
+// The short git SHA the benchmark binary is running against, so a
+// regression in a bench JSON can be traced to the commit that produced it.
+// Sources, in order: the GODIVA_GIT_SHA environment variable (CI sets it
+// from the checkout, which also covers builds from an exported tarball),
+// then `git rev-parse` in the current directory, then "unknown".
+inline std::string CurrentGitSha() {
+  if (const char* env = std::getenv("GODIVA_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string sha;
+  if (std::FILE* pipe = ::popen("git rev-parse --short=12 HEAD 2>/dev/null",
+                                "r")) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      sha = buffer;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    ::pclose(pipe);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+// The current wall-clock time as ISO-8601 UTC ("2026-08-06T12:34:56Z").
+inline std::string UtcTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
 // Collects named scalar metrics and writes them as the flat JSON document
 // tools/bench_diff consumes:
-//   {"bench": "bench_fig3a", "metrics": {"simple_O_total_s": 413.7, ...}}
-// Metric names should be stable across runs; values are doubles. Insertion
-// order is preserved so diffs of the files stay readable.
+//   {"bench": "bench_fig3a", "git_sha": "1a2b3c4d5e6f",
+//    "timestamp_utc": "2026-08-06T12:34:56Z",
+//    "metrics": {"simple_O_total_s": 413.7, ...}}
+// git_sha/timestamp_utc record which commit produced the numbers and when;
+// bench_diff carries them into baselines and names the offending commit
+// when it reports a regression. Metric names should be stable across runs;
+// values are doubles. Insertion order is preserved so diffs of the files
+// stay readable.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+      : bench_name_(std::move(bench_name)),
+        git_sha_(CurrentGitSha()),
+        timestamp_utc_(UtcTimestamp()) {}
 
   void Add(const std::string& name, double value) {
     metrics_.emplace_back(name, value);
@@ -96,8 +139,11 @@ class BenchJson {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
-                 bench_name_.c_str());
+    std::fprintf(out,
+                 "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+                 "  \"timestamp_utc\": \"%s\",\n  \"metrics\": {\n",
+                 bench_name_.c_str(), git_sha_.c_str(),
+                 timestamp_utc_.c_str());
     for (size_t i = 0; i < metrics_.size(); ++i) {
       std::fprintf(out, "    \"%s\": %.6g%s\n", metrics_[i].first.c_str(),
                    metrics_[i].second,
@@ -111,6 +157,8 @@ class BenchJson {
 
  private:
   std::string bench_name_;
+  std::string git_sha_;
+  std::string timestamp_utc_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

@@ -37,10 +37,18 @@ inline constexpr int kUnranked = -1;  // exempt from ordering checks
 // InteractivePrefetcher::mu_ — held across blocking Gbo calls, so it must
 // rank below (be acquired before) Gbo::mu_.
 inline constexpr int kInteractivePrefetcher = 100;
-// Gbo::mu_ — the database lock. Never held while a user read function
-// runs; the re-acquisition check enforces exactly that invariant, because
-// every record operation a read function may legally call re-locks it.
+// Gbo::mu_ — the database-global lock (schema, queues, memory budget,
+// cold counters). Never held while a user read function runs; the
+// re-acquisition check enforces exactly that invariant, because every
+// record operation a read function may legally call re-locks it.
 inline constexpr int kGboMu = 200;
+// Gbo metadata shards: shard i's mutex has rank kGboShardBase + i, so the
+// rank checker natively enforces the documented multi-shard acquisition
+// order (shard[i] before shard[j] for i < j, and always after Gbo::mu_).
+// Shard counts are clamped to kGboMaxShards so the range stays strictly
+// below kSimFilesystem.
+inline constexpr int kGboShardBase = 210;
+inline constexpr int kGboMaxShards = 64;
 // SimEnv::fs_mutex_ — the in-memory filesystem directory.
 inline constexpr int kSimFilesystem = 300;
 // FaultInjectionEnv::mu_ — the fault plan, consulted before base I/O.

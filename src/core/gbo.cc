@@ -1,9 +1,17 @@
 // Gbo: construction/destruction, schema definition, record operations, and
 // queries. Unit lifecycle and the background I/O machinery live in
 // gbo_units.cc.
+//
+// Sharding (DESIGN.md §10): queries and unit cache hits route by hash to
+// one of metadata_shards stripes and take only that stripe's lock; the
+// global mu_ is reserved for schema changes, record ownership, the I/O
+// queues and the memory budget. Routing functions:
+//   unit name → std::hash<std::string>(name) % shards
+//   record key → hash(type name) ⊕ hash(encoded key) · φ  % shards
 #include "core/gbo.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -31,8 +39,24 @@ std::string_view UnitStateName(UnitState state) {
   return "INVALID";
 }
 
+namespace {
+
+int ClampShardCount(int requested) {
+  return std::clamp(requested, 1, lock_rank::kGboMaxShards);
+}
+
+}  // namespace
+
 Gbo::Gbo(GboOptions options)
     : options_(options), memory_limit_(options.memory_limit_bytes) {
+  int shard_count = ClampShardCount(options_.metadata_shards);
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    // Distinct ranks per shard: the lock-rank checker then rejects any
+    // out-of-order multi-shard acquisition at run time.
+    shards_.push_back(std::make_unique<Shard>(lock_rank::kGboShardBase + i,
+                                              "Gbo::shard"));
+  }
   if (options_.background_io) {
     size_t pool_size =
         static_cast<size_t>(std::max(1, options_.io_threads));
@@ -51,14 +75,43 @@ Gbo::Gbo(GboOptions options)
 Gbo::~Gbo() {
   {
     MutexLock lock(&mu_);
-    shutdown_ = true;
+    shutdown_.store(true, std::memory_order_release);
   }
   queue_cv_.NotifyAll();
   memory_cv_.NotifyAll();
-  unit_cv_.NotifyAll();
+  // Lock/unlock each shard before notifying its waiters: a waiter between
+  // its predicate check and its wait enqueue holds the shard lock, so
+  // acquiring it here guarantees every waiter observes shutdown_ or is
+  // already enqueued when the notify lands.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(&shard->mu);
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->unit_cv.NotifyAll();
+  }
   for (std::thread& thread : io_threads_) {
     if (thread.joinable()) thread.join();
   }
+}
+
+// ---------------------------------------------------------------------
+// Shard routing.
+
+size_t Gbo::ShardIndexOfUnitName(const std::string& unit_name) const {
+  return std::hash<std::string>{}(unit_name) % shards_.size();
+}
+
+Gbo::Shard& Gbo::ShardOfUnitName(const std::string& unit_name) const {
+  return *shards_[ShardIndexOfUnitName(unit_name)];
+}
+
+size_t Gbo::ShardIndexOfKey(const RecordType* type,
+                            const std::string& encoded_key) const {
+  // Mix the type name in so two types sharing key bytes spread
+  // independently; the golden-ratio multiplier decorrelates the hashes.
+  size_t h = std::hash<std::string>{}(type->name()) ^
+             (std::hash<std::string>{}(encoded_key) * 0x9e3779b97f4a7c15ULL);
+  return h % shards_.size();
 }
 
 // ---------------------------------------------------------------------
@@ -110,13 +163,27 @@ Status Gbo::InsertField(const std::string& record_type,
   return type_it->second->AddMember(field_it->second.get(), is_key);
 }
 
+void Gbo::PublishSchemaSnapshotLocked() {
+  auto snapshot = std::make_unique<SchemaSnapshot>();
+  for (const auto& [name, type] : record_types_) {
+    if (type->committed()) snapshot->types[name] = type.get();
+  }
+  // Readers may still hold the previous snapshot pointer; retire it to
+  // schema_history_ instead of freeing (types commit rarely — once per
+  // schema in practice — so the history stays tiny).
+  schema_snapshot_.store(snapshot.get(), std::memory_order_release);
+  schema_history_.push_back(std::move(snapshot));
+}
+
 Status Gbo::CommitRecordType(const std::string& record_type) {
   MutexLock lock(&mu_);
   auto it = record_types_.find(record_type);
   if (it == record_types_.end()) {
     return NotFoundError(StrCat("no record type named ", record_type));
   }
-  return it->second->Commit();
+  GODIVA_RETURN_IF_ERROR(it->second->Commit());
+  PublishSchemaSnapshotLocked();
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------
@@ -133,6 +200,19 @@ Result<RecordType*> Gbo::FindCommittedTypeLocked(
         StrCat("record type ", record_type, " is not committed"));
   }
   return it->second.get();
+}
+
+Result<RecordType*> Gbo::ResolveCommittedType(const std::string& record_type) {
+  const SchemaSnapshot* snapshot =
+      schema_snapshot_.load(std::memory_order_acquire);
+  if (snapshot != nullptr) {
+    auto it = snapshot->types.find(record_type);
+    if (it != snapshot->types.end()) return it->second;
+  }
+  // Miss: the type is unknown, uncommitted, or committed after this
+  // snapshot. Fall back to mu_ for the exact error (or the fresh type).
+  MutexLock lock(&mu_);
+  return FindCommittedTypeLocked(record_type);
 }
 
 Result<Record*> Gbo::NewRecord(const std::string& record_type) {
@@ -154,20 +234,22 @@ Result<Record*> Gbo::NewRecord(const std::string& record_type) {
     }
   }
 
-  // Bind to the unit currently being read on this thread, if any.
-  Unit* unit = nullptr;
+  // Bind to the unit currently being read on this thread, if any. The
+  // unit's record list and byte count are shard state.
   if (const std::string* unit_name = internal_unit_context::Current(this)) {
-    auto unit_it = units_.find(*unit_name);
-    if (unit_it != units_.end()) {
-      unit = unit_it->second.get();
-      unit->records.push_back(raw);
+    Shard& s = ShardOfUnitName(*unit_name);
+    MutexLock shard_lock(&s.mu);
+    auto unit_it = s.units.find(*unit_name);
+    if (unit_it != s.units.end()) {
+      unit_it->second->records.push_back(raw);
+      unit_it->second->memory_bytes += raw->MemoryUsage();
       raw->unit_ = *unit_name;
     }
   }
 
   records_[raw] = std::move(record);
   ++counters_.records_created;
-  ChargeMemoryLocked(unit, raw->MemoryUsage());
+  ChargeMemoryLocked(raw->MemoryUsage());
   EvictToLimitLocked();
   return raw;
 }
@@ -185,14 +267,27 @@ Result<void*> Gbo::AllocFieldBuffer(Record* record,
     return NotFoundError(StrCat("record type ", record->type().name(),
                                 " has no field ", field_name));
   }
-  GODIVA_ASSIGN_OR_RETURN(int64_t charged,
-                          record->AllocateSlot(index, size_bytes));
-  Unit* unit = nullptr;
-  if (!record->unit_.empty()) {
-    auto unit_it = units_.find(record->unit_);
-    if (unit_it != units_.end()) unit = unit_it->second.get();
+  int64_t charged = 0;
+  if (record->committed_ && !record->key_.empty()) {
+    // The record is already published through its key index, so lookups
+    // on its key shard may be reading the slot table concurrently:
+    // mutate it under that shard's lock.
+    Shard& key_shard = *shards_[ShardIndexOfKey(&record->type(),
+                                                record->key_)];
+    MutexLock key_lock(&key_shard.mu);
+    GODIVA_ASSIGN_OR_RETURN(charged,
+                            record->AllocateSlot(index, size_bytes));
+  } else {
+    GODIVA_ASSIGN_OR_RETURN(charged,
+                            record->AllocateSlot(index, size_bytes));
   }
-  ChargeMemoryLocked(unit, charged);
+  if (!record->unit_.empty()) {
+    Shard& s = ShardOfUnitName(record->unit_);
+    MutexLock shard_lock(&s.mu);
+    auto unit_it = s.units.find(record->unit_);
+    if (unit_it != s.units.end()) unit_it->second->memory_bytes += charged;
+  }
+  ChargeMemoryLocked(charged);
   EvictToLimitLocked();
   return record->slot_data(index);
 }
@@ -213,25 +308,32 @@ Status Gbo::CommitRecord(Record* record) {
     return Status::Ok();
   }
   GODIVA_ASSIGN_OR_RETURN(std::string key, record->EncodeKey());
-  std::map<std::string, Record*>& index = indexes_[type];
-  auto [it, inserted] = index.try_emplace(key, record);
-  if (!inserted) {
-    return AlreadyExistsError(
-        StrCat("a record of type ", type->name(),
-               " with the same key is already committed"));
+  // Publish into the owning key shard's index slice. Identical keys hash
+  // to the same shard, so the per-shard try_emplace still enforces global
+  // key uniqueness.
+  Shard& key_shard = *shards_[ShardIndexOfKey(type, key)];
+  {
+    MutexLock key_lock(&key_shard.mu);
+    auto [it, inserted] = key_shard.indexes[type].try_emplace(key, record);
+    if (!inserted) {
+      return AlreadyExistsError(
+          StrCat("a record of type ", type->name(),
+                 " with the same key is already committed"));
+    }
+    record->key_ = std::move(key);
+    record->committed_ = true;
   }
-  record->key_ = std::move(key);
-  record->committed_ = true;
   ++counters_.records_committed;
   return Status::Ok();
 }
 
 // ---------------------------------------------------------------------
-// Queries.
+// Queries (the sharded hot path: one shard lock, no mu_ once the type
+// resolves through the schema snapshot).
 
-Status Gbo::EncodeLookupKeyLocked(const RecordType& type,
-                                  const std::vector<std::string>& key_values,
-                                  std::string* key) const {
+Status Gbo::EncodeLookupKey(const RecordType& type,
+                            const std::vector<std::string>& key_values,
+                            std::string* key) {
   const std::vector<int>& key_indices = type.key_member_indices();
   if (key_values.size() != key_indices.size()) {
     return InvalidArgumentError(StrFormat(
@@ -255,69 +357,132 @@ Status Gbo::EncodeLookupKeyLocked(const RecordType& type,
   return Status::Ok();
 }
 
-Result<Record*> Gbo::FindRecordLocked(
-    const std::string& record_type,
-    const std::vector<std::string>& key_values) {
-  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
-                          FindCommittedTypeLocked(record_type));
-  if (type->key_member_indices().empty()) {
-    return FailedPreconditionError(
-        StrCat("record type ", record_type, " has no key fields"));
-  }
-  std::string key;
-  GODIVA_RETURN_IF_ERROR(EncodeLookupKeyLocked(*type, key_values, &key));
-  ++counters_.key_lookups;
-  auto index_it = indexes_.find(type);
-  if (index_it != indexes_.end()) {
+Result<Record*> Gbo::FindRecordShardLocked(Shard& s, const RecordType* type,
+                                           const std::string& record_type,
+                                           const std::string& key) {
+  s.key_lookups.fetch_add(1, std::memory_order_relaxed);
+  auto index_it = s.indexes.find(type);
+  if (index_it != s.indexes.end()) {
     auto it = index_it->second.find(key);
     if (it != index_it->second.end()) return it->second;
   }
-  ++counters_.failed_lookups;
+  s.failed_lookups.fetch_add(1, std::memory_order_relaxed);
   return NotFoundError(
       StrCat("no record of type ", record_type, " with the given key"));
 }
 
 Result<Record*> Gbo::FindRecord(const std::string& record_type,
                                 const std::vector<std::string>& key_values) {
-  MutexLock lock(&mu_);
-  return FindRecordLocked(record_type, key_values);
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          ResolveCommittedType(record_type));
+  if (type->key_member_indices().empty()) {
+    return FailedPreconditionError(
+        StrCat("record type ", record_type, " has no key fields"));
+  }
+  std::string key;
+  GODIVA_RETURN_IF_ERROR(EncodeLookupKey(*type, key_values, &key));
+  Shard& s = *shards_[ShardIndexOfKey(type, key)];
+  MutexLock lock(&s.mu);
+  return FindRecordShardLocked(s, type, record_type, key);
 }
 
 Result<void*> Gbo::GetFieldBuffer(const std::string& record_type,
                                   const std::string& field_name,
                                   const std::vector<std::string>& key_values) {
-  MutexLock lock(&mu_);
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          ResolveCommittedType(record_type));
+  if (type->key_member_indices().empty()) {
+    return FailedPreconditionError(
+        StrCat("record type ", record_type, " has no key fields"));
+  }
+  std::string key;
+  GODIVA_RETURN_IF_ERROR(EncodeLookupKey(*type, key_values, &key));
+  Shard& s = *shards_[ShardIndexOfKey(type, key)];
+  MutexLock lock(&s.mu);
   GODIVA_ASSIGN_OR_RETURN(Record * record,
-                          FindRecordLocked(record_type, key_values));
+                          FindRecordShardLocked(s, type, record_type, key));
   return record->FieldBuffer(field_name);
 }
 
 Result<int64_t> Gbo::GetFieldBufferSize(
     const std::string& record_type, const std::string& field_name,
     const std::vector<std::string>& key_values) {
-  MutexLock lock(&mu_);
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          ResolveCommittedType(record_type));
+  if (type->key_member_indices().empty()) {
+    return FailedPreconditionError(
+        StrCat("record type ", record_type, " has no key fields"));
+  }
+  std::string key;
+  GODIVA_RETURN_IF_ERROR(EncodeLookupKey(*type, key_values, &key));
+  Shard& s = *shards_[ShardIndexOfKey(type, key)];
+  MutexLock lock(&s.mu);
   GODIVA_ASSIGN_OR_RETURN(Record * record,
-                          FindRecordLocked(record_type, key_values));
+                          FindRecordShardLocked(s, type, record_type, key));
   return record->FieldBufferSize(field_name);
 }
 
-Result<std::vector<Record*>> Gbo::ListRecords(const std::string& record_type) {
-  MutexLock lock(&mu_);
+Result<Gbo::RawField> Gbo::GetFieldRaw(
+    const std::string& record_type, const std::string& field_name,
+    const std::vector<std::string>& key_values, int64_t elem_size) {
   GODIVA_ASSIGN_OR_RETURN(RecordType * type,
-                          FindCommittedTypeLocked(record_type));
-  std::vector<Record*> out;
-  auto index_it = indexes_.find(type);
-  if (index_it != indexes_.end()) {
-    out.reserve(index_it->second.size());
-    for (const auto& [key, record] : index_it->second) out.push_back(record);
+                          ResolveCommittedType(record_type));
+  if (type->key_member_indices().empty()) {
+    return FailedPreconditionError(
+        StrCat("record type ", record_type, " has no key fields"));
   }
+  std::string key;
+  GODIVA_RETURN_IF_ERROR(EncodeLookupKey(*type, key_values, &key));
+  Shard& s = *shards_[ShardIndexOfKey(type, key)];
+  MutexLock lock(&s.mu);
+  GODIVA_ASSIGN_OR_RETURN(Record * record,
+                          FindRecordShardLocked(s, type, record_type, key));
+  int index = record->type().FindMemberIndex(field_name);
+  if (index < 0) {
+    return NotFoundError(StrCat("no field named ", field_name));
+  }
+  const FieldTypeDef* field = record->type().members()[index].field;
+  if (elem_size != SizeOf(field->type)) {
+    return InvalidArgumentError(StrCat(
+        "element type size mismatch for field ", field_name));
+  }
+  if (!record->slot_allocated(index)) {
+    return FailedPreconditionError(StrCat(
+        "field buffer not allocated: ", field_name));
+  }
+  return RawField{record->slot_data(index), record->slot_size(index)};
+}
+
+Result<std::vector<Record*>> Gbo::ListRecords(const std::string& record_type) {
+  GODIVA_ASSIGN_OR_RETURN(RecordType * type,
+                          ResolveCommittedType(record_type));
+  // Merge the per-shard index slices in global key order. Shards are
+  // visited in index order (the documented multi-shard lock order), each
+  // released before the next is taken — a cross-shard-consistent snapshot
+  // is not needed, only per-shard consistency.
+  std::vector<std::pair<std::string, Record*>> keyed;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    auto index_it = shard->indexes.find(type);
+    if (index_it == shard->indexes.end()) continue;
+    keyed.reserve(keyed.size() + index_it->second.size());
+    for (const auto& [key, record] : index_it->second) {
+      keyed.emplace_back(key, record);
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Record*> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, record] : keyed) out.push_back(record);
   return out;
 }
 
 Result<std::vector<Record*>> Gbo::RecordsInUnit(const std::string& unit_name) {
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
-  if (it == units_.end()) {
+  Shard& s = ShardOfUnitName(unit_name);
+  MutexLock lock(&s.mu);
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end()) {
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   return it->second->records;
@@ -329,7 +494,15 @@ Result<std::vector<Record*>> Gbo::RecordsInUnit(const std::string& unit_name) {
 GboStats Gbo::stats() const {
   MutexLock lock(&mu_);
   GboStats out = counters_;
-  out.current_memory_bytes = memory_used_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    out.key_lookups += shard->key_lookups.load(std::memory_order_relaxed);
+    out.failed_lookups +=
+        shard->failed_lookups.load(std::memory_order_relaxed);
+    out.unit_cache_hits +=
+        shard->unit_cache_hits.load(std::memory_order_relaxed);
+    out.lru_touches += shard->lru_touches.load(std::memory_order_relaxed);
+  }
+  out.current_memory_bytes = memory_used_.load(std::memory_order_relaxed);
   out.visible_io_seconds = visible_io_time_.TotalSeconds();
   out.read_fn_seconds = read_fn_time_.TotalSeconds();
   out.prefetch_seconds = prefetch_time_.TotalSeconds();
@@ -343,13 +516,11 @@ GboStats Gbo::stats() const {
 }
 
 int64_t Gbo::memory_usage() const {
-  MutexLock lock(&mu_);
-  return memory_used_;
+  return memory_used_.load(std::memory_order_relaxed);
 }
 
 int64_t Gbo::memory_limit() const {
-  MutexLock lock(&mu_);
-  return memory_limit_;
+  return memory_limit_.load(std::memory_order_relaxed);
 }
 
 std::string Gbo::DebugString() const {
@@ -360,29 +531,48 @@ std::string Gbo::DebugString() const {
                  ? StrCat("multi-thread (", io_threads_.size(),
                           " I/O threads)")
                  : "single-thread",
-             ", mem ", FormatBytes(memory_used_), "/",
-             FormatBytes(memory_limit_), "\n");
+             ", ", shards_.size(), shards_.size() == 1 ? " shard" : " shards",
+             ", mem ",
+             FormatBytes(memory_used_.load(std::memory_order_relaxed)), "/",
+             FormatBytes(memory_limit_.load(std::memory_order_relaxed)),
+             "\n");
+  // Indexed-record counts per type, summed over the shard slices.
+  std::map<const RecordType*, size_t> indexed_counts;
+  size_t evictable_total = 0;
+  // (name, description) pairs gathered shard by shard, then merged so the
+  // listing stays name-sorted like the single-map original.
+  std::vector<std::pair<std::string, std::string>> unit_lines;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock shard_lock(&shard->mu);
+    for (const auto& [type, index] : shard->indexes) {
+      indexed_counts[type] += index.size();
+    }
+    evictable_total += shard->evictable.size();
+    for (const auto& [name, unit] : shard->units) {
+      unit_lines.emplace_back(
+          name,
+          StrCat("    ", name, ": ", UnitStateName(unit->state), ", ",
+                 unit->records.size(), " records, ",
+                 FormatBytes(unit->memory_bytes), ", refcount ",
+                 unit->refcount, unit->finished ? ", finished" : "", "\n"));
+    }
+  }
   out += "  record types:\n";
   for (const auto& [name, type] : record_types_) {
-    auto index_it = indexes_.find(type.get());
-    size_t indexed =
-        index_it == indexes_.end() ? 0 : index_it->second.size();
+    auto count_it = indexed_counts.find(type.get());
+    size_t indexed = count_it == indexed_counts.end() ? 0 : count_it->second;
     out += StrCat("    ", name, ": ", type->members().size(), " fields, ",
                   type->key_member_indices().size(), " keys, ", indexed,
                   " records", type->committed() ? "" : " (uncommitted)",
                   "\n");
   }
   out += "  units:\n";
-  for (const auto& [name, unit] : units_) {
-    out += StrCat("    ", name, ": ", UnitStateName(unit->state), ", ",
-                  unit->records.size(), " records, ",
-                  FormatBytes(unit->memory_bytes), ", refcount ",
-                  unit->refcount, unit->finished ? ", finished" : "", "\n");
-  }
+  std::sort(unit_lines.begin(), unit_lines.end());
+  for (const auto& [name, line] : unit_lines) out += line;
   out += StrCat("  prefetch queue: ", prefetch_queue_.size(),
                 ", demand queue: ", demand_queue_.size(),
                 ", loading: ", loads_in_flight_,
-                ", evictable: ", evictable_.size(), "}");
+                ", evictable: ", evictable_total, "}");
   return out;
 }
 

@@ -14,20 +14,30 @@
 //   finishUnit → FinishUnit   deleteUnit → DeleteUnit
 //   setMemSpace → SetMemSpace
 //
-// Threading model: one "main" application thread (or several) plus an
-// internal I/O pool of GboOptions::io_threads threads (1 reproduces the
-// paper's single background thread). All public methods are thread safe.
-// User read functions run without internal locks held — enforced at
-// compile time by the Clang thread-safety annotations below and at run
-// time by the lock-rank checker (a read function that were invoked with
-// mu_ held would re-acquire mu_ through any record operation and abort
-// with both lock sets) — and may call any record operation on the same
-// Gbo. With io_threads > 1 several read functions run concurrently, so
-// they must also be re-entrant against each other (the provided gsdf read
+// Threading model: any number of application threads plus an internal I/O
+// pool of GboOptions::io_threads threads (1 reproduces the paper's single
+// background thread). All public methods are thread safe. User read
+// functions run without internal locks held — enforced at compile time by
+// the Clang thread-safety annotations below and at run time by the
+// lock-rank checker — and may call any record operation on the same Gbo.
+// With io_threads > 1 several read functions run concurrently, so they
+// must also be re-entrant against each other (the provided gsdf read
 // paths are; see DESIGN.md §8).
+//
+// Locking (DESIGN.md §10): the database state is striped across
+// GboOptions::metadata_shards shards. Each shard owns a slice of the
+// key → record indexes, a slice of the unit-state table, its own LRU
+// list, and the hot read-path counters (relaxed atomics). The global
+// mu_ keeps the cold state: schema, record ownership, the I/O queues,
+// the memory budget and the per-file circuit breaker. Lock order is
+// always mu_ → shard[i] → shard[j] (i < j) — each shard mutex carries
+// rank lock_rank::kGboShardBase + index, so the debug rank checker
+// enforces the order mechanically. Pure key lookups and unit cache hits
+// take exactly one shard lock and never touch mu_.
 #ifndef GODIVA_CORE_GBO_H_
 #define GODIVA_CORE_GBO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -125,7 +135,7 @@ class Gbo {
   // ---------------------------------------------------------------------
   // Dataset queries. `key_values` holds the raw bytes of each key field in
   // key order (see core/key_util.h); each must be exactly the declared
-  // field size.
+  // field size. These are the sharded hot path: one shard lock, no mu_.
 
   Result<void*> GetFieldBuffer(const std::string& record_type,
                                const std::string& field_name,
@@ -144,25 +154,11 @@ class Gbo {
                                     const std::string& field_name,
                                     const std::vector<std::string>& key_values)
       EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    GODIVA_ASSIGN_OR_RETURN(Record * record,
-                            FindRecordLocked(record_type, key_values));
-    int index = record->type().FindMemberIndex(field_name);
-    if (index < 0) {
-      return NotFoundError("no field named " + field_name);
-    }
-    const FieldTypeDef* field = record->type().members()[index].field;
-    if (sizeof(T) != static_cast<size_t>(SizeOf(field->type))) {
-      return InvalidArgumentError("element type size mismatch for field " +
-                                  field_name);
-    }
-    if (!record->slot_allocated(index)) {
-      return FailedPreconditionError("field buffer not allocated: " +
-                                     field_name);
-    }
-    return std::span<T>(static_cast<T*>(record->slot_data(index)),
-                        static_cast<size_t>(record->slot_size(index)) /
-                            sizeof(T));
+    GODIVA_ASSIGN_OR_RETURN(
+        RawField raw, GetFieldRaw(record_type, field_name, key_values,
+                                  static_cast<int64_t>(sizeof(T))));
+    return std::span<T>(static_cast<T*>(raw.data),
+                        static_cast<size_t>(raw.size) / sizeof(T));
   }
 
   // The record with the given key, or NOT_FOUND.
@@ -266,24 +262,33 @@ class Gbo {
   // Introspection.
 
   GboStats stats() const EXCLUDES(mu_);
-  int64_t memory_usage() const EXCLUDES(mu_);
-  int64_t memory_limit() const EXCLUDES(mu_);
+  int64_t memory_usage() const;
+  int64_t memory_limit() const;
   const GboOptions& options() const { return options_; }
+  // The clamped shard count actually in use ([1, lock_rank::kGboMaxShards]).
+  int metadata_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Which shard owns a unit name / serves it from its unit table and LRU
+  // list: std::hash<std::string> of the name modulo metadata_shards().
+  // Stable within a process; exposed so tests can build per-shard models.
+  size_t ShardIndexOfUnitName(const std::string& unit_name) const;
 
   // Human-readable snapshot of the database: record types, units and
   // their states, memory. For debugging and logging only.
   std::string DebugString() const EXCLUDES(mu_);
 
-  // Runs the internal consistency audit (LRU list vs unit states vs memory
-  // accounting vs waiter counts) and returns the first violation found, or
-  // OK. Always compiled (the GODIVA_DEBUG_INVARIANTS build additionally
-  // runs it, fatally, at every unit state transition); exposed so tests
-  // can assert the database is coherent at interesting points.
+  // Runs the internal consistency audit (per-shard LRU lists vs unit
+  // states vs the global memory accounting vs waiter counts) and returns
+  // the first violation found, or OK. Always compiled (the
+  // GODIVA_DEBUG_INVARIANTS build additionally runs it, fatally, at every
+  // unit state transition); exposed so tests can assert the database is
+  // coherent at interesting points.
   Status CheckInvariants() const EXCLUDES(mu_);
 
  private:
   struct Unit {
     std::string name;
+    size_t shard_index = 0;  // owning shard; immutable after creation
     ReadFn read_fn;
     UnitState state = UnitState::kQueued;
     Status error;
@@ -295,11 +300,42 @@ class Gbo {
     bool in_backoff = false;        // sleeping between attempts
     bool cancel_requested = false;  // DeleteUnit wants the load abandoned
     int64_t ready_seq = -1;
+    // Global LRU stamp taken when the unit last became evictable; the
+    // cross-shard eviction victim is the minimum over all shard fronts.
+    int64_t lru_seq = -1;
     int64_t memory_bytes = 0;
     std::vector<Record*> records;
     // Files this unit's read function touches (AddUnit's resources
     // argument); input to the per-file circuit breaker.
     std::vector<std::string> resources;
+  };
+
+  // One metadata stripe. `mu` (rank kGboShardBase + index) guards every
+  // member below it, plus all mutable fields of the Units its table owns
+  // (the Unit pointers themselves additionally appear in the mu_-guarded
+  // I/O queues, which never dereference them without this lock). The
+  // counters are relaxed atomics: incremented on the lock-free-of-mu_ hot
+  // path under `mu` only by convention, summed by stats() without it.
+  struct Shard {
+    Shard(int rank, const char* name) : mu(rank, name) {}
+
+    mutable Mutex mu;
+    CondVar unit_cv;  // state transitions of units owned by this shard
+    std::map<std::string, std::unique_ptr<Unit>> units GUARDED_BY(mu);
+    // Key index slice per record type: an RB-tree map, as in the paper
+    // ("organized in a C++ STL map, indexed with the key field values").
+    std::map<const RecordType*, std::map<std::string, Record*>> indexes
+        GUARDED_BY(mu);
+    // This shard's eviction list (order per options_.eviction_policy;
+    // coldest at the front).
+    std::list<Unit*> evictable GUARDED_BY(mu);
+
+    // Hot read-path counters (ISSUE 5): bumped while holding `mu`, read
+    // by stats() without it, hence atomics with relaxed ordering.
+    std::atomic<int64_t> key_lookups{0};
+    std::atomic<int64_t> failed_lookups{0};
+    std::atomic<int64_t> unit_cache_hits{0};
+    std::atomic<int64_t> lru_touches{0};
   };
 
   // Health record of one declared resource file.
@@ -308,86 +344,153 @@ class Gbo {
     bool quarantined = false;
   };
 
-  // --- helpers; all *Locked functions require mu_ held (and say so to the
-  // static analysis via REQUIRES).
+  // Immutable snapshot of the committed record types, rebuilt under mu_ on
+  // every CommitRecordType and read lock-free by the query hot path.
+  // Superseded snapshots are retired to schema_history_ (readers may still
+  // hold the raw pointer), freed with the database.
+  struct SchemaSnapshot {
+    std::map<std::string, RecordType*> types;
+  };
+
+  struct RawField {
+    void* data;
+    int64_t size;
+  };
+
+  // --- shard routing (pure functions of immutable state).
+
+  Shard& ShardOfUnitName(const std::string& unit_name) const;
+  size_t ShardIndexOfKey(const RecordType* type,
+                         const std::string& encoded_key) const;
+
+  // --- schema and record helpers.
 
   Result<RecordType*> FindCommittedTypeLocked(const std::string& record_type)
       REQUIRES(mu_);
-  Result<Record*> FindRecordLocked(const std::string& record_type,
-                                   const std::vector<std::string>& key_values)
-      REQUIRES(mu_);
-  Status EncodeLookupKeyLocked(const RecordType& type,
+  // Lock-free committed-type resolution through the schema snapshot;
+  // falls back to mu_ for exact NOT_FOUND / FAILED_PRECONDITION errors.
+  Result<RecordType*> ResolveCommittedType(const std::string& record_type)
+      EXCLUDES(mu_);
+  // Encodes and validates a lookup key against an (immutable, committed)
+  // record type. Lock-free.
+  static Status EncodeLookupKey(const RecordType& type,
+                                const std::vector<std::string>& key_values,
+                                std::string* key);
+  // Index lookup in `s`, bumping the shard's lookup counters.
+  Result<Record*> FindRecordShardLocked(Shard& s, const RecordType* type,
+                                        const std::string& record_type,
+                                        const std::string& key)
+      REQUIRES(s.mu);
+  // Shared body of GetFieldSpan: resolves, looks up, type-checks.
+  Result<RawField> GetFieldRaw(const std::string& record_type,
+                               const std::string& field_name,
                                const std::vector<std::string>& key_values,
-                               std::string* key) const REQUIRES(mu_);
+                               int64_t elem_size) EXCLUDES(mu_);
+  // Rebuilds the schema snapshot after a successful type commit.
+  void PublishSchemaSnapshotLocked() REQUIRES(mu_);
 
-  void ChargeMemoryLocked(Unit* unit, int64_t bytes) REQUIRES(mu_);
-  // Evicts one evictable unit; returns false if none.
+  // --- memory accounting and eviction.
+
+  // Charges `bytes` against the global budget and the peak/total stats.
+  // (The owning unit's memory_bytes is updated separately, under its
+  // shard lock.)
+  void ChargeMemoryLocked(int64_t bytes) REQUIRES(mu_);
+  // Evicts the globally coldest evictable unit (minimum LRU stamp / ready
+  // sequence over all shard fronts); returns false if none. Takes shard
+  // locks internally — no shard lock may be held on entry.
   bool EvictOneLocked() REQUIRES(mu_);
   // Evicts until memory_used_ < memory_limit_ or nothing evictable.
   void EvictToLimitLocked() REQUIRES(mu_);
-  // Removes a unit's records from the index and frees their memory
-  // (rollback of failed loads; first half of eviction).
-  void PurgeRecordsLocked(Unit* unit) REQUIRES(mu_);
-  void EvictUnitLocked(Unit* unit, bool explicit_delete) REQUIRES(mu_);
-  void MakeEvictableLocked(Unit* unit) REQUIRES(mu_);
-  void PinLocked(Unit* unit) REQUIRES(mu_);
+  // Unindexes `victims` (locking each record's key shard), drops their
+  // ownership, and returns `freed` bytes to the budget. No shard lock may
+  // be held on entry.
+  void ReleaseRecordsLocked(const std::vector<Record*>& victims,
+                            int64_t freed) REQUIRES(mu_);
+  // Rolls a failed load's partial records back. No locks held on entry or
+  // exit.
+  void RollbackRecords(Shard& s, Unit* unit) EXCLUDES(mu_);
+  // Deletes/evicts a unit. Entry: mu_ and s.mu held. Exit: only mu_ held
+  // (s.mu is released so the record purge can lock key shards in order).
+  void EvictUnitLocked(Shard& s, Unit* unit, bool explicit_delete)
+      NO_THREAD_SAFETY_ANALYSIS;
+  void MakeEvictableLocked(Shard& s, Unit* unit) REQUIRES(s.mu);
+  void PinLocked(Shard& s, Unit* unit) REQUIRES(s.mu);
+
+  // --- read execution.
 
   // Runs the read function with the unit bound as the calling thread's
-  // current unit. Called WITHOUT mu_ held — the read function re-enters
-  // the public API (any record operation re-locks mu_; the lock-rank
-  // checker turns a violation of this rule into a self-deadlock abort).
+  // current unit. Called WITHOUT any Gbo lock held — the read function
+  // re-enters the public API (any record operation re-locks mu_; the
+  // lock-rank checker turns a violation of this rule into a self-deadlock
+  // abort).
   Status RunReadFn(Unit* unit) EXCLUDES(mu_);
 
   // Runs the read function under the retry policy: rolls partial records
   // back after every failed attempt and sleeps a jittered exponential
   // backoff (interruptible by shutdown and DeleteUnit) before the next.
-  // mu_ is held on entry and exit, released around each attempt. The
+  // No locks held on entry or exit; takes mu_ and s.mu internally in
+  // short critical sections around bookkeeping and the backoff sleep. The
   // caller owns the unit's state transition.
-  Status ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
-                           bool on_io_thread) REQUIRES(mu_);
+  Status ExecuteRead(Shard& s, Unit* unit, const TimePoint* deadline,
+                     bool on_io_thread) EXCLUDES(mu_);
 
   // The next jittered backoff delay for the given base.
   Duration JitteredBackoffLocked(Duration base) REQUIRES(mu_);
 
   // Blocking load on the caller's thread (foreground read / single-thread
-  // WaitUnit). mu_ is held on entry and exit.
-  Status LoadInlineLocked(Unit* unit, const TimePoint* deadline)
-      REQUIRES(mu_);
+  // WaitUnit). Entry: mu_ and s.mu held. Exit: only s.mu held (mu_ is
+  // released before the read runs and not re-taken, so the caller can pin
+  // the settled unit in the same s.mu critical section).
+  Status LoadInlineAndLock(Shard& s, Unit* unit, const TimePoint* deadline)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   // Waits until `unit` leaves Queued/Loading (or `deadline`, if non-null,
   // passes). Returns the unit's terminal status or DEADLINE_EXCEEDED.
-  Status AwaitReadyLocked(Unit* unit, const TimePoint* deadline)
-      REQUIRES(mu_);
+  // s.mu is held on entry, across the waits, and on exit.
+  Status AwaitReadyLocked(Shard& s, Unit* unit, const TimePoint* deadline)
+      REQUIRES(s.mu);
 
   // True once `unit` is out of Queued/Loading — AwaitReadyLocked's wait
   // predicate (backoff sleeps count as settled enough for a foreground
-  // caller to take over the load).
-  bool UnitSettledLocked(const Unit& unit) const REQUIRES(mu_);
+  // caller to take over the load). Requires the owning shard's lock.
+  bool UnitSettled(const Unit& unit) const;
+
+  // Finds the existing entry for `unit_name` in `s` or creates one, and
+  // resets its lifecycle fields for a fresh load. Caller sets read_fn and
+  // (for AddUnit) resources.
+  Unit* EmplaceUnitLocked(Shard& s, const std::string& unit_name)
+      REQUIRES(s.mu);
 
   Status ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
                           const TimePoint* deadline) EXCLUDES(mu_);
   Status WaitUnitInternal(const std::string& unit_name,
                           const TimePoint* deadline) EXCLUDES(mu_);
 
-  // Circuit-breaker bookkeeping: charges a permanent unit failure against
-  // each of the unit's declared resource files, quarantining any that reach
-  // the threshold.
+  // --- circuit breaker.
+
+  // Charges a permanent unit failure against each of the unit's declared
+  // resource files, quarantining any that reach the threshold.
   void RecordUnitFailureLocked(const Unit& unit) REQUIRES(mu_);
   // The first quarantined resource of `unit`, or nullptr.
   const std::string* QuarantinedResourceLocked(const Unit& unit) const
       REQUIRES(mu_);
   // Fails `unit` fast with DATA_LOSS naming the quarantined `path`, without
-  // running its read function. The unit must not hold records.
-  void ShortCircuitUnitLocked(Unit* unit, const std::string& path)
-      REQUIRES(mu_);
+  // running its read function. The unit must not hold records. Requires
+  // mu_ and the unit's shard lock.
+  void ShortCircuitUnitLocked(Shard& s, Unit* unit, const std::string& path)
+      REQUIRES(mu_, s.mu);
+
+  // --- I/O pool.
 
   // Body of one I/O pool thread. `thread_index` selects the per-thread
   // busy-time accumulator.
   void IoThreadMain(size_t thread_index) EXCLUDES(mu_);
-  // Fails `unit` with ABORTED to break a detected deadlock.
+  // Fails `unit` with ABORTED to break a detected deadlock. Takes the
+  // unit's shard lock internally; no shard lock may be held on entry.
   void ResolveDeadlockLocked(Unit* unit) REQUIRES(mu_);
   // A queued unit some thread is blocked on (deadlock candidate), if any.
-  // Scans the demand queue first, then the speculative queue.
+  // Scans the demand queue first, then the speculative queue, peeking
+  // each unit's shard lock. No shard lock may be held on entry.
   Unit* FindBlockedQueuedUnitLocked() REQUIRES(mu_);
 
   // Erases `unit` from both the demand and the speculative queue (it
@@ -405,32 +508,48 @@ class Gbo {
   // Records the current queued-unit count into the high-water stat.
   void NoteQueueDepthLocked() REQUIRES(mu_);
 
-  // The audit behind CheckInvariants(): walks units_, records_, indexes_,
-  // prefetch_queue_ and evictable_ and cross-checks them against the
-  // memory accounting and waiter counters. Returns the first violation.
-  Status AuditInvariantsLocked() const REQUIRES(mu_);
-  // Fatal wrapper, compiled to a no-op unless GODIVA_DEBUG_INVARIANTS:
-  // called at every unit state transition; logs and aborts on violation.
-  void CheckInvariantsLocked() REQUIRES(mu_);
+  // --- invariants.
+
+  // Acquire/release every shard mutex in index order (the documented
+  // multi-shard order; the rank checker verifies it at run time).
+  void LockAllShards() const NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockAllShards() const NO_THREAD_SAFETY_ANALYSIS;
+
+  // The audit behind CheckInvariants(): walks every shard's units,
+  // indexes and eviction list plus the global record table, queues and
+  // memory accounting, and cross-checks them. Requires mu_ AND every
+  // shard lock (asserted at run time; not expressible to the static
+  // analysis).
+  Status AuditInvariantsLocked() const NO_THREAD_SAFETY_ANALYSIS;
+  // Fatal audit wrapper, compiled to a no-op unless
+  // GODIVA_DEBUG_INVARIANTS: called (with no Gbo lock held) after every
+  // unit state transition; locks mu_ + all shards, logs and aborts on
+  // violation.
+  void CheckInvariantsDebug() EXCLUDES(mu_);
 
   const GboOptions options_;
 
+  // The metadata shards (see Shard above). The vector itself is immutable
+  // after construction — always at least one shard.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
   mutable Mutex mu_{lock_rank::kGboMu, "Gbo::mu_"};
-  CondVar unit_cv_;    // unit state transitions
-  CondVar memory_cv_;  // memory freed / evictables appeared
+  CondVar memory_cv_;  // memory freed / evictables appeared / waiter blocked
   CondVar queue_cv_;   // prefetch queue / shutdown
 
   std::map<std::string, std::unique_ptr<FieldTypeDef>> field_types_
       GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<RecordType>> record_types_
       GUARDED_BY(mu_);
-  // Key index per record type: an RB-tree map, as in the paper ("organized
-  // in a C++ STL map, indexed with the key field values").
-  std::map<const RecordType*, std::map<std::string, Record*>> indexes_
+  // Lock-free view of the committed types for the query hot path; retired
+  // snapshots are kept alive in schema_history_.
+  std::atomic<const SchemaSnapshot*> schema_snapshot_{nullptr};
+  std::vector<std::unique_ptr<const SchemaSnapshot>> schema_history_
       GUARDED_BY(mu_);
+  // Record ownership (all shards' records live here; per-shard state only
+  // holds raw pointers).
   std::map<Record*, std::unique_ptr<Record>> records_ GUARDED_BY(mu_);
 
-  std::map<std::string, std::unique_ptr<Unit>> units_ GUARDED_BY(mu_);
   // Speculative prefetch FIFO (AddUnit order) …
   std::deque<Unit*> prefetch_queue_ GUARDED_BY(mu_);
   // … and the priority lane in front of it: queued units some thread is
@@ -439,21 +558,34 @@ class Gbo {
   std::deque<Unit*> demand_queue_ GUARDED_BY(mu_);
   // Declared resource file → failure count / quarantine flag.
   std::map<std::string, FileHealth> file_health_ GUARDED_BY(mu_);
-  // Eviction order per options_.eviction_policy.
-  std::list<Unit*> evictable_ GUARDED_BY(mu_);
 
-  int64_t memory_limit_ GUARDED_BY(mu_);
-  int64_t memory_used_ GUARDED_BY(mu_) = 0;
-  int64_t next_ready_seq_ GUARDED_BY(mu_) = 0;
-  int blocked_waiters_ GUARDED_BY(mu_) = 0;
+  // Global memory budget (ISSUE 5: "shared atomic byte counter"). Only
+  // mutated under mu_ (so eviction decisions stay exact), but readable
+  // without it.
+  std::atomic<int64_t> memory_limit_;
+  std::atomic<int64_t> memory_used_{0};
+  // Completion order stamp; assigned under the settling unit's shard lock.
+  std::atomic<int64_t> next_ready_seq_{0};
+  // Global LRU clock; stamped under the owning shard's lock whenever a
+  // unit becomes evictable.
+  std::atomic<int64_t> lru_clock_{0};
+  // Threads blocked in AwaitReadyLocked across all shards (the deadlock
+  // detector's signal; per-unit waiter counts live in the shards).
+  std::atomic<int> blocked_waiters_{0};
+  // I/O threads parked in the memory gate. FinishUnit makes units
+  // evictable under only a shard lock; when this is non-zero it re-takes
+  // mu_ briefly to deliver the memory_cv_ wakeup, keeping prefetch
+  // latency at notify speed instead of the gate's bounded-poll backstop.
+  std::atomic<int> memory_gate_waiters_{0};
+  std::atomic<bool> shutdown_{false};
   // Units currently being loaded by pool threads. Deadlock detection may
   // only fire when this is zero: an in-flight load can still complete and
   // let its waiter free memory.
   int loads_in_flight_ GUARDED_BY(mu_) = 0;
-  bool shutdown_ GUARDED_BY(mu_) = false;
 
-  // Plain counters guarded by mu_; mutable so the const audit path can
-  // count itself.
+  // Cold counters guarded by mu_; per-shard hot counters live in the
+  // shards and are summed into these by stats(). Mutable so the const
+  // audit path can count itself.
   mutable GboStats counters_ GUARDED_BY(mu_);
 
   // Backoff jitter source (fixed seed: deterministic runs).

@@ -1,8 +1,11 @@
 // Gbo internal consistency audit: cross-checks the unit state machine, the
-// prefetch queue, the eviction list, the key indexes and the memory
-// accounting against each other. The GODIVA_DEBUG_INVARIANTS build runs
-// the audit fatally at every unit state transition; CheckInvariants() is
-// always available for tests.
+// prefetch queues, the per-shard eviction lists, the sharded key indexes
+// and the memory accounting against each other. The GODIVA_DEBUG_INVARIANTS
+// build runs the audit fatally at every unit state transition;
+// CheckInvariants() is always available for tests. The audit is the one
+// code path that holds every lock at once: mu_ first, then every shard
+// mutex in index order (the per-shard lock ranks make any other order a
+// run-time error).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -16,17 +19,34 @@
 
 namespace godiva {
 
+void Gbo::LockAllShards() const {
+  // Ascending shard index == ascending lock rank; the rank checker would
+  // abort on any other order.
+  for (const auto& shard : shards_) shard->mu.Lock();
+}
+
+void Gbo::UnlockAllShards() const {
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    (*it)->mu.Unlock();
+  }
+}
+
+// Requires mu_ and every shard mutex (asserted below).
 Status Gbo::AuditInvariantsLocked() const {
+  mu_.AssertHeld();
+  for (const auto& shard : shards_) shard->mu.AssertHeld();
+
   // 1. Memory accounting: the sum of all live records' charges equals
   //    memory_used_, and each unit's memory_bytes equals the sum over its
   //    own records.
+  int64_t memory_used = memory_used_.load(std::memory_order_relaxed);
   int64_t total_bytes = 0;
   for (const auto& [raw, owned] : records_) {
     total_bytes += raw->MemoryUsage();
   }
-  if (total_bytes != memory_used_) {
+  if (total_bytes != memory_used) {
     return InternalError(StrCat("invariant violation: memory_used_ is ",
-                                memory_used_, " but live records sum to ",
+                                memory_used, " but live records sum to ",
                                 total_bytes, " bytes"));
   }
 
@@ -56,123 +76,171 @@ Status Gbo::AuditInvariantsLocked() const {
     }
   }
 
+  // 2. Per-shard structures: eviction lists and unit tables.
   std::set<const Unit*> in_evictable;
-  for (const Unit* unit : evictable_) {
-    if (!in_evictable.insert(unit).second) {
-      return InternalError(StrCat("invariant violation: unit ", unit->name,
-                                  " appears twice in the evictable list"));
-    }
-    if (unit->state != UnitState::kReady || unit->refcount != 0 ||
-        !unit->finished) {
-      return InternalError(StrCat(
-          "invariant violation: evictable unit ", unit->name, " is ",
-          UnitStateName(unit->state), " with refcount ", unit->refcount,
-          unit->finished ? "" : ", not finished"));
-    }
-  }
-
   int64_t total_waiters = 0;
-  for (const auto& [name, unit] : units_) {
-    if (unit->refcount < 0 || unit->waiters < 0) {
-      return InternalError(StrCat("invariant violation: unit ", name,
-                                  " has negative refcount (", unit->refcount,
-                                  ") or waiters (", unit->waiters, ")"));
-    }
-    total_waiters += unit->waiters;
+  for (size_t shard_index = 0; shard_index < shards_.size(); ++shard_index) {
+    const Shard& s = *shards_[shard_index];
 
-    int64_t unit_bytes = 0;
-    for (Record* record : unit->records) {
-      if (records_.find(record) == records_.end()) {
-        return InternalError(StrCat("invariant violation: unit ", name,
-                                    " holds a record that is not in the "
-                                    "record table"));
+    const Unit* prev = nullptr;
+    for (const Unit* unit : s.evictable) {
+      if (!in_evictable.insert(unit).second) {
+        return InternalError(StrCat("invariant violation: unit ", unit->name,
+                                    " appears twice in an evictable list"));
       }
-      unit_bytes += record->MemoryUsage();
-    }
-    if (unit_bytes != unit->memory_bytes) {
-      return InternalError(StrCat(
-          "invariant violation: unit ", name, " accounts ",
-          unit->memory_bytes, " bytes but its records sum to ", unit_bytes));
-    }
-
-    switch (unit->state) {
-      case UnitState::kQueued:
-        if (in_queue.count(unit.get()) == 0) {
-          return InternalError(StrCat("invariant violation: unit ", name,
-                                      " is QUEUED but in neither I/O "
-                                      "queue"));
-        }
-        [[fallthrough]];
-      case UnitState::kFailed:
-        // Failed loads are rolled back before the transition; queued units
-        // have not loaded anything yet.
-        if (!unit->records.empty() || unit->memory_bytes != 0) {
-          return InternalError(StrCat(
-              "invariant violation: ", UnitStateName(unit->state), " unit ",
-              name, " still holds ", unit->records.size(), " records (",
-              unit->memory_bytes, " bytes)"));
-        }
-        break;
-      case UnitState::kReady:
-        if (unit->refcount == 0 && unit->finished &&
-            in_evictable.count(unit.get()) == 0) {
-          return InternalError(StrCat("invariant violation: unit ", name,
-                                      " is READY, unpinned and finished but "
-                                      "not evictable"));
-        }
-        break;
-      case UnitState::kDeleted:
-        if (unit->refcount != 0 || !unit->records.empty() ||
-            unit->memory_bytes != 0) {
-          return InternalError(StrCat("invariant violation: DELETED unit ",
-                                      name, " still has refcount ",
-                                      unit->refcount, ", ",
-                                      unit->records.size(), " records, ",
-                                      unit->memory_bytes, " bytes"));
-        }
-        break;
-      case UnitState::kLoading:
-        break;  // records and memory are in flux by design
-    }
-    if (unit->state != UnitState::kQueued && in_queue.count(unit.get()) > 0) {
-      return InternalError(StrCat("invariant violation: non-queued unit ",
-                                  name, " is in an I/O queue"));
-    }
-    if (unit->state != UnitState::kReady &&
-        in_evictable.count(unit.get()) > 0) {
-      return InternalError(StrCat("invariant violation: non-ready unit ",
-                                  name, " is in the evictable list"));
-    }
-  }
-  if (total_waiters != blocked_waiters_) {
-    return InternalError(StrCat("invariant violation: blocked_waiters_ is ",
-                                blocked_waiters_, " but per-unit waiters sum "
-                                "to ", total_waiters));
-  }
-
-  // 2. Key indexes: every index entry points at a live, committed record
-  //    whose cached key matches its index key.
-  for (const auto& [type, index] : indexes_) {
-    for (const auto& [key, record] : index) {
-      if (records_.find(record) == records_.end()) {
-        return InternalError(
-            StrCat("invariant violation: index of type ", type->name(),
-                   " references a record that is not in the record table"));
-      }
-      if (!record->committed_ || record->key_ != key) {
+      if (unit->shard_index != shard_index) {
         return InternalError(StrCat(
-            "invariant violation: index of type ", type->name(),
-            " entry is ", record->committed_ ? "committed" : "uncommitted",
-            " with cached key ", record->key_ == key ? "matching"
-                                                     : "mismatching"));
+            "invariant violation: unit ", unit->name, " (shard ",
+            unit->shard_index, ") is in shard ", shard_index,
+            "'s evictable list"));
+      }
+      if (unit->state != UnitState::kReady || unit->refcount != 0 ||
+          !unit->finished) {
+        return InternalError(StrCat(
+            "invariant violation: evictable unit ", unit->name, " is ",
+            UnitStateName(unit->state), " with refcount ", unit->refcount,
+            unit->finished ? "" : ", not finished"));
+      }
+      // Each shard's list is ordered coldest-first so cross-shard eviction
+      // can compare shard fronts: ascending lru_seq under LRU, ascending
+      // ready_seq under FIFO.
+      if (prev != nullptr) {
+        bool ordered = options_.eviction_policy == EvictionPolicy::kLru
+                           ? prev->lru_seq <= unit->lru_seq
+                           : prev->ready_seq <= unit->ready_seq;
+        if (!ordered) {
+          return InternalError(StrCat(
+              "invariant violation: shard ", shard_index,
+              "'s evictable list is out of order at unit ", unit->name));
+        }
+      }
+      prev = unit;
+    }
+
+    for (const auto& [name, unit] : s.units) {
+      if (unit->shard_index != shard_index ||
+          ShardIndexOfUnitName(name) != shard_index) {
+        return InternalError(StrCat("invariant violation: unit ", name,
+                                    " hashes to shard ",
+                                    ShardIndexOfUnitName(name),
+                                    " but lives in shard ", shard_index));
+      }
+      if (unit->refcount < 0 || unit->waiters < 0) {
+        return InternalError(StrCat("invariant violation: unit ", name,
+                                    " has negative refcount (",
+                                    unit->refcount, ") or waiters (",
+                                    unit->waiters, ")"));
+      }
+      total_waiters += unit->waiters;
+
+      int64_t unit_bytes = 0;
+      for (Record* record : unit->records) {
+        if (records_.find(record) == records_.end()) {
+          return InternalError(StrCat("invariant violation: unit ", name,
+                                      " holds a record that is not in the "
+                                      "record table"));
+        }
+        unit_bytes += record->MemoryUsage();
+      }
+      if (unit_bytes != unit->memory_bytes) {
+        return InternalError(StrCat(
+            "invariant violation: unit ", name, " accounts ",
+            unit->memory_bytes, " bytes but its records sum to ",
+            unit_bytes));
+      }
+
+      switch (unit->state) {
+        case UnitState::kQueued:
+          if (in_queue.count(unit.get()) == 0) {
+            return InternalError(StrCat("invariant violation: unit ", name,
+                                        " is QUEUED but in neither I/O "
+                                        "queue"));
+          }
+          [[fallthrough]];
+        case UnitState::kFailed:
+          // Failed loads are rolled back before the transition; queued
+          // units have not loaded anything yet.
+          if (!unit->records.empty() || unit->memory_bytes != 0) {
+            return InternalError(StrCat(
+                "invariant violation: ", UnitStateName(unit->state),
+                " unit ", name, " still holds ", unit->records.size(),
+                " records (", unit->memory_bytes, " bytes)"));
+          }
+          break;
+        case UnitState::kReady:
+          if (unit->refcount == 0 && unit->finished &&
+              in_evictable.count(unit.get()) == 0) {
+            return InternalError(StrCat("invariant violation: unit ", name,
+                                        " is READY, unpinned and finished "
+                                        "but not evictable"));
+          }
+          break;
+        case UnitState::kDeleted:
+          if (unit->refcount != 0 || !unit->records.empty() ||
+              unit->memory_bytes != 0) {
+            return InternalError(StrCat("invariant violation: DELETED unit ",
+                                        name, " still has refcount ",
+                                        unit->refcount, ", ",
+                                        unit->records.size(), " records, ",
+                                        unit->memory_bytes, " bytes"));
+          }
+          break;
+        case UnitState::kLoading:
+          break;  // records and memory are in flux by design
+      }
+      if (unit->state != UnitState::kQueued &&
+          in_queue.count(unit.get()) > 0) {
+        return InternalError(StrCat("invariant violation: non-queued unit ",
+                                    name, " is in an I/O queue"));
+      }
+      if (unit->state != UnitState::kReady &&
+          in_evictable.count(unit.get()) > 0) {
+        return InternalError(StrCat("invariant violation: non-ready unit ",
+                                    name, " is in an evictable list"));
+      }
+    }
+
+    // 3. Key index slices: every entry points at a live, committed record
+    //    whose cached key matches its index key and routes to this shard.
+    for (const auto& [type, index] : s.indexes) {
+      for (const auto& [key, record] : index) {
+        if (records_.find(record) == records_.end()) {
+          return InternalError(
+              StrCat("invariant violation: index of type ", type->name(),
+                     " references a record that is not in the record "
+                     "table"));
+        }
+        if (!record->committed_ || record->key_ != key) {
+          return InternalError(StrCat(
+              "invariant violation: index of type ", type->name(),
+              " entry is ", record->committed_ ? "committed" : "uncommitted",
+              " with cached key ", record->key_ == key ? "matching"
+                                                       : "mismatching"));
+        }
+        if (ShardIndexOfKey(type, key) != shard_index) {
+          return InternalError(StrCat(
+              "invariant violation: index entry of type ", type->name(),
+              " routes to shard ", ShardIndexOfKey(type, key),
+              " but is stored in shard ", shard_index));
+        }
       }
     }
   }
-  // ...and every committed keyed record is findable through its index.
+  if (total_waiters != blocked_waiters_.load(std::memory_order_relaxed)) {
+    return InternalError(StrCat(
+        "invariant violation: blocked_waiters_ is ",
+        blocked_waiters_.load(std::memory_order_relaxed),
+        " but per-unit waiters sum to ", total_waiters));
+  }
+
+  // ...and every committed keyed record is findable through the index
+  // slice of the shard its key hashes to.
   for (const auto& [raw, owned] : records_) {
     if (!raw->committed_ || raw->key_.empty()) continue;
-    auto index_it = indexes_.find(&raw->type());
-    if (index_it == indexes_.end() ||
+    const Shard& key_shard =
+        *shards_[ShardIndexOfKey(&raw->type(), raw->key_)];
+    auto index_it = key_shard.indexes.find(&raw->type());
+    if (index_it == key_shard.indexes.end() ||
         index_it->second.find(raw->key_) == index_it->second.end()) {
       return InternalError(
           StrCat("invariant violation: committed record of type ",
@@ -183,10 +251,14 @@ Status Gbo::AuditInvariantsLocked() const {
   return Status::Ok();
 }
 
-void Gbo::CheckInvariantsLocked() {
+void Gbo::CheckInvariantsDebug() NO_THREAD_SAFETY_ANALYSIS {
 #ifdef GODIVA_DEBUG_INVARIANTS
+  mu_.Lock();
+  LockAllShards();
   ++counters_.invariant_checks;
   Status status = AuditInvariantsLocked();
+  UnlockAllShards();
+  mu_.Unlock();
   if (!status.ok()) {
     GODIVA_LOG(kError) << "Gbo invariant audit failed: " << status;
     std::fprintf(stderr, "godiva: %s\n", status.ToString().c_str());
@@ -195,9 +267,13 @@ void Gbo::CheckInvariantsLocked() {
 #endif
 }
 
-Status Gbo::CheckInvariants() const {
-  MutexLock lock(&mu_);
-  return AuditInvariantsLocked();
+Status Gbo::CheckInvariants() const NO_THREAD_SAFETY_ANALYSIS {
+  mu_.Lock();
+  LockAllShards();
+  Status status = AuditInvariantsLocked();
+  UnlockAllShards();
+  mu_.Unlock();
+  return status;
 }
 
 }  // namespace godiva

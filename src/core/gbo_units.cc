@@ -3,10 +3,23 @@
 // The pool drains a two-level queue: demand misses (demand_queue_) before
 // speculative prefetches (prefetch_queue_); io_threads == 1 degenerates to
 // the paper's single FIFO prefetcher.
+//
+// Locking (DESIGN.md §10): a unit's mutable fields are guarded by its
+// owning shard's mutex. The global mu_ guards the I/O queues, the memory
+// budget, record ownership and the circuit breaker. Functions that hold
+// both always acquire mu_ first, then the shard; functions that walk
+// several shards (eviction, the audit) take them in index order, which
+// the per-shard lock ranks enforce mechanically. Cache hits and unit
+// waits touch only the shard. Where a function's lock state changes
+// across its body (documented in gbo.h), the Clang analysis is disabled
+// for that definition and the contract is enforced by the run-time rank
+// checker instead.
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -20,59 +33,90 @@ namespace godiva {
 // ---------------------------------------------------------------------
 // Memory accounting and eviction.
 
-void Gbo::ChargeMemoryLocked(Unit* unit, int64_t bytes) {
-  memory_used_ += bytes;
-  if (unit != nullptr) unit->memory_bytes += bytes;
+void Gbo::ChargeMemoryLocked(int64_t bytes) {
+  int64_t now =
+      memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (bytes > 0) counters_.total_bytes_allocated += bytes;
-  counters_.peak_memory_bytes =
-      std::max(counters_.peak_memory_bytes, memory_used_);
+  counters_.peak_memory_bytes = std::max(counters_.peak_memory_bytes, now);
 }
 
-void Gbo::MakeEvictableLocked(Unit* unit) {
-  if (std::find(evictable_.begin(), evictable_.end(), unit) !=
-      evictable_.end()) {
+void Gbo::MakeEvictableLocked(Shard& s, Unit* unit) {
+  if (std::find(s.evictable.begin(), s.evictable.end(), unit) !=
+      s.evictable.end()) {
     return;
   }
   if (options_.eviction_policy == EvictionPolicy::kLru) {
-    // Least-recently-finished at the front.
-    evictable_.push_back(unit);
+    // Least-recently-finished at the front; the stamp comes from the
+    // global clock so cross-shard eviction can compare shard fronts.
+    unit->lru_seq = lru_clock_.fetch_add(1, std::memory_order_relaxed);
+    s.evictable.push_back(unit);
   } else {
     // FIFO: order by when the unit was originally read.
-    auto pos = evictable_.begin();
-    while (pos != evictable_.end() && (*pos)->ready_seq < unit->ready_seq) {
+    auto pos = s.evictable.begin();
+    while (pos != s.evictable.end() &&
+           (*pos)->ready_seq < unit->ready_seq) {
       ++pos;
     }
-    evictable_.insert(pos, unit);
+    s.evictable.insert(pos, unit);
   }
+  s.lru_touches.fetch_add(1, std::memory_order_relaxed);
   memory_cv_.NotifyAll();
 }
 
-void Gbo::PinLocked(Unit* unit) {
+void Gbo::PinLocked(Shard& s, Unit* unit) {
   ++unit->refcount;
   unit->finished = false;
-  evictable_.remove(unit);
+  auto pos = std::find(s.evictable.begin(), s.evictable.end(), unit);
+  if (pos != s.evictable.end()) {
+    s.evictable.erase(pos);
+    s.lru_touches.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void Gbo::PurgeRecordsLocked(Unit* unit) {
-  for (Record* record : unit->records) {
+void Gbo::ReleaseRecordsLocked(const std::vector<Record*>& victims,
+                               int64_t freed) {
+  for (Record* record : victims) {
+    // committed_/key_ only change under mu_, which we hold; the index
+    // erase itself must take the record's key shard.
     if (record->committed_ && !record->key_.empty()) {
-      auto index_it = indexes_.find(&record->type());
-      if (index_it != indexes_.end()) index_it->second.erase(record->key_);
+      Shard& key_shard = *shards_[ShardIndexOfKey(&record->type(),
+                                                  record->key_)];
+      MutexLock key_lock(&key_shard.mu);
+      auto index_it = key_shard.indexes.find(&record->type());
+      if (index_it != key_shard.indexes.end()) {
+        index_it->second.erase(record->key_);
+      }
     }
     records_.erase(record);
   }
-  unit->records.clear();
-  memory_used_ -= unit->memory_bytes;
-  unit->memory_bytes = 0;
+  memory_used_.fetch_sub(freed, std::memory_order_relaxed);
   memory_cv_.NotifyAll();
 }
 
-void Gbo::EvictUnitLocked(Unit* unit, bool explicit_delete) {
-  PurgeRecordsLocked(unit);
+void Gbo::RollbackRecords(Shard& s, Unit* unit) {
+  MutexLock lock(&mu_);
+  std::vector<Record*> victims;
+  int64_t freed = 0;
+  {
+    MutexLock shard_lock(&s.mu);
+    victims.swap(unit->records);
+    freed = unit->memory_bytes;
+    unit->memory_bytes = 0;
+  }
+  ReleaseRecordsLocked(victims, freed);
+}
+
+// Entry: mu_ and s.mu held. Exit: only mu_ held.
+void Gbo::EvictUnitLocked(Shard& s, Unit* unit, bool explicit_delete) {
+  std::vector<Record*> victims;
+  victims.swap(unit->records);
+  int64_t freed = unit->memory_bytes;
+  unit->memory_bytes = 0;
   unit->state = UnitState::kDeleted;
   unit->refcount = 0;
   unit->finished = false;
-  evictable_.remove(unit);
+  auto pos = std::find(s.evictable.begin(), s.evictable.end(), unit);
+  if (pos != s.evictable.end()) s.evictable.erase(pos);
   RemoveFromQueuesLocked(unit);
   if (explicit_delete) {
     ++counters_.units_deleted;
@@ -80,20 +124,54 @@ void Gbo::EvictUnitLocked(Unit* unit, bool explicit_delete) {
     ++counters_.units_evicted;
     GODIVA_LOG(kDebug) << "evicted unit " << unit->name;
   }
-  memory_cv_.NotifyAll();
+  s.unit_cv.NotifyAll();
+  s.mu.Unlock();
+  // The record purge locks key shards; ours must be free by then (a key
+  // may hash to any shard, including s).
+  ReleaseRecordsLocked(victims, freed);
 }
 
 bool Gbo::EvictOneLocked() {
-  if (evictable_.empty()) return false;
-  Unit* victim = evictable_.front();
-  evictable_.pop_front();
-  EvictUnitLocked(victim, /*explicit_delete=*/false);
-  CheckInvariantsLocked();
-  return true;
+  for (;;) {
+    // Pick the globally coldest shard front: minimum LRU stamp (or ready
+    // sequence under FIFO) over all shards. Shards are peeked one at a
+    // time in index order; with a single shard this degenerates to
+    // popping the front of the one list, exactly the unsharded behavior.
+    int best_shard = -1;
+    int64_t best_seq = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = *shards_[i];
+      MutexLock shard_lock(&s.mu);
+      if (s.evictable.empty()) continue;
+      const Unit* front = s.evictable.front();
+      int64_t seq = options_.eviction_policy == EvictionPolicy::kLru
+                        ? front->lru_seq
+                        : front->ready_seq;
+      if (best_shard < 0 || seq < best_seq) {
+        best_shard = static_cast<int>(i);
+        best_seq = seq;
+      }
+    }
+    if (best_shard < 0) return false;
+    Shard& s = *shards_[best_shard];
+    s.mu.Lock();
+    if (s.evictable.empty()) {
+      // A concurrent pin emptied the list between peek and re-lock; the
+      // global picture changed, so re-scan.
+      s.mu.Unlock();
+      continue;
+    }
+    Unit* victim = s.evictable.front();
+    s.evictable.pop_front();
+    EvictUnitLocked(s, victim, /*explicit_delete=*/false);  // releases s.mu
+    return true;
+  }
 }
 
 void Gbo::EvictToLimitLocked() {
-  while (memory_used_ > memory_limit_ && EvictOneLocked()) {
+  while (memory_used_.load(std::memory_order_relaxed) >
+             memory_limit_.load(std::memory_order_relaxed) &&
+         EvictOneLocked()) {
   }
 }
 
@@ -142,17 +220,17 @@ const std::string* Gbo::QuarantinedResourceLocked(const Unit& unit) const {
   return nullptr;
 }
 
-void Gbo::ShortCircuitUnitLocked(Unit* unit, const std::string& path) {
+void Gbo::ShortCircuitUnitLocked(Shard& s, Unit* unit,
+                                 const std::string& path) {
   RemoveFromQueuesLocked(unit);
   unit->error = DataLossError(
       StrCat("unit ", unit->name, ": file ", path,
              " is quarantined after repeated permanent failures "
              "(ResetFileHealth to retry)"));
   unit->state = UnitState::kFailed;
-  unit->ready_seq = next_ready_seq_++;
+  unit->ready_seq = next_ready_seq_.fetch_add(1, std::memory_order_relaxed);
   ++counters_.reads_short_circuited;
-  CheckInvariantsLocked();
-  unit_cv_.NotifyAll();
+  s.unit_cv.NotifyAll();
 }
 
 bool Gbo::IsFileQuarantined(const std::string& path) const {
@@ -240,53 +318,73 @@ void Gbo::NoteQueueDepthLocked() {
       std::max(counters_.queue_depth_high_water, depth);
 }
 
-Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
-                              bool on_io_thread) {
+Status Gbo::ExecuteRead(Shard& s, Unit* unit, const TimePoint* deadline,
+                        bool on_io_thread) {
   const RetryPolicy& policy = options_.retry;
   Duration base_backoff = policy.initial_backoff;
   Status status;
   for (int attempt = 1;; ++attempt) {
-    unit->attempt = attempt;
-    mu_.Unlock();
+    {
+      MutexLock shard_lock(&s.mu);
+      unit->attempt = attempt;
+    }
     Stopwatch stopwatch;
     status = RunReadFn(unit);
     Duration elapsed = stopwatch.Elapsed();
     read_fn_time_.Add(elapsed);
     if (on_io_thread) prefetch_time_.Add(elapsed);
-    mu_.Lock();
     if (status.ok()) return status;
 
     // Roll the partial load back before deciding anything else: the
     // database must never expose (or re-feed) a half-loaded unit, and a
     // retry must start against a clean key index and memory accounting.
-    PurgeRecordsLocked(unit);
-    if (shutdown_ || unit->cancel_requested) return status;
+    RollbackRecords(s, unit);
+    bool cancelled;
+    {
+      MutexLock shard_lock(&s.mu);
+      cancelled = unit->cancel_requested;
+    }
+    if (shutdown_.load(std::memory_order_acquire) || cancelled) {
+      return status;
+    }
     if (!policy.IsRetryable(status.code()) ||
         attempt >= policy.max_attempts) {
+      MutexLock lock(&mu_);
       ++counters_.units_failed_permanent;
       RecordUnitFailureLocked(*unit);
       return status;
     }
-    Duration delay = JitteredBackoffLocked(base_backoff);
-    if (deadline != nullptr && SteadyClock::now() + delay >= *deadline) {
-      ++counters_.units_failed_permanent;
-      RecordUnitFailureLocked(*unit);
-      return DeadlineExceededError(StrCat(
-          "unit ", unit->name, ": deadline expires before retry attempt ",
-          attempt + 1, " (last error: ", status.ToString(), ")"));
+    Duration delay;
+    {
+      MutexLock lock(&mu_);
+      delay = JitteredBackoffLocked(base_backoff);
+      if (deadline != nullptr && SteadyClock::now() + delay >= *deadline) {
+        ++counters_.units_failed_permanent;
+        RecordUnitFailureLocked(*unit);
+        return DeadlineExceededError(StrCat(
+            "unit ", unit->name, ": deadline expires before retry attempt ",
+            attempt + 1, " (last error: ", status.ToString(), ")"));
+      }
+      ++counters_.read_retries;
     }
-    ++counters_.read_retries;
     GODIVA_LOG(kDebug) << "unit " << unit->name << " read attempt "
                        << attempt << " failed (" << status
                        << "); retrying in " << FormatSeconds(ToSeconds(delay));
     // Interruptible backoff: shutdown and DeleteUnit break the sleep.
-    unit->in_backoff = true;
     TimePoint wake = SteadyClock::now() + delay;
-    while (!shutdown_ && !unit->cancel_requested) {
-      if (!unit_cv_.WaitUntil(&mu_, wake)) break;  // backoff elapsed
+    {
+      MutexLock shard_lock(&s.mu);
+      unit->in_backoff = true;
+      while (!shutdown_.load(std::memory_order_acquire) &&
+             !unit->cancel_requested) {
+        if (!s.unit_cv.WaitUntil(&s.mu, wake)) break;  // backoff elapsed
+      }
+      unit->in_backoff = false;
+      cancelled = unit->cancel_requested;
     }
-    unit->in_backoff = false;
-    if (shutdown_ || unit->cancel_requested) return status;
+    if (shutdown_.load(std::memory_order_acquire) || cancelled) {
+      return status;
+    }
     base_backoff =
         std::min(std::chrono::duration_cast<Duration>(
                      base_backoff * policy.backoff_multiplier),
@@ -294,51 +392,68 @@ Status Gbo::ExecuteReadLocked(Unit* unit, const TimePoint* deadline,
   }
 }
 
-Status Gbo::LoadInlineLocked(Unit* unit, const TimePoint* deadline) {
+// Entry: mu_ and s.mu held. Exit: only s.mu held — mu_ is dropped before
+// the read runs and not re-taken, so the caller can pin the settled unit
+// in the same s.mu critical section that observes the terminal state.
+Status Gbo::LoadInlineAndLock(Shard& s, Unit* unit,
+                              const TimePoint* deadline) {
   if (const std::string* quarantined = QuarantinedResourceLocked(*unit)) {
-    ShortCircuitUnitLocked(unit, *quarantined);
-    return unit->error;
+    ShortCircuitUnitLocked(s, unit, *quarantined);
+    Status error = unit->error;
+    mu_.Unlock();
+    return error;
   }
   unit->state = UnitState::kLoading;
   RemoveFromQueuesLocked(unit);
+  s.mu.Unlock();
   EvictToLimitLocked();  // best effort; the main thread never blocks here
+  mu_.Unlock();
 
-  Status status = ExecuteReadLocked(unit, deadline, /*on_io_thread=*/false);
+  Status status = ExecuteRead(s, unit, deadline, /*on_io_thread=*/false);
 
+  {
+    MutexLock lock(&mu_);
+    ++counters_.units_read_foreground;
+  }
+  s.mu.Lock();
   unit->error = status;
   unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
-  unit->ready_seq = next_ready_seq_++;
-  ++counters_.units_read_foreground;
-  CheckInvariantsLocked();
-  unit_cv_.NotifyAll();
+  unit->ready_seq = next_ready_seq_.fetch_add(1, std::memory_order_relaxed);
+  s.unit_cv.NotifyAll();
   return status;
 }
 
-bool Gbo::UnitSettledLocked(const Unit& unit) const {
+bool Gbo::UnitSettled(const Unit& unit) const {
   return unit.state == UnitState::kReady ||
          unit.state == UnitState::kFailed ||
          unit.state == UnitState::kDeleted;
 }
 
-Status Gbo::AwaitReadyLocked(Unit* unit, const TimePoint* deadline) {
-  ++blocked_waiters_;
+Status Gbo::AwaitReadyLocked(Shard& s, Unit* unit,
+                             const TimePoint* deadline) {
+  blocked_waiters_.fetch_add(1, std::memory_order_relaxed);
   ++unit->waiters;
-  // Wake the I/O thread's memory gate so it can re-run deadlock detection
+  // Wake the I/O pool's memory gate so it can re-run deadlock detection
   // now that a consumer is blocked.
   memory_cv_.NotifyAll();
   bool completed = true;
   if (deadline == nullptr) {
-    while (!shutdown_ && !UnitSettledLocked(*unit)) unit_cv_.Wait(&mu_);
+    while (!shutdown_.load(std::memory_order_acquire) &&
+           !UnitSettled(*unit)) {
+      s.unit_cv.Wait(&s.mu);
+    }
   } else {
-    while (!shutdown_ && !UnitSettledLocked(*unit)) {
-      if (!unit_cv_.WaitUntil(&mu_, *deadline)) {
+    while (!shutdown_.load(std::memory_order_acquire) &&
+           !UnitSettled(*unit)) {
+      if (!s.unit_cv.WaitUntil(&s.mu, *deadline)) {
         // Timed out: one final predicate check under the re-held lock.
-        completed = shutdown_ || UnitSettledLocked(*unit);
+        completed = shutdown_.load(std::memory_order_acquire) ||
+                    UnitSettled(*unit);
         break;
       }
     }
   }
-  --blocked_waiters_;
+  blocked_waiters_.fetch_sub(1, std::memory_order_relaxed);
   --unit->waiters;
   if (!completed) {
     return DeadlineExceededError(
@@ -353,6 +468,25 @@ Status Gbo::AwaitReadyLocked(Unit* unit, const TimePoint* deadline) {
   return AbortedError("database is shutting down");
 }
 
+Gbo::Unit* Gbo::EmplaceUnitLocked(Shard& s, const std::string& unit_name) {
+  auto [it, inserted] = s.units.try_emplace(unit_name);
+  if (inserted) {
+    it->second = std::make_unique<Unit>();
+    it->second->name = unit_name;
+    it->second->shard_index = ShardIndexOfUnitName(unit_name);
+  }
+  Unit* unit = it->second.get();
+  unit->state = UnitState::kQueued;
+  unit->error = Status::Ok();
+  unit->ready_seq = -1;
+  unit->lru_seq = -1;
+  unit->refcount = 0;
+  unit->finished = false;
+  unit->attempt = 0;
+  unit->cancel_requested = false;
+  return unit;
+}
+
 // ---------------------------------------------------------------------
 // Public unit interfaces.
 
@@ -364,31 +498,24 @@ Status Gbo::AddUnit(const std::string& unit_name, ReadFn read_fn,
                     std::vector<std::string> resources) {
   if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
   if (!read_fn) return InvalidArgumentError("read function is null");
-  MutexLock lock(&mu_);
-  auto [it, inserted] = units_.try_emplace(unit_name);
-  if (!inserted && it->second->state != UnitState::kDeleted &&
-      it->second->state != UnitState::kFailed) {
-    return AlreadyExistsError(StrCat("unit already added: ", unit_name));
+  Shard& s = ShardOfUnitName(unit_name);
+  {
+    MutexLock lock(&mu_);
+    MutexLock shard_lock(&s.mu);
+    auto it = s.units.find(unit_name);
+    if (it != s.units.end() && it->second->state != UnitState::kDeleted &&
+        it->second->state != UnitState::kFailed) {
+      return AlreadyExistsError(StrCat("unit already added: ", unit_name));
+    }
+    Unit* unit = EmplaceUnitLocked(s, unit_name);
+    unit->read_fn = std::move(read_fn);
+    unit->resources = std::move(resources);
+    prefetch_queue_.push_back(unit);
+    ++counters_.units_added;
+    NoteQueueDepthLocked();
+    queue_cv_.NotifyOne();
   }
-  if (inserted) {
-    it->second = std::make_unique<Unit>();
-    it->second->name = unit_name;
-  }
-  Unit* unit = it->second.get();
-  unit->read_fn = std::move(read_fn);
-  unit->resources = std::move(resources);
-  unit->state = UnitState::kQueued;
-  unit->error = Status::Ok();
-  unit->ready_seq = -1;
-  unit->refcount = 0;
-  unit->finished = false;
-  unit->attempt = 0;
-  unit->cancel_requested = false;
-  prefetch_queue_.push_back(unit);
-  ++counters_.units_added;
-  NoteQueueDepthLocked();
-  CheckInvariantsLocked();
-  queue_cv_.NotifyOne();
+  CheckInvariantsDebug();
   return Status::Ok();
 }
 
@@ -403,45 +530,59 @@ Status Gbo::ReadUnitFor(const std::string& unit_name, ReadFn read_fn,
 }
 
 Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
-                             const TimePoint* deadline) {
+                             const TimePoint* deadline)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
+  Shard& s = ShardOfUnitName(unit_name);
+
+  // Hot path: the unit is resident — one shard lock, no mu_, no queue or
+  // memory work.
+  {
+    MutexLock shard_lock(&s.mu);
+    auto hot = s.units.find(unit_name);
+    if (hot != s.units.end() && hot->second->state == UnitState::kReady) {
+      PinLocked(s, hot->second.get());
+      s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+  }
+
+  // Slow path: the global lock first (queue moves, inline loads and the
+  // memory budget need it), then the shard lock; re-check under both.
+  mu_.Lock();
+  s.mu.Lock();
+  auto it = s.units.find(unit_name);
   // Deleted and failed units are re-readable (ReadUnit retries a failed
   // load with the new read function).
   Unit* unit =
-      (it != units_.end() && it->second->state != UnitState::kDeleted &&
+      (it != s.units.end() && it->second->state != UnitState::kDeleted &&
        it->second->state != UnitState::kFailed)
           ? it->second.get()
           : nullptr;
 
   if (unit != nullptr && unit->state == UnitState::kReady) {
-    PinLocked(unit);
-    ++counters_.unit_cache_hits;
+    // Raced: the unit settled between the hot-path check and relocking.
+    PinLocked(s, unit);
+    s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    s.mu.Unlock();
+    mu_.Unlock();
     return Status::Ok();
   }
 
   Stopwatch stopwatch;
   Status status;
   if (unit == nullptr) {
-    // Fresh (or previously deleted) unit: blocking foreground read.
-    if (!read_fn) return InvalidArgumentError("read function is null");
-    if (it == units_.end()) {
-      auto fresh = std::make_unique<Unit>();
-      fresh->name = unit_name;
-      it = units_.emplace(unit_name, std::move(fresh)).first;
+    // Fresh (or previously deleted/failed) unit: blocking foreground read.
+    if (!read_fn) {
+      s.mu.Unlock();
+      mu_.Unlock();
+      return InvalidArgumentError("read function is null");
     }
-    unit = it->second.get();
+    unit = EmplaceUnitLocked(s, unit_name);
     unit->read_fn = std::move(read_fn);
-    unit->error = Status::Ok();
-    unit->ready_seq = -1;
-    unit->refcount = 0;
-    unit->finished = false;
-    unit->attempt = 0;
-    unit->cancel_requested = false;
-    status = LoadInlineLocked(unit, deadline);
+    status = LoadInlineAndLock(s, unit, deadline);  // exit: only s.mu held
   } else if (unit->state == UnitState::kQueued && !options_.background_io) {
-    status = LoadInlineLocked(unit, deadline);
+    status = LoadInlineAndLock(s, unit, deadline);
   } else {
     // Queued (multi-thread) or already loading: wait for it. With a pool
     // (> 1 thread) a still-queued unit is a demand miss — promote it past
@@ -450,10 +591,15 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
     if (unit->state == UnitState::kQueued && options_.io_threads > 1) {
       PromoteToDemandLocked(unit);
     }
-    status = AwaitReadyLocked(unit, deadline);
+    mu_.Unlock();
+    status = AwaitReadyLocked(s, unit, deadline);  // s.mu held throughout
   }
+  // s.mu has been held continuously since the terminal state was
+  // observed, so the pin cannot race an eviction.
+  if (status.ok()) PinLocked(s, unit);
+  s.mu.Unlock();
   visible_io_time_.Add(stopwatch.Elapsed());
-  if (status.ok()) PinLocked(unit);
+  CheckInvariantsDebug();
   return status;
 }
 
@@ -467,112 +613,182 @@ Status Gbo::WaitUnitFor(const std::string& unit_name, Duration timeout) {
 }
 
 Status Gbo::WaitUnitInternal(const std::string& unit_name,
-                             const TimePoint* deadline) {
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
-  if (it == units_.end() || it->second->state == UnitState::kDeleted) {
+                             const TimePoint* deadline)
+    NO_THREAD_SAFETY_ANALYSIS {
+  Shard& s = ShardOfUnitName(unit_name);
+
+  // Hot path: settled unit — one shard lock, no mu_.
+  {
+    MutexLock shard_lock(&s.mu);
+    auto hot = s.units.find(unit_name);
+    if (hot == s.units.end() ||
+        hot->second->state == UnitState::kDeleted) {
+      return NotFoundError(StrCat("no unit named ", unit_name));
+    }
+    Unit* resident = hot->second.get();
+    if (resident->state == UnitState::kReady) {
+      PinLocked(s, resident);
+      s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    if (resident->state == UnitState::kFailed) return resident->error;
+  }
+
+  mu_.Lock();
+  s.mu.Lock();
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end() || it->second->state == UnitState::kDeleted) {
+    s.mu.Unlock();
+    mu_.Unlock();
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   Unit* unit = it->second.get();
   if (unit->state == UnitState::kReady) {
-    PinLocked(unit);
-    ++counters_.unit_cache_hits;
+    PinLocked(s, unit);
+    s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    s.mu.Unlock();
+    mu_.Unlock();
     return Status::Ok();
   }
-  if (unit->state == UnitState::kFailed) return unit->error;
+  if (unit->state == UnitState::kFailed) {
+    Status error = unit->error;
+    s.mu.Unlock();
+    mu_.Unlock();
+    return error;
+  }
 
   Stopwatch stopwatch;
   Status status;
   if (unit->state == UnitState::kQueued && !options_.background_io) {
     // Single-thread library: the read happens inside the wait (paper §4.2).
-    status = LoadInlineLocked(unit, deadline);
+    status = LoadInlineAndLock(s, unit, deadline);
   } else {
     // Demand miss: with an I/O pool, jump the unit ahead of speculative
     // prefetches (single-thread pools keep the paper's FIFO order).
     if (unit->state == UnitState::kQueued && options_.io_threads > 1) {
       PromoteToDemandLocked(unit);
     }
-    status = AwaitReadyLocked(unit, deadline);
+    mu_.Unlock();
+    status = AwaitReadyLocked(s, unit, deadline);
   }
+  if (status.ok()) PinLocked(s, unit);
+  s.mu.Unlock();
   visible_io_time_.Add(stopwatch.Elapsed());
-  if (status.ok()) PinLocked(unit);
+  CheckInvariantsDebug();
   return status;
 }
 
 Status Gbo::FinishUnit(const std::string& unit_name) {
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
-  if (it == units_.end() || it->second->state == UnitState::kDeleted) {
-    return NotFoundError(StrCat("no unit named ", unit_name));
+  Shard& s = ShardOfUnitName(unit_name);
+  {
+    MutexLock shard_lock(&s.mu);
+    auto it = s.units.find(unit_name);
+    if (it == s.units.end() || it->second->state == UnitState::kDeleted) {
+      return NotFoundError(StrCat("no unit named ", unit_name));
+    }
+    Unit* unit = it->second.get();
+    if (unit->state != UnitState::kReady) {
+      return FailedPreconditionError(
+          StrCat("unit ", unit_name, " is not ready (state ",
+                 UnitStateName(unit->state), ")"));
+    }
+    if (unit->refcount > 0) --unit->refcount;
+    unit->finished = true;
+    if (unit->refcount == 0) MakeEvictableLocked(s, unit);
   }
-  Unit* unit = it->second.get();
-  if (unit->state != UnitState::kReady) {
-    return FailedPreconditionError(
-        StrCat("unit ", unit_name, " is not ready (state ",
-               UnitStateName(unit->state), ")"));
+  // A memory-gated I/O thread waits on mu_, which the shard-only path
+  // above never takes, so its NotifyAll can be lost. Deliver the wakeup
+  // under mu_ (shard lock released first — mu_ ranks below it) so the
+  // prefetch pipeline resumes at notify latency, not the gate's poll
+  // interval. Skipped in the common ungated case to keep this path
+  // global-lock-free.
+  if (memory_gate_waiters_.load(std::memory_order_relaxed) > 0) {
+    MutexLock lock(&mu_);
+    memory_cv_.NotifyAll();
   }
-  if (unit->refcount > 0) --unit->refcount;
-  unit->finished = true;
-  if (unit->refcount == 0) MakeEvictableLocked(unit);
-  CheckInvariantsLocked();
+  CheckInvariantsDebug();
   return Status::Ok();
 }
 
-Status Gbo::DeleteUnit(const std::string& unit_name) {
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
-  if (it == units_.end() || it->second->state == UnitState::kDeleted) {
-    return NotFoundError(StrCat("no unit named ", unit_name));
-  }
-  Unit* unit = it->second.get();
-  if (unit->state == UnitState::kLoading) {
-    if (!unit->in_backoff) {
-      return FailedPreconditionError(
-          StrCat("unit ", unit_name, " is currently loading"));
+Status Gbo::DeleteUnit(const std::string& unit_name)
+    NO_THREAD_SAFETY_ANALYSIS {
+  Shard& s = ShardOfUnitName(unit_name);
+  for (;;) {
+    mu_.Lock();
+    s.mu.Lock();
+    auto it = s.units.find(unit_name);
+    if (it == s.units.end() || it->second->state == UnitState::kDeleted) {
+      s.mu.Unlock();
+      mu_.Unlock();
+      return NotFoundError(StrCat("no unit named ", unit_name));
     }
-    // The read function is not running; the loader is sleeping out a retry
-    // backoff. Cancel it and wait for the loader to acknowledge (it wakes
-    // immediately and fails the unit with its last error).
-    unit->cancel_requested = true;
-    unit_cv_.NotifyAll();
-    while (!shutdown_ && unit->state == UnitState::kLoading) {
-      unit_cv_.Wait(&mu_);
-    }
-    unit->cancel_requested = false;
+    Unit* unit = it->second.get();
     if (unit->state == UnitState::kLoading) {
-      return AbortedError("database is shutting down");
+      if (!unit->in_backoff) {
+        s.mu.Unlock();
+        mu_.Unlock();
+        return FailedPreconditionError(
+            StrCat("unit ", unit_name, " is currently loading"));
+      }
+      // The read function is not running; the loader is sleeping out a
+      // retry backoff. Cancel it and wait for the loader to acknowledge
+      // (it wakes immediately and fails the unit with its last error).
+      // mu_ is dropped for the wait — the loader may need it to settle.
+      unit->cancel_requested = true;
+      s.unit_cv.NotifyAll();
+      mu_.Unlock();
+      while (!shutdown_.load(std::memory_order_acquire) &&
+             unit->state == UnitState::kLoading) {
+        s.unit_cv.Wait(&s.mu);
+      }
+      unit->cancel_requested = false;
+      if (unit->state == UnitState::kLoading) {
+        s.mu.Unlock();
+        return AbortedError("database is shutting down");
+      }
+      if (unit->state == UnitState::kDeleted) {
+        s.mu.Unlock();
+        return Status::Ok();  // raced with another delete
+      }
+      // Settled (usually kFailed): retry the delete from the top with
+      // both locks so the eviction sees a stable state.
+      s.mu.Unlock();
+      continue;
     }
-    if (unit->state == UnitState::kDeleted) return Status::Ok();  // raced
+    EvictUnitLocked(s, unit, /*explicit_delete=*/true);  // releases s.mu
+    mu_.Unlock();
+    CheckInvariantsDebug();
+    return Status::Ok();
   }
-  EvictUnitLocked(unit, /*explicit_delete=*/true);
-  CheckInvariantsLocked();
-  unit_cv_.NotifyAll();
-  return Status::Ok();
 }
 
 Status Gbo::SetMemSpace(int64_t bytes) {
   if (bytes < 0) return InvalidArgumentError("negative memory limit");
-  MutexLock lock(&mu_);
-  memory_limit_ = bytes;
-  EvictToLimitLocked();
-  CheckInvariantsLocked();
+  {
+    MutexLock lock(&mu_);
+    memory_limit_.store(bytes, std::memory_order_relaxed);
+    EvictToLimitLocked();
+  }
   memory_cv_.NotifyAll();
+  CheckInvariantsDebug();
   return Status::Ok();
 }
 
 Result<UnitState> Gbo::GetUnitState(const std::string& unit_name) const {
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
-  if (it == units_.end()) {
+  Shard& s = ShardOfUnitName(unit_name);
+  MutexLock shard_lock(&s.mu);
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end()) {
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   return it->second->state;
 }
 
 Status Gbo::GetUnitError(const std::string& unit_name) const {
-  MutexLock lock(&mu_);
-  auto it = units_.find(unit_name);
-  if (it == units_.end()) {
+  Shard& s = ShardOfUnitName(unit_name);
+  MutexLock shard_lock(&s.mu);
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end()) {
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   return it->second->error;
@@ -582,11 +798,14 @@ Status Gbo::GetUnitError(const std::string& unit_name) const {
 // Background I/O pool.
 
 Gbo::Unit* Gbo::FindBlockedQueuedUnitLocked() {
-  for (Unit* unit : demand_queue_) {
-    if (unit->waiters > 0 && unit->state == UnitState::kQueued) return unit;
-  }
-  for (Unit* unit : prefetch_queue_) {
-    if (unit->waiters > 0 && unit->state == UnitState::kQueued) return unit;
+  for (std::deque<Unit*>* queue : {&demand_queue_, &prefetch_queue_}) {
+    for (Unit* unit : *queue) {
+      Shard& s = *shards_[unit->shard_index];
+      MutexLock shard_lock(&s.mu);
+      if (unit->waiters > 0 && unit->state == UnitState::kQueued) {
+        return unit;
+      }
+    }
   }
   return nullptr;
 }
@@ -599,32 +818,39 @@ void Gbo::ResolveDeadlockLocked(Unit* unit) {
   // wake its waiters (paper §3.3 — this happens "when developers neglect
   // to delete processed units or mark those units finished").
   RemoveFromQueuesLocked(unit);
-  unit->state = UnitState::kFailed;
-  unit->error = AbortedError(StrCat(
+  Status error = AbortedError(StrCat(
       "GODIVA deadlock detected: cannot prefetch unit ", unit->name,
       " — database memory is exhausted (",
-      FormatBytes(memory_used_), " used of ", FormatBytes(memory_limit_),
+      FormatBytes(memory_used_.load(std::memory_order_relaxed)), " used of ",
+      FormatBytes(memory_limit_.load(std::memory_order_relaxed)),
       ") and no finished units are evictable"));
+  Shard& s = *shards_[unit->shard_index];
+  {
+    MutexLock shard_lock(&s.mu);
+    unit->state = UnitState::kFailed;
+    unit->error = error;
+    s.unit_cv.NotifyAll();
+  }
   ++counters_.deadlocks_detected;
-  GODIVA_LOG(kError) << unit->error.message();
-  CheckInvariantsLocked();
-  unit_cv_.NotifyAll();
+  GODIVA_LOG(kError) << error.message();
 }
 
-void Gbo::IoThreadMain(size_t thread_index) {
-  MutexLock lock(&mu_);
-  while (!shutdown_) {
-    while (!shutdown_ && demand_queue_.empty() && prefetch_queue_.empty()) {
+void Gbo::IoThreadMain(size_t thread_index) NO_THREAD_SAFETY_ANALYSIS {
+  mu_.Lock();
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    while (!shutdown_.load(std::memory_order_acquire) &&
+           demand_queue_.empty() && prefetch_queue_.empty()) {
       queue_cv_.Wait(&mu_);
     }
-    if (shutdown_) return;
+    if (shutdown_.load(std::memory_order_acquire)) break;
 
     // Memory gate: prefetch only while there is room to hold more data
     // (paper §3.2). Eviction and deadlock detection happen here. With a
     // pool, deadlock is declared only once every thread is idle: a load in
     // flight on a sibling thread may still free memory indirectly (its
     // consumer finishes and deletes units), so it is not a deadlock yet.
-    if (memory_used_ >= memory_limit_) {
+    if (memory_used_.load(std::memory_order_relaxed) >=
+        memory_limit_.load(std::memory_order_relaxed)) {
       if (EvictOneLocked()) continue;  // re-evaluate with freed memory
       if (loads_in_flight_ == 0) {
         if (Unit* blocked = FindBlockedQueuedUnitLocked()) {
@@ -632,46 +858,70 @@ void Gbo::IoThreadMain(size_t thread_index) {
           continue;
         }
       }
-      memory_cv_.Wait(&mu_);
+      // FinishUnit makes units evictable under only a shard lock; the
+      // waiter count below makes it re-take mu_ to deliver the wakeup,
+      // and the bounded wait self-heals the residual register-vs-notify
+      // race (finisher reads the count between our eviction attempt and
+      // the increment).
+      memory_gate_waiters_.fetch_add(1, std::memory_order_relaxed);
+      memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
+                                     std::chrono::milliseconds(10));
+      memory_gate_waiters_.fetch_sub(1, std::memory_order_relaxed);
       continue;  // re-evaluate everything (shutdown, queue, memory)
     }
 
     Unit* unit = PopNextQueuedLocked();
     if (unit == nullptr) continue;
-    if (unit->state != UnitState::kQueued) continue;  // raced with delete
-    // Circuit breaker: a unit over a quarantined file fails fast — the
-    // prefetcher never spends an I/O slot (or a retry budget) on it.
-    if (const std::string* quarantined = QuarantinedResourceLocked(*unit)) {
-      ShortCircuitUnitLocked(unit, *quarantined);
-      continue;
+    Shard& s = *shards_[unit->shard_index];
+    {
+      MutexLock shard_lock(&s.mu);
+      if (unit->state != UnitState::kQueued) continue;  // raced with delete
+      // Circuit breaker: a unit over a quarantined file fails fast — the
+      // prefetcher never spends an I/O slot (or a retry budget) on it.
+      if (const std::string* quarantined =
+              QuarantinedResourceLocked(*unit)) {
+        ShortCircuitUnitLocked(s, unit, *quarantined);
+        continue;
+      }
+      unit->state = UnitState::kLoading;
     }
-    unit->state = UnitState::kLoading;
     ++loads_in_flight_;
     Stopwatch busy;
+    mu_.Unlock();
 
     // Retries and rollback of partial loads happen inside; backoff sleeps
-    // are interrupted by shutdown and DeleteUnit. mu_ is released around
-    // each read-function attempt, so pool siblings keep draining queues.
-    Status status = ExecuteReadLocked(unit, /*deadline=*/nullptr,
-                                      /*on_io_thread=*/true);
+    // are interrupted by shutdown and DeleteUnit. No Gbo lock is held
+    // around the read-function attempts, so pool siblings keep draining
+    // queues and client threads keep hitting their shards.
+    Status status = ExecuteRead(s, unit, /*deadline=*/nullptr,
+                                /*on_io_thread=*/true);
 
-    --loads_in_flight_;
-    io_busy_[thread_index]->Add(busy.Elapsed());
-    unit->error = status;
-    unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
-    unit->ready_seq = next_ready_seq_++;
-    ++counters_.units_prefetched;
+    // Completion path (ISSUE 5): only the landed unit's shard lock is
+    // taken to settle it.
+    {
+      MutexLock shard_lock(&s.mu);
+      unit->error = status;
+      unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
+      unit->ready_seq =
+          next_ready_seq_.fetch_add(1, std::memory_order_relaxed);
+      s.unit_cv.NotifyAll();
+    }
     if (!status.ok()) {
       GODIVA_LOG(kWarning) << "prefetch of unit " << unit->name
                            << " failed: " << status;
     }
-    CheckInvariantsLocked();
-    unit_cv_.NotifyAll();
-    // A settled load may have freed a memory-gated sibling's wait (e.g. the
-    // unit failed and rolled back) — and loads_in_flight_ changed, which
-    // the deadlock gate reads.
+    CheckInvariantsDebug();
+
+    mu_.Lock();
+    --loads_in_flight_;
+    io_busy_[thread_index]->Add(busy.Elapsed());
+    ++counters_.units_prefetched;
+    // A settled load may have freed a memory-gated sibling's wait (e.g.
+    // the unit failed and rolled back) — and loads_in_flight_ changed,
+    // which the deadlock gate reads.
     memory_cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 }  // namespace godiva

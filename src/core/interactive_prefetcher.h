@@ -59,7 +59,9 @@ class InteractivePrefetcher {
   //
   // Thread safe: concurrent accesses are serialized on mu_, which is held
   // across the blocking Gbo calls — legal because mu_ ranks below Gbo::mu_
-  // in the global lock order (common/mutex.h).
+  // and every Gbo shard mutex (kGboShardBase + i) in the global lock order
+  // (common/mutex.h), so both Gbo's fast path (shard lock only) and its
+  // slow path (mu_ then shard) nest inside it.
   Status Access(int index) EXCLUDES(mu_);
 
   // Unpins a previously accessed item (FinishUnit).

@@ -72,6 +72,16 @@ struct GboOptions {
   // (DiskModel::queue_depth, NVMe-class hardware) are actually filled.
   int io_threads = 1;
 
+  // Number of metadata shards the database stripes its hot state across:
+  // the key → record indexes, the unit-state table, and the LRU lists.
+  // 1 (the default) reproduces the single-lock behavior byte for byte —
+  // one shard, one lock, one LRU. Values > 1 let concurrent client
+  // threads look up keys and hit the unit cache without contending on one
+  // global mutex; the memory budget stays global (a shared byte counter
+  // with cross-shard eviction of the globally coldest unit). Clamped to
+  // [1, lock_rank::kGboMaxShards] at construction.
+  int metadata_shards = 1;
+
   EvictionPolicy eviction_policy = EvictionPolicy::kLru;
 
   // Applied to every unit read, foreground and background alike.

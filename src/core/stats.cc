@@ -32,7 +32,8 @@ std::string GboStats::ToString() const {
       "] invariant_checks=", invariant_checks,
       " records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",
-      failed_lookups, " failed] mem[cur=", FormatBytes(current_memory_bytes),
+      failed_lookups, " failed] lru_touches=", lru_touches,
+      " mem[cur=", FormatBytes(current_memory_bytes),
       " peak=", FormatBytes(peak_memory_bytes),
       " total=", FormatBytes(total_bytes_allocated), "]}");
 }

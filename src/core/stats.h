@@ -59,11 +59,14 @@ struct GboStats {
   // Gbo::CheckInvariants). Stays 0 when the checks are compiled out.
   int64_t invariant_checks = 0;
 
-  // Record/query activity.
+  // Record/query activity. key_lookups/failed_lookups/lru_touches (and
+  // unit_cache_hits above) are maintained as per-shard relaxed atomics on
+  // the sharded hot path and summed by Gbo::stats().
   int64_t records_created = 0;
   int64_t records_committed = 0;
   int64_t key_lookups = 0;
   int64_t failed_lookups = 0;
+  int64_t lru_touches = 0;  // units pinned out of / returned to an LRU list
 
   // Memory.
   int64_t current_memory_bytes = 0;

@@ -114,14 +114,24 @@ void CheckLruSuffix(Gbo* db, const CacheModel& model, int op_index) {
   }
 }
 
-void RunTrace(uint64_t seed, const GboOptions& base_options) {
-  SCOPED_TRACE("trace seed " + std::to_string(seed));
+// The reference model stays GLOBAL even when the database is sharded:
+// each shard keeps its own LRU list, but units are stamped with a global
+// LRU clock and cross-shard eviction always takes the globally coldest
+// shard front, so the least-to-most-recently-finished suffix property
+// holds verbatim for every metadata_shards value (and with one shard the
+// victim sequence is byte-for-byte the unsharded one).
+void RunTrace(uint64_t seed, const GboOptions& base_options,
+              int metadata_shards) {
+  SCOPED_TRACE("trace seed " + std::to_string(seed) + " shards " +
+               std::to_string(metadata_shards));
   std::atomic<int> reads{0};
   GboOptions options = base_options;
+  options.metadata_shards = metadata_shards;
   options.memory_limit_bytes =
       kCapacityUnits * (kUnitBytes + kRecordOverheadBytes + 512);
   options.eviction_policy = EvictionPolicy::kLru;
   Gbo db(options);
+  ASSERT_EQ(db.metadata_shards(), metadata_shards);
   DefineSchema(&db);
 
   CacheModel model;
@@ -172,9 +182,11 @@ void RunTrace(uint64_t seed, const GboOptions& base_options) {
 }
 
 TEST(CachePropertyTest, SingleThreadTraces) {
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
-    RunTrace(seed, GboOptions::SingleThread());
-    if (::testing::Test::HasFailure()) return;
+  for (int shards : {1, 2, 8}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      RunTrace(seed, GboOptions::SingleThread(), shards);
+      if (::testing::Test::HasFailure()) return;
+    }
   }
 }
 
@@ -182,9 +194,11 @@ TEST(CachePropertyTest, OneIoThreadTraces) {
   GboOptions options;
   options.background_io = true;
   options.io_threads = 1;
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
-    RunTrace(seed, options);
-    if (::testing::Test::HasFailure()) return;
+  for (int shards : {1, 2, 8}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      RunTrace(seed, options, shards);
+      if (::testing::Test::HasFailure()) return;
+    }
   }
 }
 
@@ -194,9 +208,58 @@ TEST(CachePropertyTest, FourIoThreadTraces) {
   GboOptions options;
   options.background_io = true;
   options.io_threads = 4;
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
-    RunTrace(seed, options);
-    if (::testing::Test::HasFailure()) return;
+  for (int shards : {1, 2, 8}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      RunTrace(seed, options, shards);
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+// Sharding must not change WHICH victims single-shard LRU picks, only how
+// the bookkeeping is laid out: a deterministic single-thread trace with
+// metadata_shards == 1 and with 8 shards must leave the same units
+// resident (the clamped-to-one case covers absurd option values too).
+TEST(CachePropertyTest, ShardCountPreservesVictimSequence) {
+  for (uint64_t seed = 100; seed <= 103; ++seed) {
+    std::map<int, std::vector<bool>> resident_by_shards;
+    for (int shards : {1, 8}) {
+      std::atomic<int> reads{0};
+      GboOptions options = GboOptions::SingleThread();
+      options.metadata_shards = shards;
+      options.memory_limit_bytes =
+          kCapacityUnits * (kUnitBytes + kRecordOverheadBytes + 512);
+      options.eviction_policy = EvictionPolicy::kLru;
+      Gbo db(options);
+      DefineSchema(&db);
+      Random rng(seed);
+      int pinned = 0;
+      std::vector<std::string> to_finish;
+      for (int op = 0; op < kOpsPerTrace; ++op) {
+        std::string name = "u" + std::to_string(rng.NextBounded(kUniverse));
+        if (pinned < kMaxPinned &&
+            std::find(to_finish.begin(), to_finish.end(), name) ==
+                to_finish.end()) {
+          ASSERT_TRUE(db.ReadUnit(name, CountingReadFn(&reads)).ok());
+          to_finish.push_back(name);
+          ++pinned;
+        }
+        if (pinned == kMaxPinned) {
+          for (const std::string& finished : to_finish) {
+            ASSERT_TRUE(db.FinishUnit(finished).ok());
+          }
+          to_finish.clear();
+          pinned = 0;
+        }
+      }
+      std::vector<bool>& resident = resident_by_shards[shards];
+      for (int u = 0; u < kUniverse; ++u) {
+        resident.push_back(IsResident(&db, "u" + std::to_string(u)));
+      }
+    }
+    EXPECT_EQ(resident_by_shards[1], resident_by_shards[8])
+        << "seed " << seed
+        << ": shard count changed the set of resident units";
   }
 }
 

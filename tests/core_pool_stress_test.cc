@@ -8,8 +8,12 @@
 //
 //   GODIVA_STRESS_SEED=<n>        replay one failing schedule
 //   GODIVA_STRESS_IO_THREADS=<n>  pin the pool size
+//   GODIVA_STRESS_SHARDS=<n>      pin the metadata shard count
 //
-// The failing seed/thread-count pair is printed via SCOPED_TRACE.
+// Schedules sweep metadata_shards over {1, 2, 8} so the striped-lock paths
+// (per-shard LRU, cross-shard eviction, sharded completion) get the same
+// adversarial coverage as the single-lock configuration. The failing
+// seed/thread/shard triple is printed via SCOPED_TRACE.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -103,9 +107,10 @@ Gbo::ReadFn StressReadFn(Env* env, int i, std::atomic<int>* reads) {
 // (already-exists, not-found, loading, deadlock resolution, deadline) —
 // the property under test is that the database never corrupts its own
 // bookkeeping and never wedges, not that every op succeeds.
-void RunSchedule(uint64_t seed, int io_threads) {
+void RunSchedule(uint64_t seed, int io_threads, int metadata_shards) {
   SCOPED_TRACE("replay: GODIVA_STRESS_SEED=" + std::to_string(seed) +
-               " GODIVA_STRESS_IO_THREADS=" + std::to_string(io_threads));
+               " GODIVA_STRESS_IO_THREADS=" + std::to_string(io_threads) +
+               " GODIVA_STRESS_SHARDS=" + std::to_string(metadata_shards));
   TimeScale scale(0.01);
   std::unique_ptr<SimEnv> env = MakeStressEnv(&scale);
   std::atomic<int> reads{0};
@@ -113,6 +118,7 @@ void RunSchedule(uint64_t seed, int io_threads) {
   GboOptions options;
   options.background_io = true;
   options.io_threads = io_threads;
+  options.metadata_shards = metadata_shards;
   // Tight enough that eviction and the memory gate run; loose enough that
   // a handful of pinned units cannot wedge every schedule.
   options.memory_limit_bytes = 8 * (kPayloadBytes + 1024);
@@ -184,6 +190,7 @@ void RunSchedule(uint64_t seed, int io_threads) {
 TEST(PoolStressTest, RandomizedSchedules) {
   int64_t fixed_seed = EnvInt("GODIVA_STRESS_SEED", -1);
   int64_t fixed_threads = EnvInt("GODIVA_STRESS_IO_THREADS", -1);
+  int64_t fixed_shards = EnvInt("GODIVA_STRESS_SHARDS", -1);
   std::vector<uint64_t> seeds;
   if (fixed_seed >= 0) {
     seeds.push_back(static_cast<uint64_t>(fixed_seed));
@@ -196,11 +203,25 @@ TEST(PoolStressTest, RandomizedSchedules) {
   } else {
     pool_sizes = {1, 2, 4, 8};
   }
-  for (int io_threads : pool_sizes) {
-    for (uint64_t seed : seeds) {
-      RunSchedule(seed ^ (static_cast<uint64_t>(io_threads) << 32),
-                  io_threads);
-      if (::testing::Test::HasFailure()) return;  // first failure is enough
+  std::vector<int> shard_counts;
+  if (fixed_shards > 0) {
+    shard_counts.push_back(static_cast<int>(fixed_shards));
+  } else {
+    shard_counts = {1, 2, 8};
+  }
+  for (int metadata_shards : shard_counts) {
+    // The single-shard configuration gets the full pool sweep (it is the
+    // paper-reproduction path); sharded configurations stress the extremes
+    // so total runtime stays bounded.
+    std::vector<int> pools = pool_sizes;
+    if (fixed_threads <= 0 && metadata_shards > 1) pools = {1, 8};
+    for (int io_threads : pools) {
+      for (uint64_t seed : seeds) {
+        RunSchedule(seed ^ (static_cast<uint64_t>(io_threads) << 32) ^
+                        (static_cast<uint64_t>(metadata_shards) << 24),
+                    io_threads, metadata_shards);
+        if (::testing::Test::HasFailure()) return;  // first failure is enough
+      }
     }
   }
 }
@@ -209,13 +230,16 @@ TEST(PoolStressTest, RandomizedSchedules) {
 // wait all, delete all — the bread-and-butter TG pattern, at every size.
 TEST(PoolStressTest, BatchDrainAllSizes) {
   TimeScale scale(0.01);
+  for (int metadata_shards : {1, 8}) {
   for (int io_threads : {1, 2, 4, 8}) {
-    SCOPED_TRACE("io_threads=" + std::to_string(io_threads));
+    SCOPED_TRACE("io_threads=" + std::to_string(io_threads) +
+                 " metadata_shards=" + std::to_string(metadata_shards));
     std::unique_ptr<SimEnv> env = MakeStressEnv(&scale);
     std::atomic<int> reads{0};
     GboOptions options;
     options.background_io = true;
     options.io_threads = io_threads;
+    options.metadata_shards = metadata_shards;
     Gbo db(options);
     DefineSchema(&db);
     for (int i = 0; i < kUnits; ++i) {
@@ -235,6 +259,7 @@ TEST(PoolStressTest, BatchDrainAllSizes) {
     EXPECT_EQ(stats.units_deleted, kUnits);
     EXPECT_LE(stats.queue_depth_high_water, kUnits);
     EXPECT_GT(stats.queue_depth_high_water, 0);
+  }
   }
 }
 

@@ -662,6 +662,111 @@ TEST(GsdfBatchTest, VerifyCatchesCorruptionInMergedRun) {
   EXPECT_TRUE((*reader)->ReadBatch(batch).ok());
 }
 
+TEST(GsdfBatchTest, ZeroGapToleranceStillMergesAdjacentDatasets) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 3, kElements = 25;
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<double>> out(kDatasets,
+                                       std::vector<double>(kElements));
+  std::vector<BatchRequest> batch;
+  for (int d = 0; d < kDatasets; ++d) {
+    batch.push_back({"d" + std::to_string(d), out[d].data(), kElements * 8});
+  }
+  // max_gap = 0 forbids reading ANY discarded bytes, but back-to-back
+  // payloads have a zero-byte gap, so the merge is still legal.
+  BatchOptions no_gap;
+  no_gap.max_gap = 0;
+  auto stats = (*reader)->ReadBatch(batch, no_gap);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->transfers, 1);
+  EXPECT_EQ(stats->coalesced, kDatasets - 1);
+  EXPECT_EQ(stats->gap_bytes, 0);
+  for (int d = 0; d < kDatasets; ++d) {
+    EXPECT_EQ(out[d], Doubles(kElements, d * 1000.0)) << "dataset " << d;
+  }
+}
+
+TEST(GsdfBatchTest, DatasetLargerThanMaxTransferStillReads) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 3, kElements = 100;  // 800-byte payloads
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::vector<double>> out(kDatasets,
+                                       std::vector<double>(kElements));
+  std::vector<BatchRequest> batch;
+  for (int d = 0; d < kDatasets; ++d) {
+    batch.push_back({"d" + std::to_string(d), out[d].data(), kElements * 8});
+  }
+  // max_transfer smaller than a single payload: the cap bounds *merging*,
+  // not a dataset's own read, so each dataset gets its own oversized
+  // transfer rather than failing or truncating.
+  BatchOptions tiny;
+  tiny.max_transfer = 100;
+  auto stats = (*reader)->ReadBatch(batch, tiny);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->transfers, kDatasets);
+  EXPECT_EQ(stats->coalesced, 0);
+  for (int d = 0; d < kDatasets; ++d) {
+    EXPECT_EQ(out[d], Doubles(kElements, d * 1000.0)) << "dataset " << d;
+  }
+}
+
+TEST(GsdfBatchTest, CorruptGapDatasetDoesNotPoisonVerifiedNeighbours) {
+  SimEnv env = MakeEnv();
+  const int kDatasets = 3, kElements = 40;
+  WriteBatchFile(&env, "f.gsdf", kDatasets, kElements);
+  // Locate d1's payload, then flip a byte in the middle of it.
+  int64_t corrupt_at = 0;
+  {
+    auto probe = Reader::Open(&env, "f.gsdf");
+    ASSERT_TRUE(probe.ok());
+    auto info = (*probe)->Find("d1");
+    ASSERT_TRUE(info.ok());
+    corrupt_at = (*info)->offset + (*info)->nbytes / 2;
+  }
+  {
+    auto size = env.GetFileSize("f.gsdf");
+    ASSERT_TRUE(size.ok());
+    auto orig = env.NewRandomAccessFile("f.gsdf");
+    ASSERT_TRUE(orig.ok());
+    std::vector<char> all(static_cast<size_t>(*size));
+    ASSERT_TRUE((*orig)->Read(0, *size, all.data()).ok());
+    all[static_cast<size_t>(corrupt_at)] ^= 0x01;
+    auto rewrite = env.NewWritableFile("f.gsdf");
+    ASSERT_TRUE(rewrite.ok());
+    ASSERT_TRUE((*rewrite)->Append(all.data(), *size).ok());
+    ASSERT_TRUE((*rewrite)->Close().ok());
+  }
+  auto reader = Reader::Open(&env, "f.gsdf");
+  ASSERT_TRUE(reader.ok());
+  BatchOptions verify_options;
+  verify_options.verify = true;
+
+  // Control: requesting the damaged dataset itself is detected.
+  std::vector<double> mid(kElements);
+  std::vector<BatchRequest> bad = {{"d1", mid.data(), kElements * 8}};
+  EXPECT_EQ((*reader)->ReadBatch(bad, verify_options).status().code(),
+            StatusCode::kDataLoss);
+
+  // d0 and d2 coalesce into one transfer whose gap spans the corrupt d1.
+  // Verification covers only the *requested* datasets, so the damaged gap
+  // bytes ride along harmlessly and the neighbours still verify clean.
+  std::vector<double> first(kElements), third(kElements);
+  std::vector<BatchRequest> batch = {
+      {"d0", first.data(), kElements * 8},
+      {"d2", third.data(), kElements * 8}};
+  auto stats = (*reader)->ReadBatch(batch, verify_options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->transfers, 1);
+  EXPECT_EQ(stats->coalesced, 1);
+  EXPECT_EQ(stats->gap_bytes, kElements * 8);
+  EXPECT_EQ(first, Doubles(kElements, 0.0));
+  EXPECT_EQ(third, Doubles(kElements, 2000.0));
+}
+
 TEST(GsdfBatchTest, MatchesIndividualReads) {
   SimEnv env = MakeEnv();
   const int kDatasets = 5, kElements = 17;

@@ -5,11 +5,22 @@
 //       merges the per-bench files into one baseline document, each metric
 //       prefixed with its bench name ("bench_parallel.pool_t1_total_s").
 //
+//   bench_diff --update-baseline=BENCH_baseline.json a.json b.json ...
+//       rewrites the baseline in place: metrics from the supplied files
+//       replace their existing entries (or are appended), every other
+//       bench's entries are preserved verbatim — so one bench's numbers
+//       can be refreshed without re-running the whole suite.
+//
 //   bench_diff --baseline=BENCH_baseline.json a.json b.json ...
 //       compares; exits 1 when any metric regresses by more than the
 //       threshold (default 10%, --threshold=0.15 to widen) AND by more
 //       than the absolute floor (default 0.1, --abs-floor=0.5 to widen —
 //       keeps near-zero second counts from tripping on noise).
+//
+// Bench files carry "git_sha" and "timestamp_utc" fields (see
+// bench_util.h); baselines record them per bench under "provenance", and a
+// failing comparison names both commits, so a regression report says which
+// commit the baseline numbers came from and which produced the regression.
 //
 // Metrics are treated as costs (lower is better) unless the name contains
 // "ratio", which flips the direction (higher is better). Metrics missing
@@ -29,13 +40,19 @@
 namespace {
 
 struct Document {
-  std::string bench;  // "" in a merged baseline
+  std::string bench;          // "" in a merged baseline
+  std::string git_sha;        // "" when the producer did not record it
+  std::string timestamp_utc;  // ditto
   std::vector<std::pair<std::string, double>> metrics;
+  // Baseline-only: bench name → "sha @ timestamp" of the run that
+  // produced that bench's baseline numbers.
+  std::vector<std::pair<std::string, std::string>> provenance;
 };
 
-// Minimal parser for the flat documents the benches emit: a "bench" string
-// field (optional) and a "metrics" object of string → number. Anything
-// else in the file is ignored.
+// Minimal parser for the flat documents the benches emit: "bench",
+// "git_sha" and "timestamp_utc" string fields (all optional), a "metrics"
+// object of string → number, and (in baselines) a "provenance" object of
+// string → string. Anything else in the file is ignored.
 bool ParseDocument(const std::string& path, Document* doc) {
   std::ifstream in(path);
   if (!in) {
@@ -68,6 +85,7 @@ bool ParseDocument(const std::string& path, Document* doc) {
   };
 
   bool in_metrics = false;
+  bool in_provenance = false;
   while (i < text.size()) {
     skip_ws();
     if (i >= text.size()) break;
@@ -82,10 +100,19 @@ bool ParseDocument(const std::string& path, Document* doc) {
       if (i < text.size() && text[i] == '"') {
         std::string value;
         if (!parse_string(&value)) return false;
-        if (key == "bench") doc->bench = value;
+        if (in_provenance) {
+          doc->provenance.emplace_back(key, value);
+        } else if (key == "bench") {
+          doc->bench = value;
+        } else if (key == "git_sha") {
+          doc->git_sha = value;
+        } else if (key == "timestamp_utc") {
+          doc->timestamp_utc = value;
+        }
       } else if (i < text.size() && text[i] == '{') {
         ++i;
         if (key == "metrics") in_metrics = true;
+        if (key == "provenance") in_provenance = true;
       } else {
         char* end = nullptr;
         double value = std::strtod(text.c_str() + i, &end);
@@ -100,6 +127,7 @@ bool ParseDocument(const std::string& path, Document* doc) {
     } else if (c == '}') {
       ++i;
       in_metrics = false;
+      in_provenance = false;
     } else {
       ++i;  // commas, braces opening the document, stray tokens
     }
@@ -114,35 +142,131 @@ const double* FindMetric(const Document& doc, const std::string& name) {
   return nullptr;
 }
 
+const std::string* FindProvenance(const Document& doc,
+                                  const std::string& bench) {
+  for (const auto& [key, value] : doc.provenance) {
+    if (key == bench) return &value;
+  }
+  return nullptr;
+}
+
 bool HigherIsBetter(const std::string& name) {
   return name.find("ratio") != std::string::npos;
 }
 
-int WriteBaseline(const std::string& path,
-                  const std::vector<Document>& docs) {
+// "sha @ timestamp" for a bench document (parts the producer omitted are
+// skipped; empty when it recorded neither).
+std::string DocProvenance(const Document& doc) {
+  std::string out = doc.git_sha;
+  if (!doc.timestamp_utc.empty()) {
+    if (!out.empty()) out += " @ ";
+    out += doc.timestamp_utc;
+  }
+  return out;
+}
+
+// Serializes a merged baseline: a "provenance" object naming the commit
+// and time each bench's numbers were produced at, then the flat prefixed
+// metrics map.
+int SerializeBaseline(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& provenance,
+    const std::vector<std::pair<std::string, double>>& metrics) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_diff: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"metrics\": {\n");
-  bool first = true;
-  for (const Document& doc : docs) {
-    for (const auto& [key, value] : doc.metrics) {
-      std::fprintf(out, "%s    \"%s.%s\": %.6g", first ? "" : ",\n",
-                   doc.bench.c_str(), key.c_str(), value);
-      first = false;
+  std::fprintf(out, "{\n");
+  if (!provenance.empty()) {
+    std::fprintf(out, "  \"provenance\": {\n");
+    for (size_t i = 0; i < provenance.size(); ++i) {
+      std::fprintf(out, "    \"%s\": \"%s\"%s\n",
+                   provenance[i].first.c_str(),
+                   provenance[i].second.c_str(),
+                   i + 1 < provenance.size() ? "," : "");
     }
+    std::fprintf(out, "  },\n");
   }
-  std::fprintf(out, "\n  }\n}\n");
+  std::fprintf(out, "  \"metrics\": {\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(out, "    \"%s\": %.6g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
   if (std::fclose(out) != 0) return 1;
   std::printf("bench_diff: wrote baseline %s\n", path.c_str());
   return 0;
 }
 
+int WriteBaseline(const std::string& path,
+                  const std::vector<Document>& docs) {
+  std::vector<std::pair<std::string, std::string>> provenance;
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const Document& doc : docs) {
+    std::string stamp = DocProvenance(doc);
+    if (!stamp.empty()) provenance.emplace_back(doc.bench, stamp);
+    for (const auto& [key, value] : doc.metrics) {
+      metrics.emplace_back(doc.bench + "." + key, value);
+    }
+  }
+  return SerializeBaseline(path, provenance, metrics);
+}
+
+// --update-baseline: existing entries for the supplied benches are
+// replaced (same key in place, new keys appended after that bench's
+// block), everything else is carried over untouched.
+int UpdateBaseline(const std::string& path,
+                   const std::vector<Document>& docs) {
+  Document existing;
+  if (!ParseDocument(path, &existing)) return 2;
+
+  std::vector<std::pair<std::string, std::string>> provenance =
+      existing.provenance;
+  std::vector<std::pair<std::string, double>> metrics = existing.metrics;
+  for (const Document& doc : docs) {
+    std::string stamp = DocProvenance(doc);
+    bool stamped = false;
+    for (auto& [bench, value] : provenance) {
+      if (bench == doc.bench) {
+        value = stamp;
+        stamped = true;
+      }
+    }
+    if (!stamped && !stamp.empty()) {
+      provenance.emplace_back(doc.bench, stamp);
+    }
+
+    size_t insert_at = metrics.size();  // after this bench's last entry
+    std::string prefix = doc.bench + ".";
+    for (size_t i = 0; i < metrics.size(); ++i) {
+      if (metrics[i].first.compare(0, prefix.size(), prefix) == 0) {
+        insert_at = i + 1;
+      }
+    }
+    for (const auto& [key, value] : doc.metrics) {
+      std::string full = prefix + key;
+      bool replaced = false;
+      for (auto& [existing_key, existing_value] : metrics) {
+        if (existing_key == full) {
+          existing_value = value;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) {
+        metrics.insert(metrics.begin() + insert_at, {full, value});
+        ++insert_at;
+      }
+    }
+  }
+  return SerializeBaseline(path, provenance, metrics);
+}
+
 int Run(int argc, char** argv) {
   std::string baseline_path;
   std::string write_path;
+  std::string update_path;
   double threshold = 0.10;
   double abs_floor = 0.1;
   std::vector<std::string> current_paths;
@@ -152,6 +276,8 @@ int Run(int argc, char** argv) {
       baseline_path = arg + 11;
     } else if (std::strncmp(arg, "--write-baseline=", 17) == 0) {
       write_path = arg + 17;
+    } else if (std::strncmp(arg, "--update-baseline=", 18) == 0) {
+      update_path = arg + 18;
     } else if (std::strncmp(arg, "--threshold=", 12) == 0) {
       threshold = std::atof(arg + 12);
     } else if (std::strncmp(arg, "--abs-floor=", 12) == 0) {
@@ -163,11 +289,14 @@ int Run(int argc, char** argv) {
       current_paths.push_back(arg);
     }
   }
-  if ((baseline_path.empty() == write_path.empty()) ||
-      current_paths.empty()) {
-    std::fprintf(stderr,
-                 "usage: bench_diff --baseline=B.json a.json [b.json ...]\n"
-                 "       bench_diff --write-baseline=B.json a.json ...\n");
+  int modes = (baseline_path.empty() ? 0 : 1) + (write_path.empty() ? 0 : 1) +
+              (update_path.empty() ? 0 : 1);
+  if (modes != 1 || current_paths.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: bench_diff --baseline=B.json a.json [b.json ...]\n"
+        "       bench_diff --write-baseline=B.json a.json ...\n"
+        "       bench_diff --update-baseline=B.json a.json ...\n");
     return 2;
   }
 
@@ -183,12 +312,14 @@ int Run(int argc, char** argv) {
     docs.push_back(std::move(doc));
   }
   if (!write_path.empty()) return WriteBaseline(write_path, docs);
+  if (!update_path.empty()) return UpdateBaseline(update_path, docs);
 
   Document baseline;
   if (!ParseDocument(baseline_path, &baseline)) return 2;
 
   int regressions = 0;
   int compared = 0;
+  std::vector<std::string> regressed_benches;
   std::printf("%-52s %12s %12s %9s\n", "metric", "baseline", "current",
               "delta");
   for (const Document& doc : docs) {
@@ -206,7 +337,13 @@ int Run(int argc, char** argv) {
       bool worse = HigherIsBetter(key) ? delta < 0 : delta > 0;
       bool fails = worse && std::fabs(relative) > threshold &&
                    std::fabs(delta) > abs_floor;
-      if (fails) ++regressions;
+      if (fails) {
+        ++regressions;
+        if (regressed_benches.empty() ||
+            regressed_benches.back() != doc.bench) {
+          regressed_benches.push_back(doc.bench);
+        }
+      }
       std::printf("%-52s %12.4g %12.4g %+8.1f%%%s\n", full.c_str(), *base,
                   current, 100.0 * relative,
                   fails ? "  REGRESSION" : "");
@@ -241,6 +378,20 @@ int Run(int argc, char** argv) {
   std::printf("compared %d metrics, %d regression%s (threshold %.0f%%)\n",
               compared, regressions, regressions == 1 ? "" : "s",
               100.0 * threshold);
+  // Name the commits on both sides of every regression, so the report
+  // alone says where the baseline numbers came from and which commit
+  // produced the regression.
+  for (const std::string& bench : regressed_benches) {
+    const std::string* base_prov = FindProvenance(baseline, bench);
+    std::string current_prov;
+    for (const Document& doc : docs) {
+      if (doc.bench == bench) current_prov = DocProvenance(doc);
+    }
+    std::printf("  %s: baseline from [%s], regression produced by [%s]\n",
+                bench.c_str(),
+                base_prov != nullptr ? base_prov->c_str() : "unrecorded",
+                current_prov.empty() ? "unrecorded" : current_prov.c_str());
+  }
   return regressions > 0 ? 1 : 0;
 }
 
