@@ -1,0 +1,298 @@
+// Live-ingest benchmark: an IngestProducer streams snapshots into the Gbo
+// through the crash-consistent writer while a consumer follows the frontier
+// through a FrontierWatch, acking as it goes (DESIGN.md §11). Headline
+// metrics, all tracked by tools/bench_diff:
+//   frontier_lag_p50_s/p99_s  publish-to-ready latency at the consumer
+//   stall_s                   producer time blocked on the lag window
+//   demand_p99_noingest_ms    demand unit load, quiet database
+//   demand_p99_ingest_ms      demand unit load while ingest is running
+//   mem_peak_frac             peak record memory / memory limit
+//   io_overlap_ratio          producer/consumer concurrency (1 = perfectly
+//                             overlapped; "ratio" = higher is better)
+//
+// Flags:
+//   --factor=F      mesh scale factor (default 0.12)
+//   --snapshots=N   snapshots to ingest (default 16)
+//   --scale=S       real seconds per modeled second (default 0.002)
+//   --window=W      max_frontier_lag for the producer (default 4)
+//   --quick         shorthand for --factor=0.06 --snapshots=8
+//   --json=PATH     write metrics for tools/bench_diff
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/gbo.h"
+#include "core/options.h"
+#include "mesh/dataset_spec.h"
+#include "mesh/snapshot_writer.h"
+#include "sim/platform.h"
+#include "sim/sim_env.h"
+#include "workloads/block_schema.h"
+#include "workloads/ingest.h"
+#include "workloads/platform_runtime.h"
+#include "workloads/snapshot_io.h"
+
+namespace godiva::bench {
+namespace {
+
+using workloads::FrontierWatch;
+using workloads::IngestOptions;
+using workloads::IngestProducer;
+using workloads::SnapshotUnitName;
+
+const std::vector<std::string> kQuantities = {"stress", "velx"};
+
+struct Flags {
+  double factor = 0.12;
+  int snapshots = 16;
+  double scale = 0.002;
+  int window = 4;
+  std::string json_path;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--factor=", 9) == 0) {
+        flags.factor = std::atof(arg + 9);
+      } else if (std::strncmp(arg, "--snapshots=", 12) == 0) {
+        flags.snapshots = std::atoi(arg + 12);
+      } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+        flags.scale = std::atof(arg + 8);
+      } else if (std::strncmp(arg, "--window=", 9) == 0) {
+        flags.window = std::atoi(arg + 9);
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        flags.json_path = arg + 7;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        flags.factor = 0.06;
+        flags.snapshots = 8;
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+};
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+GboOptions DbOptions() {
+  GboOptions options;  // background_io = true
+  options.io_threads = 2;
+  return options;
+}
+
+// One timed demand cycle: add the unit, wait for its load, unpin, drop it.
+// Returns milliseconds from request to data resident.
+double DemandLoadMs(Gbo* db, const std::string& name,
+                    const Gbo::ReadFn& read_fn,
+                    const std::vector<std::string>& files) {
+  Stopwatch stopwatch;
+  Check(db->AddUnit(name, read_fn, files), "demand AddUnit");
+  Check(db->WaitUnit(name), "demand WaitUnit");
+  double ms = stopwatch.ElapsedSeconds() * 1e3;
+  Check(db->FinishUnit(name), "demand FinishUnit");
+  Check(db->DeleteUnit(name), "demand DeleteUnit");
+  return ms;
+}
+
+// Baseline phase: the dataset already exists on disk and nothing else is
+// running — pure demand load latency per snapshot.
+std::vector<double> QuietDemandPhase(const mesh::DatasetSpec& spec,
+                                     double scale) {
+  SimEnv env{SimEnv::Options{}};
+  auto dataset = mesh::WriteSnapshotDataset(&env, spec, "cold");
+  Check(dataset.status(), "write cold dataset");
+  workloads::PlatformRuntime runtime(PlatformProfile::Engle(), scale, &env);
+
+  Gbo db(DbOptions());
+  Check(workloads::DefineBlockSchema(&db), "define schema");
+  Gbo::ReadFn read_fn = workloads::MakeSnapshotReadFn(
+      &runtime, &*dataset, kQuantities, workloads::SnapshotReadOptions{});
+  std::vector<double> demand_ms;
+  for (int s = 0; s < spec.num_snapshots; ++s) {
+    demand_ms.push_back(DemandLoadMs(&db, SnapshotUnitName(s), read_fn,
+                                     dataset->SnapshotFiles(s)));
+  }
+  return demand_ms;
+}
+
+struct IngestResult {
+  std::vector<double> lag_s;        // publish-to-ready per snapshot
+  std::vector<double> demand_ms;    // demand reloads under live ingest
+  double stall_s = 0;
+  double producer_wall_s = 0;
+  double consumer_wall_s = 0;
+  double frontier_wait_s = 0;       // consumer time blocked on the watch
+  double mem_peak_frac = 0;
+};
+
+// Live phase: producer streams snapshots while the consumer follows the
+// frontier, touches every arrival, acks it, and issues a demand reload of
+// the previous snapshot to measure read service under ingest load.
+IngestResult LiveIngestPhase(const mesh::DatasetSpec& spec,
+                             const Flags& flags) {
+  SimEnv env{SimEnv::Options{}};
+  workloads::PlatformRuntime runtime(PlatformProfile::Engle(), flags.scale,
+                                     &env);
+  mesh::SnapshotDataset dataset =
+      mesh::DescribeSnapshotDataset(spec, "live");
+
+  GboOptions db_options = DbOptions();
+  Gbo db(db_options);
+  Check(workloads::DefineBlockSchema(&db), "define schema");
+  Gbo::ReadFn read_fn = workloads::MakeSnapshotReadFn(
+      &runtime, &dataset, kQuantities, workloads::SnapshotReadOptions{});
+
+  IngestOptions options;
+  options.max_frontier_lag = flags.window;
+  options.quantities = kQuantities;
+  IngestProducer producer(&runtime, &db, &dataset, options);
+  FrontierWatch watch(&db);
+
+  IngestResult result;
+  Stopwatch clock;  // shared time base for every thread in this phase
+  std::atomic<bool> producer_done{false};
+
+  std::thread producer_thread([&] {
+    Stopwatch wall;
+    Check(producer.Run(), "producer run");
+    result.producer_wall_s = wall.ElapsedSeconds();
+    producer_done.store(true);
+  });
+
+  // Publish timestamps, sampled: the frontier is polled a few times per
+  // millisecond and each newly published snapshot is stamped on first
+  // sight.
+  std::vector<double> publish_time(
+      static_cast<size_t>(spec.num_snapshots), -1.0);
+  std::thread sampler([&] {
+    int seen = -1;
+    while (!producer_done.load()) {
+      int frontier = producer.frontier();
+      for (int s = seen + 1; s <= frontier; ++s) {
+        publish_time[static_cast<size_t>(s)] = clock.ElapsedSeconds();
+      }
+      seen = std::max(seen, frontier);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  Stopwatch consumer_wall;
+  for (int s = 0; s < spec.num_snapshots; ++s) {
+    Stopwatch wait;
+    Check(watch.WaitForSnapshot(s, std::chrono::seconds(300)),
+          "frontier wait");
+    result.frontier_wait_s += wait.ElapsedSeconds();
+    double ready_at = clock.ElapsedSeconds();
+    if (publish_time[static_cast<size_t>(s)] >= 0) {
+      result.lag_s.push_back(ready_at - publish_time[static_cast<size_t>(s)]);
+    }
+    Check(db.WaitUnit(SnapshotUnitName(s)), "consumer WaitUnit");
+    auto record =
+        db.FindRecord(workloads::kBlockRecordType, workloads::BlockKey(0, s));
+    Check(record.status(), "consumer FindRecord");
+    Check(db.FinishUnit(SnapshotUnitName(s)), "consumer FinishUnit");
+    producer.AckFinished(s);
+
+    // Demand reload of the previous (already consumed and acked) snapshot
+    // while ingest is still running.
+    if (s > 0 && s < spec.num_snapshots - 1) {
+      std::string prev = SnapshotUnitName(s - 1);
+      Check(db.DeleteUnit(prev), "drop previous");
+      result.demand_ms.push_back(
+          DemandLoadMs(&db, prev, read_fn, dataset.SnapshotFiles(s - 1)));
+    }
+  }
+  result.consumer_wall_s = consumer_wall.ElapsedSeconds();
+  producer_thread.join();
+  sampler.join();
+
+  Check(db.CheckInvariants(), "audit");
+  result.stall_s = producer.stats().stall_seconds;
+  GboStats stats = db.stats();
+  result.mem_peak_frac =
+      static_cast<double>(stats.peak_memory_bytes) /
+      static_cast<double>(db_options.memory_limit_bytes);
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  mesh::DatasetSpec spec = mesh::DatasetSpec::TitanIVScaled(flags.factor);
+  spec.num_snapshots = flags.snapshots;
+  std::printf("bench_ingest: factor %.2f, %d snapshots, window %d, "
+              "time scale %.4f\n",
+              flags.factor, flags.snapshots, flags.window, flags.scale);
+
+  std::vector<double> quiet_ms = QuietDemandPhase(spec, flags.scale);
+  IngestResult live = LiveIngestPhase(spec, flags);
+
+  double lag_p50 = Percentile(live.lag_s, 0.50);
+  double lag_p99 = Percentile(live.lag_s, 0.99);
+  double quiet_p99 = Percentile(quiet_ms, 0.99);
+  double ingest_p99 = Percentile(live.demand_ms, 0.99);
+
+  // Producer/consumer concurrency: the fraction of the shorter side's
+  // active (non-blocked) time that overlapped the other side's.
+  double wall = std::max(live.producer_wall_s, live.consumer_wall_s);
+  double producer_active = live.producer_wall_s - live.stall_s;
+  double consumer_active = live.consumer_wall_s - live.frontier_wait_s;
+  double shorter = std::min(producer_active, consumer_active);
+  double overlap = 0;
+  if (shorter > 0) {
+    overlap = (producer_active + consumer_active - wall) / shorter;
+    overlap = std::max(0.0, std::min(1.0, overlap));
+  }
+
+  std::printf("frontier lag: p50 %.4fs, p99 %.4fs over %zu snapshots\n",
+              lag_p50, lag_p99, live.lag_s.size());
+  std::printf("producer: wall %.3fs, stalled %.3fs; consumer: wall %.3fs, "
+              "waiting %.3fs; overlap ratio %.2f\n",
+              live.producer_wall_s, live.stall_s, live.consumer_wall_s,
+              live.frontier_wait_s, overlap);
+  std::printf("demand p99: quiet %.2fms, under ingest %.2fms; peak memory "
+              "%.1f%% of limit\n",
+              quiet_p99, ingest_p99, 100.0 * live.mem_peak_frac);
+
+  BenchJson json("bench_ingest");
+  json.Add("frontier_lag_p50_s", lag_p50);
+  json.Add("frontier_lag_p99_s", lag_p99);
+  json.Add("stall_s", live.stall_s);
+  json.Add("demand_p99_noingest_ms", quiet_p99);
+  json.Add("demand_p99_ingest_ms", ingest_p99);
+  json.Add("mem_peak_frac", live.mem_peak_frac);
+  json.Add("io_overlap_ratio", overlap);
+  if (!json.WriteTo(flags.json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace godiva::bench
+
+int main(int argc, char** argv) { return godiva::bench::Run(argc, argv); }

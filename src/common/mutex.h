@@ -37,6 +37,9 @@ inline constexpr int kUnranked = -1;  // exempt from ordering checks
 // InteractivePrefetcher::mu_ — held across blocking Gbo calls, so it must
 // rank below (be acquired before) Gbo::mu_.
 inline constexpr int kInteractivePrefetcher = 100;
+// workloads::IngestProducer::mu_ — the producer's frontier-lag window;
+// drop-oldest holds it across Gbo::DeleteUnit, so it ranks below Gbo::mu_.
+inline constexpr int kIngestProducer = 120;
 // Gbo::mu_ — the database-global lock (schema, queues, memory budget,
 // cold counters). Never held while a user read function runs; the
 // re-acquisition check enforces exactly that invariant, because every
@@ -49,6 +52,10 @@ inline constexpr int kGboMu = 200;
 // below kSimFilesystem.
 inline constexpr int kGboShardBase = 210;
 inline constexpr int kGboMaxShards = 64;
+// Gbo::watch_mu_ — the watch registry. Ranked above the shard range so a
+// thread holding mu_ and/or shard locks may snapshot the watcher list, but
+// callbacks themselves always run with no Gbo locks held.
+inline constexpr int kGboWatch = 280;
 // SimEnv::fs_mutex_ — the in-memory filesystem directory.
 inline constexpr int kSimFilesystem = 300;
 // FaultInjectionEnv::mu_ — the fault plan, consulted before base I/O.

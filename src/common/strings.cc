@@ -62,4 +62,26 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
+bool GlobMatch(std::string_view glob, std::string_view text) {
+  // Iterative wildcard match with backtracking over the last '*'.
+  size_t g = 0, t = 0;
+  size_t star = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (g < glob.size() && (glob[g] == '?' || glob[g] == text[t])) {
+      ++g;
+      ++t;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      g = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
 }  // namespace godiva

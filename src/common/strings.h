@@ -40,6 +40,10 @@ std::string FormatSeconds(double seconds);
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
 
+// True iff `text` matches `glob` ('*' any run, '?' one char). Used by the
+// fault plan's path patterns and Gbo watch patterns.
+bool GlobMatch(std::string_view glob, std::string_view text);
+
 }  // namespace godiva
 
 #endif  // GODIVA_COMMON_STRINGS_H_

@@ -502,6 +502,8 @@ GboStats Gbo::stats() const {
         shard->unit_cache_hits.load(std::memory_order_relaxed);
     out.lru_touches += shard->lru_touches.load(std::memory_order_relaxed);
   }
+  out.watch_notifications =
+      watch_notifications_.load(std::memory_order_relaxed);
   out.current_memory_bytes = memory_used_.load(std::memory_order_relaxed);
   out.visible_io_seconds = visible_io_time_.TotalSeconds();
   out.read_fn_seconds = read_fn_time_.TotalSeconds();

@@ -234,6 +234,56 @@ class Gbo {
   Status GetUnitError(const std::string& unit_name) const EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
+  // Live ingest: watch / supersede / invalidation (DESIGN.md §11).
+
+  enum class WatchEventKind {
+    kReady,        // a watched unit settled as kReady
+    kFailed,       // a watched unit settled as kFailed
+    kInvalidated,  // a newer publish superseded the watched unit
+  };
+  struct WatchEvent {
+    std::string unit_name;
+    WatchEventKind kind = WatchEventKind::kReady;
+    // The unit's staleness epoch the event belongs to: each accepted
+    // publish of a name bumps its epoch, so a consumer can ignore kReady
+    // events older than the newest kInvalidated it has seen.
+    int64_t epoch = 0;
+  };
+  // Watch callbacks run with no Gbo locks held, on whichever thread
+  // settled the unit (an I/O pool thread, a foreground reader, or the
+  // SupersedeUnit caller). They may call back into this Gbo. Events for a
+  // watch may still be delivered for a short window after UnregisterWatch
+  // returns (the callback copy may already be in flight).
+  using WatchFn = std::function<void(const WatchEvent&)>;
+
+  // Registers interest in every unit whose name matches `glob` ('*' / '?'
+  // wildcards). Returns the watch id for UnregisterWatch.
+  int64_t RegisterWatch(std::string glob, WatchFn fn) EXCLUDES(watch_mu_);
+  Status UnregisterWatch(int64_t watch_id) EXCLUDES(watch_mu_);
+
+  // Publishes a new version of `unit_name`: the ingest-side counterpart of
+  // AddUnit. If no live unit with the name exists, behaves like AddUnit.
+  // Otherwise the current version is invalidated — unpinned cached data is
+  // dropped and the unit requeued with `read_fn` immediately; a pinned or
+  // loading unit is marked stale, keeps serving its current (old-epoch)
+  // data to the pins that already hold it, and is reloaded once the last
+  // pin drains (in-flight readers finish; nobody ever observes torn
+  // state). Matching watchers get a kInvalidated event when a live unit
+  // was superseded, then the usual kReady/kFailed when the new version
+  // settles. Requires background_io (the reload path needs the pool);
+  // FAILED_PRECONDITION otherwise. Subject to the ingest admission gate
+  // (GboOptions::ingest_queue_limit): blocks or returns RESOURCE_EXHAUSTED
+  // per GboOptions::ingest_admission, ABORTED on shutdown while blocked.
+  Status SupersedeUnit(const std::string& unit_name, ReadFn read_fn,
+                       std::vector<std::string> resources = {})
+      EXCLUDES(mu_);
+
+  // The unit's current staleness epoch (bumped by every accepted publish
+  // of the name). NOT_FOUND if no unit with this name exists.
+  Result<int64_t> GetUnitEpoch(const std::string& unit_name) const
+      EXCLUDES(mu_);
+
+  // ---------------------------------------------------------------------
   // File health (per-file circuit breaker).
 
   // True iff the file has tripped the quarantine threshold.
@@ -308,6 +358,20 @@ class Gbo {
     // Files this unit's read function touches (AddUnit's resources
     // argument); input to the per-file circuit breaker.
     std::vector<std::string> resources;
+    // --- live ingest (DESIGN.md §11).
+    // Staleness epoch: bumped on every accepted publish of this name
+    // (EmplaceUnitLocked and SupersedeUnit). Survives state resets.
+    int64_t epoch = 0;
+    // A newer publish superseded this version while it was kReady-pinned
+    // or kLoading. Stale units keep serving their old-epoch data to
+    // existing pins, are never handed to new readers, never entered into
+    // an eviction list, and convert to a fresh kQueued load (with
+    // pending_read_fn) once the last pin/load drains.
+    bool stale = false;
+    // The superseding publish's read fn / resources, installed when the
+    // stale unit is requeued.
+    ReadFn pending_read_fn;
+    std::vector<std::string> pending_resources;
   };
 
   // One metadata stripe. `mu` (rank kGboShardBase + index) guards every
@@ -466,6 +530,41 @@ class Gbo {
   Status WaitUnitInternal(const std::string& unit_name,
                           const TimePoint* deadline) EXCLUDES(mu_);
 
+  // --- live ingest (watch registry + staleness; DESIGN.md §11).
+
+  // Delivers one event to every watcher whose glob matches `unit_name`.
+  // Must be called with NO Gbo locks held (callbacks may re-enter the
+  // public API); snapshots the matching callbacks under watch_mu_ and
+  // invokes them after releasing it.
+  void NotifyWatchers(const std::string& unit_name, WatchEventKind kind,
+                      int64_t epoch) EXCLUDES(mu_, watch_mu_);
+
+  // Converts a stale unit that still holds records (a superseded kReady
+  // unit whose last pin just drained, or a stale load that completed) into
+  // a fresh kQueued load of its pending read fn: purges the old records,
+  // resets lifecycle state, requeues. Entry: mu_ and s.mu held. Exit: only
+  // mu_ held (record purge locks key shards in order, like
+  // EvictUnitLocked).
+  void RequeueStaleUnitLocked(Shard& s, Unit* unit)
+      NO_THREAD_SAFETY_ANALYSIS;
+
+  // RequeueStaleUnitLocked for a unit with no records: resets it to
+  // kQueued with the pending read fn and requeues. Keeps both locks.
+  void ResetForReloadLocked(Shard& s, Unit* unit) REQUIRES(mu_, s.mu);
+
+  // Called with no locks held after a load settled on a unit that a
+  // concurrent publish marked stale: rolls partial records back and
+  // requeues the unit for its pending read fn (re-checking staleness
+  // under the locks). The unit stays kLoading until this runs.
+  void HandleStaleSettle(Shard& s, Unit* unit) EXCLUDES(mu_);
+
+  // The ingest admission gate (SupersedeUnit only): waits until the
+  // queued-unit backlog (demand + speculative) is below
+  // options_.ingest_queue_limit and memory is below the ingest high-water
+  // fraction, or rejects, per options_.ingest_admission. OK to publish /
+  // RESOURCE_EXHAUSTED / ABORTED on shutdown.
+  Status AdmitIngestLocked() REQUIRES(mu_);
+
   // --- circuit breaker.
 
   // Charges a permanent unit failure against each of the unit's declared
@@ -590,6 +689,21 @@ class Gbo {
 
   // Backoff jitter source (fixed seed: deterministic runs).
   Random retry_rng_ GUARDED_BY(mu_){0x60D1FA};
+
+  // --- watch registry (live ingest). watch_mu_ ranks above the shard
+  // range: a thread holding mu_ / shard locks may take it to snapshot the
+  // watcher list, but callbacks always run with no Gbo locks held.
+  struct Watcher {
+    int64_t id = 0;
+    std::string glob;
+    WatchFn fn;
+  };
+  mutable Mutex watch_mu_{lock_rank::kGboWatch, "Gbo::watch_mu_"};
+  std::vector<Watcher> watchers_ GUARDED_BY(watch_mu_);
+  int64_t next_watch_id_ GUARDED_BY(watch_mu_) = 1;
+  // Callbacks delivered; relaxed atomic (bumped outside any lock), summed
+  // into stats().
+  std::atomic<int64_t> watch_notifications_{0};
 
   // Time accumulators (internally thread safe, updated outside mu_).
   TimeAccumulator visible_io_time_;

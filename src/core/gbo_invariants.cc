@@ -101,6 +101,12 @@ Status Gbo::AuditInvariantsLocked() const {
             UnitStateName(unit->state), " with refcount ", unit->refcount,
             unit->finished ? "" : ", not finished"));
       }
+      if (unit->stale) {
+        // A superseded unit must never re-enter the cache: its old-epoch
+        // data converts to the pending reload instead of being evictable.
+        return InternalError(StrCat("invariant violation: stale unit ",
+                                    unit->name, " is in an evictable list"));
+      }
       // Each shard's list is ordered coldest-first so cross-shard eviction
       // can compare shard fronts: ascending lru_seq under LRU, ascending
       // ready_seq under FIFO.
@@ -132,6 +138,26 @@ Status Gbo::AuditInvariantsLocked() const {
                                     unit->waiters, ")"));
       }
       total_waiters += unit->waiters;
+
+      // Staleness (live ingest): only a live unit can be stale, a stale
+      // unit always carries its pending publish, and every unit has been
+      // through at least one publish epoch.
+      if (unit->stale && unit->state != UnitState::kReady &&
+          unit->state != UnitState::kLoading) {
+        return InternalError(StrCat("invariant violation: unit ", name,
+                                    " is stale in terminal state ",
+                                    UnitStateName(unit->state)));
+      }
+      if (unit->stale && !unit->pending_read_fn) {
+        return InternalError(StrCat("invariant violation: stale unit ", name,
+                                    " has no pending read function"));
+      }
+      if (unit->epoch < 1) {
+        return InternalError(StrCat("invariant violation: unit ", name,
+                                    " has epoch ", unit->epoch,
+                                    " (every unit is published at least "
+                                    "once)"));
+      }
 
       int64_t unit_bytes = 0;
       for (Record* record : unit->records) {
@@ -168,7 +194,10 @@ Status Gbo::AuditInvariantsLocked() const {
           }
           break;
         case UnitState::kReady:
-          if (unit->refcount == 0 && unit->finished &&
+          // Stale units are exempt: a drained superseded unit sits
+          // READY/unpinned only for the instant before its conversion
+          // requeues it, and must not be in any eviction list.
+          if (!unit->stale && unit->refcount == 0 && unit->finished &&
               in_evictable.count(unit.get()) == 0) {
             return InternalError(StrCat("invariant violation: unit ", name,
                                         " is READY, unpinned and finished "

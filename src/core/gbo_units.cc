@@ -115,6 +115,11 @@ void Gbo::EvictUnitLocked(Shard& s, Unit* unit, bool explicit_delete) {
   unit->state = UnitState::kDeleted;
   unit->refcount = 0;
   unit->finished = false;
+  // Deleting a superseded unit cancels its pending publish too (the
+  // caller asserts the data — any version — is no longer needed).
+  unit->stale = false;
+  unit->pending_read_fn = nullptr;
+  unit->pending_resources.clear();
   auto pos = std::find(s.evictable.begin(), s.evictable.end(), unit);
   if (pos != s.evictable.end()) s.evictable.erase(pos);
   RemoveFromQueuesLocked(unit);
@@ -342,7 +347,9 @@ Status Gbo::ExecuteRead(Shard& s, Unit* unit, const TimePoint* deadline,
     bool cancelled;
     {
       MutexLock shard_lock(&s.mu);
-      cancelled = unit->cancel_requested;
+      // A supersede makes retrying pointless: the settle path discards
+      // this epoch's result and requeues the pending publish.
+      cancelled = unit->cancel_requested || unit->stale;
     }
     if (shutdown_.load(std::memory_order_acquire) || cancelled) {
       return status;
@@ -376,11 +383,11 @@ Status Gbo::ExecuteRead(Shard& s, Unit* unit, const TimePoint* deadline,
       MutexLock shard_lock(&s.mu);
       unit->in_backoff = true;
       while (!shutdown_.load(std::memory_order_acquire) &&
-             !unit->cancel_requested) {
+             !unit->cancel_requested && !unit->stale) {
         if (!s.unit_cv.WaitUntil(&s.mu, wake)) break;  // backoff elapsed
       }
       unit->in_backoff = false;
-      cancelled = unit->cancel_requested;
+      cancelled = unit->cancel_requested || unit->stale;
     }
     if (shutdown_.load(std::memory_order_acquire) || cancelled) {
       return status;
@@ -416,6 +423,12 @@ Status Gbo::LoadInlineAndLock(Shard& s, Unit* unit,
     ++counters_.units_read_foreground;
   }
   s.mu.Lock();
+  if (unit->stale) {
+    // A publish superseded the unit mid-load: the result belongs to the
+    // old epoch. Leave it kLoading — the caller converts it to the
+    // pending version (HandleStaleSettle) and waits for the reload.
+    return status;
+  }
   unit->error = status;
   unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
   unit->ready_seq = next_ready_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -436,19 +449,22 @@ Status Gbo::AwaitReadyLocked(Shard& s, Unit* unit,
   // Wake the I/O pool's memory gate so it can re-run deadlock detection
   // now that a consumer is blocked.
   memory_cv_.NotifyAll();
+  // A settled-but-stale unit is still pending from the waiter's point of
+  // view: its data belongs to a superseded epoch and the reload has not
+  // landed yet, so the wait continues until the fresh version settles.
   bool completed = true;
   if (deadline == nullptr) {
     while (!shutdown_.load(std::memory_order_acquire) &&
-           !UnitSettled(*unit)) {
+           (!UnitSettled(*unit) || unit->stale)) {
       s.unit_cv.Wait(&s.mu);
     }
   } else {
     while (!shutdown_.load(std::memory_order_acquire) &&
-           !UnitSettled(*unit)) {
+           (!UnitSettled(*unit) || unit->stale)) {
       if (!s.unit_cv.WaitUntil(&s.mu, *deadline)) {
         // Timed out: one final predicate check under the re-held lock.
         completed = shutdown_.load(std::memory_order_acquire) ||
-                    UnitSettled(*unit);
+                    (UnitSettled(*unit) && !unit->stale);
         break;
       }
     }
@@ -460,7 +476,7 @@ Status Gbo::AwaitReadyLocked(Shard& s, Unit* unit,
         StrCat("unit ", unit->name, " not ready before the deadline (state ",
                UnitStateName(unit->state), ")"));
   }
-  if (unit->state == UnitState::kReady) return Status::Ok();
+  if (unit->state == UnitState::kReady && !unit->stale) return Status::Ok();
   if (unit->state == UnitState::kFailed) return unit->error;
   if (unit->state == UnitState::kDeleted) {
     return NotFoundError(StrCat("unit ", unit->name, " was deleted"));
@@ -484,6 +500,12 @@ Gbo::Unit* Gbo::EmplaceUnitLocked(Shard& s, const std::string& unit_name) {
   unit->finished = false;
   unit->attempt = 0;
   unit->cancel_requested = false;
+  // Every (re)publish of a name is a new staleness epoch; terminal states
+  // are never stale, so the flags only need resetting defensively.
+  ++unit->epoch;
+  unit->stale = false;
+  unit->pending_read_fn = nullptr;
+  unit->pending_resources.clear();
   return unit;
 }
 
@@ -536,11 +558,13 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
   Shard& s = ShardOfUnitName(unit_name);
 
   // Hot path: the unit is resident — one shard lock, no mu_, no queue or
-  // memory work.
+  // memory work. A stale unit's data belongs to a superseded epoch, so it
+  // is never served to a new reader.
   {
     MutexLock shard_lock(&s.mu);
     auto hot = s.units.find(unit_name);
-    if (hot != s.units.end() && hot->second->state == UnitState::kReady) {
+    if (hot != s.units.end() && hot->second->state == UnitState::kReady &&
+        !hot->second->stale) {
       PinLocked(s, hot->second.get());
       s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
@@ -560,7 +584,7 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
           ? it->second.get()
           : nullptr;
 
-  if (unit != nullptr && unit->state == UnitState::kReady) {
+  if (unit != nullptr && unit->state == UnitState::kReady && !unit->stale) {
     // Raced: the unit settled between the hot-path check and relocking.
     PinLocked(s, unit);
     s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -571,6 +595,7 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
 
   Stopwatch stopwatch;
   Status status;
+  bool loaded_inline = false;
   if (unit == nullptr) {
     // Fresh (or previously deleted/failed) unit: blocking foreground read.
     if (!read_fn) {
@@ -581,8 +606,10 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
     unit = EmplaceUnitLocked(s, unit_name);
     unit->read_fn = std::move(read_fn);
     status = LoadInlineAndLock(s, unit, deadline);  // exit: only s.mu held
+    loaded_inline = true;
   } else if (unit->state == UnitState::kQueued && !options_.background_io) {
     status = LoadInlineAndLock(s, unit, deadline);
+    loaded_inline = true;
   } else {
     // Queued (multi-thread) or already loading: wait for it. With a pool
     // (> 1 thread) a still-queued unit is a demand miss — promote it past
@@ -594,10 +621,36 @@ Status Gbo::ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
     mu_.Unlock();
     status = AwaitReadyLocked(s, unit, deadline);  // s.mu held throughout
   }
+  bool settled_here = loaded_inline;
+  if (loaded_inline && unit->state == UnitState::kLoading && unit->stale) {
+    // A publish superseded the unit while our inline load ran: discard
+    // this epoch's result, install the pending version, and wait for its
+    // reload (SupersedeUnit requires background_io, so a pool thread will
+    // pick it up).
+    settled_here = false;
+    s.mu.Unlock();
+    HandleStaleSettle(s, unit);
+    mu_.Lock();
+    s.mu.Lock();
+    if (unit->state == UnitState::kQueued && options_.io_threads > 1) {
+      PromoteToDemandLocked(unit);
+    }
+    mu_.Unlock();
+    status = AwaitReadyLocked(s, unit, deadline);
+  }
   // s.mu has been held continuously since the terminal state was
   // observed, so the pin cannot race an eviction.
   if (status.ok()) PinLocked(s, unit);
+  WatchEventKind settled_kind = WatchEventKind::kReady;
+  int64_t settled_epoch = 0;
+  if (settled_here) {
+    settled_kind = unit->state == UnitState::kReady
+                       ? WatchEventKind::kReady
+                       : WatchEventKind::kFailed;
+    settled_epoch = unit->epoch;
+  }
   s.mu.Unlock();
+  if (settled_here) NotifyWatchers(unit_name, settled_kind, settled_epoch);
   visible_io_time_.Add(stopwatch.Elapsed());
   CheckInvariantsDebug();
   return status;
@@ -626,7 +679,7 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
       return NotFoundError(StrCat("no unit named ", unit_name));
     }
     Unit* resident = hot->second.get();
-    if (resident->state == UnitState::kReady) {
+    if (resident->state == UnitState::kReady && !resident->stale) {
       PinLocked(s, resident);
       s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
@@ -643,7 +696,7 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   Unit* unit = it->second.get();
-  if (unit->state == UnitState::kReady) {
+  if (unit->state == UnitState::kReady && !unit->stale) {
     PinLocked(s, unit);
     s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
     s.mu.Unlock();
@@ -659,9 +712,13 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
 
   Stopwatch stopwatch;
   Status status;
+  bool settled_here = false;
   if (unit->state == UnitState::kQueued && !options_.background_io) {
     // Single-thread library: the read happens inside the wait (paper §4.2).
+    // SupersedeUnit is rejected without background_io, so the settled unit
+    // cannot be stale here.
     status = LoadInlineAndLock(s, unit, deadline);
+    settled_here = true;
   } else {
     // Demand miss: with an I/O pool, jump the unit ahead of speculative
     // prefetches (single-thread pools keep the paper's FIFO order).
@@ -672,7 +729,16 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
     status = AwaitReadyLocked(s, unit, deadline);
   }
   if (status.ok()) PinLocked(s, unit);
+  WatchEventKind settled_kind = WatchEventKind::kReady;
+  int64_t settled_epoch = 0;
+  if (settled_here) {
+    settled_kind = unit->state == UnitState::kReady
+                       ? WatchEventKind::kReady
+                       : WatchEventKind::kFailed;
+    settled_epoch = unit->epoch;
+  }
   s.mu.Unlock();
+  if (settled_here) NotifyWatchers(unit_name, settled_kind, settled_epoch);
   visible_io_time_.Add(stopwatch.Elapsed());
   CheckInvariantsDebug();
   return status;
@@ -680,6 +746,7 @@ Status Gbo::WaitUnitInternal(const std::string& unit_name,
 
 Status Gbo::FinishUnit(const std::string& unit_name) {
   Shard& s = ShardOfUnitName(unit_name);
+  Unit* drained_stale = nullptr;
   {
     MutexLock shard_lock(&s.mu);
     auto it = s.units.find(unit_name);
@@ -694,8 +761,18 @@ Status Gbo::FinishUnit(const std::string& unit_name) {
     }
     if (unit->refcount > 0) --unit->refcount;
     unit->finished = true;
-    if (unit->refcount == 0) MakeEvictableLocked(s, unit);
+    if (unit->refcount == 0) {
+      if (unit->stale) {
+        // The last pin of a superseded version just drained: the old data
+        // must not enter the cache — it converts to the pending publish's
+        // reload instead (below, outside the shard-only fast path).
+        drained_stale = unit;
+      } else {
+        MakeEvictableLocked(s, unit);
+      }
+    }
   }
+  if (drained_stale != nullptr) HandleStaleSettle(s, drained_stale);
   // A memory-gated I/O thread waits on mu_, which the shard-only path
   // above never takes, so its NotifyAll can be lost. Deliver the wakeup
   // under mu_ (shard lock released first — mu_ ranks below it) so the
@@ -873,6 +950,8 @@ void Gbo::IoThreadMain(size_t thread_index) NO_THREAD_SAFETY_ANALYSIS {
     Unit* unit = PopNextQueuedLocked();
     if (unit == nullptr) continue;
     Shard& s = *shards_[unit->shard_index];
+    bool short_circuited = false;
+    int64_t short_circuit_epoch = 0;
     {
       MutexLock shard_lock(&s.mu);
       if (unit->state != UnitState::kQueued) continue;  // raced with delete
@@ -881,9 +960,19 @@ void Gbo::IoThreadMain(size_t thread_index) NO_THREAD_SAFETY_ANALYSIS {
       if (const std::string* quarantined =
               QuarantinedResourceLocked(*unit)) {
         ShortCircuitUnitLocked(s, unit, *quarantined);
-        continue;
+        short_circuited = true;
+        short_circuit_epoch = unit->epoch;
+      } else {
+        unit->state = UnitState::kLoading;
       }
-      unit->state = UnitState::kLoading;
+    }
+    if (short_circuited) {
+      // Watchers are notified with no Gbo lock held.
+      std::string name = unit->name;
+      mu_.Unlock();
+      NotifyWatchers(name, WatchEventKind::kFailed, short_circuit_epoch);
+      mu_.Lock();
+      continue;
     }
     ++loads_in_flight_;
     Stopwatch busy;
@@ -897,18 +986,35 @@ void Gbo::IoThreadMain(size_t thread_index) NO_THREAD_SAFETY_ANALYSIS {
                                 /*on_io_thread=*/true);
 
     // Completion path (ISSUE 5): only the landed unit's shard lock is
-    // taken to settle it.
+    // taken to settle it. A load that was superseded mid-flight stays
+    // kLoading and converts to the pending publish instead — its result
+    // (success or failure) belongs to a dead epoch.
+    bool went_stale = false;
+    int64_t settled_epoch = 0;
     {
       MutexLock shard_lock(&s.mu);
-      unit->error = status;
-      unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
-      unit->ready_seq =
-          next_ready_seq_.fetch_add(1, std::memory_order_relaxed);
-      s.unit_cv.NotifyAll();
+      if (unit->stale) {
+        went_stale = true;
+      } else {
+        unit->error = status;
+        unit->state = status.ok() ? UnitState::kReady : UnitState::kFailed;
+        unit->ready_seq =
+            next_ready_seq_.fetch_add(1, std::memory_order_relaxed);
+        settled_epoch = unit->epoch;
+        s.unit_cv.NotifyAll();
+      }
     }
-    if (!status.ok()) {
-      GODIVA_LOG(kWarning) << "prefetch of unit " << unit->name
-                           << " failed: " << status;
+    if (went_stale) {
+      HandleStaleSettle(s, unit);
+    } else {
+      if (!status.ok()) {
+        GODIVA_LOG(kWarning) << "prefetch of unit " << unit->name
+                             << " failed: " << status;
+      }
+      NotifyWatchers(unit->name,
+                     status.ok() ? WatchEventKind::kReady
+                                 : WatchEventKind::kFailed,
+                     settled_epoch);
     }
     CheckInvariantsDebug();
 

@@ -1,0 +1,284 @@
+// Gbo: the live-ingest surface (DESIGN.md §11) — the watch registry,
+// SupersedeUnit (publish a new version of a unit, invalidating the cached
+// one), staleness-epoch conversion of superseded units, and the ingest
+// admission gate that bounds how far a producer may outrun the I/O pool.
+//
+// Locking: the watch registry lives under watch_mu_ (rank kGboWatch, above
+// the shard range), but callbacks are always invoked with no Gbo lock held
+// — NotifyWatchers snapshots the matching callbacks under watch_mu_ and
+// runs them after releasing it, so a callback may re-enter any public
+// method. Staleness transitions follow the standard mu_ → shard order.
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/strings.h"
+#include "core/gbo.h"
+
+namespace godiva {
+
+// ---------------------------------------------------------------------
+// Watch registry.
+
+int64_t Gbo::RegisterWatch(std::string glob, WatchFn fn) {
+  MutexLock lock(&watch_mu_);
+  int64_t id = next_watch_id_++;
+  watchers_.push_back(Watcher{id, std::move(glob), std::move(fn)});
+  return id;
+}
+
+Status Gbo::UnregisterWatch(int64_t watch_id) {
+  MutexLock lock(&watch_mu_);
+  auto pos = std::find_if(
+      watchers_.begin(), watchers_.end(),
+      [watch_id](const Watcher& w) { return w.id == watch_id; });
+  if (pos == watchers_.end()) {
+    return NotFoundError(StrCat("no watch with id ", watch_id));
+  }
+  watchers_.erase(pos);
+  return Status::Ok();
+}
+
+void Gbo::NotifyWatchers(const std::string& unit_name, WatchEventKind kind,
+                         int64_t epoch) {
+  // Snapshot the matching callbacks so they run lock-free: a callback may
+  // block, take arbitrarily long, or call back into this database.
+  std::vector<WatchFn> matched;
+  {
+    MutexLock lock(&watch_mu_);
+    for (const Watcher& watcher : watchers_) {
+      if (GlobMatch(watcher.glob, unit_name)) matched.push_back(watcher.fn);
+    }
+  }
+  if (matched.empty()) return;
+  WatchEvent event;
+  event.unit_name = unit_name;
+  event.kind = kind;
+  event.epoch = epoch;
+  for (const WatchFn& fn : matched) {
+    fn(event);
+    watch_notifications_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Staleness conversion: a superseded unit becomes a fresh kQueued load of
+// its pending read function once nothing holds its old version anymore.
+
+void Gbo::ResetForReloadLocked(Shard& s, Unit* unit) {
+  (void)s;  // present for the REQUIRES(s.mu) contract
+  unit->read_fn = std::move(unit->pending_read_fn);
+  unit->pending_read_fn = nullptr;
+  unit->resources = std::move(unit->pending_resources);
+  unit->pending_resources.clear();
+  unit->stale = false;
+  unit->state = UnitState::kQueued;
+  unit->error = Status::Ok();
+  unit->ready_seq = -1;
+  unit->lru_seq = -1;
+  unit->refcount = 0;
+  unit->finished = false;
+  unit->attempt = 0;
+  unit->cancel_requested = false;
+  // A thread already blocked on the new version makes this a demand miss;
+  // single-thread pools keep the paper's strict FIFO order.
+  if (unit->waiters > 0 && options_.io_threads > 1) {
+    demand_queue_.push_back(unit);
+  } else {
+    prefetch_queue_.push_back(unit);
+  }
+  NoteQueueDepthLocked();
+  queue_cv_.NotifyOne();
+}
+
+// Entry: mu_ and s.mu held. Exit: only mu_ held (the record purge locks
+// key shards, so s.mu must be free — same shape as EvictUnitLocked).
+void Gbo::RequeueStaleUnitLocked(Shard& s, Unit* unit) {
+  std::vector<Record*> victims;
+  victims.swap(unit->records);
+  int64_t freed = unit->memory_bytes;
+  unit->memory_bytes = 0;
+  ResetForReloadLocked(s, unit);
+  s.mu.Unlock();
+  ReleaseRecordsLocked(victims, freed);
+}
+
+void Gbo::HandleStaleSettle(Shard& s, Unit* unit)
+    NO_THREAD_SAFETY_ANALYSIS {
+  // Re-check staleness under the standard lock order: a concurrent
+  // DeleteUnit may have evicted the unit (clearing `stale`, cancelling
+  // the pending publish along with the unit), or a sibling caller may
+  // have converted it already — in either case this call is a no-op. The
+  // records purge happens under the same acquisition, so it can never
+  // outlive the staleness it belongs to and claw back a fresh reload.
+  mu_.Lock();
+  s.mu.Lock();
+  if (!unit->stale) {
+    s.mu.Unlock();
+    mu_.Unlock();
+    return;
+  }
+  RequeueStaleUnitLocked(s, unit);  // drops the old records; exits mu_-only
+  mu_.Unlock();
+}
+
+// ---------------------------------------------------------------------
+// Ingest admission.
+
+Status Gbo::AdmitIngestLocked() {
+  if (options_.ingest_queue_limit <= 0) return Status::Ok();
+  const double fraction =
+      std::clamp(options_.ingest_memory_fraction, 0.0, 1.0);
+  auto over_memory = [this, fraction]() {
+    int64_t limit = memory_limit_.load(std::memory_order_relaxed);
+    int64_t high_water =
+        static_cast<int64_t>(static_cast<double>(limit) * fraction);
+    return memory_used_.load(std::memory_order_relaxed) >= high_water;
+  };
+  // Called under mu_ (lambdas are opaque to -Wthread-safety; the enclosing
+  // function's REQUIRES(mu_) is the real contract).
+  auto backlog_full = [this]() {
+    return static_cast<int>(demand_queue_.size() + prefetch_queue_.size()) >=
+           options_.ingest_queue_limit;
+  };
+  // Prefer making room to blocking: above the high-water mark, evict cold
+  // finished units (typically the producer's own older snapshots).
+  while (over_memory() && EvictOneLocked()) {
+  }
+  if (!backlog_full() && !over_memory()) return Status::Ok();
+  if (options_.ingest_admission == IngestAdmission::kReject) {
+    ++counters_.publishes_rejected;
+    return ResourceExhaustedError(StrCat(
+        "ingest admission rejected: ",
+        demand_queue_.size() + prefetch_queue_.size(), " units queued (limit ",
+        options_.ingest_queue_limit, "), memory ",
+        FormatBytes(memory_used_.load(std::memory_order_relaxed)), " of ",
+        FormatBytes(memory_limit_.load(std::memory_order_relaxed))));
+  }
+  // Block until the pool drains the backlog below the window. Queue pops
+  // are only signalled indirectly (memory_cv_ fires when a load settles),
+  // so the wait is a bounded poll; the waiter count makes FinishUnit's
+  // shard-only fast path re-take mu_ to deliver wakeups.
+  ++counters_.ingest_admission_stalls;
+  Stopwatch stopwatch;
+  memory_gate_waiters_.fetch_add(1, std::memory_order_relaxed);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    while (over_memory() && EvictOneLocked()) {
+    }
+    if (!backlog_full() && !over_memory()) break;
+    memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
+                                   std::chrono::milliseconds(2));
+  }
+  memory_gate_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  counters_.ingest_stall_seconds += stopwatch.ElapsedSeconds();
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return AbortedError("database is shutting down");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// SupersedeUnit.
+
+Status Gbo::SupersedeUnit(const std::string& unit_name, ReadFn read_fn,
+                          std::vector<std::string> resources)
+    NO_THREAD_SAFETY_ANALYSIS {
+  if (unit_name.empty()) return InvalidArgumentError("unit name is empty");
+  if (!read_fn) return InvalidArgumentError("read function is null");
+  if (!options_.background_io) {
+    return FailedPreconditionError(
+        "SupersedeUnit requires background_io: the superseded unit is "
+        "reloaded by the I/O pool");
+  }
+  Shard& s = ShardOfUnitName(unit_name);
+  bool invalidated = false;       // a live unit was superseded
+  bool convert_now = false;       // …and nothing pins it: requeue here
+  int64_t epoch = 0;
+  Unit* unit = nullptr;
+  mu_.Lock();
+  Status admitted = AdmitIngestLocked();
+  if (!admitted.ok()) {
+    mu_.Unlock();
+    return admitted;
+  }
+  s.mu.Lock();
+  auto it = s.units.find(unit_name);
+  Unit* existing = it != s.units.end() ? it->second.get() : nullptr;
+  if (existing == nullptr || existing->state == UnitState::kDeleted ||
+      existing->state == UnitState::kFailed) {
+    // No live version: behaves like AddUnit (a failed unit's next epoch
+    // simply starts queued; its terminal error is reset).
+    unit = EmplaceUnitLocked(s, unit_name);
+    unit->read_fn = std::move(read_fn);
+    unit->resources = std::move(resources);
+    prefetch_queue_.push_back(unit);
+    ++counters_.units_added;
+    NoteQueueDepthLocked();
+    queue_cv_.NotifyOne();
+  } else {
+    unit = existing;
+    ++unit->epoch;
+    switch (unit->state) {
+      case UnitState::kQueued:
+        // Not started: swap the publish in place. IoThreadMain holds mu_
+        // continuously from queue pop to the kLoading transition, so a
+        // kQueued unit observed under mu_ cannot be mid-dequeue.
+        unit->read_fn = std::move(read_fn);
+        unit->resources = std::move(resources);
+        break;
+      case UnitState::kReady:
+      case UnitState::kLoading:
+        // Invalidate the live version. Pins that already hold the old
+        // data keep it until they FinishUnit; new readers wait for the
+        // reload; an in-flight load's result is discarded at settle.
+        unit->stale = true;
+        unit->pending_read_fn = std::move(read_fn);
+        unit->pending_resources = std::move(resources);
+        invalidated = true;
+        ++counters_.units_invalidated;
+        if (unit->state == UnitState::kReady && unit->refcount == 0) {
+          // Unpinned cache entry: drop and requeue immediately. Pull it
+          // out of the eviction list first so the cache policy cannot
+          // race the conversion.
+          auto pos =
+              std::find(s.evictable.begin(), s.evictable.end(), unit);
+          if (pos != s.evictable.end()) s.evictable.erase(pos);
+          convert_now = true;
+        } else if (unit->in_backoff) {
+          // Wake the backoff sleep: retrying the old epoch is pointless.
+          s.unit_cv.NotifyAll();
+        }
+        break;
+      case UnitState::kFailed:
+      case UnitState::kDeleted:
+        break;  // unreachable: handled by the fresh-publish branch
+    }
+  }
+  ++counters_.units_superseded;
+  epoch = unit->epoch;
+  s.mu.Unlock();
+  mu_.Unlock();
+  if (convert_now) HandleStaleSettle(s, unit);
+  if (invalidated) {
+    NotifyWatchers(unit_name, WatchEventKind::kInvalidated, epoch);
+  }
+  CheckInvariantsDebug();
+  return Status::Ok();
+}
+
+Result<int64_t> Gbo::GetUnitEpoch(const std::string& unit_name) const {
+  Shard& s = ShardOfUnitName(unit_name);
+  MutexLock shard_lock(&s.mu);
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end()) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  return it->second->epoch;
+}
+
+}  // namespace godiva

@@ -52,6 +52,15 @@ struct RetryPolicy {
   }
 };
 
+// What Gbo::SupersedeUnit does when the ingest admission gate is closed
+// (too many superseded units still queued for reload, or memory above the
+// ingest high-water mark): block the producer until the backlog drains, or
+// reject the publish so the producer can drop/skip per its own policy.
+enum class IngestAdmission {
+  kBlock,
+  kReject,
+};
+
 struct GboOptions {
   // Maximum memory the database may use for record buffers (plus the small
   // per-record overhead). Set at creation like the paper's `new GBO(400)`
@@ -94,6 +103,22 @@ struct GboOptions {
   // functions, until Gbo::ResetFileHealth. 0 disables the breaker. Units
   // that declare no resources never participate.
   int quarantine_threshold = 3;
+
+  // --- Live-ingest admission (Gbo::SupersedeUnit only; AddUnit and the
+  // reader-side API are never throttled).
+
+  // Maximum number of ingest-published units allowed to sit in the queues
+  // waiting for their (re)load before further publishes are throttled —
+  // the frontier-lag window. 0 disables the gate.
+  int ingest_queue_limit = 0;
+
+  // Publishes are additionally throttled while memory_used exceeds this
+  // fraction of the memory limit, so a fast producer cannot thrash the
+  // shared LRU. Only consulted when ingest_queue_limit > 0.
+  double ingest_memory_fraction = 0.9;
+
+  // Blocking vs rejecting admission; see IngestAdmission.
+  IngestAdmission ingest_admission = IngestAdmission::kBlock;
 
   static GboOptions SingleThread() {
     GboOptions options;

@@ -29,6 +29,12 @@ std::string GboStats::ToString() const {
       " short_circuited=", reads_short_circuited,
       " salvaged=", salvaged_datasets,
       " torn_writes=", torn_writes_detected,
+      "] ingest[superseded=", units_superseded,
+      " invalidated=", units_invalidated,
+      " notifications=", watch_notifications,
+      " stalls=", ingest_admission_stalls,
+      " stall_time=", FormatSeconds(ingest_stall_seconds),
+      " rejected=", publishes_rejected,
       "] invariant_checks=", invariant_checks,
       " records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",

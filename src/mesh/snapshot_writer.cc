@@ -79,43 +79,71 @@ Status WriteBlock(gsdf::Writer* writer, const MeshBlock& block, double t) {
 
 }  // namespace
 
+SnapshotDataset DescribeSnapshotDataset(const DatasetSpec& spec,
+                                        const std::string& prefix) {
+  SnapshotDataset out;
+  out.spec = spec;
+  out.prefix = prefix;
+  for (int s = 0; s < spec.num_snapshots; ++s) {
+    for (int f = 0; f < spec.files_per_snapshot; ++f) {
+      out.files.push_back(SnapshotFileName(prefix, s, f));
+    }
+  }
+  return out;
+}
+
+Result<int64_t> WriteOneSnapshot(Env* env, const DatasetSpec& spec,
+                                 const std::string& prefix,
+                                 const std::vector<MeshBlock>& blocks,
+                                 int snapshot, double t,
+                                 const SnapshotWriteOptions& options) {
+  if (spec.num_blocks < spec.files_per_snapshot) {
+    return InvalidArgumentError("fewer blocks than files per snapshot");
+  }
+  int64_t total_bytes = 0;
+  for (int f = 0; f < spec.files_per_snapshot; ++f) {
+    std::string path = SnapshotFileName(prefix, snapshot, f);
+    gsdf::Writer::Options writer_options;
+    writer_options.checksums = options.checksums;
+    writer_options.atomic = options.atomic;
+    GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<gsdf::Writer> writer,
+                            gsdf::Writer::Create(env, path, writer_options));
+    writer->SetFileAttribute("snapshot", StrCat(snapshot));
+    writer->SetFileAttribute("time", StrFormat("%.9f", t));
+    std::vector<int32_t> file_blocks = BlocksInFile(spec, f);
+    writer->SetFileAttribute("num_blocks", StrCat(file_blocks.size()));
+    GODIVA_RETURN_IF_ERROR(writer->AddDataset(
+        "blocks", DataType::kInt32, file_blocks.data(),
+        static_cast<int64_t>(file_blocks.size()) * 4));
+    for (int32_t b : file_blocks) {
+      GODIVA_RETURN_IF_ERROR(
+          WriteBlock(writer.get(), blocks[static_cast<size_t>(b)], t));
+    }
+    GODIVA_RETURN_IF_ERROR(writer->Finish());
+    GODIVA_ASSIGN_OR_RETURN(int64_t size, env->GetFileSize(path));
+    total_bytes += size;
+  }
+  return total_bytes;
+}
+
 Result<SnapshotDataset> WriteSnapshotDataset(Env* env,
                                              const DatasetSpec& spec,
                                              const std::string& prefix) {
   if (spec.num_blocks < spec.files_per_snapshot) {
     return InvalidArgumentError("fewer blocks than files per snapshot");
   }
-  SnapshotDataset out;
-  out.spec = spec;
-  out.prefix = prefix;
+  SnapshotDataset out = DescribeSnapshotDataset(spec, prefix);
 
   std::vector<MeshBlock> blocks = MakeBlocks(spec);
 
+  SnapshotWriteOptions write_options;
+  write_options.checksums = spec.checksums;
   for (int s = 0; s < spec.num_snapshots; ++s) {
-    double t = spec.TimeOf(s);
-    for (int f = 0; f < spec.files_per_snapshot; ++f) {
-      std::string path = SnapshotFileName(prefix, s, f);
-      gsdf::Writer::Options writer_options;
-      writer_options.checksums = spec.checksums;
-      GODIVA_ASSIGN_OR_RETURN(
-          std::unique_ptr<gsdf::Writer> writer,
-          gsdf::Writer::Create(env, path, writer_options));
-      writer->SetFileAttribute("snapshot", StrCat(s));
-      writer->SetFileAttribute("time", StrFormat("%.9f", t));
-      std::vector<int32_t> file_blocks = BlocksInFile(spec, f);
-      writer->SetFileAttribute("num_blocks", StrCat(file_blocks.size()));
-      GODIVA_RETURN_IF_ERROR(writer->AddDataset(
-          "blocks", DataType::kInt32, file_blocks.data(),
-          static_cast<int64_t>(file_blocks.size()) * 4));
-      for (int32_t b : file_blocks) {
-        GODIVA_RETURN_IF_ERROR(
-            WriteBlock(writer.get(), blocks[static_cast<size_t>(b)], t));
-      }
-      GODIVA_RETURN_IF_ERROR(writer->Finish());
-      GODIVA_ASSIGN_OR_RETURN(int64_t size, env->GetFileSize(path));
-      out.total_bytes += size;
-      out.files.push_back(std::move(path));
-    }
+    GODIVA_ASSIGN_OR_RETURN(
+        int64_t bytes,
+        WriteOneSnapshot(env, spec, prefix, blocks, s, spec.TimeOf(s),
+                         write_options));
+    out.total_bytes += bytes;
   }
   return out;
 }

@@ -39,6 +39,31 @@ struct SnapshotDataset {
   std::vector<std::string> SnapshotFiles(int s) const;
 };
 
+// The file layout of a dataset (all paths, snapshot-major) without writing
+// anything. Lets a live-ingest consumer name units for snapshots that do
+// not exist yet; total_bytes stays 0.
+SnapshotDataset DescribeSnapshotDataset(const DatasetSpec& spec,
+                                        const std::string& prefix);
+
+// Writer knobs for one snapshot of a dataset.
+struct SnapshotWriteOptions {
+  // Attach per-dataset CRC-32 attributes (gsdf checksums).
+  bool checksums = false;
+  // tmp+rename crash consistency. Off reproduces the pre-atomic layout
+  // where a crash leaves a torn file at the final path.
+  bool atomic = true;
+};
+
+// Writes the `files_per_snapshot` files of snapshot `snapshot` at time `t`
+// from pre-partitioned `blocks`; returns bytes written. This is the
+// per-step entry point a live producer calls as the solution advances (and
+// re-calls to rewrite a torn snapshot).
+Result<int64_t> WriteOneSnapshot(Env* env, const DatasetSpec& spec,
+                                 const std::string& prefix,
+                                 const std::vector<MeshBlock>& blocks,
+                                 int snapshot, double t,
+                                 const SnapshotWriteOptions& options = {});
+
 // Generates the mesh, partitions it, synthesizes all quantities for every
 // snapshot, and writes the files through `env`. Deterministic.
 Result<SnapshotDataset> WriteSnapshotDataset(Env* env,

@@ -10,28 +10,6 @@
 
 namespace godiva {
 
-bool GlobMatch(std::string_view glob, std::string_view text) {
-  // Iterative wildcard match with backtracking over the last '*'.
-  size_t g = 0, t = 0;
-  size_t star = std::string_view::npos, star_t = 0;
-  while (t < text.size()) {
-    if (g < glob.size() && (glob[g] == '?' || glob[g] == text[t])) {
-      ++g;
-      ++t;
-    } else if (g < glob.size() && glob[g] == '*') {
-      star = g++;
-      star_t = t;
-    } else if (star != std::string_view::npos) {
-      g = star + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
-  }
-  while (g < glob.size() && glob[g] == '*') ++g;
-  return g == glob.size();
-}
-
 namespace {
 
 Status MakeInjectedError(const FaultRule& rule, const std::string& path,
@@ -226,6 +204,11 @@ bool FaultInjectionEnv::PathCrashed(const std::string& path) const {
 void FaultInjectionEnv::ClearCrashedPaths() {
   MutexLock lock(&mu_);
   crashed_paths_.clear();
+}
+
+void FaultInjectionEnv::ClearCrashedPath(const std::string& path) {
+  MutexLock lock(&mu_);
+  crashed_paths_.erase(path);
 }
 
 namespace {

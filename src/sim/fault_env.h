@@ -115,6 +115,9 @@ class FaultInjectionEnv : public Env {
   // "Reboot": crashed paths accept mutating ops again. The torn bytes that
   // already landed in the base env stay as-is.
   void ClearCrashedPaths() EXCLUDES(mu_);
+  // Per-path reboot: only `path` accepts mutating ops again. Lets an ingest
+  // producer rewrite one torn file while crash rules stay armed for others.
+  void ClearCrashedPath(const std::string& path) EXCLUDES(mu_);
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -166,10 +169,6 @@ class FaultInjectionEnv : public Env {
   std::set<std::string> crashed_paths_ GUARDED_BY(mu_);
   FaultStats stats_ GUARDED_BY(mu_);
 };
-
-// True iff `text` matches `glob` ('*' any run, '?' one char). Exposed for
-// tests.
-bool GlobMatch(std::string_view glob, std::string_view text);
 
 }  // namespace godiva
 

@@ -16,6 +16,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/strings.h"
 #include "common/types.h"
 #include "core/gbo.h"
 #include "core/key_util.h"

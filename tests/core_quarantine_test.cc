@@ -154,6 +154,53 @@ TEST(QuarantineTest, ResetFileHealthReenablesReads) {
             StatusCode::kNotFound);
 }
 
+TEST(QuarantineTest, ResetFileHealthFullCycleStats) {
+  // The operator's full repair cycle — quarantine, rewrite, reset,
+  // re-admit — with the stats counters checked at every step.
+  Gbo db(SingleThreadNoRetry(1));
+  DefineUnitSchema(&db);
+
+  // Corruption trips the breaker on the first permanent failure, and a
+  // second unit over the same file short-circuits without reading.
+  std::atomic<int> bad_reads{0};
+  ASSERT_TRUE(db.AddUnit("v0", FailingReadFn(&bad_reads), {"cyc.gsdf"}).ok());
+  EXPECT_EQ(db.WaitUnit("v0").code(), StatusCode::kDataLoss);
+  ASSERT_TRUE(db.IsFileQuarantined("cyc.gsdf"));
+  ASSERT_TRUE(db.AddUnit("v1", FailingReadFn(&bad_reads), {"cyc.gsdf"}).ok());
+  EXPECT_EQ(db.WaitUnit("v1").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(bad_reads.load(), 1);  // v1 never ran
+  GboStats tripped = db.stats();
+  EXPECT_EQ(tripped.files_quarantined, 1);
+  EXPECT_EQ(tripped.reads_short_circuited, 1);
+  EXPECT_EQ(tripped.units_failed_permanent, 1);
+
+  // The file is rewritten out of band; ResetFileHealth re-arms it and a
+  // fresh unit streams normally — the read function really runs.
+  ASSERT_TRUE(db.ResetFileHealth("cyc.gsdf").ok());
+  EXPECT_FALSE(db.IsFileQuarantined("cyc.gsdf"));
+  EXPECT_TRUE(db.QuarantinedFiles().empty());
+  std::atomic<int> good_reads{0};
+  ASSERT_TRUE(db.AddUnit("v2", GoodReadFn(&good_reads), {"cyc.gsdf"}).ok());
+  EXPECT_TRUE(db.WaitUnit("v2").ok());
+  EXPECT_EQ(good_reads.load(), 1);
+  auto record = db.FindRecord("chunk", {PadKey("v2", 16)});
+  EXPECT_TRUE(record.ok()) << record.status();
+
+  // A healthy pass charges nothing new to the counters.
+  GboStats healthy = db.stats();
+  EXPECT_EQ(healthy.files_quarantined, 1);
+  EXPECT_EQ(healthy.reads_short_circuited, 1);
+
+  // A relapse after the reset counts as a second quarantine event.
+  std::atomic<int> relapse_reads{0};
+  ASSERT_TRUE(
+      db.AddUnit("v3", FailingReadFn(&relapse_reads), {"cyc.gsdf"}).ok());
+  EXPECT_FALSE(db.WaitUnit("v3").ok());
+  EXPECT_EQ(relapse_reads.load(), 1);  // the breaker really was re-armed
+  EXPECT_TRUE(db.IsFileQuarantined("cyc.gsdf"));
+  EXPECT_EQ(db.stats().files_quarantined, 2);
+}
+
 TEST(QuarantineTest, ZeroThresholdDisablesTheBreaker) {
   Gbo db(SingleThreadNoRetry(0));
   DefineUnitSchema(&db);

@@ -260,6 +260,83 @@ TEST(GsdfCrashTest, CrashOnRenameKeepsFinalPathClean) {
   EXPECT_TRUE((*reader)->VerifyAllChecksums().ok());
 }
 
+TEST(GsdfCrashTest, FailedSyncLeavesNoStrayTempFile) {
+  // A sync that fails with a plain error (no power loss) must not leak the
+  // temp file: Finish() abandons and deletes it before reporting.
+  ReferenceData ref = MakeReference();
+  SimEnv base{SimEnv::Options{}};
+  FaultInjectionEnv fault(&base);
+  FaultRule rule;
+  rule.op = FaultOp::kSync;
+  rule.kind = FaultKind::kError;
+  fault.AddRule(rule);
+
+  EXPECT_FALSE(WriteTestFile(&fault, kFinal, ref).ok());
+  EXPECT_FALSE(base.FileExists(kFinal));
+  EXPECT_FALSE(base.FileExists(Writer::TempPath(kFinal)));
+}
+
+TEST(GsdfCrashTest, FailedAppendThenDestructorLeavesNoStrayTempFile) {
+  // An AddDataset that fails mid-stream leaves an unfinished writer; its
+  // destructor must abandon and delete the temp file.
+  ReferenceData ref = MakeReference();
+  SimEnv base{SimEnv::Options{}};
+  FaultInjectionEnv fault(&base);
+  FaultRule rule;
+  rule.op = FaultOp::kWrite;
+  rule.kind = FaultKind::kError;
+  rule.skip_first = 1;  // let the header through, fail the first dataset
+  fault.AddRule(rule);
+
+  {
+    auto writer = Writer::Create(&fault, kFinal);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    EXPECT_FALSE((*writer)
+                     ->AddDataset("alpha", DataType::kFloat64,
+                                  ref.alpha.data(),
+                                  static_cast<int64_t>(ref.alpha.size()) * 8)
+                     .ok());
+    EXPECT_TRUE(base.FileExists(Writer::TempPath(kFinal)));
+  }  // ~Writer abandons the unfinished file.
+  EXPECT_FALSE(base.FileExists(kFinal));
+  EXPECT_FALSE(base.FileExists(Writer::TempPath(kFinal)));
+}
+
+TEST(GsdfCrashTest, FinalPathInvisibleUntilCommit) {
+  // A concurrent reader polls Reader::Open at the final path between every
+  // writer step: nothing is visible until Finish() commits the rename, and
+  // the first successful open serves the complete, verified file.
+  ReferenceData ref = MakeReference();
+  SimEnv base{SimEnv::Options{}};
+  auto poll = [&base] {
+    EXPECT_FALSE(base.FileExists(kFinal));
+    EXPECT_FALSE(Reader::Open(&base, kFinal).ok());
+  };
+
+  poll();
+  auto writer = Writer::Create(&base, kFinal);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  poll();
+  ASSERT_TRUE((*writer)
+                  ->AddDataset("alpha", DataType::kFloat64, ref.alpha.data(),
+                               static_cast<int64_t>(ref.alpha.size()) * 8)
+                  .ok());
+  poll();
+  ASSERT_TRUE((*writer)
+                  ->AddDataset("beta", DataType::kInt32, ref.beta.data(),
+                               static_cast<int64_t>(ref.beta.size()) * 4)
+                  .ok());
+  (*writer)->SetFileAttribute("snapshot", "3");
+  poll();
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = Reader::Open(&base, kFinal);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ((*reader)->datasets().size(), 2u);
+  EXPECT_TRUE((*reader)->VerifyAllChecksums().ok());
+  EXPECT_FALSE(base.FileExists(Writer::TempPath(kFinal)));
+}
+
 TEST(GsdfCrashTest, RebootAllowsRewrite) {
   // After ClearCrashedPaths ("reboot"), the same path writes cleanly and
   // the stale temp file from the crashed attempt is replaced.

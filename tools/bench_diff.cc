@@ -327,7 +327,7 @@ int Run(int argc, char** argv) {
       std::string full = doc.bench + "." + key;
       const double* base = FindMetric(baseline, full);
       if (base == nullptr) {
-        std::printf("%-52s %12s %12.4g %9s  (new; refresh baseline)\n",
+        std::printf("%-52s %12s %12.4g %9s  new (run --update-baseline)\n",
                     full.c_str(), "-", current, "-");
         continue;
       }
