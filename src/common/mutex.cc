@@ -9,6 +9,18 @@
 
 namespace godiva {
 
+namespace lock_rank {
+
+const char* SymbolForRank(int rank) {
+  if (rank == kUnranked) return "kUnranked";
+  for (const Entry& e : kTable) {
+    if (rank >= e.rank && rank < e.rank + e.width) return e.symbol;
+  }
+  return "unregistered";
+}
+
+}  // namespace lock_rank
+
 #ifdef GODIVA_LOCK_RANK_CHECKS
 
 namespace {
@@ -28,16 +40,18 @@ void PrintHeldSet(const std::vector<const Mutex*>& held) {
     return;
   }
   for (const Mutex* mu : held) {
-    std::fprintf(stderr, "  held: %s (rank %d, %p)\n", mu->name(), mu->rank(),
+    std::fprintf(stderr, "  held: %s (rank %d = %s, %p)\n", mu->name(),
+                 mu->rank(), lock_rank::SymbolForRank(mu->rank()),
                  static_cast<const void*>(mu));
   }
 }
 
 [[noreturn]] void Fail(const char* what, const Mutex* mu) {
   std::fprintf(stderr,
-               "godiva: %s: mutex %s (rank %d, %p); this thread's lock set "
-               "in acquisition order:\n",
-               what, mu->name(), mu->rank(), static_cast<const void*>(mu));
+               "godiva: %s: mutex %s (rank %d = %s, %p); this thread's lock "
+               "set in acquisition order:\n",
+               what, mu->name(), mu->rank(),
+               lock_rank::SymbolForRank(mu->rank()), static_cast<const void*>(mu));
   PrintHeldSet(HeldSet());
   std::abort();
 }

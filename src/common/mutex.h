@@ -28,45 +28,46 @@
 
 namespace godiva {
 
-// The global lock-order registry: every long-lived mutex in the system is
-// constructed with one of these ranks, and DESIGN.md §6 documents what
-// each one guards. Lower ranks are acquired first; two mutexes of equal
-// rank must never be held together.
+// The global lock-order registry, generated from common/lock_rank.def —
+// the single source of truth shared by these constants, the runtime
+// checker's symbolic abort messages (mutex.cc), and the godiva_lint static
+// lock-order analysis. Add a mutex there, not here; DESIGN.md §6 points at
+// the table godiva_lint generates from it. Lower ranks are acquired first;
+// two mutexes of equal rank must never be held together (the shard range
+// encodes its ascending-index order as per-index ranks).
 namespace lock_rank {
 inline constexpr int kUnranked = -1;  // exempt from ordering checks
-// InteractivePrefetcher::mu_ — held across blocking Gbo calls, so it must
-// rank below (be acquired before) Gbo::mu_.
-inline constexpr int kInteractivePrefetcher = 100;
-// workloads::IngestProducer::mu_ — the producer's frontier-lag window;
-// drop-oldest holds it across Gbo::DeleteUnit, so it ranks below Gbo::mu_.
-inline constexpr int kIngestProducer = 120;
-// Gbo::mu_ — the database-global lock (schema, queues, memory budget,
-// cold counters). Never held while a user read function runs; the
-// re-acquisition check enforces exactly that invariant, because every
-// record operation a read function may legally call re-locks it.
-inline constexpr int kGboMu = 200;
-// Gbo metadata shards: shard i's mutex has rank kGboShardBase + i, so the
-// rank checker natively enforces the documented multi-shard acquisition
-// order (shard[i] before shard[j] for i < j, and always after Gbo::mu_).
-// Shard counts are clamped to kGboMaxShards so the range stays strictly
-// below kSimFilesystem.
-inline constexpr int kGboShardBase = 210;
-inline constexpr int kGboMaxShards = 64;
-// Gbo::watch_mu_ — the watch registry. Ranked above the shard range so a
-// thread holding mu_ and/or shard locks may snapshot the watcher list, but
-// callbacks themselves always run with no Gbo locks held.
-inline constexpr int kGboWatch = 280;
-// SimEnv::fs_mutex_ — the in-memory filesystem directory.
-inline constexpr int kSimFilesystem = 300;
-// FaultInjectionEnv::mu_ — the fault plan, consulted before base I/O.
-inline constexpr int kFaultPlan = 320;
-// SimEnv::disk_mutex_ — the modeled disk head; held across scaled sleeps.
-inline constexpr int kSimDisk = 340;
-// Semaphore::mutex_ — leaf: nothing is ever acquired under it.
-inline constexpr int kSemaphore = 900;
-// The global logging sink — leaf, below only nothing: GODIVA_LOG runs
-// under Gbo::mu_ and the sim locks.
-inline constexpr int kLogging = 1000;
+#define GODIVA_LOCK_RANK(symbol, rank, owner, doc) \
+  inline constexpr int symbol = rank;
+#define GODIVA_LOCK_RANK_RANGE(symbol, base, width_symbol, width, owner, \
+                               doc)                                      \
+  inline constexpr int symbol = base;                                    \
+  inline constexpr int width_symbol = width;
+#include "common/lock_rank.def"
+#undef GODIVA_LOCK_RANK
+#undef GODIVA_LOCK_RANK_RANGE
+
+// One registry entry, exposed so the runtime checker (and tests) can name
+// ranks symbolically. Ranges cover [rank, rank + width).
+struct Entry {
+  const char* symbol;
+  int rank;
+  int width;  // 1 for single mutexes
+  const char* owner;
+};
+inline constexpr Entry kTable[] = {
+#define GODIVA_LOCK_RANK(symbol, rank, owner, doc) {#symbol, rank, 1, owner},
+#define GODIVA_LOCK_RANK_RANGE(symbol, base, width_symbol, width, owner, \
+                               doc)                                      \
+  {#symbol, base, width, owner},
+#include "common/lock_rank.def"
+#undef GODIVA_LOCK_RANK
+#undef GODIVA_LOCK_RANK_RANGE
+};
+
+// The registry symbol covering `rank` ("kGboShardBase" for any rank in the
+// shard range), or "kUnranked" / "unregistered".
+const char* SymbolForRank(int rank);
 }  // namespace lock_rank
 
 class CAPABILITY("mutex") Mutex {
@@ -80,7 +81,9 @@ class CAPABILITY("mutex") Mutex {
 
   void Lock() ACQUIRE();
   void Unlock() RELEASE();
-  bool TryLock() TRY_ACQUIRE(true);
+  // [[nodiscard]]: ignoring the result means not knowing whether the lock
+  // is held — always a bug.
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true);
 
   // Aborts unless the calling thread holds / does not hold this mutex.
   // No-ops when the lock-rank checker is compiled out.
@@ -127,7 +130,7 @@ class CondVar {
 
   // Blocks until notified, spuriously woken, or `deadline`. Returns false
   // iff the deadline passed (the caller re-checks its predicate last).
-  bool WaitUntil(Mutex* mu, TimePoint deadline) REQUIRES(mu);
+  [[nodiscard]] bool WaitUntil(Mutex* mu, TimePoint deadline) REQUIRES(mu);
 
   void NotifyOne();
   void NotifyAll();

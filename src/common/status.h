@@ -34,8 +34,13 @@ enum class StatusCode {
 // Human-readable name for a code ("OK", "NOT_FOUND", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-// A cheap value type carrying success or (code, message).
-class Status {
+// A cheap value type carrying success or (code, message). [[nodiscard]]
+// at the class level: every call site that ignores a returned Status is a
+// compile error (-Werror) — intentional discards are spelled
+// `(void)expr;` and must carry a `// lint: discard_ok(reason)` waiver,
+// which godiva_lint check 4 enforces (the compiler cannot see through the
+// cast; the linter can).
+class [[nodiscard]] Status {
  public:
   // Success.
   Status() : code_(StatusCode::kOk) {}
@@ -86,8 +91,10 @@ Status InternalError(std::string_view message);
 
 // Result<T>: either a value or an error Status. Accessing the value of an
 // errored Result is a programming error (asserts in debug builds).
+// [[nodiscard]] like Status: a discarded Result silently drops both the
+// payload and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

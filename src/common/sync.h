@@ -29,7 +29,7 @@ class Semaphore {
   }
 
   // Returns false instead of blocking when no slot is free.
-  bool TryAcquire() EXCLUDES(mutex_) {
+  [[nodiscard]] bool TryAcquire() EXCLUDES(mutex_) {
     MutexLock lock(&mutex_);
     if (available_ <= 0) return false;
     --available_;

@@ -220,6 +220,7 @@ class Gbo {
   // asserts the data is no longer needed). Fails while the unit's read
   // function is actively running; a unit sleeping out a retry backoff is
   // cancelled and deleted.
+  // lint: holds_on_entry(none)
   Status DeleteUnit(const std::string& unit_name) EXCLUDES(mu_);
 
   // Adjusts the database memory limit at runtime.
@@ -274,6 +275,7 @@ class Gbo {
   // FAILED_PRECONDITION otherwise. Subject to the ingest admission gate
   // (GboOptions::ingest_queue_limit): blocks or returns RESOURCE_EXHAUSTED
   // per GboOptions::ingest_admission, ABORTED on shutdown while blocked.
+  // lint: holds_on_entry(none)
   Status SupersedeUnit(const std::string& unit_name, ReadFn read_fn,
                        std::vector<std::string> resources = {})
       EXCLUDES(mu_);
@@ -333,6 +335,7 @@ class Gbo {
   // GODIVA_DEBUG_INVARIANTS build additionally runs it, fatally, at every
   // unit state transition); exposed so tests can assert the database is
   // coherent at interesting points.
+  // lint: holds_on_entry(none)
   Status CheckInvariants() const EXCLUDES(mu_);
 
  private:
@@ -383,6 +386,7 @@ class Gbo {
   struct Shard {
     Shard(int rank, const char* name) : mu(rank, name) {}
 
+    // lint: rank(kGboShardBase)
     mutable Mutex mu;
     CondVar unit_cv;  // state transitions of units owned by this shard
     std::map<std::string, std::unique_ptr<Unit>> units GUARDED_BY(mu);
@@ -475,6 +479,8 @@ class Gbo {
   void RollbackRecords(Shard& s, Unit* unit) EXCLUDES(mu_);
   // Deletes/evicts a unit. Entry: mu_ and s.mu held. Exit: only mu_ held
   // (s.mu is released so the record purge can lock key shards in order).
+  // lint: holds_on_entry(Gbo::mu_, Gbo::Shard::mu)
+  // lint: on_exit_releases(Gbo::Shard::mu)
   void EvictUnitLocked(Shard& s, Unit* unit, bool explicit_delete)
       NO_THREAD_SAFETY_ANALYSIS;
   void MakeEvictableLocked(Shard& s, Unit* unit) REQUIRES(s.mu);
@@ -505,6 +511,8 @@ class Gbo {
   // WaitUnit). Entry: mu_ and s.mu held. Exit: only s.mu held (mu_ is
   // released before the read runs and not re-taken, so the caller can pin
   // the settled unit in the same s.mu critical section).
+  // lint: holds_on_entry(Gbo::mu_, Gbo::Shard::mu)
+  // lint: on_exit_releases(Gbo::mu_)
   Status LoadInlineAndLock(Shard& s, Unit* unit, const TimePoint* deadline)
       NO_THREAD_SAFETY_ANALYSIS;
 
@@ -525,8 +533,10 @@ class Gbo {
   Unit* EmplaceUnitLocked(Shard& s, const std::string& unit_name)
       REQUIRES(s.mu);
 
+  // lint: holds_on_entry(none)
   Status ReadUnitInternal(const std::string& unit_name, ReadFn read_fn,
                           const TimePoint* deadline) EXCLUDES(mu_);
+  // lint: holds_on_entry(none)
   Status WaitUnitInternal(const std::string& unit_name,
                           const TimePoint* deadline) EXCLUDES(mu_);
 
@@ -545,6 +555,8 @@ class Gbo {
   // resets lifecycle state, requeues. Entry: mu_ and s.mu held. Exit: only
   // mu_ held (record purge locks key shards in order, like
   // EvictUnitLocked).
+  // lint: holds_on_entry(Gbo::mu_, Gbo::Shard::mu)
+  // lint: on_exit_releases(Gbo::Shard::mu)
   void RequeueStaleUnitLocked(Shard& s, Unit* unit)
       NO_THREAD_SAFETY_ANALYSIS;
 
@@ -556,6 +568,7 @@ class Gbo {
   // concurrent publish marked stale: rolls partial records back and
   // requeues the unit for its pending read fn (re-checking staleness
   // under the locks). The unit stays kLoading until this runs.
+  // lint: holds_on_entry(none)
   void HandleStaleSettle(Shard& s, Unit* unit) EXCLUDES(mu_);
 
   // The ingest admission gate (SupersedeUnit only): waits until the
@@ -583,6 +596,7 @@ class Gbo {
 
   // Body of one I/O pool thread. `thread_index` selects the per-thread
   // busy-time accumulator.
+  // lint: holds_on_entry(none)
   void IoThreadMain(size_t thread_index) EXCLUDES(mu_);
   // Fails `unit` with ABORTED to break a detected deadlock. Takes the
   // unit's shard lock internally; no shard lock may be held on entry.
@@ -611,7 +625,11 @@ class Gbo {
 
   // Acquire/release every shard mutex in index order (the documented
   // multi-shard order; the rank checker verifies it at run time).
+  // lint: holds_on_entry(none)
+  // lint: on_exit_holds(Gbo::Shard::mu)
   void LockAllShards() const NO_THREAD_SAFETY_ANALYSIS;
+  // lint: holds_on_entry(Gbo::Shard::mu)
+  // lint: on_exit_releases(Gbo::Shard::mu)
   void UnlockAllShards() const NO_THREAD_SAFETY_ANALYSIS;
 
   // The audit behind CheckInvariants(): walks every shard's units,
@@ -619,17 +637,20 @@ class Gbo {
   // memory accounting, and cross-checks them. Requires mu_ AND every
   // shard lock (asserted at run time; not expressible to the static
   // analysis).
+  // lint: holds_on_entry(Gbo::mu_, Gbo::Shard::mu)
   Status AuditInvariantsLocked() const NO_THREAD_SAFETY_ANALYSIS;
   // Fatal audit wrapper, compiled to a no-op unless
   // GODIVA_DEBUG_INVARIANTS: called (with no Gbo lock held) after every
   // unit state transition; locks mu_ + all shards, logs and aborts on
   // violation.
+  // lint: holds_on_entry(none)
   void CheckInvariantsDebug() EXCLUDES(mu_);
 
   const GboOptions options_;
 
   // The metadata shards (see Shard above). The vector itself is immutable
   // after construction — always at least one shard.
+  // lint: unguarded(set in the constructor, never resized after)
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable Mutex mu_{lock_rank::kGboMu, "Gbo::mu_"};
@@ -712,8 +733,10 @@ class Gbo {
   // One busy-time accumulator per pool thread; each thread writes only its
   // own slot, stats() reads them all. Sized at construction, never
   // resized, so the slots are safe to touch without mu_.
+  // lint: unguarded(per-thread slots; vector sized at construction only)
   std::vector<std::unique_ptr<TimeAccumulator>> io_busy_;
 
+  // lint: unguarded(written at construction and in ~Gbo after the pool stops)
   std::vector<std::thread> io_threads_;  // empty unless background_io
 };
 

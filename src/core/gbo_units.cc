@@ -941,8 +941,10 @@ void Gbo::IoThreadMain(size_t thread_index) NO_THREAD_SAFETY_ANALYSIS {
       // race (finisher reads the count between our eviction attempt and
       // the increment).
       memory_gate_waiters_.fetch_add(1, std::memory_order_relaxed);
-      memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
-                                     std::chrono::milliseconds(10));
+      // lint: discard_ok(bounded poll: timeout and wakeup both re-evaluate
+      // the full predicate set on the next loop iteration)
+      (void)memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
+                                           std::chrono::milliseconds(10));
       memory_gate_waiters_.fetch_sub(1, std::memory_order_relaxed);
       continue;  // re-evaluate everything (shutdown, queue, memory)
     }

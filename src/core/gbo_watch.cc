@@ -171,8 +171,10 @@ Status Gbo::AdmitIngestLocked() {
     while (over_memory() && EvictOneLocked()) {
     }
     if (!backlog_full() && !over_memory()) break;
-    memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
-                                   std::chrono::milliseconds(2));
+    // lint: discard_ok(bounded poll: the loop re-checks backlog, memory
+    // and shutdown whether the wait timed out or was notified)
+    (void)memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
+                                         std::chrono::milliseconds(2));
   }
   memory_gate_waiters_.fetch_sub(1, std::memory_order_relaxed);
   counters_.ingest_stall_seconds += stopwatch.ElapsedSeconds();

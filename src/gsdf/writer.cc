@@ -40,11 +40,13 @@ Writer::~Writer() {
 
 void Writer::Abandon() {
   if (file_ != nullptr) {
+    // lint: discard_ok(abandon path: the temp file is deleted next anyway)
     (void)file_->Close();
     file_ = nullptr;
   }
   // Best effort: after a crash-point fault even the delete fails, which is
   // exactly right — a dead machine cannot clean up its torn temp file.
+  // lint: discard_ok(best-effort cleanup; see comment above)
   (void)env_->DeleteFile(write_path_);
 }
 

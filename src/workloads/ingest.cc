@@ -31,6 +31,7 @@ bool IngestProducer::AwaitWindowSlot() {
       ++stats_.snapshots_dropped;
       // Best-effort: a pinned victim refuses deletion and simply ages out
       // of the database later; the producer's window shrinks either way.
+      // lint: discard_ok(best-effort eviction; see comment above)
       (void)db_->DeleteUnit(SnapshotUnitName(victim));
     }
     return !stop_requested_;
@@ -143,7 +144,10 @@ FrontierWatch::FrontierWatch(Gbo* db) : db_(db) {
       "snap_*", [this](const Gbo::WatchEvent& event) { OnEvent(event); });
 }
 
-FrontierWatch::~FrontierWatch() { (void)db_->UnregisterWatch(watch_id_); }
+FrontierWatch::~FrontierWatch() {
+  // lint: discard_ok(destructor: the only failure is an already-gone watch)
+  (void)db_->UnregisterWatch(watch_id_);
+}
 
 void FrontierWatch::OnEvent(const Gbo::WatchEvent& event) {
   int snapshot = SnapshotOfUnit(event.unit_name);

@@ -117,10 +117,14 @@ class IngestProducer {
   // Blocks or drops until the window has room. Returns false on stop.
   bool AwaitWindowSlot() EXCLUDES(mu_);
 
+  // lint: unguarded(set at construction, read-only afterwards)
   PlatformRuntime* runtime_;
+  // lint: unguarded(set at construction, read-only afterwards)
   Gbo* db_;
   const mesh::SnapshotDataset* dataset_;
+  // lint: unguarded(set at construction, read-only afterwards)
   IngestOptions options_;
+  // lint: unguarded(built at construction, read-only afterwards)
   std::vector<mesh::MeshBlock> blocks_;
 
   // Ranked below Gbo::mu_ so drop-oldest may hold it across the
@@ -160,10 +164,13 @@ class FrontierWatch {
   void OnEvent(const Gbo::WatchEvent& event) EXCLUDES(mu_);
   bool ReadyLocked(int snapshot) const REQUIRES(mu_);
 
+  // lint: unguarded(set at construction, read-only afterwards)
   Gbo* db_;
+  // lint: unguarded(written once in the constructor, read in ~FrontierWatch)
   int64_t watch_id_ = 0;
 
-  mutable Mutex mu_;  // unranked: never held across Gbo calls
+  // lint: unranked(leaf mutex: never held across any Gbo or Env call)
+  mutable Mutex mu_;
   CondVar cv_;
   // snapshot → highest epoch seen in a kReady / kInvalidated event. Events
   // race across threads (the invalidation fires on the producer's thread,

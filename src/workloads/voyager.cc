@@ -131,6 +131,7 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
       // Best-effort drop of the failed unit's bookkeeping; a unit still
       // mid-read after a deadline expiry refuses deletion, which is fine —
       // the sweep moves on either way.
+      // lint: discard_ok(best-effort drop; see comment above)
       (void)db.DeleteUnit(unit);
       continue;
     }

@@ -1,0 +1,12 @@
+// Fixture: file I/O issued while a shard-ranked mutex (a no-blocking
+// rank) is held. Expected: one [blocking] finding on the Read call.
+#include "common/mutex.h"
+
+namespace godiva {
+
+void FixDb::ReadUnderShard() {
+  MutexLock lock(&shard_.mu);
+  Status io = env_->Read("snapshot.gsdf");
+}
+
+}  // namespace godiva

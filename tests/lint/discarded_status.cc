@@ -1,0 +1,21 @@
+// Fixture: dropped Status returns — one bare expression statement, one
+// (void)-cast, plus a correctly handled call and a correctly waived one.
+// Expected: exactly two [discarded-status] findings.
+#include "common/status.h"
+
+namespace godiva {
+
+class FixDiscard {
+ public:
+  Status Flush();
+
+  void Drop() {
+    Flush();
+    (void)Flush();
+    Status handled = Flush();
+    // lint: discard_ok(fixture: intentional best-effort flush)
+    (void)Flush();
+  }
+};
+
+}  // namespace godiva

@@ -1,0 +1,42 @@
+// Shared prelude for the godiva_lint fixture corpus: one class claiming
+// every fixture_ranks.def entry, using each convention the tool checks —
+// correctly. Run alone it must produce zero findings (the `lint_fixture_clean`
+// test pins that); the other fixtures add one violation each on top.
+//
+// These files are parsed by godiva_lint, never compiled.
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace godiva {
+
+class FixDb {
+ public:
+  // In-order acquisition across all three ranks.
+  void LowThenShardThenHigh() {
+    MutexLock a(&low_mu_);
+    MutexLock b(&shard_.mu);
+    MutexLock c(&high_mu_);
+  }
+
+  Status Flush() EXCLUDES(high_mu_);
+
+  void DropWithReason() {
+    // lint: discard_ok(fixture: exercising a correctly waived discard)
+    (void)Flush();
+  }
+
+  struct Shard {
+    // lint: rank(kGboShardBase)
+    mutable Mutex mu;
+    int units GUARDED_BY(mu) = 0;
+  };
+
+ private:
+  mutable Mutex low_mu_{lock_rank::kFixLow, "FixDb::low_mu_"};
+  mutable Mutex high_mu_{lock_rank::kFixHigh, "FixDb::high_mu_"};
+  int counter_ GUARDED_BY(high_mu_) = 0;
+  // lint: unguarded(fixture: single shard, immutable after construction)
+  Shard shard_;
+};
+
+}  // namespace godiva

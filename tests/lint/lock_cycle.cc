@@ -1,0 +1,26 @@
+// Fixture: two deliberately unranked (waived) mutexes acquired in both
+// orders. Rank checking cannot see them — the cycle detector must.
+// Expected: one [lock-rank] "lock graph cycle" finding.
+#include "common/mutex.h"
+
+namespace godiva {
+
+class FixCycle {
+ public:
+  void AThenB() {
+    MutexLock x(&a_mu_);
+    MutexLock y(&b_mu_);
+  }
+  void BThenA() {
+    MutexLock x(&b_mu_);
+    MutexLock y(&a_mu_);
+  }
+
+ private:
+  // lint: unranked(fixture: outside the order to exercise cycle detection)
+  mutable Mutex a_mu_;
+  // lint: unranked(fixture: outside the order to exercise cycle detection)
+  mutable Mutex b_mu_;
+};
+
+}  // namespace godiva

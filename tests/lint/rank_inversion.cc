@@ -1,0 +1,14 @@
+// Fixture: acquiring a lower-ranked mutex while holding a higher-ranked
+// one. Expected: a [lock-rank] "violates the lock order" finding, plus
+// the cycle the inverted edge closes against fixture_common.cc's legal
+// low → shard → high chain.
+#include "common/mutex.h"
+
+namespace godiva {
+
+void FixDb::HighThenLow() {
+  MutexLock a(&high_mu_);
+  MutexLock b(&low_mu_);
+}
+
+}  // namespace godiva

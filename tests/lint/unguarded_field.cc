@@ -1,0 +1,18 @@
+// Fixture: a mutable member of a mutex-owning class with no GUARDED_BY,
+// no atomic/const escape hatch and no waiver.
+// Expected: one [guarded-by] finding on `counter_`.
+#include "common/mutex.h"
+
+namespace godiva {
+
+class FixUnguarded {
+ public:
+  void Bump() EXCLUDES(mu_);
+
+ private:
+  // lint: unranked(fixture: leaf mutex, nothing acquired under it)
+  mutable Mutex mu_;
+  int counter_ = 0;
+};
+
+}  // namespace godiva

@@ -1,0 +1,19 @@
+// Fixture: a waiver with an empty reason. An un-reasoned waiver is a
+// [lint-usage] finding AND does not suppress the underlying check.
+// Expected: one "needs a reason" finding plus the surviving
+// [discarded-status] finding.
+#include "common/status.h"
+
+namespace godiva {
+
+class FixWaiver {
+ public:
+  Status Flush();
+
+  void Drop() {
+    // lint: discard_ok()
+    (void)Flush();
+  }
+};
+
+}  // namespace godiva

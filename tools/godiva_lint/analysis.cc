@@ -1,0 +1,614 @@
+// Analysis: the four checks over the extracted model, plus the DOT lock
+// graph and the generated rank-table artifacts. See lint.h for the check
+// definitions and DESIGN.md §12 for the architecture.
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "godiva_lint/lint.h"
+
+namespace godiva::lint {
+
+namespace {
+
+// Names that block by definition (sleeps, joins, semaphore acquires, file
+// and Env I/O). Matched against the unqualified callee name: precise
+// receiver typing is out of reach for a convention parser, and every one
+// of these names is I/O-or-wait-shaped everywhere it appears in this
+// codebase. A false positive takes a reasoned blocking_ok() waiver.
+const std::set<std::string>& BlockingSeedNames() {
+  static const std::set<std::string> kSet = {
+      "SleepFor",       "SleepModeled",     "sleep_for",     "sleep_until",
+      "Acquire",        "join",             "Append",        "Sync",
+      "Close",          "Read",             "ReadDataset",   "ReadBatch",
+      "ReadVerified",   "NewWritableFile",  "NewRandomAccessFile",
+      "GetFileSize",    "DeleteFile",       "RenameFile",    "ListFiles",
+      "FileExists",     "Open",             "OpenSalvage",   "Compute"};
+  return kSet;
+}
+
+struct Graph {
+  // Aggregated edges: (from decl id, to decl id) → one representative
+  // site and a count.
+  struct Edge {
+    std::string file;
+    int line = 0;
+    int count = 0;
+    bool ok = true;  // rank order satisfied
+  };
+  std::map<std::pair<std::string, std::string>, Edge> edges;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Model& model, const AnalysisOptions& options)
+      : model_(model), options_(options) {}
+
+  std::vector<Finding> Run() {
+    Index();
+    CheckRegistry();
+    ComputeEntrySets();
+    ComputeTransitiveAcquires();
+    ComputeExitContracts();
+    BuildGraphAndCheckRanks();
+    CheckCycles();
+    CheckGuardedBy();
+    ComputeBlocking();
+    CheckBlockingUnderLock();
+    CheckDiscardedStatus();
+    if (!options_.dot_path.empty()) EmitDot();
+    if (!options_.ranks_md_path.empty()) EmitRanksMd();
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding& a, const Finding& b) {
+                       if (a.file != b.file) return a.file < b.file;
+                       return a.line < b.line;
+                     });
+    return findings_;
+  }
+
+ private:
+  static const std::string& SiteFile(const FunctionInfo& fn) {
+    return fn.body_file.empty() ? fn.file : fn.body_file;
+  }
+
+  void Add(const std::string& file, int line, const std::string& check,
+           const std::string& msg) {
+    findings_.push_back(Finding{file, line, check, msg});
+  }
+
+  void Index() {
+    for (const MutexDecl& decl : model_.mutexes) decl_by_id_[decl.id] = &decl;
+    for (const RankEntry& entry : model_.rank_registry) {
+      rank_by_symbol_[entry.symbol] = &entry;
+    }
+    for (const FunctionInfo& fn : model_.functions) {
+      fn_by_qualified_[fn.qualified()] = &fn;
+      fn_by_name_[fn.name].push_back(&fn);
+    }
+  }
+
+  const MutexDecl* Decl(const std::string& id) const {
+    auto it = decl_by_id_.find(id);
+    return it == decl_by_id_.end() ? nullptr : it->second;
+  }
+
+  // Rank of a decl: (base, width), or (-1, 1) when unranked/unknown.
+  std::pair<int, int> RankOf(const MutexDecl* decl) const {
+    if (decl == nullptr || decl->rank_symbol.empty()) return {-1, 1};
+    auto it = rank_by_symbol_.find(decl->rank_symbol);
+    if (it == rank_by_symbol_.end()) return {-1, 1};
+    return {it->second->rank, it->second->width};
+  }
+
+  // Resolves a call site to a FunctionInfo: a method of the caller's
+  // enclosing class chain wins; otherwise a repo-unique name matches.
+  const FunctionInfo* ResolveCall(const FunctionInfo& caller,
+                                  const CallSite& call) const {
+    // The caller's own class chain only wins for unqualified calls —
+    // `db_->stats()` must not resolve to the caller's stats().
+    if (call.receiver.empty() || call.receiver == "this") {
+      std::string scope = caller.cls;
+      while (!scope.empty()) {
+        auto it = fn_by_qualified_.find(scope + "::" + call.callee_name);
+        if (it != fn_by_qualified_.end()) return it->second;
+        size_t cut = scope.rfind("::");
+        if (cut == std::string::npos) break;
+        scope = scope.substr(0, cut);
+      }
+    }
+    auto it = fn_by_name_.find(call.callee_name);
+    if (it != fn_by_name_.end() && it->second.size() == 1) {
+      return it->second[0];
+    }
+    return nullptr;
+  }
+
+  // ---- registry cross-check ---------------------------------------------
+
+  void CheckRegistry() {
+    std::map<std::string, int> claims;  // registry symbol → #decls
+    for (const MutexDecl& decl : model_.mutexes) {
+      if (decl.rank_symbol.empty()) {
+        if (decl.unranked_reason.empty()) {
+          Add(decl.file, decl.line, "lock-rank",
+              "mutex '" + decl.id +
+                  "' has no lock_rank:: symbol; rank it, or waive with "
+                  "// lint: unranked(reason)");
+        }
+        continue;
+      }
+      auto it = rank_by_symbol_.find(decl.rank_symbol);
+      if (it == rank_by_symbol_.end()) {
+        Add(decl.file, decl.line, "lock-rank",
+            "mutex '" + decl.id + "' claims rank symbol '" +
+                decl.rank_symbol + "' not present in lock_rank.def");
+        continue;
+      }
+      ++claims[decl.rank_symbol];
+    }
+    for (const RankEntry& entry : model_.rank_registry) {
+      // Utility ranks may legitimately be claimed by decls the extractor
+      // cannot see (none today); insist on coverage so the registry cannot
+      // grow stale entries.
+      if (claims[entry.symbol] == 0) {
+        Add("src/common/lock_rank.def", 0, "lock-rank",
+            "registry symbol '" + entry.symbol +
+                "' (expected owner " + entry.owner +
+                ") is claimed by no extracted mutex declaration");
+      }
+    }
+    ranked_decl_count_ = 0;
+    for (const MutexDecl& decl : model_.mutexes) {
+      if (!decl.rank_symbol.empty()) ++ranked_decl_count_;
+    }
+  }
+
+  // ---- entry sets and NO_TSA contracts ----------------------------------
+
+  void ComputeEntrySets() {
+    for (const FunctionInfo& fn : model_.functions) {
+      bool declared = false;
+      std::set<std::string> entry;
+      for (const std::string& id : fn.requires_held) {
+        if (id == "=<declared>") {
+          declared = true;
+          continue;
+        }
+        entry.insert(id);
+      }
+      for (const std::string& id : fn.holds_on_entry) entry.insert(id);
+      entry_set_[fn.qualified()] = entry;
+      if (fn.no_tsa && fn.has_body && entry.empty() && !declared) {
+        Add(fn.file, fn.line, "lock-rank",
+            "'" + fn.qualified() +
+                "' opts out of thread-safety analysis but declares no entry "
+                "lock set; add // lint: holds_on_entry(...) (or 'none')");
+      }
+    }
+  }
+
+  // ---- transitive acquisitions ------------------------------------------
+
+  void ComputeTransitiveAcquires() {
+    const std::string& traced = options_.trace_mutex;
+    for (const FunctionInfo& fn : model_.functions) {
+      std::set<std::string> direct;
+      for (const AcquireSite& site : fn.acquires) {
+        if (!site.mutex_id.empty()) direct.insert(site.mutex_id);
+        if (!traced.empty() && site.mutex_id == traced) {
+          std::cerr << "trace: " << fn.qualified() << " acquires " << traced
+                    << " directly at " << SiteFile(fn) << ":" << site.line << "\n";
+        }
+      }
+      transitive_[fn.qualified()] = direct;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const FunctionInfo& fn : model_.functions) {
+        std::set<std::string>& mine = transitive_[fn.qualified()];
+        size_t before = mine.size();
+        for (const CallSite& call : fn.calls) {
+          const FunctionInfo* callee = ResolveCall(fn, call);
+          if (callee == nullptr) continue;
+          const std::set<std::string>& theirs =
+              transitive_[callee->qualified()];
+          if (!traced.empty() && !mine.count(traced) && theirs.count(traced)) {
+            std::cerr << "trace: " << fn.qualified() << " gains " << traced
+                      << " via call to " << callee->qualified() << " at "
+                      << SiteFile(fn) << ":" << call.line << "\n";
+          }
+          mine.insert(theirs.begin(), theirs.end());
+        }
+        if (mine.size() != before) changed = true;
+      }
+    }
+  }
+
+  // ---- exit contracts (lock jugglers) -----------------------------------
+
+  // A function whose fall-through path holds locks it did not hold on
+  // entry (or released entry-held locks) must say so in its contract.
+  // Computed deltas are corrected for callees with declared effects: a
+  // caller of RequeueStaleUnitLocked is not itself a juggler just because
+  // the extractor's local simulation cannot see the callee's release.
+  void ComputeExitContracts() {
+    for (const FunctionInfo& fn : model_.functions) {
+      if (!fn.has_body) continue;
+      std::set<std::string> holds(fn.computed_exit_holds.begin(),
+                                  fn.computed_exit_holds.end());
+      std::set<std::string> releases(fn.computed_exit_releases.begin(),
+                                     fn.computed_exit_releases.end());
+      for (const CallSite& call : fn.calls) {
+        const FunctionInfo* callee = ResolveCall(fn, call);
+        if (callee == nullptr) continue;
+        for (const std::string& id : callee->on_exit_releases) {
+          holds.erase(id);
+        }
+        for (const std::string& id : callee->on_exit_holds) {
+          releases.erase(id);
+        }
+      }
+      std::set<std::string> declared_holds(fn.on_exit_holds.begin(),
+                                           fn.on_exit_holds.end());
+      std::set<std::string> declared_rel(fn.on_exit_releases.begin(),
+                                         fn.on_exit_releases.end());
+      for (const std::string& id : holds) {
+        if (!declared_holds.count(id)) {
+          Add(fn.file, fn.line, "lock-rank",
+              "'" + fn.qualified() + "' exits holding '" + id +
+                  "' acquired in its body; declare "
+                  "// lint: on_exit_holds(" + id + ")");
+        }
+      }
+      for (const std::string& id : releases) {
+        if (!declared_rel.count(id)) {
+          Add(fn.file, fn.line, "lock-rank",
+              "'" + fn.qualified() + "' releases entry-held '" + id +
+                  "'; declare // lint: on_exit_releases(" + id + ")");
+        }
+      }
+    }
+  }
+
+  // ---- the lock graph and rank order ------------------------------------
+
+  void AddEdges(const std::vector<std::string>& held_raw,
+                const std::string& to_id, const std::string& file, int line) {
+    const MutexDecl* to = Decl(to_id);
+    if (to == nullptr) return;
+    std::set<std::string> held(held_raw.begin(), held_raw.end());
+    for (const std::string& from_id : held) {
+      const MutexDecl* from = Decl(from_id);
+      if (from == nullptr) continue;
+      auto [from_rank, from_width] = RankOf(from);
+      auto [to_rank, to_width] = RankOf(to);
+      (void)to_width;
+      bool ok;
+      if (from_rank < 0 || to_rank < 0) {
+        // A waived-unranked endpoint opts out of the order (mirrors the
+        // runtime checker's kUnranked behaviour); registry findings have
+        // already flagged unwaived ones.
+        ok = true;
+      } else if (from_id == to_id) {
+        // Self-edge: legal only for a ranked range (shard → shard, with
+        // the per-index order enforced at run time).
+        ok = from_width > 1;
+      } else {
+        ok = to_rank > from_rank + from_width - 1;
+      }
+      auto key = std::make_pair(from_id, to_id);
+      auto [it, inserted] = graph_.edges.emplace(key, Graph::Edge{});
+      if (inserted) {
+        it->second.file = file;
+        it->second.line = line;
+      }
+      ++it->second.count;
+      it->second.ok = it->second.ok && ok;
+      if (!ok) {
+        Add(file, line, "lock-rank",
+            "acquiring '" + to_id + "' (rank " + RankLabel(to) +
+                ") while holding '" + from_id + "' (rank " + RankLabel(from) +
+                ") violates the lock order");
+      }
+    }
+  }
+
+  std::string RankLabel(const MutexDecl* decl) const {
+    auto [rank, width] = RankOf(decl);
+    if (rank < 0) return "unranked";
+    std::string out = decl->rank_symbol + "=" + std::to_string(rank);
+    if (width > 1) out += "..+" + std::to_string(width - 1);
+    return out;
+  }
+
+  void BuildGraphAndCheckRanks() {
+    for (const FunctionInfo& fn : model_.functions) {
+      // Internal edges: each acquisition against the set held before it.
+      for (const AcquireSite& site : fn.acquires) {
+        AddEdges(site.held, site.mutex_id, SiteFile(fn), site.line);
+      }
+      // Cross edges: extra locks held at a call (beyond the callee's
+      // declared entry set) against everything the callee may acquire.
+      for (const CallSite& call : fn.calls) {
+        const FunctionInfo* callee = ResolveCall(fn, call);
+        if (callee == nullptr) continue;
+        const std::set<std::string>& entry = entry_set_.at(callee->qualified());
+        const std::set<std::string>& acquired =
+            transitive_.at(callee->qualified());
+        std::vector<std::string> extra;
+        for (const std::string& id : call.held) {
+          if (!entry.count(id)) extra.push_back(id);
+        }
+        for (const std::string& to_id : acquired) {
+          // Locks the caller itself holds are re-acquisition questions for
+          // the callee's own internal edges, except the legal range
+          // self-edge which AddEdges sorts out.
+          AddEdges(extra, to_id, SiteFile(fn), call.line);
+        }
+      }
+    }
+  }
+
+  void CheckCycles() {
+    // Rank order already forbids cycles among ranked nodes; this catches
+    // cycles that sneak through waived-unranked nodes. Legal self-edges
+    // are skipped.
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, edge] : graph_.edges) {
+      (void)edge;
+      if (key.first == key.second) continue;
+      adj[key.first].push_back(key.second);
+    }
+    std::set<std::string> done, path;
+    std::vector<std::string> order;
+    bool reported = false;
+    std::function<void(const std::string&)> dfs = [&](const std::string& v) {
+      if (reported || done.count(v)) return;
+      if (path.count(v)) {
+        std::string cyc;
+        bool in = false;
+        for (const std::string& p : order) {
+          if (p == v) in = true;
+          if (in) cyc += p + " -> ";
+        }
+        cyc += v;
+        const MutexDecl* decl = Decl(v);
+        Add(decl ? decl->file : "", decl ? decl->line : 0, "lock-rank",
+            "lock graph cycle: " + cyc);
+        reported = true;
+        return;
+      }
+      path.insert(v);
+      order.push_back(v);
+      for (const std::string& w : adj[v]) dfs(w);
+      order.pop_back();
+      path.erase(v);
+      done.insert(v);
+    };
+    for (const auto& [v, outs] : adj) {
+      (void)outs;
+      dfs(v);
+    }
+  }
+
+  // ---- guarded-by --------------------------------------------------------
+
+  void CheckGuardedBy() {
+    for (const FieldDecl& field : model_.fields) {
+      if (!model_.mutex_owning_classes.count(field.cls)) continue;
+      if (field.guarded || field.is_atomic || field.is_const ||
+          field.is_static || field.is_sync_type) {
+        continue;
+      }
+      if (!field.unguarded_reason.empty()) continue;
+      Add(field.file, field.line, "guarded-by",
+          "mutable member '" + field.cls + "::" + field.name +
+              "' of a mutex-owning class is neither GUARDED_BY, atomic, "
+              "const, nor waived with // lint: unguarded(reason)");
+    }
+  }
+
+  // ---- blocking-under-shard-lock ----------------------------------------
+
+  bool RankForbidsBlocking(const std::string& decl_id) const {
+    const MutexDecl* decl = Decl(decl_id);
+    if (decl == nullptr) return false;
+    for (const std::string& symbol : options_.no_blocking_ranks) {
+      if (decl->rank_symbol == symbol) return true;
+    }
+    return false;
+  }
+
+  void ComputeBlocking() {
+    for (const FunctionInfo& fn : model_.functions) {
+      bool blocks = fn.blocking_by_fiat || !fn.waits.empty();
+      for (const CallSite& call : fn.calls) {
+        if (BlockingSeedNames().count(call.callee_name)) blocks = true;
+      }
+      if (blocks) blocking_.insert(fn.qualified());
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const FunctionInfo& fn : model_.functions) {
+        if (blocking_.count(fn.qualified())) continue;
+        for (const CallSite& call : fn.calls) {
+          const FunctionInfo* callee = ResolveCall(fn, call);
+          if (callee != nullptr && callee->has_body &&
+              blocking_.count(callee->qualified())) {
+            blocking_.insert(fn.qualified());
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void CheckBlockingUnderLock() {
+    for (const FunctionInfo& fn : model_.functions) {
+      for (const CallSite& call : fn.calls) {
+        bool seed = BlockingSeedNames().count(call.callee_name) > 0;
+        const FunctionInfo* callee = ResolveCall(fn, call);
+        bool callee_blocks =
+            callee != nullptr &&
+            (callee->blocking_by_fiat ||
+             (callee->has_body && blocking_.count(callee->qualified())));
+        if (!seed && !callee_blocks) continue;
+        // Locks in the callee's declared entry set are its own problem:
+        // its body analysis carries them through every internal site with
+        // full knowledge of where they are released before any wait
+        // (LoadInlineAndLock drops s.mu before the inline read; a CondVar
+        // wait releases its mutex). Only extra locks the caller smuggles
+        // in can escape that analysis.
+        std::set<std::string> held_set(call.held.begin(), call.held.end());
+        if (callee != nullptr) {
+          for (const std::string& id : entry_set_.at(callee->qualified())) {
+            held_set.erase(id);
+          }
+        }
+        for (const std::string& id : held_set) {
+          if (!RankForbidsBlocking(id)) continue;
+          if (!call.blocking_reason.empty()) break;
+          Add(SiteFile(fn), call.line, "blocking",
+              "call to blocking '" + call.callee_name + "' while holding '" +
+                  id + "' (a no-blocking rank); restructure, or waive with "
+                  "// lint: blocking_ok(reason)");
+        }
+      }
+      for (const WaitSite& wait : fn.waits) {
+        for (const std::string& id : std::set<std::string>(wait.held.begin(),
+                                                           wait.held.end())) {
+          if (id == wait.released_mutex_id) continue;  // released to wait
+          if (!RankForbidsBlocking(id)) continue;
+          if (!wait.blocking_reason.empty()) break;
+          Add(SiteFile(fn), wait.line, "blocking",
+              "condition wait while holding '" + id +
+                  "' (a no-blocking rank; only '" + wait.released_mutex_id +
+                  "' is released for the wait)");
+        }
+      }
+    }
+  }
+
+  // ---- discarded status --------------------------------------------------
+
+  void CheckDiscardedStatus() {
+    // Name → "every declaration with this name returns Status/Result".
+    // The fallback for unresolvable calls (virtual dispatch through an
+    // Env*): a name is only status-returning if it is unambiguously so —
+    // `Release` (Semaphore: void, Record pool: Status) stays out, `Read`
+    // (Status in every Env and file class) stays in.
+    std::map<std::string, std::pair<int, int>> by_name;  // name → (status, all)
+    for (const FunctionInfo& fn : model_.functions) {
+      auto& [status, all] = by_name[fn.name];
+      if (fn.returns_status) ++status;
+      ++all;
+    }
+    for (const FunctionInfo& fn : model_.functions) {
+      for (const CallSite& call : fn.calls) {
+        if (!call.is_discard_stmt) continue;
+        const FunctionInfo* callee = ResolveCall(fn, call);
+        bool returns_status;
+        if (callee != nullptr) {
+          returns_status = callee->returns_status;
+        } else {
+          auto it = by_name.find(call.callee_name);
+          returns_status = it != by_name.end() &&
+                           it->second.first == it->second.second;
+        }
+        if (!returns_status) continue;
+        if (!call.discard_reason.empty()) continue;
+        std::string shape = call.is_void_cast ? "(void)-cast" : "statement";
+        Add(SiteFile(fn), call.line, "discarded-status",
+            shape + " discard of Status-returning '" + call.callee_name +
+                "'; handle the Status, or waive with "
+                "// lint: discard_ok(reason)");
+      }
+    }
+  }
+
+  // ---- artifacts ---------------------------------------------------------
+
+  void EmitDot() {
+    std::ofstream out(options_.dot_path);
+    out << "// Generated by godiva_lint: the static may-hold-while-acquiring\n"
+        << "// graph. Nodes are mutex declarations labelled with their\n"
+        << "// lock_rank.def rank; red edges violate the order.\n"
+        << "digraph godiva_locks {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+    // Stable node order: by rank, then id.
+    std::vector<const MutexDecl*> decls;
+    for (const MutexDecl& decl : model_.mutexes) decls.push_back(&decl);
+    std::sort(decls.begin(), decls.end(),
+              [&](const MutexDecl* a, const MutexDecl* b) {
+                auto ra = RankOf(a), rb = RankOf(b);
+                if (ra.first != rb.first) return ra.first < rb.first;
+                return a->id < b->id;
+              });
+    for (const MutexDecl* decl : decls) {
+      out << "  \"" << decl->id << "\" [label=\"" << decl->id << "\\n"
+          << RankLabel(decl) << "\"";
+      if (RankOf(decl).first < 0) out << ", style=dashed";
+      out << "];\n";
+    }
+    for (const auto& [key, edge] : graph_.edges) {
+      out << "  \"" << key.first << "\" -> \"" << key.second
+          << "\" [label=\"x" << edge.count << "\"";
+      if (!edge.ok) out << ", color=red, penwidth=2";
+      out << "];\n";
+    }
+    out << "}\n";
+  }
+
+  void EmitRanksMd() {
+    std::ofstream out(options_.ranks_md_path);
+    out << "# GODIVA lock ranks\n\n"
+        << "Generated by godiva_lint from `src/common/lock_rank.def` — do\n"
+        << "not edit. DESIGN.md §6 points here.\n\n"
+        << "| symbol | rank | width | owner |\n"
+        << "|---|---|---|---|\n";
+    std::vector<RankEntry> sorted = model_.rank_registry;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RankEntry& a, const RankEntry& b) {
+                return a.rank < b.rank;
+              });
+    for (const RankEntry& entry : sorted) {
+      out << "| `" << entry.symbol << "` | " << entry.rank << " | "
+          << entry.width << " | `" << entry.owner << "` |\n";
+    }
+    out << "\nGraph: " << graph_.edges.size() << " distinct edges over "
+        << model_.mutexes.size() << " mutex declarations ("
+        << ranked_decl_count_ << " ranked, "
+        << model_.rank_registry.size() << " registry entries).\n";
+  }
+
+  const Model& model_;
+  const AnalysisOptions& options_;
+  std::vector<Finding> findings_;
+  std::map<std::string, const MutexDecl*> decl_by_id_;
+  std::map<std::string, const RankEntry*> rank_by_symbol_;
+  std::map<std::string, const FunctionInfo*> fn_by_qualified_;
+  std::map<std::string, std::vector<const FunctionInfo*>> fn_by_name_;
+  std::map<std::string, std::set<std::string>> entry_set_;
+  std::map<std::string, std::set<std::string>> transitive_;
+  std::set<std::string> blocking_;
+  Graph graph_;
+  int ranked_decl_count_ = 0;
+};
+
+}  // namespace
+
+std::vector<Finding> Analyze(const Model& model,
+                             const AnalysisOptions& options) {
+  return Analyzer(model, options).Run();
+}
+
+}  // namespace godiva::lint

@@ -1,0 +1,172 @@
+// godiva_lint driver.
+//
+// Usage:
+//   godiva_lint --compdb build/compile_commands.json
+//               [--only-under src] [--rank-def src/common/lock_rank.def]
+//               [--dot out.dot] [--ranks-md out.md] [extra files...]
+//
+// Translation units come from compile_commands.json (filtered to
+// --only-under, default "src"); headers are discovered by walking the
+// directories those units live in, so annotations in .h files are seen.
+// Positional file arguments bypass the compdb entirely — the fixture
+// tests in tests/lint/ run the tool on standalone snippets this way.
+//
+// Exit status: 0 when no findings, 1 when any finding, 2 on usage errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "godiva_lint/lint.h"
+
+namespace godiva::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "godiva_lint: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Pulls every "file" value out of compile_commands.json. The format is
+// fixed (CMake emits it), so a targeted scan beats a JSON dependency.
+std::vector<std::string> CompdbFiles(const std::string& path) {
+  std::string text = ReadFileOrDie(path);
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos = text.find('"', text.find(':', pos));
+    if (pos == std::string::npos) break;
+    size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    out.push_back(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  std::string compdb, only_under = "src", rank_def;
+  AnalysisOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) {
+      if (++i >= argc) {
+        std::cerr << "godiva_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return std::string(argv[i]);
+    };
+    if (arg == "--compdb") {
+      compdb = value("--compdb");
+    } else if (arg == "--only-under") {
+      only_under = value("--only-under");
+    } else if (arg == "--rank-def") {
+      rank_def = value("--rank-def");
+    } else if (arg == "--dot") {
+      options.dot_path = value("--dot");
+    } else if (arg == "--ranks-md") {
+      options.ranks_md_path = value("--ranks-md");
+    } else if (arg == "--trace-mutex") {
+      options.trace_mutex = value("--trace-mutex");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "godiva_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (compdb.empty() && files.empty()) {
+    std::cerr << "godiva_lint: need --compdb or explicit files\n";
+    return 2;
+  }
+
+  // Collect translation units, then the headers next to them.
+  std::set<std::string> sources(files.begin(), files.end());
+  if (!compdb.empty()) {
+    std::set<std::string> dirs;
+    for (const std::string& file : CompdbFiles(compdb)) {
+      std::string native = fs::path(file).lexically_normal().string();
+      if (native.find("/" + only_under + "/") == std::string::npos) continue;
+      sources.insert(native);
+      dirs.insert(fs::path(native).parent_path().string());
+    }
+    for (const std::string& dir : dirs) {
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".h") {
+          sources.insert(entry.path().string());
+        }
+      }
+    }
+    if (rank_def.empty()) {
+      // Default: lock_rank.def next to mutex.h in the scanned tree.
+      for (const std::string& src : sources) {
+        if (fs::path(src).filename() == "mutex.h") {
+          rank_def =
+              (fs::path(src).parent_path() / "lock_rank.def").string();
+          break;
+        }
+      }
+    }
+  }
+  if (rank_def.empty()) {
+    std::cerr << "godiva_lint: need --rank-def (no mutex.h in scan set)\n";
+    return 2;
+  }
+
+  Model model;
+  std::vector<Finding> findings;
+  ParseRankDef(rank_def, ReadFileOrDie(rank_def), &model, &findings);
+  if (model.rank_registry.empty()) {
+    std::cerr << "godiva_lint: no rank entries parsed from " << rank_def
+              << "\n";
+    return 2;
+  }
+  // Headers first so class declarations exist before out-of-line bodies;
+  // within each group, stable path order keeps output deterministic.
+  std::vector<std::string> ordered(sources.begin(), sources.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const std::string& a, const std::string& b) {
+                     bool ah = fs::path(a).extension() == ".h";
+                     bool bh = fs::path(b).extension() == ".h";
+                     if (ah != bh) return ah;
+                     return a < b;
+                   });
+  for (const std::string& path : ordered) {
+    LexedFile lexed = Lex(path, ReadFileOrDie(path));
+    ExtractFile(lexed, &model, &findings);
+  }
+  ResolveMutexRefs(&model, &findings);
+  std::vector<Finding> analysis = Analyze(model, options);
+  findings.insert(findings.end(), analysis.begin(), analysis.end());
+
+  for (const Finding& finding : findings) {
+    std::cout << FormatFinding(finding) << "\n";
+  }
+  std::cout << "godiva_lint: " << ordered.size() << " files, "
+            << model.mutexes.size() << " mutexes, "
+            << model.rank_registry.size() << " rank entries, "
+            << model.functions.size() << " functions, " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace godiva::lint
+
+int main(int argc, char** argv) { return godiva::lint::Run(argc, argv); }
