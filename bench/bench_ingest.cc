@@ -91,14 +91,11 @@ void Check(const Status& status, const char* what) {
   }
 }
 
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  double rank = p * static_cast<double>(samples.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, samples.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+// Percentiles over a sample vector, via the shared bench recorder.
+double Percentile(const std::vector<double>& samples, double p) {
+  LatencyRecorder recorder;
+  recorder.RecordAll(samples);
+  return recorder.Percentile(p);
 }
 
 GboOptions DbOptions() {

@@ -37,6 +37,7 @@ constexpr int kProcesses = 4;
 struct ParallelOutcome {
   double makespan_seconds = 0;  // max process total (modeled)
   double visible_io_seconds = 0;  // max process visible I/O
+  std::vector<double> process_total_seconds;  // one per process
 };
 
 Result<ParallelOutcome> RunParallel(Experiment* experiment,
@@ -75,6 +76,7 @@ Result<ParallelOutcome> RunParallel(Experiment* experiment,
         std::max(outcome.makespan_seconds, result->total_seconds);
     outcome.visible_io_seconds =
         std::max(outcome.visible_io_seconds, result->visible_io_seconds);
+    outcome.process_total_seconds.push_back(result->total_seconds);
   }
   return outcome;
 }
@@ -128,6 +130,7 @@ int Run(int argc, char** argv) {
   for (const VizTestSpec& test : VizTestSpec::AllThree()) {
     double seq_total[2];
     double par_total[2];
+    LatencyRecorder proc_totals;  // per-process TG totals (load balance)
     int i = 0;
     for (Variant variant :
          {Variant::kOriginal, Variant::kGodivaMultiThread}) {
@@ -146,6 +149,9 @@ int Run(int argc, char** argv) {
       }
       seq_total[i] = seq->total_seconds.mean;
       par_total[i] = par->makespan_seconds;
+      if (variant == Variant::kGodivaMultiThread) {
+        proc_totals.RecordAll(par->process_total_seconds);
+      }
       ++i;
     }
     // GODIVA benefit: total-time reduction O→TG, sequential vs parallel
@@ -162,6 +168,12 @@ int Run(int argc, char** argv) {
     json.Add(StrCat(test.name, "_seq_total_TG_s"), seq_total[1]);
     json.Add(StrCat(test.name, "_par_makespan_O_s"), par_total[0]);
     json.Add(StrCat(test.name, "_par_makespan_TG_s"), par_total[1]);
+    // Load balance across the 4 TG processes: median process total and
+    // the straggler gap (makespan − median).
+    json.Add(StrCat(test.name, "_par_proc_p50_TG_s"),
+             proc_totals.Percentile(0.50));
+    json.Add(StrCat(test.name, "_par_straggler_gap_TG_s"),
+             proc_totals.Max() - proc_totals.Percentile(0.50));
   }
   std::printf("  (totals shown as O/TG; speedup is TG sequential vs TG "
               "4-process; paper expects parallel GODIVA benefit similar "

@@ -11,6 +11,7 @@
 #ifndef GODIVA_BENCH_BENCH_UTIL_H_
 #define GODIVA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +72,48 @@ struct BenchFlags {
     options.process.real_work_stride = stride;
     return options;
   }
+};
+
+// Latency-sample accumulator shared by the bench harnesses. Percentiles
+// use linear interpolation over rank p * (n - 1) — the convention every
+// harness has reported since bench_ingest introduced it, so numbers stay
+// comparable across benches and baselines.
+class LatencyRecorder {
+ public:
+  void Record(double sample) { samples_.push_back(sample); }
+  void RecordAll(const std::vector<double>& samples) {
+    samples_.insert(samples_.end(), samples.begin(), samples.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  // 0 on an empty recorder; p in [0, 1].
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double sample : samples_) sum += sample;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Max() const {
+    double max = 0;
+    for (double sample : samples_) max = std::max(max, sample);
+    return max;
+  }
+
+ private:
+  std::vector<double> samples_;
 };
 
 // The short git SHA the benchmark binary is running against, so a

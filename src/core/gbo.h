@@ -229,6 +229,13 @@ class Gbo {
   Result<UnitState> GetUnitState(const std::string& unit_name) const
       EXCLUDES(mu_);
 
+  // Bytes of record buffers currently charged to the unit (0 for a unit
+  // that has not loaded). NOT_FOUND if no unit with this name exists.
+  // Shard-lock-only, like GetUnitState — the serving layer uses it for
+  // per-session pinned-bytes accounting.
+  Result<int64_t> UnitMemoryBytes(const std::string& unit_name) const
+      EXCLUDES(mu_);
+
   // The most recent terminal read error of the unit (OK if it never
   // failed; the preserved error of a kFailed unit). NOT_FOUND if no unit
   // with this name exists.
@@ -252,14 +259,18 @@ class Gbo {
   };
   // Watch callbacks run with no Gbo locks held, on whichever thread
   // settled the unit (an I/O pool thread, a foreground reader, or the
-  // SupersedeUnit caller). They may call back into this Gbo. Events for a
-  // watch may still be delivered for a short window after UnregisterWatch
-  // returns (the callback copy may already be in flight).
+  // SupersedeUnit caller). They may call back into this Gbo.
   using WatchFn = std::function<void(const WatchEvent&)>;
 
   // Registers interest in every unit whose name matches `glob` ('*' / '?'
   // wildcards). Returns the watch id for UnregisterWatch.
   int64_t RegisterWatch(std::string glob, WatchFn fn) EXCLUDES(watch_mu_);
+  // Removes the watch and BLOCKS until every in-flight delivery of it has
+  // returned: after this call no thread is inside (or will ever enter)
+  // the callback, so the caller may free state the callback touches (the
+  // GboServer destructor depends on this). Consequently it must never be
+  // called from within the same watch's own callback — that would
+  // self-join.
   Status UnregisterWatch(int64_t watch_id) EXCLUDES(watch_mu_);
 
   // Publishes a new version of `unit_name`: the ingest-side counterpart of
@@ -273,8 +284,8 @@ class Gbo {
   // was superseded, then the usual kReady/kFailed when the new version
   // settles. Requires background_io (the reload path needs the pool);
   // FAILED_PRECONDITION otherwise. Subject to the ingest admission gate
-  // (GboOptions::ingest_queue_limit): blocks or returns RESOURCE_EXHAUSTED
-  // per GboOptions::ingest_admission, ABORTED on shutdown while blocked.
+  // (PressurePolicy::queue_limit): blocks or returns RESOURCE_EXHAUSTED
+  // per PressurePolicy::admission, ABORTED on shutdown while blocked.
   // lint: holds_on_entry(none)
   Status SupersedeUnit(const std::string& unit_name, ReadFn read_fn,
                        std::vector<std::string> resources = {})
@@ -309,6 +320,22 @@ class Gbo {
   // merged away (gsdf::Reader::ReadBatch; see DESIGN.md §8), so the
   // saving shows up in this database's stats.
   void ReportCoalescedReads(int64_t count) EXCLUDES(mu_);
+
+  // The serving layer (GboServer, DESIGN.md §13) reports its aggregate
+  // admission / shedding activity so it surfaces in this database's
+  // stats() alongside the cache and ingest counters it degrades against.
+  enum class ServingCounter {
+    kSessionsOpened,
+    kSessionsClosed,
+    kReadsAdmitted,
+    kReadsQueued,
+    kReadsRejected,
+    kPrefetchesShed,
+    kDemandShed,
+    kForcedUnpins,
+  };
+  void ReportServingCounter(ServingCounter counter, int64_t count = 1)
+      EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
   // Introspection.
@@ -573,8 +600,8 @@ class Gbo {
 
   // The ingest admission gate (SupersedeUnit only): waits until the
   // queued-unit backlog (demand + speculative) is below
-  // options_.ingest_queue_limit and memory is below the ingest high-water
-  // fraction, or rejects, per options_.ingest_admission. OK to publish /
+  // the resolved PressurePolicy::queue_limit and memory is below the
+  // high-water fraction, or rejects, per the policy's admission mode. OK /
   // RESOURCE_EXHAUSTED / ABORTED on shutdown.
   Status AdmitIngestLocked() REQUIRES(mu_);
 
@@ -722,6 +749,10 @@ class Gbo {
   mutable Mutex watch_mu_{lock_rank::kGboWatch, "Gbo::watch_mu_"};
   std::vector<Watcher> watchers_ GUARDED_BY(watch_mu_);
   int64_t next_watch_id_ GUARDED_BY(watch_mu_) = 1;
+  // In-flight deliveries per watch id; UnregisterWatch waits on watch_cv_
+  // for its id to drain so the callback's captures can be freed safely.
+  std::map<int64_t, int> watch_running_ GUARDED_BY(watch_mu_);
+  CondVar watch_cv_;
   // Callbacks delivered; relaxed atomic (bumped outside any lock), summed
   // into stats().
   std::atomic<int64_t> watch_notifications_{0};

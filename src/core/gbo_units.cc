@@ -278,6 +278,36 @@ void Gbo::ReportCoalescedReads(int64_t count) {
   counters_.coalesced_reads += count;
 }
 
+void Gbo::ReportServingCounter(ServingCounter counter, int64_t count) {
+  MutexLock lock(&mu_);
+  switch (counter) {
+    case ServingCounter::kSessionsOpened:
+      counters_.sessions_opened += count;
+      break;
+    case ServingCounter::kSessionsClosed:
+      counters_.sessions_closed += count;
+      break;
+    case ServingCounter::kReadsAdmitted:
+      counters_.serving_reads_admitted += count;
+      break;
+    case ServingCounter::kReadsQueued:
+      counters_.serving_reads_queued += count;
+      break;
+    case ServingCounter::kReadsRejected:
+      counters_.serving_reads_rejected += count;
+      break;
+    case ServingCounter::kPrefetchesShed:
+      counters_.serving_prefetches_shed += count;
+      break;
+    case ServingCounter::kDemandShed:
+      counters_.serving_demand_shed += count;
+      break;
+    case ServingCounter::kForcedUnpins:
+      counters_.serving_forced_unpins += count;
+      break;
+  }
+}
+
 // ---------------------------------------------------------------------
 // Two-level prefetch queue. Demand misses (units an application thread is
 // blocked on) live in demand_queue_ and are always served before the
@@ -859,6 +889,16 @@ Result<UnitState> Gbo::GetUnitState(const std::string& unit_name) const {
     return NotFoundError(StrCat("no unit named ", unit_name));
   }
   return it->second->state;
+}
+
+Result<int64_t> Gbo::UnitMemoryBytes(const std::string& unit_name) const {
+  Shard& s = ShardOfUnitName(unit_name);
+  MutexLock shard_lock(&s.mu);
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end()) {
+    return NotFoundError(StrCat("no unit named ", unit_name));
+  }
+  return it->second->memory_bytes;
 }
 
 Status Gbo::GetUnitError(const std::string& unit_name) const {

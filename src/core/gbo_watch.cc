@@ -41,6 +41,18 @@ Status Gbo::UnregisterWatch(int64_t watch_id) {
     return NotFoundError(StrCat("no watch with id ", watch_id));
   }
   watchers_.erase(pos);
+  // Drain in-flight deliveries: NotifyWatchers snapshots callbacks before
+  // running them lock-free, so a copy of this watch's fn may be mid-call
+  // (or not yet called) on another thread. The erase above stops new
+  // snapshots; waiting here guarantees the caller may free anything the
+  // callback captures once we return. (This is why a callback must never
+  // unregister its own watch.)
+  auto running = watch_running_.find(watch_id);
+  while (running != watch_running_.end() && running->second > 0) {
+    watch_cv_.Wait(&watch_mu_);
+    running = watch_running_.find(watch_id);
+  }
+  if (running != watch_running_.end()) watch_running_.erase(running);
   return Status::Ok();
 }
 
@@ -48,11 +60,13 @@ void Gbo::NotifyWatchers(const std::string& unit_name, WatchEventKind kind,
                          int64_t epoch) {
   // Snapshot the matching callbacks so they run lock-free: a callback may
   // block, take arbitrarily long, or call back into this database.
-  std::vector<WatchFn> matched;
+  std::vector<std::pair<int64_t, WatchFn>> matched;
   {
     MutexLock lock(&watch_mu_);
     for (const Watcher& watcher : watchers_) {
-      if (GlobMatch(watcher.glob, unit_name)) matched.push_back(watcher.fn);
+      if (GlobMatch(watcher.glob, unit_name)) {
+        matched.emplace_back(watcher.id, watcher.fn);
+      }
     }
   }
   if (matched.empty()) return;
@@ -60,9 +74,26 @@ void Gbo::NotifyWatchers(const std::string& unit_name, WatchEventKind kind,
   event.unit_name = unit_name;
   event.kind = kind;
   event.epoch = epoch;
-  for (const WatchFn& fn : matched) {
+  for (const auto& [id, fn] : matched) {
+    // Mark the delivery in flight only at the moment it starts, re-checking
+    // registration first: a watch unregistered since the snapshot is skipped
+    // outright, so UnregisterWatch's drain waits only on callbacks that are
+    // actually running — never on deliveries queued behind an unrelated
+    // watch earlier in this loop (that would deadlock a caller who holds a
+    // lock the earlier callback wants).
+    {
+      MutexLock lock(&watch_mu_);
+      const int64_t watch_id = id;
+      auto pos = std::find_if(
+          watchers_.begin(), watchers_.end(),
+          [watch_id](const Watcher& w) { return w.id == watch_id; });
+      if (pos == watchers_.end()) continue;
+      ++watch_running_[id];
+    }
     fn(event);
     watch_notifications_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(&watch_mu_);
+    if (--watch_running_[id] == 0) watch_cv_.NotifyAll();
   }
 }
 
@@ -131,9 +162,12 @@ void Gbo::HandleStaleSettle(Shard& s, Unit* unit)
 // Ingest admission.
 
 Status Gbo::AdmitIngestLocked() {
-  if (options_.ingest_queue_limit <= 0) return Status::Ok();
-  const double fraction =
-      std::clamp(options_.ingest_memory_fraction, 0.0, 1.0);
+  // The ingest gate and the serving layer share one threshold table
+  // (PressurePolicy, DESIGN.md §13); ResolvedPressure folds the legacy
+  // ingest_* aliases in so both spellings mean the same thing here.
+  const PressurePolicy pressure = options_.ResolvedPressure();
+  if (pressure.queue_limit <= 0) return Status::Ok();
+  const double fraction = std::clamp(pressure.high_water_fraction, 0.0, 1.0);
   auto over_memory = [this, fraction]() {
     int64_t limit = memory_limit_.load(std::memory_order_relaxed);
     int64_t high_water =
@@ -142,21 +176,21 @@ Status Gbo::AdmitIngestLocked() {
   };
   // Called under mu_ (lambdas are opaque to -Wthread-safety; the enclosing
   // function's REQUIRES(mu_) is the real contract).
-  auto backlog_full = [this]() {
+  auto backlog_full = [this, &pressure]() {
     return static_cast<int>(demand_queue_.size() + prefetch_queue_.size()) >=
-           options_.ingest_queue_limit;
+           pressure.queue_limit;
   };
   // Prefer making room to blocking: above the high-water mark, evict cold
   // finished units (typically the producer's own older snapshots).
   while (over_memory() && EvictOneLocked()) {
   }
   if (!backlog_full() && !over_memory()) return Status::Ok();
-  if (options_.ingest_admission == IngestAdmission::kReject) {
+  if (pressure.admission == IngestAdmission::kReject) {
     ++counters_.publishes_rejected;
     return ResourceExhaustedError(StrCat(
         "ingest admission rejected: ",
         demand_queue_.size() + prefetch_queue_.size(), " units queued (limit ",
-        options_.ingest_queue_limit, "), memory ",
+        pressure.queue_limit, "), memory ",
         FormatBytes(memory_used_.load(std::memory_order_relaxed)), " of ",
         FormatBytes(memory_limit_.load(std::memory_order_relaxed))));
   }

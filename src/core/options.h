@@ -61,6 +61,39 @@ enum class IngestAdmission {
   kReject,
 };
 
+// The single source of truth for memory-pressure thresholds (DESIGN.md
+// §13). Both throttled producers consult it: the ingest admission gate
+// (Gbo::SupersedeUnit) keys on queue_limit / high_water_fraction /
+// admission, and the serving layer (GboServer) maps the three fractions
+// onto its admission states — below degrade_fraction everything is
+// admitted; past it the server stops feeding speculative prefetch; past
+// high_water_fraction it sheds queued prefetch and rejects background
+// demand; past critical_fraction only interactive demand is admitted and
+// idle over-budget sessions are force-unpinned. Fractions are of
+// memory_limit_bytes and are clamped to [0, 1] at the point of use;
+// callers should keep degrade ≤ high_water ≤ critical.
+struct PressurePolicy {
+  // Maximum units allowed to sit in the I/O queues (demand + speculative)
+  // before ingest publishes are throttled — the frontier-lag window.
+  // 0 disables the ingest gate (the serving layer has its own queue
+  // bounds and is unaffected).
+  int queue_limit = 0;
+
+  // Serving layer stops admitting new speculative prefetch.
+  double degrade_fraction = 0.75;
+
+  // Ingest publishes throttle; serving layer sheds queued prefetch and
+  // rejects background-class demand.
+  double high_water_fraction = 0.9;
+
+  // Serving layer admits only interactive demand and force-unpins idle
+  // sessions past their pin budget.
+  double critical_fraction = 0.95;
+
+  // Blocking vs rejecting ingest admission; see IngestAdmission.
+  IngestAdmission admission = IngestAdmission::kBlock;
+};
+
 struct GboOptions {
   // Maximum memory the database may use for record buffers (plus the small
   // per-record overhead). Set at creation like the paper's `new GBO(400)`
@@ -104,21 +137,39 @@ struct GboOptions {
   // that declare no resources never participate.
   int quarantine_threshold = 3;
 
-  // --- Live-ingest admission (Gbo::SupersedeUnit only; AddUnit and the
-  // reader-side API are never throttled).
+  // Memory-pressure thresholds shared by the ingest admission gate and
+  // the serving layer; see PressurePolicy.
+  PressurePolicy pressure;
 
-  // Maximum number of ingest-published units allowed to sit in the queues
-  // waiting for their (re)load before further publishes are throttled —
-  // the frontier-lag window. 0 disables the gate.
+  // --- Back-compat aliases (pre-PressurePolicy spelling of the ingest
+  // gate). A non-default value here overrides the corresponding pressure
+  // field via ResolvedPressure(); new code should set `pressure` directly.
+
+  // Alias for pressure.queue_limit. 0 keeps pressure.queue_limit.
   int ingest_queue_limit = 0;
 
-  // Publishes are additionally throttled while memory_used exceeds this
-  // fraction of the memory limit, so a fast producer cannot thrash the
-  // shared LRU. Only consulted when ingest_queue_limit > 0.
+  // Alias for pressure.high_water_fraction; any value other than the 0.9
+  // default overrides it.
   double ingest_memory_fraction = 0.9;
 
-  // Blocking vs rejecting admission; see IngestAdmission.
+  // Alias for pressure.admission; kReject overrides it.
   IngestAdmission ingest_admission = IngestAdmission::kBlock;
+
+  // The effective pressure policy: `pressure` with any non-default legacy
+  // ingest_* alias folded in. Every consumer of memory-pressure thresholds
+  // (Gbo's ingest gate, GboServer's admission states) reads this, so the
+  // two spellings can never disagree.
+  PressurePolicy ResolvedPressure() const {
+    PressurePolicy resolved = pressure;
+    if (ingest_queue_limit != 0) resolved.queue_limit = ingest_queue_limit;
+    if (ingest_memory_fraction != 0.9) {
+      resolved.high_water_fraction = ingest_memory_fraction;
+    }
+    if (ingest_admission != IngestAdmission::kBlock) {
+      resolved.admission = ingest_admission;
+    }
+    return resolved;
+  }
 
   static GboOptions SingleThread() {
     GboOptions options;

@@ -1,0 +1,678 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace godiva {
+
+namespace {
+
+// Shed-ladder scan order: lowest priority sheds first.
+constexpr PriorityClass kShedOrder[] = {PriorityClass::kBackground,
+                                        PriorityClass::kBatch,
+                                        PriorityClass::kInteractive};
+
+bool AtLeast(GboServer::PressureState state, GboServer::PressureState floor) {
+  return static_cast<int>(state) >= static_cast<int>(floor);
+}
+
+}  // namespace
+
+std::string_view PressureStateName(GboServer::PressureState state) {
+  switch (state) {
+    case GboServer::PressureState::kOpen:
+      return "open";
+    case GboServer::PressureState::kDegraded:
+      return "degraded";
+    case GboServer::PressureState::kSaturated:
+      return "saturated";
+    case GboServer::PressureState::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+GboServer::GboServer(Gbo* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      pressure_(db->options().ResolvedPressure()) {
+  {
+    MutexLock lock(&mu_);
+    paused_ = options_.start_paused;
+  }
+  watch_id_ = db_->RegisterWatch(
+      "*", [this](const Gbo::WatchEvent& event) { OnUnitEvent(event); });
+}
+
+GboServer::~GboServer() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+    // Handles should already be closed, but a leaked one must not strand
+    // a blocked reader: cancel every queued ticket.
+    for (auto& [id, session] : sessions_) {
+      if (!session->closed) {
+        CancelSessionTicketsLocked(session.get(),
+                                   AbortedError("server shutting down"));
+      }
+    }
+    ticket_cv_.NotifyAll();
+    while (inflight_demand_ > 0) {
+      ticket_cv_.Wait(&mu_);
+    }
+  }
+  // lint: discard_ok(best effort: the watch registry dies with the Gbo)
+  (void)db_->UnregisterWatch(watch_id_);
+}
+
+Result<std::unique_ptr<GboSession>> GboServer::OpenSession(
+    SessionConfig config) {
+  MutexLock lock(&mu_);
+  if (shutdown_) return FailedPreconditionError("server is shutting down");
+  if (options_.max_sessions > 0) {
+    int open = 0;
+    for (const auto& [id, session] : sessions_) {
+      if (!session->closed) ++open;
+    }
+    if (open >= options_.max_sessions) {
+      return ResourceExhaustedError(
+          StrCat("session limit reached (", options_.max_sessions, ")"));
+    }
+  }
+  const PressureState state = PressureStateNow();
+  if (AtLeast(state, PressureState::kCritical) &&
+      config.priority != PriorityClass::kInteractive) {
+    return ResourceExhaustedError(
+        StrCat("session admission rejected: memory pressure is ",
+               PressureStateName(state), " and the session class is ",
+               PriorityClassName(config.priority)));
+  }
+  const int64_t id = next_session_id_++;
+  if (config.name.empty()) config.name = StrCat("session-", id);
+  auto session = std::make_unique<SessionState>();
+  session->id = id;
+  session->config = config;
+  std::unique_ptr<GboSession> handle(new GboSession(this, id, config));
+  session->handle = handle.get();
+  active_.push_back(session.get());
+  sessions_[id] = std::move(session);
+  db_->ReportServingCounter(Gbo::ServingCounter::kSessionsOpened);
+  return handle;
+}
+
+GboServer::PressureState GboServer::PressureStateNow() const {
+  const int64_t limit = db_->memory_limit();
+  if (limit <= 0) return PressureState::kOpen;
+  const double fraction = static_cast<double>(db_->memory_usage()) /
+                          static_cast<double>(limit);
+  if (fraction >= pressure_.critical_fraction) return PressureState::kCritical;
+  if (fraction >= pressure_.high_water_fraction) {
+    return PressureState::kSaturated;
+  }
+  if (fraction >= pressure_.degrade_fraction) return PressureState::kDegraded;
+  return PressureState::kOpen;
+}
+
+GboServer::PressureState GboServer::pressure_state() const {
+  return PressureStateNow();
+}
+
+void GboServer::PollPressure() {
+  MutexLock lock(&mu_);
+  ApplyPressureLocked(PressureStateNow());
+  DispatchLocked();
+}
+
+void GboServer::PauseDispatch() {
+  MutexLock lock(&mu_);
+  paused_ = true;
+}
+
+void GboServer::ResumeDispatch() {
+  MutexLock lock(&mu_);
+  paused_ = false;
+  DispatchLocked();
+}
+
+std::vector<std::string> GboServer::DispatchLog() const {
+  MutexLock lock(&mu_);
+  return dispatch_log_;
+}
+
+std::vector<std::string> GboServer::ShedLog() const {
+  MutexLock lock(&mu_);
+  return shed_log_;
+}
+
+int GboServer::open_sessions() const {
+  MutexLock lock(&mu_);
+  int open = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->closed) ++open;
+  }
+  return open;
+}
+
+// ---------------------------------------------------------------------
+// Session-facing entry points.
+
+Status GboServer::AwaitDemandGrant(int64_t session_id,
+                                   const std::string& unit_name,
+                                   const TimePoint* deadline) {
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr || session->closed) {
+    return FailedPreconditionError("session is closed");
+  }
+  if (shutdown_) return AbortedError("server is shutting down");
+
+  const PressureState state = PressureStateNow();
+  ApplyPressureLocked(state);
+  // Pressure-based admission, lowest classes refused first (the demand
+  // rungs of the shed ladder).
+  const PriorityClass priority = session->config.priority;
+  const bool refused =
+      (priority == PriorityClass::kBackground &&
+       AtLeast(state, PressureState::kSaturated)) ||
+      (priority != PriorityClass::kInteractive &&
+       AtLeast(state, PressureState::kCritical));
+  if (refused) {
+    ++session->counters.reads_rejected;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(
+        StrCat("demand read rejected: memory pressure is ",
+               PressureStateName(state), " and session ",
+               session->config.name, " is ", PriorityClassName(priority)));
+  }
+  // Per-session quotas.
+  if (session->config.max_pinned_bytes > 0 &&
+      session->pinned_bytes >= session->config.max_pinned_bytes) {
+    ++session->counters.quota_rejections;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(
+        StrCat("pin budget exhausted: session ", session->config.name,
+               " holds ", FormatBytes(session->pinned_bytes), " of ",
+               FormatBytes(session->config.max_pinned_bytes)));
+  }
+  if (session->config.max_queued_demand > 0 &&
+      static_cast<int>(session->demand_q.size()) >=
+          session->config.max_queued_demand) {
+    ++session->counters.quota_rejections;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(
+        StrCat("demand queue quota exhausted: session ",
+               session->config.name, " already has ",
+               session->demand_q.size(), " reads queued"));
+  }
+  if (queued_total_ >= options_.max_queued_total) {
+    ++session->counters.reads_rejected;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(StrCat("server queue full (",
+                                         options_.max_queued_total,
+                                         " tickets)"));
+  }
+
+  // Queue the ticket (it lives on this stack frame; we do not return
+  // while it is still queued) and wait for the scheduler.
+  Ticket ticket;
+  ticket.session_id = session_id;
+  ticket.unit_name = unit_name;
+  session->demand_q.push_back(&ticket);
+  ++queued_total_;
+  DispatchLocked();
+
+  bool waited = false;
+  Stopwatch stall;
+  while (ticket.state == TicketState::kWaiting) {
+    waited = true;
+    if (deadline == nullptr) {
+      ticket_cv_.Wait(&mu_);
+      continue;
+    }
+    if (!ticket_cv_.WaitUntil(&mu_, *deadline) &&
+        ticket.state == TicketState::kWaiting) {
+      // Withdraw the still-queued ticket.
+      auto pos = std::find(session->demand_q.begin(), session->demand_q.end(),
+                           &ticket);
+      if (pos != session->demand_q.end()) {
+        session->demand_q.erase(pos);
+        --queued_total_;
+      }
+      session->counters.stall_seconds += stall.ElapsedSeconds();
+      return DeadlineExceededError(
+          StrCat("timed out waiting for a demand grant on ", unit_name));
+    }
+  }
+  if (ticket.state == TicketState::kCancelled) {
+    session->counters.stall_seconds += stall.ElapsedSeconds();
+    return ticket.cancel_reason;
+  }
+  ++session->counters.reads_admitted;
+  db_->ReportServingCounter(Gbo::ServingCounter::kReadsAdmitted);
+  if (waited) {
+    ++session->counters.reads_queued;
+    session->counters.stall_seconds += stall.ElapsedSeconds();
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsQueued);
+  }
+  return Status::Ok();
+}
+
+void GboServer::NoteDemandResult(int64_t session_id,
+                                 const std::string& unit_name,
+                                 const Status& result, double elapsed_ms) {
+  MutexLock lock(&mu_);
+  --inflight_demand_;
+  SessionState* session = FindSessionLocked(session_id);
+  if (session != nullptr) {
+    --session->inflight;
+    if (result.ok()) {
+      SessionState::PinEntry& entry = session->pinned[unit_name];
+      if (entry.pins == 0) {
+        Result<int64_t> bytes = db_->UnitMemoryBytes(unit_name);
+        entry.bytes = bytes.ok() ? bytes.value() : 0;
+        session->pinned_bytes += entry.bytes;
+      }
+      ++entry.pins;
+      if (session->handle != nullptr) {
+        session->handle->RecordDemandLatency(elapsed_ms);
+      }
+    }
+  }
+  ticket_cv_.NotifyAll();
+  DispatchLocked();
+}
+
+Status GboServer::RequestPrefetch(int64_t session_id,
+                                  const std::string& unit_name,
+                                  Gbo::ReadFn read_fn) {
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr || session->closed) {
+    return FailedPreconditionError("session is closed");
+  }
+  if (shutdown_) return AbortedError("server is shutting down");
+  ++session->counters.prefetches_requested;
+  const PressureState state = PressureStateNow();
+  ApplyPressureLocked(state);
+  if (AtLeast(state, PressureState::kDegraded)) {
+    ++session->counters.prefetches_shed;
+    db_->ReportServingCounter(Gbo::ServingCounter::kPrefetchesShed);
+    return ResourceExhaustedError(
+        StrCat("prefetch rejected: memory pressure is ",
+               PressureStateName(state)));
+  }
+  if (queued_total_ >= options_.max_queued_total) {
+    ++session->counters.prefetches_shed;
+    db_->ReportServingCounter(Gbo::ServingCounter::kPrefetchesShed);
+    return ResourceExhaustedError(StrCat("server queue full (",
+                                         options_.max_queued_total,
+                                         " tickets)"));
+  }
+  session->prefetch_q.push_back(PrefetchTicket{unit_name, std::move(read_fn)});
+  ++queued_total_;
+  DispatchLocked();
+  return Status::Ok();
+}
+
+Status GboServer::FinishUnitFor(int64_t session_id,
+                                const std::string& unit_name) {
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr || session->closed) {
+    return FailedPreconditionError("session is closed");
+  }
+  auto it = session->pinned.find(unit_name);
+  if (it == session->pinned.end()) {
+    return FailedPreconditionError(StrCat("unit ", unit_name,
+                                          " is not pinned by session ",
+                                          session->config.name));
+  }
+  if (--it->second.pins == 0) {
+    session->pinned_bytes -= it->second.bytes;
+    session->pinned.erase(it);
+  }
+  Status finished = db_->FinishUnit(unit_name);
+  DispatchLocked();
+  return finished;
+}
+
+Result<int64_t> GboServer::RegisterSessionWatch(int64_t session_id,
+                                                const std::string& glob,
+                                                Gbo::WatchFn fn) {
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr || session->closed) {
+    return FailedPreconditionError("session is closed");
+  }
+  const int64_t watch_id = db_->RegisterWatch(glob, std::move(fn));
+  session->watch_ids.push_back(watch_id);
+  return watch_id;
+}
+
+Status GboServer::UnregisterSessionWatch(int64_t session_id,
+                                         int64_t watch_id) {
+  {
+    MutexLock lock(&mu_);
+    SessionState* session = FindSessionLocked(session_id);
+    if (session == nullptr) {
+      return FailedPreconditionError("session is closed");
+    }
+    auto pos = std::find(session->watch_ids.begin(), session->watch_ids.end(),
+                         watch_id);
+    if (pos == session->watch_ids.end()) {
+      return NotFoundError(StrCat("watch ", watch_id,
+                                  " is not registered by session ",
+                                  session->config.name));
+    }
+    session->watch_ids.erase(pos);
+  }
+  // Outside mu_: UnregisterWatch blocks until in-flight deliveries of this
+  // watch drain, and the callback may itself be calling into the server.
+  return db_->UnregisterWatch(watch_id);
+}
+
+void GboServer::CloseSession(int64_t session_id) {
+  std::vector<int64_t> watch_ids;
+  {
+    MutexLock lock(&mu_);
+    SessionState* session = FindSessionLocked(session_id);
+    if (session == nullptr || session->closed) return;
+    session->closed = true;
+    CancelSessionTicketsLocked(session, AbortedError("session closed"));
+    DeactivateLocked(session);
+    ticket_cv_.NotifyAll();
+    // Drain reads that already hold a grant; their settle re-signals.
+    while (session->inflight > 0) {
+      ticket_cv_.Wait(&mu_);
+    }
+    ReleasePinsLocked(session, /*forced=*/false);
+    watch_ids.swap(session->watch_ids);
+    db_->ReportServingCounter(Gbo::ServingCounter::kSessionsClosed);
+    DispatchLocked();
+  }
+  // Outside mu_: UnregisterWatch blocks until in-flight deliveries drain,
+  // and a session's watch callback may itself be calling into the server.
+  for (int64_t watch_id : watch_ids) {
+    // lint: discard_ok(best-effort cleanup; the watch may already be gone)
+    (void)db_->UnregisterWatch(watch_id);
+  }
+}
+
+void GboServer::ReleaseSession(int64_t session_id) {
+  MutexLock lock(&mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  it->second->handle = nullptr;
+  sessions_.erase(it);
+}
+
+bool GboServer::SessionClosed(int64_t session_id) const {
+  MutexLock lock(&mu_);
+  const SessionState* session = FindSessionLocked(session_id);
+  return session == nullptr || session->closed;
+}
+
+SessionStats GboServer::SessionStatsFor(int64_t session_id) const {
+  MutexLock lock(&mu_);
+  SessionStats stats;
+  const SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr) return stats;
+  stats = session->counters;
+  stats.name = session->config.name;
+  stats.priority = session->config.priority;
+  stats.pinned_bytes = session->pinned_bytes;
+  stats.pinned_units = static_cast<int>(session->pinned.size());
+  stats.queued_demand = static_cast<int>(session->demand_q.size());
+  if (session->handle != nullptr) {
+    // The documented kGboServer -> kGboSession edge: the sample ring is
+    // read under the server lock.
+    session->handle->FillLatency(&stats);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+
+GboServer::SessionState* GboServer::FindSessionLocked(int64_t session_id) {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const GboServer::SessionState* GboServer::FindSessionLocked(
+    int64_t session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+int GboServer::QuantumFor(const SessionState& session) const {
+  int weight = 1;
+  switch (session.config.priority) {
+    case PriorityClass::kInteractive:
+      weight = options_.weight_interactive;
+      break;
+    case PriorityClass::kBatch:
+      weight = options_.weight_batch;
+      break;
+    case PriorityClass::kBackground:
+      weight = options_.weight_background;
+      break;
+  }
+  return std::max(1, weight);
+}
+
+void GboServer::DispatchLocked() {
+  if (paused_ || shutdown_) return;
+  // Demand lane first — mirrors the Gbo's own demand-before-speculative
+  // queue order, with DRR deciding which session's ticket goes next.
+  while (inflight_demand_ < options_.max_inflight_demand) {
+    const bool reserve_only =
+        options_.max_inflight_demand - inflight_demand_ <=
+        options_.demand_reserve_interactive;
+    Ticket* ticket = NextDemandLocked(reserve_only);
+    if (ticket == nullptr) break;
+    ticket->state = TicketState::kGranted;
+    ++inflight_demand_;
+    SessionState* session = FindSessionLocked(ticket->session_id);
+    if (session != nullptr) {
+      ++session->inflight;
+      if (options_.record_dispatch_log) {
+        AppendLogLocked(&dispatch_log_,
+                        StrCat("demand ", session->config.name, ":",
+                               ticket->unit_name));
+      }
+    }
+    ticket_cv_.NotifyAll();
+  }
+  // Speculative lane: only while pressure is fully open.
+  if (AtLeast(PressureStateNow(), PressureState::kDegraded)) return;
+  while (outstanding_prefetch_total_ < options_.max_outstanding_prefetch) {
+    SessionState* session = NextPrefetchSessionLocked();
+    if (session == nullptr) break;
+    PrefetchTicket ticket = std::move(session->prefetch_q.front());
+    session->prefetch_q.pop_front();
+    --queued_total_;
+    ++session->counters.prefetches_dispatched;
+    if (options_.record_dispatch_log) {
+      AppendLogLocked(&dispatch_log_,
+                      StrCat("prefetch ", session->config.name, ":",
+                             ticket.unit_name));
+    }
+    // Held across the (non-blocking) Gbo call on purpose; kGboServer
+    // ranks below kGboMu.
+    Status added = db_->AddUnit(ticket.unit_name, std::move(ticket.read_fn));
+    if (added.ok()) {
+      ++outstanding_prefetch_[ticket.unit_name];
+      ++outstanding_prefetch_total_;
+    }
+    // ALREADY_EXISTS means the unit is live (cached, queued or loading):
+    // the prefetch is moot and occupies no window slot. Other failures
+    // drop the ticket — speculative work is best-effort by definition.
+  }
+}
+
+GboServer::Ticket* GboServer::NextDemandLocked(bool interactive_only) {
+  if (active_.empty()) return nullptr;
+  const size_t n = active_.size();
+  // Every session is visited at most twice (once to replenish an empty
+  // deficit, once to serve), so 2n scans bound the search.
+  for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    SessionState* session = active_[demand_cursor_ % n];
+    const bool blocked =
+        (interactive_only &&
+         session->config.priority != PriorityClass::kInteractive) ||
+        (session->config.max_inflight_loads > 0 &&
+         session->inflight >= session->config.max_inflight_loads);
+    if (session->demand_q.empty() || blocked) {
+      session->deficit_demand = 0;
+      demand_cursor_ = (demand_cursor_ + 1) % n;
+      continue;
+    }
+    if (session->deficit_demand <= 0) {
+      session->deficit_demand = QuantumFor(*session);
+    }
+    Ticket* ticket = session->demand_q.front();
+    session->demand_q.pop_front();
+    --queued_total_;
+    if (--session->deficit_demand <= 0) {
+      demand_cursor_ = (demand_cursor_ + 1) % n;
+    }
+    return ticket;
+  }
+  return nullptr;
+}
+
+GboServer::SessionState* GboServer::NextPrefetchSessionLocked() {
+  if (active_.empty()) return nullptr;
+  const size_t n = active_.size();
+  for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    SessionState* session = active_[prefetch_cursor_ % n];
+    if (session->prefetch_q.empty()) {
+      session->deficit_prefetch = 0;
+      prefetch_cursor_ = (prefetch_cursor_ + 1) % n;
+      continue;
+    }
+    if (session->deficit_prefetch <= 0) {
+      session->deficit_prefetch = QuantumFor(*session);
+    }
+    if (--session->deficit_prefetch <= 0) {
+      prefetch_cursor_ = (prefetch_cursor_ + 1) % n;
+    }
+    return session;
+  }
+  return nullptr;
+}
+
+void GboServer::ApplyPressureLocked(PressureState state) {
+  if (AtLeast(state, PressureState::kSaturated)) {
+    // Shed rung 1: cancel every queued speculative ticket, lowest
+    // priority class first (victim order is recorded for the tests).
+    for (PriorityClass cls : kShedOrder) {
+      for (SessionState* session : active_) {
+        if (session->config.priority != cls) continue;
+        while (!session->prefetch_q.empty()) {
+          if (options_.record_dispatch_log) {
+            AppendLogLocked(&shed_log_,
+                            StrCat("prefetch ", session->config.name, ":",
+                                   session->prefetch_q.front().unit_name));
+          }
+          session->prefetch_q.pop_front();
+          --queued_total_;
+          ++session->counters.prefetches_shed;
+          db_->ReportServingCounter(Gbo::ServingCounter::kPrefetchesShed);
+        }
+      }
+    }
+  }
+  if (AtLeast(state, PressureState::kCritical)) ForceUnpinIdleLocked();
+}
+
+void GboServer::ForceUnpinIdleLocked() {
+  // Shed rung 3: idle sessions (no queued or in-flight demand) holding
+  // more than their pin budget give pins back, lowest class first,
+  // name order within a session (deterministic victims).
+  for (PriorityClass cls : kShedOrder) {
+    for (SessionState* session : active_) {
+      if (session->config.priority != cls) continue;
+      if (session->config.max_pinned_bytes <= 0) continue;
+      if (session->inflight > 0 || !session->demand_q.empty()) continue;
+      while (session->pinned_bytes > session->config.max_pinned_bytes &&
+             !session->pinned.empty()) {
+        auto it = session->pinned.begin();
+        if (options_.record_dispatch_log) {
+          AppendLogLocked(&shed_log_, StrCat("unpin ", session->config.name,
+                                             ":", it->first));
+        }
+        for (int pin = 0; pin < it->second.pins; ++pin) {
+          // lint: discard_ok(best effort: the unit may already be gone)
+          (void)db_->FinishUnit(it->first);
+        }
+        session->counters.forced_unpins += it->second.pins;
+        db_->ReportServingCounter(Gbo::ServingCounter::kForcedUnpins,
+                                  it->second.pins);
+        session->pinned_bytes -= it->second.bytes;
+        session->pinned.erase(it);
+      }
+    }
+  }
+}
+
+void GboServer::CancelSessionTicketsLocked(SessionState* session,
+                                           const Status& reason) {
+  while (!session->demand_q.empty()) {
+    Ticket* ticket = session->demand_q.front();
+    session->demand_q.pop_front();
+    --queued_total_;
+    ticket->state = TicketState::kCancelled;
+    ticket->cancel_reason = reason;
+    ++session->counters.demand_shed;
+    db_->ReportServingCounter(Gbo::ServingCounter::kDemandShed);
+  }
+  while (!session->prefetch_q.empty()) {
+    session->prefetch_q.pop_front();
+    --queued_total_;
+    ++session->counters.prefetches_shed;
+    db_->ReportServingCounter(Gbo::ServingCounter::kPrefetchesShed);
+  }
+}
+
+void GboServer::ReleasePinsLocked(SessionState* session, bool forced) {
+  for (auto& [unit_name, entry] : session->pinned) {
+    for (int pin = 0; pin < entry.pins; ++pin) {
+      // lint: discard_ok(best effort: the unit may already be gone)
+      (void)db_->FinishUnit(unit_name);
+    }
+    if (forced) {
+      session->counters.forced_unpins += entry.pins;
+      db_->ReportServingCounter(Gbo::ServingCounter::kForcedUnpins,
+                                entry.pins);
+    }
+  }
+  session->pinned.clear();
+  session->pinned_bytes = 0;
+}
+
+void GboServer::AppendLogLocked(std::vector<std::string>* log,
+                                std::string entry) {
+  if (log->size() >= options_.log_limit) return;
+  log->push_back(std::move(entry));
+}
+
+void GboServer::DeactivateLocked(SessionState* session) {
+  auto pos = std::find(active_.begin(), active_.end(), session);
+  if (pos != active_.end()) active_.erase(pos);
+}
+
+void GboServer::OnUnitEvent(const Gbo::WatchEvent& event) {
+  if (event.kind == Gbo::WatchEventKind::kInvalidated) return;
+  MutexLock lock(&mu_);
+  auto it = outstanding_prefetch_.find(event.unit_name);
+  if (it == outstanding_prefetch_.end()) return;
+  if (--it->second <= 0) outstanding_prefetch_.erase(it);
+  --outstanding_prefetch_total_;
+  DispatchLocked();
+}
+
+}  // namespace godiva

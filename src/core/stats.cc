@@ -35,6 +35,12 @@ std::string GboStats::ToString() const {
       " stalls=", ingest_admission_stalls,
       " stall_time=", FormatSeconds(ingest_stall_seconds),
       " rejected=", publishes_rejected,
+      "] serving[sessions=", sessions_opened, "/", sessions_closed,
+      " admitted=", serving_reads_admitted,
+      " queued=", serving_reads_queued,
+      " rejected=", serving_reads_rejected,
+      " shed=", serving_prefetches_shed, "+", serving_demand_shed,
+      " forced_unpins=", serving_forced_unpins,
       "] invariant_checks=", invariant_checks,
       " records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",

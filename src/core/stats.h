@@ -67,6 +67,22 @@ struct GboStats {
   int64_t publishes_rejected = 0;    // publishes refused outright
                                      // (IngestAdmission::kReject)
 
+  // Serving layer (PR 8): aggregate GboServer admission / fairness /
+  // shedding activity, reported by the server via ReportServingCounter so
+  // one stats() snapshot covers the whole stack. Per-session detail lives
+  // in GboSession::stats().
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  int64_t serving_reads_admitted = 0;   // demand reads granted a dispatch slot
+  int64_t serving_reads_queued = 0;     // demand reads that had to wait for one
+  int64_t serving_reads_rejected = 0;   // demand reads refused (quota/pressure)
+  int64_t serving_prefetches_shed = 0;  // queued prefetch tickets cancelled by
+                                        // the shed ladder
+  int64_t serving_demand_shed = 0;      // queued demand tickets cancelled
+                                        // (session death or shed ladder)
+  int64_t serving_forced_unpins = 0;    // pins released from idle over-budget
+                                        // sessions at critical pressure
+
   // Debug-build consistency audits that ran (GODIVA_DEBUG_INVARIANTS; see
   // Gbo::CheckInvariants). Stays 0 when the checks are compiled out.
   int64_t invariant_checks = 0;

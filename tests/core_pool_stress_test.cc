@@ -32,6 +32,8 @@
 #include "core/key_util.h"
 #include "core/options.h"
 #include "core/record.h"
+#include "core/server.h"
+#include "core/session.h"
 #include "sim/sim_env.h"
 #include "sim/virtual_time.h"
 
@@ -298,6 +300,150 @@ TEST(PoolStressTest, DemandPromotionOnlyWithPool) {
     // is exact; the audit must hold either way.
     EXPECT_TRUE(db.CheckInvariants().ok());
   }
+}
+
+// Multi-session serving soak: GODIVA_STRESS_SESSIONS randomized clients
+// (default 12; the TSan CI job runs 64) of mixed priority classes hammer
+// one GboServer over a tight-memory Gbo. Every operation may legitimately
+// fail — rejected by admission, shed by the ladder, timed out, aborted by
+// a concurrent Close — the properties under test are that nothing wedges,
+// nothing races (TSan), closed sessions leak no pins/tickets/watches, and
+// the invariant audit holds afterwards.
+TEST(PoolStressTest, MultiSessionServingSoak) {
+  const int sessions_n =
+      static_cast<int>(EnvInt("GODIVA_STRESS_SESSIONS", 12));
+  const int io_threads =
+      static_cast<int>(EnvInt("GODIVA_STRESS_IO_THREADS", 2));
+  const int metadata_shards =
+      static_cast<int>(EnvInt("GODIVA_STRESS_SHARDS", 2));
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("GODIVA_STRESS_SEED", 20260808));
+  SCOPED_TRACE("replay: GODIVA_STRESS_SEED=" + std::to_string(seed) +
+               " GODIVA_STRESS_SESSIONS=" + std::to_string(sessions_n) +
+               " GODIVA_STRESS_IO_THREADS=" + std::to_string(io_threads) +
+               " GODIVA_STRESS_SHARDS=" + std::to_string(metadata_shards));
+  TimeScale scale(0.01);
+  std::unique_ptr<SimEnv> env = MakeStressEnv(&scale);
+  std::atomic<int> reads{0};
+  std::atomic<int> watch_events{0};
+
+  GboOptions options;
+  options.background_io = true;
+  options.io_threads = io_threads;
+  options.metadata_shards = metadata_shards;
+  // Tight enough that the shed ladder's every rung runs; sessions mostly
+  // release pins promptly so the memory gate cannot wedge.
+  options.memory_limit_bytes = 8 * (kPayloadBytes + 1024);
+  Gbo db(options);
+  DefineSchema(&db);
+
+  ServerOptions server_options;
+  server_options.max_inflight_demand = 8;
+  server_options.demand_reserve_interactive = 2;
+  GboServer server(&db, server_options);
+
+  Random schedule_rng(seed);
+  std::vector<std::unique_ptr<GboSession>> handles;
+  std::vector<uint64_t> thread_seeds;
+  for (int s = 0; s < sessions_n; ++s) {
+    SessionConfig config;
+    config.name = "soak-" + std::to_string(s);
+    config.priority = static_cast<PriorityClass>(s % 3);
+    config.max_pinned_bytes = 3 * (kPayloadBytes + 1024);
+    auto session = server.OpenSession(config);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    handles.push_back(std::move(*session));
+    thread_seeds.push_back(schedule_rng.NextUint64());
+  }
+
+  std::vector<std::thread> client_threads;
+  for (int s = 0; s < sessions_n; ++s) {
+    client_threads.emplace_back([&db, &server, env_ptr = env.get(), &reads,
+                                 &watch_events, &handles, s,
+                                 thread_seed = thread_seeds[s]] {
+      GboSession* session = handles[static_cast<size_t>(s)].get();
+      Random rng(thread_seed);
+      const int ops = 30 + static_cast<int>(rng.NextBounded(30));
+      for (int op = 0; op < ops; ++op) {
+        int unit = static_cast<int>(rng.NextBounded(kUnits));
+        std::string name = UnitName(unit);
+        switch (rng.NextBounded(8)) {
+          case 0:
+          case 1: {
+            Status read = session->ReadFor(
+                name, StressReadFn(env_ptr, unit, &reads),
+                std::chrono::milliseconds(500));
+            // Mostly release right away so pins cannot wedge the memory
+            // gate; the rest ride until Close's cleanup.
+            if (read.ok() && rng.NextBounded(4) != 0) {
+              (void)session->Finish(name);
+            }
+            break;
+          }
+          case 2: {
+            // Timed like every read here: an untimed Read could wedge on
+            // the memory gate against pins another (finished) session
+            // still holds.
+            Status read = session->ReadFor(
+                name, StressReadFn(env_ptr, unit, &reads),
+                std::chrono::milliseconds(500));
+            if (read.ok()) (void)session->Finish(name);
+            break;
+          }
+          case 3:
+            (void)session->Prefetch(name,
+                                    StressReadFn(env_ptr, unit, &reads));
+            break;
+          case 4:
+            (void)session->Finish(name);  // often FAILED_PRECONDITION
+            break;
+          case 5: {
+            auto watch = session->Watch(
+                "*", [&watch_events](const Gbo::WatchEvent&) {
+                  ++watch_events;
+                });
+            // Half the watches are leaked on purpose: Close must reap
+            // them.
+            if (watch.ok() && rng.NextBounded(2) == 0) {
+              (void)session->Unwatch(*watch);
+            }
+            break;
+          }
+          case 6: {
+            SessionStats stats = session->stats();
+            EXPECT_GE(stats.reads_admitted, 0);
+            server.PollPressure();
+            break;
+          }
+          case 7:
+            // A few sessions die mid-schedule and keep issuing ops: every
+            // later call must fail typed, never crash or wedge.
+            if (rng.NextBounded(8) == 0) session->Close();
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : client_threads) thread.join();
+
+  Status audit = db.CheckInvariants();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  handles.clear();  // closes every surviving session
+  GboStats stats = db.stats();
+  EXPECT_EQ(stats.sessions_opened, sessions_n);
+  EXPECT_EQ(stats.sessions_closed, sessions_n);
+  // Every pin went back when the sessions closed (the deterministic
+  // eviction probe for this lives in core_session_test): with no session
+  // alive, every ready unit must be evictable, so deleting the whole
+  // population cannot leave anything resident.
+  for (int i = 0; i < kUnits; ++i) {
+    Status deleted = db.DeleteUnit(UnitName(i));
+    EXPECT_TRUE(deleted.ok() ||
+                deleted.code() == StatusCode::kNotFound)
+        << UnitName(i) << ": " << deleted.ToString();
+  }
+  EXPECT_EQ(db.memory_usage(), 0);
+  EXPECT_TRUE(db.CheckInvariants().ok());
 }
 
 }  // namespace

@@ -39,4 +39,33 @@ class FixDb {
   Shard shard_;
 };
 
+// The serving-layer pair (mirrors GboServer/GboSession): the server lock
+// ranks below the per-session lock, and the one legal edge between them is
+// the server assembling a session's stats under its own lock.
+class FixSession {
+ public:
+  void RecordSample() {
+    MutexLock lock(&stats_mu_);
+    ++samples_;
+  }
+
+ private:
+  friend class FixServer;
+  mutable Mutex stats_mu_{lock_rank::kFixSession, "FixSession::stats_mu_"};
+  int samples_ GUARDED_BY(stats_mu_) = 0;
+};
+
+class FixServer {
+ public:
+  void AssembleStats(FixSession* session) {
+    MutexLock lock(&grants_mu_);
+    ++grants_;
+    MutexLock sample_lock(&session->stats_mu_);
+  }
+
+ private:
+  mutable Mutex grants_mu_{lock_rank::kFixServer, "FixServer::grants_mu_"};
+  int grants_ GUARDED_BY(grants_mu_) = 0;
+};
+
 }  // namespace godiva

@@ -1,0 +1,15 @@
+// Fixture: the serving-layer inversion — taking the server's grants lock
+// while already holding a session's stats lock, the reverse of the one
+// legal kFixServer -> kFixSession edge fixture_common.cc establishes.
+// Expected: a [lock-rank] "violates the lock order" finding, plus the
+// cycle the inverted edge closes against the legal grants -> stats chain.
+#include "common/mutex.h"
+
+namespace godiva {
+
+void FixServer::GrantUnderSessionStats(FixSession* session) {
+  MutexLock sample_lock(&session->stats_mu_);
+  MutexLock grant_lock(&grants_mu_);
+}
+
+}  // namespace godiva
