@@ -101,7 +101,9 @@ int Run(int argc, char** argv) {
     PlatformRuntime runtime(PlatformProfile::Engle(),
                             (*experiment)->options().time_scale,
                             (*experiment)->env());
-    Gbo db(GboOptions{.memory_limit_bytes = 3 * unit_bytes});
+    GboOptions options;
+    options.memory_limit_bytes = 3 * unit_bytes;
+    Gbo db(options);
     Status status = workloads::DefineBlockSchema(&db);
     Gbo::ReadFn read_fn = workloads::MakeSnapshotReadFn(
         &runtime, &(*experiment)->dataset(),

@@ -6,6 +6,10 @@
 //   --reps=R        repetitions per cell (paper used 5; default 1)
 //   --stride=K      real feature extraction on every Kth block (default 16)
 //   --quick         shorthand for --factor=0.12 --snapshots=8
+//   --sim-mode=M    "de"/"discrete-event" replays modeled delays on the
+//                   discrete-event virtual clock (deterministic, wall-time
+//                   free); "scaled" (default) compresses them onto the
+//                   wall clock. Empty falls back to GODIVA_SIM_MODE.
 //   --json=PATH     also write the headline metrics as JSON (for
 //                   tools/bench_diff regression tracking)
 #ifndef GODIVA_BENCH_BENCH_UTIL_H_
@@ -16,15 +20,42 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/strings.h"
 #include "mesh/dataset_spec.h"
+#include "sim/event_scheduler.h"
+#include "sim/virtual_time.h"
 #include "workloads/experiment.h"
 
 namespace godiva::bench {
+
+// Resolves a --sim-mode flag value; an empty flag defers to the
+// GODIVA_SIM_MODE environment variable (so CI can flip whole bench jobs
+// without touching their command lines).
+inline SimMode ResolveSimMode(const std::string& flag) {
+  if (flag.empty()) return SimModeFromEnv();
+  if (flag == "de" || flag == "discrete" || flag == "discrete-event") {
+    return SimMode::kDiscreteEvent;
+  }
+  if (flag == "scaled" || flag == "scaled-sleep") {
+    return SimMode::kScaledSleep;
+  }
+  std::fprintf(stderr, "unknown --sim-mode value: %s\n", flag.c_str());
+  std::exit(2);
+}
+
+// Opens a DiscreteEventScope when `mode` calls for one. The harness holds
+// the returned handle across every run the scope must cover (all
+// godiva::Threads spawned inside it must join before it is released);
+// null in scaled mode, where no scope is needed.
+inline std::unique_ptr<DiscreteEventScope> MakeSimScope(SimMode mode) {
+  if (mode != SimMode::kDiscreteEvent) return nullptr;
+  return std::make_unique<DiscreteEventScope>();
+}
 
 struct BenchFlags {
   double factor = 1.0;
@@ -32,6 +63,7 @@ struct BenchFlags {
   double scale = 0.02;
   int reps = 1;
   int stride = 16;
+  std::string sim_mode;   // empty = GODIVA_SIM_MODE (see ResolveSimMode)
   std::string json_path;  // empty = no JSON output
 
   static BenchFlags Parse(int argc, char** argv) {
@@ -48,6 +80,8 @@ struct BenchFlags {
         flags.reps = std::atoi(arg + 7);
       } else if (std::strncmp(arg, "--stride=", 9) == 0) {
         flags.stride = std::atoi(arg + 9);
+      } else if (std::strncmp(arg, "--sim-mode=", 11) == 0) {
+        flags.sim_mode = arg + 11;
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         flags.json_path = arg + 7;
       } else if (std::strcmp(arg, "--quick") == 0) {
@@ -69,6 +103,7 @@ struct BenchFlags {
     options.spec.num_snapshots = snapshots;
     options.time_scale = scale;
     options.repetitions = reps;
+    options.sim_mode = ResolveSimMode(sim_mode);
     options.process.real_work_stride = stride;
     return options;
   }

@@ -1,0 +1,34 @@
+#include "common/clock.h"
+
+#include <thread>
+
+#include "common/sim_hooks.h"
+
+namespace godiva {
+
+namespace detail {
+
+std::atomic<SimSchedulerHooks*>& ActiveSimSchedulerSlot() {
+  static std::atomic<SimSchedulerHooks*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace detail
+
+TimePoint Now() {
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr) return hooks->VirtualNow();
+  return SteadyClock::now();
+}
+
+void SleepFor(Duration d) {
+  if (d <= Duration::zero()) return;
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) {
+    hooks->DeSleepFor(d);
+    return;
+  }
+  std::this_thread::sleep_for(d);
+}
+
+}  // namespace godiva

@@ -1,5 +1,11 @@
 // Wall-clock helpers: a steady-clock stopwatch and an accumulating timer
 // used for the paper's "visible I/O time" / "computation time" accounting.
+//
+// All timing in src/ goes through godiva::Now() / godiva::SleepFor()
+// rather than SteadyClock::now() / std::this_thread::sleep_for directly:
+// when a discrete-event scheduler is active (sim/event_scheduler.h) they
+// read and advance the logical clock, so the same measurement code yields
+// virtual time in discrete-event mode and real time otherwise.
 #ifndef GODIVA_COMMON_CLOCK_H_
 #define GODIVA_COMMON_CLOCK_H_
 
@@ -22,13 +28,24 @@ inline Duration FromSeconds(double seconds) {
       std::chrono::duration<double>(seconds));
 }
 
-// Measures elapsed wall time since construction or the last Restart().
+// The current time: the virtual clock when a discrete-event scheduler is
+// active, SteadyClock::now() otherwise. Deadlines built as Now() + timeout
+// are comparable with either source (the virtual clock is anchored to a
+// real steady_clock epoch).
+TimePoint Now();
+
+// Sleeps for `d`: a parked scheduler event in discrete-event mode, a real
+// std::this_thread::sleep_for otherwise.
+void SleepFor(Duration d);
+
+// Measures elapsed time since construction or the last Restart(), on the
+// same clock Now() reads (virtual in discrete-event mode).
 class Stopwatch {
  public:
-  Stopwatch() : start_(SteadyClock::now()) {}
+  Stopwatch() : start_(Now()) {}
 
-  void Restart() { start_ = SteadyClock::now(); }
-  Duration Elapsed() const { return SteadyClock::now() - start_; }
+  void Restart() { start_ = Now(); }
+  Duration Elapsed() const { return Now() - start_; }
   double ElapsedSeconds() const { return ToSeconds(Elapsed()); }
 
  private:

@@ -1,5 +1,7 @@
 #include "common/mutex.h"
 
+#include "common/sim_hooks.h"
+
 #ifdef GODIVA_LOCK_RANK_CHECKS
 #include <cstdio>
 #include <cstdlib>
@@ -21,9 +23,9 @@ const char* SymbolForRank(int rank) {
 
 }  // namespace lock_rank
 
-#ifdef GODIVA_LOCK_RANK_CHECKS
-
 namespace {
+
+#ifdef GODIVA_LOCK_RANK_CHECKS
 
 // The calling thread's current lock set, in acquisition order. Function-
 // local thread_local so it works from static initializers and detached
@@ -59,7 +61,7 @@ void PrintHeldSet(const std::vector<const Mutex*>& held) {
 // Runs the ordering check for an acquisition of `mu`, then records it.
 // Called before blocking on the raw mutex so violations abort instead of
 // deadlocking.
-void OnAcquire(const Mutex* mu) {
+void RankOnAcquire(const Mutex* mu) {
   std::vector<const Mutex*>& held = HeldSet();
   for (const Mutex* h : held) {
     if (h == mu) {
@@ -78,7 +80,7 @@ void OnAcquire(const Mutex* mu) {
   held.push_back(mu);
 }
 
-void OnRelease(const Mutex* mu) {
+void RankOnRelease(const Mutex* mu) {
   std::vector<const Mutex*>& held = HeldSet();
   for (auto it = held.rbegin(); it != held.rend(); ++it) {
     if (*it == mu) {
@@ -97,25 +99,43 @@ bool IsHeld(const Mutex* mu) {
   return false;
 }
 
+#else  // !GODIVA_LOCK_RANK_CHECKS
+
+inline void RankOnAcquire(const Mutex*) {}
+inline void RankOnRelease(const Mutex*) {}
+
+#endif  // GODIVA_LOCK_RANK_CHECKS
+
 }  // namespace
 
 void Mutex::Lock() {
-  OnAcquire(this);
+  // Rank bookkeeping runs before blocking (raw or parked) so ordering
+  // violations abort instead of deadlocking.
+  RankOnAcquire(this);
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) {
+    hooks->DeLock(this);
+    return;
+  }
   raw_.lock();
 }
 
 void Mutex::Unlock() {
-  OnRelease(this);
+  RankOnRelease(this);
   raw_.unlock();
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) hooks->DeUnlocked(this);
 }
 
 bool Mutex::TryLock() {
+  // Never blocks, so no scheduler involvement: under single occupancy the
+  // outcome is deterministic either way.
   if (!raw_.try_lock()) return false;
-  // Record (and order-check) only successful acquisitions; a failed
-  // try_lock cannot deadlock and leaves the lock set untouched.
-  OnAcquire(this);
+  RankOnAcquire(this);
   return true;
 }
+
+#ifdef GODIVA_LOCK_RANK_CHECKS
 
 void Mutex::AssertHeld() const {
   if (!IsHeld(this)) {
@@ -129,52 +149,61 @@ void Mutex::AssertNotHeld() const {
   }
 }
 
-void CondVar::Wait(Mutex* mu) {
-  OnRelease(mu);
-  std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
-  cv_.wait(lock);
-  lock.release();
-  OnAcquire(mu);
-}
-
-bool CondVar::WaitUntil(Mutex* mu, TimePoint deadline) {
-  OnRelease(mu);
-  std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
-  std::cv_status status = cv_.wait_until(lock, deadline);
-  lock.release();
-  OnAcquire(mu);
-  return status == std::cv_status::no_timeout;
-}
-
 #else  // !GODIVA_LOCK_RANK_CHECKS
-
-void Mutex::Lock() { raw_.lock(); }
-
-void Mutex::Unlock() { raw_.unlock(); }
-
-bool Mutex::TryLock() { return raw_.try_lock(); }
 
 void Mutex::AssertHeld() const {}
 
 void Mutex::AssertNotHeld() const {}
 
+#endif  // GODIVA_LOCK_RANK_CHECKS
+
 void CondVar::Wait(Mutex* mu) {
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) {
+    RankOnRelease(mu);
+    (void)hooks->DeCvWait(this, mu, nullptr);
+    RankOnAcquire(mu);
+    return;
+  }
+  RankOnRelease(mu);
   std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
   cv_.wait(lock);
   lock.release();
+  RankOnAcquire(mu);
 }
 
 bool CondVar::WaitUntil(Mutex* mu, TimePoint deadline) {
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) {
+    RankOnRelease(mu);
+    bool notified = hooks->DeCvWait(this, mu, &deadline);
+    RankOnAcquire(mu);
+    return notified;
+  }
+  RankOnRelease(mu);
   std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
   std::cv_status status = cv_.wait_until(lock, deadline);
   lock.release();
+  RankOnAcquire(mu);
   return status == std::cv_status::no_timeout;
 }
 
-#endif  // GODIVA_LOCK_RANK_CHECKS
+void CondVar::NotifyOne() {
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) {
+    hooks->DeCvNotify(this, /*all=*/false);
+    return;
+  }
+  cv_.notify_one();
+}
 
-void CondVar::NotifyOne() { cv_.notify_one(); }
-
-void CondVar::NotifyAll() { cv_.notify_all(); }
+void CondVar::NotifyAll() {
+  detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+  if (hooks != nullptr && hooks->Intercepts()) {
+    hooks->DeCvNotify(this, /*all=*/true);
+    return;
+  }
+  cv_.notify_all();
+}
 
 }  // namespace godiva

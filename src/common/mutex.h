@@ -95,6 +95,12 @@ class CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
+  // The discrete-event scheduler parks threads instead of blocking on
+  // raw_, so it needs non-blocking access to the raw lock (sim_hooks.h).
+  friend class EventScheduler;
+
+  bool RawTryLock() { return raw_.try_lock(); }
+  void RawUnlock() { raw_.unlock(); }
 
   std::mutex raw_;
   const int rank_;

@@ -1,0 +1,93 @@
+// The seam between the common synchronization primitives and the sim
+// layer's discrete-event scheduler (sim/event_scheduler.h). godiva_common
+// cannot link against godiva_sim, so Mutex/CondVar/clock code talks to the
+// scheduler through this abstract interface: when a scheduler is active
+// (installed by DiscreteEventScope), every sleep, contended lock
+// acquisition, condition wait, notify, and thread spawn/join in the
+// process routes through these hooks and becomes a scheduled event on a
+// logical clock. When no scheduler is active (the default, and always
+// under TSan), every hook site costs one relaxed atomic load and the
+// primitives behave byte-for-byte as before.
+//
+// Contract for implementations (see EventScheduler for the one that
+// exists): at most one hooked thread runs at a time ("single occupancy"),
+// so hook bodies never race with each other; Intercepts() returns false on
+// scheduler-internal frames so the scheduler's own Mutex/CondVar use does
+// not recurse into itself.
+#ifndef GODIVA_COMMON_SIM_HOOKS_H_
+#define GODIVA_COMMON_SIM_HOOKS_H_
+
+#include <atomic>
+
+#include "common/clock.h"
+
+namespace godiva {
+
+class Mutex;
+class CondVar;
+
+namespace detail {
+
+class SimSchedulerHooks {
+ public:
+  virtual ~SimSchedulerHooks() = default;
+
+  // False while the calling thread is inside the scheduler itself (its
+  // internal Mutex/CondVar use must hit the raw primitives, not recurse).
+  virtual bool Intercepts() const = 0;
+
+  // The logical clock, anchored to a real steady_clock epoch so existing
+  // deadline arithmetic (Now() + timeout) works unchanged.
+  virtual TimePoint VirtualNow() const = 0;
+
+  // Parks the calling thread until the virtual clock advances by `d`.
+  virtual void DeSleepFor(Duration d) = 0;
+
+  // Acquires `mu`'s raw lock, parking (instead of blocking the OS thread)
+  // while another hooked thread holds it. Returns with the raw lock held.
+  virtual void DeLock(Mutex* mu) = 0;
+
+  // Called after `mu`'s raw lock was released: makes parked waiters
+  // runnable.
+  virtual void DeUnlocked(Mutex* mu) = 0;
+
+  // Condition wait: called with `mu`'s raw lock held; releases it, parks
+  // until DeCvNotify (or the virtual `deadline`, if non-null), re-acquires
+  // the raw lock, and returns true iff woken by a notify.
+  virtual bool DeCvWait(CondVar* cv, Mutex* mu, const TimePoint* deadline) = 0;
+
+  // Wakes the longest-parked waiter on `cv` (or all of them).
+  virtual void DeCvNotify(CondVar* cv, bool all) = 0;
+
+  // Thread lifecycle (used by godiva::Thread). DeThreadSpawn is called on
+  // the spawner and returns an opaque token identifying the child's
+  // pre-registered record (deterministic thread ids); the child calls
+  // DeThreadAdopt(token) before running its body and DeThreadExit(token)
+  // after; DeThreadJoin(token) parks the joiner until the child exits.
+  virtual void* DeThreadSpawn() = 0;
+  virtual void DeThreadAdopt(void* token) = 0;
+  virtual void DeThreadExit(void* token) = 0;
+  virtual void DeThreadJoin(void* token) = 0;
+};
+
+// The process-wide active scheduler (at most one; installed by
+// DiscreteEventScope). Relaxed-load fast path: scheduler activation
+// happens-before any hooked thread starts by construction (the scope is
+// created before the workload spawns threads).
+std::atomic<SimSchedulerHooks*>& ActiveSimSchedulerSlot();
+
+inline SimSchedulerHooks* ActiveSimScheduler() {
+  return ActiveSimSchedulerSlot().load(std::memory_order_acquire);
+}
+
+// True when the calling thread's blocking operations should be turned into
+// scheduler events.
+inline bool SimHooksActive() {
+  SimSchedulerHooks* hooks = ActiveSimScheduler();
+  return hooks != nullptr && hooks->Intercepts();
+}
+
+}  // namespace detail
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_SIM_HOOKS_H_

@@ -7,12 +7,19 @@
 #ifndef GODIVA_COMMON_SYNC_H_
 #define GODIVA_COMMON_SYNC_H_
 
+#include <cstdint>
+
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
 namespace godiva {
 
-// A counting semaphore: `slots` concurrent holders.
+// A counting semaphore: `slots` concurrent holders, granted in strict
+// FIFO order. Releases hand freed slots directly to the oldest waiting
+// ticket (instead of racing the release against fresh acquirers), so slot
+// ownership under contention is starvation-free round-robin — the
+// interleaving SimCpu documents — and identical between real-thread and
+// discrete-event execution.
 class Semaphore {
  public:
   explicit Semaphore(int slots)
@@ -24,37 +31,47 @@ class Semaphore {
 
   void Acquire() EXCLUDES(mutex_) {
     MutexLock lock(&mutex_);
-    while (available_ <= 0) cv_.Wait(&mutex_);
-    --available_;
+    if (next_ticket_ == granted_ && available_ > 0) {
+      --available_;
+      return;
+    }
+    const uint64_t ticket = next_ticket_++;
+    while (ticket >= granted_) cv_.Wait(&mutex_);
   }
 
-  // Returns false instead of blocking when no slot is free.
+  // Returns false instead of blocking when no slot is free (a slot handed
+  // to a still-waiting ticket is not free).
   [[nodiscard]] bool TryAcquire() EXCLUDES(mutex_) {
     MutexLock lock(&mutex_);
-    if (available_ <= 0) return false;
+    if (next_ticket_ != granted_ || available_ <= 0) return false;
     --available_;
     return true;
   }
 
   void Release() EXCLUDES(mutex_) { ReleaseN(1); }
 
-  // Returns `n` slots at once, waking enough waiters to consume them.
+  // Returns `n` slots at once: each goes to the oldest outstanding ticket
+  // if one exists, back to the free pool otherwise.
   // Notifies while still holding the lock: a waiter that observed the
-  // increment could otherwise acquire, finish, and destroy the semaphore
+  // grant could otherwise acquire, finish, and destroy the semaphore
   // between our unlock and the notify, leaving the condition variable to
   // be signalled after its storage is gone. Holding the lock across the
-  // notify makes release ordering independent of that race.
+  // notify makes release ordering independent of that race. NotifyAll
+  // because waiters are keyed by ticket: only the granted ones stay awake.
   void ReleaseN(int n) EXCLUDES(mutex_) {
     MutexLock lock(&mutex_);
-    available_ += n;
-    if (n == 1) {
-      cv_.NotifyOne();
-    } else {
-      cv_.NotifyAll();
+    for (int i = 0; i < n; ++i) {
+      if (granted_ < next_ticket_) {
+        ++granted_;
+      } else {
+        ++available_;
+      }
     }
+    cv_.NotifyAll();
   }
 
-  // Occupancy accessors: free slots right now, and slots handed out.
+  // Occupancy accessors: free slots right now, and slots handed out
+  // (slots assigned to a not-yet-woken ticket count as handed out).
   int available() const EXCLUDES(mutex_) {
     MutexLock lock(&mutex_);
     return available_;
@@ -70,6 +87,10 @@ class Semaphore {
   CondVar cv_;
   const int slots_;
   int available_ GUARDED_BY(mutex_);
+  // FIFO ticket line: tickets [granted_, next_ticket_) are still waiting;
+  // ReleaseN advances granted_ to hand a slot to the line's head.
+  uint64_t next_ticket_ GUARDED_BY(mutex_) = 0;
+  uint64_t granted_ GUARDED_BY(mutex_) = 0;
 };
 
 // RAII slot holder.

@@ -1,0 +1,95 @@
+// godiva::Thread: std::thread plus discrete-event scheduler integration
+// (sim_hooks.h). When a scheduler is active, the spawner pre-registers the
+// child before the OS thread exists — thread ids (and therefore event
+// traces) are assigned in program order, not OS wake order — and join()
+// parks the joiner on the child's exit event instead of blocking the OS
+// thread (which would wedge the cooperative scheduler: the permit holder
+// must never block outside the scheduler's knowledge). With no scheduler
+// active this is a zero-cost veneer over std::thread.
+//
+// All thread spawns in src/ that can run under a DiscreteEventScope use
+// this wrapper; raw std::thread remains fine for code that never runs in
+// discrete-event mode.
+#ifndef GODIVA_COMMON_THREAD_H_
+#define GODIVA_COMMON_THREAD_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/sim_hooks.h"
+
+namespace godiva {
+
+class Thread {
+ public:
+  Thread() = default;
+
+  template <typename Fn, typename... Args>
+    requires(sizeof...(Args) > 0)
+  explicit Thread(Fn raw_fn, Args&&... args)
+      : Thread(std::bind_front(std::move(raw_fn),
+                               std::forward<Args>(args)...)) {}
+
+  template <typename Fn>
+  explicit Thread(Fn fn) {
+    detail::SimSchedulerHooks* hooks = detail::ActiveSimScheduler();
+    if (hooks != nullptr && hooks->Intercepts()) {
+      token_ = hooks->DeThreadSpawn();
+      hooks_ = hooks;
+    }
+    thread_ = std::thread([fn = std::move(fn), token = token_,
+                           hooks = hooks_]() mutable {
+      // Adopt before running the body so the child's very first
+      // instrumented operation already carries its pre-assigned id, and
+      // so the child waits for the scheduler's permit before touching
+      // shared state. (The scheduler-still-active check covers a child
+      // racing a scope teardown that chose not to join it.)
+      const bool adopted =
+          token != nullptr && detail::ActiveSimScheduler() == hooks;
+      if (adopted) hooks->DeThreadAdopt(token);
+      fn();
+      if (adopted) hooks->DeThreadExit(token);
+    });
+  }
+
+  Thread(Thread&& other) noexcept
+      : thread_(std::move(other.thread_)),
+        token_(std::exchange(other.token_, nullptr)),
+        hooks_(std::exchange(other.hooks_, nullptr)) {}
+
+  Thread& operator=(Thread&& other) noexcept {
+    thread_ = std::move(other.thread_);
+    token_ = std::exchange(other.token_, nullptr);
+    hooks_ = std::exchange(other.hooks_, nullptr);
+    return *this;
+  }
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return thread_.joinable(); }
+
+  void join() {
+    // Park until the child's exit event, then reap the (now finished) OS
+    // thread; the raw join cannot block meaningfully after DeThreadJoin
+    // returns... except for the final microseconds between the child's
+    // DeThreadExit and its OS-level termination, which is fine: the child
+    // runs no instrumented code in that window.
+    if (token_ != nullptr && detail::ActiveSimScheduler() == hooks_) {
+      hooks_->DeThreadJoin(token_);
+    }
+    token_ = nullptr;
+    hooks_ = nullptr;
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+  void* token_ = nullptr;
+  detail::SimSchedulerHooks* hooks_ = nullptr;
+};
+
+}  // namespace godiva
+
+#endif  // GODIVA_COMMON_THREAD_H_

@@ -89,7 +89,7 @@ Gbo::~Gbo() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     shard->unit_cv.NotifyAll();
   }
-  for (std::thread& thread : io_threads_) {
+  for (Thread& thread : io_threads_) {
     if (thread.joinable()) thread.join();
   }
 }

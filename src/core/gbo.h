@@ -47,13 +47,13 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/field_type.h"
@@ -768,7 +768,7 @@ class Gbo {
   std::vector<std::unique_ptr<TimeAccumulator>> io_busy_;
 
   // lint: unguarded(written at construction and in ~Gbo after the pool stops)
-  std::vector<std::thread> io_threads_;  // empty unless background_io
+  std::vector<Thread> io_threads_;  // empty unless background_io
 };
 
 }  // namespace godiva

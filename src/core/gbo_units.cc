@@ -395,7 +395,7 @@ Status Gbo::ExecuteRead(Shard& s, Unit* unit, const TimePoint* deadline,
     {
       MutexLock lock(&mu_);
       delay = JitteredBackoffLocked(base_backoff);
-      if (deadline != nullptr && SteadyClock::now() + delay >= *deadline) {
+      if (deadline != nullptr && Now() + delay >= *deadline) {
         ++counters_.units_failed_permanent;
         RecordUnitFailureLocked(*unit);
         return DeadlineExceededError(StrCat(
@@ -408,7 +408,7 @@ Status Gbo::ExecuteRead(Shard& s, Unit* unit, const TimePoint* deadline,
                        << attempt << " failed (" << status
                        << "); retrying in " << FormatSeconds(ToSeconds(delay));
     // Interruptible backoff: shutdown and DeleteUnit break the sleep.
-    TimePoint wake = SteadyClock::now() + delay;
+    TimePoint wake = Now() + delay;
     {
       MutexLock shard_lock(&s.mu);
       unit->in_backoff = true;
@@ -577,7 +577,7 @@ Status Gbo::ReadUnit(const std::string& unit_name, ReadFn read_fn) {
 
 Status Gbo::ReadUnitFor(const std::string& unit_name, ReadFn read_fn,
                         Duration timeout) {
-  TimePoint deadline = SteadyClock::now() + timeout;
+  TimePoint deadline = Now() + timeout;
   return ReadUnitInternal(unit_name, std::move(read_fn), &deadline);
 }
 
@@ -691,7 +691,7 @@ Status Gbo::WaitUnit(const std::string& unit_name) {
 }
 
 Status Gbo::WaitUnitFor(const std::string& unit_name, Duration timeout) {
-  TimePoint deadline = SteadyClock::now() + timeout;
+  TimePoint deadline = Now() + timeout;
   return WaitUnitInternal(unit_name, &deadline);
 }
 
@@ -983,7 +983,7 @@ void Gbo::IoThreadMain(size_t thread_index) NO_THREAD_SAFETY_ANALYSIS {
       memory_gate_waiters_.fetch_add(1, std::memory_order_relaxed);
       // lint: discard_ok(bounded poll: timeout and wakeup both re-evaluate
       // the full predicate set on the next loop iteration)
-      (void)memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
+      (void)memory_cv_.WaitUntil(&mu_, Now() +
                                            std::chrono::milliseconds(10));
       memory_gate_waiters_.fetch_sub(1, std::memory_order_relaxed);
       continue;  // re-evaluate everything (shutdown, queue, memory)

@@ -207,7 +207,7 @@ Status Gbo::AdmitIngestLocked() {
     if (!backlog_full() && !over_memory()) break;
     // lint: discard_ok(bounded poll: the loop re-checks backlog, memory
     // and shutdown whether the wait timed out or was notified)
-    (void)memory_cv_.WaitUntil(&mu_, SteadyClock::now() +
+    (void)memory_cv_.WaitUntil(&mu_, Now() +
                                          std::chrono::milliseconds(2));
   }
   memory_gate_waiters_.fetch_sub(1, std::memory_order_relaxed);

@@ -58,7 +58,7 @@ Status GboSession::Read(const std::string& unit_name, Gbo::ReadFn read_fn) {
 
 Status GboSession::ReadFor(const std::string& unit_name, Gbo::ReadFn read_fn,
                            Duration timeout) {
-  TimePoint deadline = SteadyClock::now() + timeout;
+  TimePoint deadline = Now() + timeout;
   return ReadInternal(unit_name, std::move(read_fn), &deadline);
 }
 
@@ -79,7 +79,7 @@ Status GboSession::ReadInternal(const std::string& unit_name,
       deadline == nullptr
           ? server_->db()->ReadUnit(unit_name, std::move(read_fn))
           : server_->db()->ReadUnitFor(unit_name, std::move(read_fn),
-                                       *deadline - SteadyClock::now());
+                                       *deadline - Now());
   server_->NoteDemandResult(id_, unit_name, read,
                             stopwatch.ElapsedSeconds() * 1e3);
   return read;

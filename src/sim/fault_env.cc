@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/strings.h"
 
 namespace godiva {
@@ -45,7 +45,7 @@ class FaultyWritableFile : public WritableFile {
     FaultInjectionEnv::Decision decision =
         env_->ConsultWrite(path_, offset_, size);
     if (decision.latency > Duration::zero()) {
-      std::this_thread::sleep_for(decision.latency);
+      SleepFor(decision.latency);
     }
     if (!decision.fault) {
       GODIVA_RETURN_IF_ERROR(base_->Append(data, size));
@@ -92,7 +92,7 @@ class FaultyWritableFile : public WritableFile {
     FaultInjectionEnv::Decision decision =
         env_->Consult(path_, FaultOp::kSync);
     if (decision.latency > Duration::zero()) {
-      std::this_thread::sleep_for(decision.latency);
+      SleepFor(decision.latency);
     }
     if (decision.fault) {
       if (decision.crashed) return CrashedError(path_);
@@ -130,7 +130,7 @@ class FaultyRandomAccessFile : public RandomAccessFile {
     FaultInjectionEnv::Decision decision =
         env_->Consult(path_, FaultOp::kRead);
     if (decision.latency > Duration::zero()) {
-      std::this_thread::sleep_for(decision.latency);
+      SleepFor(decision.latency);
     }
     if (!decision.fault) return base_->Read(offset, size, out);
     switch (decision.rule.kind) {
@@ -343,7 +343,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
   Decision decision = Consult(path, FaultOp::kCreate);
   if (decision.latency > Duration::zero()) {
-    std::this_thread::sleep_for(decision.latency);
+    SleepFor(decision.latency);
   }
   if (decision.fault) {
     if (decision.crashed) return CrashedError(path);
@@ -361,7 +361,7 @@ Result<std::unique_ptr<RandomAccessFile>>
 FaultInjectionEnv::NewRandomAccessFile(const std::string& path) {
   Decision decision = Consult(path, FaultOp::kOpen);
   if (decision.latency > Duration::zero()) {
-    std::this_thread::sleep_for(decision.latency);
+    SleepFor(decision.latency);
   }
   if (decision.fault && decision.rule.kind == FaultKind::kError) {
     return MakeInjectedError(decision.rule, path, "open");
@@ -389,7 +389,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   Decision decision = Consult(from, FaultOp::kRename);
   if (decision.latency > Duration::zero()) {
-    std::this_thread::sleep_for(decision.latency);
+    SleepFor(decision.latency);
   }
   if (decision.fault) {
     if (decision.crashed) return CrashedError(from);

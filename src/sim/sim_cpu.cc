@@ -32,7 +32,7 @@ double SimCpu::TotalComputeSeconds() const {
 }
 
 CompetitorLoad::CompetitorLoad(SimCpu* cpu) : cpu_(cpu) {
-  thread_ = std::thread([this] {
+  thread_ = Thread([this] {
     while (!stop_.load(std::memory_order_relaxed)) {
       cpu_->Compute(std::chrono::milliseconds(20));
     }

@@ -8,10 +8,10 @@
 #define GODIVA_SIM_SIM_CPU_H_
 
 #include <atomic>
-#include <thread>
 
 #include "common/clock.h"
 #include "common/sync.h"
+#include "common/thread.h"
 #include "sim/virtual_time.h"
 
 namespace godiva {
@@ -23,6 +23,14 @@ class SimCpu {
     // Scheduling quantum in modeled time: Compute() releases and reacquires
     // its slot every quantum so competing threads interleave.
     Duration quantum = std::chrono::milliseconds(20);
+    // How quantum sleeps are paid: kScaledSleep compresses them onto the
+    // wall clock via the TimeScale; kDiscreteEvent expects an active
+    // DiscreteEventScope, where each quantum becomes a timer event on the
+    // virtual clock (exact and deterministic; slot handoff order is FIFO
+    // in both modes). The actual routing happens inside
+    // TimeScale::SleepModeled, so the field records intent — harnesses use
+    // it to decide whether to open a scope around the run.
+    SimMode sim_mode = SimMode::kScaledSleep;
   };
 
   SimCpu(Options options, const TimeScale* time_scale);
@@ -36,6 +44,7 @@ class SimCpu {
   double TotalComputeSeconds() const;
 
   int slots() const { return options_.slots; }
+  SimMode sim_mode() const { return options_.sim_mode; }
   // Slots currently held by computing threads (instantaneous occupancy,
   // from the semaphore's own accounting).
   int busy_slots() const { return slots_sem_.in_use(); }
@@ -62,7 +71,7 @@ class CompetitorLoad {
  private:
   SimCpu* cpu_;
   std::atomic<bool> stop_{false};
-  std::thread thread_;
+  Thread thread_;
 };
 
 }  // namespace godiva

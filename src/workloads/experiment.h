@@ -20,9 +20,14 @@ namespace godiva::workloads {
 struct ExperimentOptions {
   mesh::DatasetSpec spec = mesh::DatasetSpec::TitanIV();
   // Real seconds per modeled second (0.002 → a 500 s paper run replays in
-  // one second of wall time).
+  // one second of wall time). Ignored in discrete-event mode, where
+  // modeled time is free.
   double time_scale = 0.002;
   int repetitions = 1;
+  // kDiscreteEvent pays modeled delays on the virtual clock (exact,
+  // deterministic, needs an active DiscreteEventScope); kScaledSleep
+  // compresses them onto the wall clock.
+  SimMode sim_mode = SimMode::kScaledSleep;
   ProcessOptions process;
 };
 

@@ -182,7 +182,7 @@ bool FrontierWatch::ReadyLocked(int snapshot) const {
 }
 
 Status FrontierWatch::WaitForSnapshot(int snapshot, Duration timeout) {
-  TimePoint deadline = SteadyClock::now() + timeout;
+  TimePoint deadline = Now() + timeout;
   MutexLock lock(&mu_);
   bool timed_out = false;
   while (!ReadyLocked(snapshot)) {

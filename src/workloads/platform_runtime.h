@@ -24,14 +24,16 @@ inline constexpr double kDecodeSecondsPerMib = 0.18;
 class PlatformRuntime {
  public:
   // `env` must outlive the runtime and hold the dataset files; its disk
-  // model is reconfigured to the profile's.
+  // model is reconfigured to the profile's. `sim_mode` should match the
+  // env's (it selects how the virtual CPU pays its quantum sleeps).
   PlatformRuntime(const PlatformProfile& profile, double time_scale,
-                  SimEnv* env)
+                  SimEnv* env, SimMode sim_mode = SimMode::kScaledSleep)
       : profile_(profile),
         scale_(time_scale),
         env_(env),
         cpu_(SimCpu::Options{.slots = profile.cpu_slots,
-                             .quantum = std::chrono::milliseconds(20)},
+                             .quantum = std::chrono::milliseconds(20),
+                             .sim_mode = sim_mode},
              &scale_) {
     env_->SetDiskModel(profile.disk);
     env_->SetTimeScale(&scale_);

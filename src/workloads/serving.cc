@@ -2,10 +2,11 @@
 
 #include <cstring>
 #include <memory>
-#include <thread>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/random.h"
+#include "common/thread.h"
 #include "common/strings.h"
 #include "core/key_util.h"
 #include "core/record.h"
@@ -53,7 +54,7 @@ void RunClient(GboSession* session, const ClientSpec& spec,
       ServingReadFn(options.payload_bytes, options.read_cost);
   std::vector<bool> working_set(static_cast<size_t>(spec.units), false);
   if (spec.start_delay > Duration::zero()) {
-    std::this_thread::sleep_for(spec.start_delay);
+    SleepFor(spec.start_delay);
   }
   Stopwatch wall;
   for (int r = 0; r < spec.reads; ++r) {
@@ -115,11 +116,11 @@ Gbo::ReadFn ServingReadFn(int64_t payload_bytes, Duration read_cost) {
   return [payload_bytes, read_cost](Gbo* db,
                                     const std::string& unit_name) -> Status {
     if (read_cost > Duration::zero()) {
-      // Synthetic I/O cost: wall-clock, deliberately off any sim clock —
-      // the serving layer schedules real threads. Sleeping (not spinning)
-      // models a blocked I/O, so dozens of concurrent "reads" do not
-      // contend for CPU.
-      std::this_thread::sleep_for(read_cost);
+      // Synthetic I/O cost. Sleeping (not spinning) models a blocked I/O,
+      // so dozens of concurrent "reads" do not contend for CPU. Under a
+      // DiscreteEventScope the sleep lands on the virtual clock instead,
+      // which is what lets thousand-session sweeps replay in milliseconds.
+      SleepFor(read_cost);
     }
     GODIVA_ASSIGN_OR_RETURN(Record * rec, db->NewRecord("serving_chunk"));
     std::memcpy(*rec->FieldBuffer("serving_key"),
@@ -206,13 +207,13 @@ Result<ServingReport> RunServingWorkload(Gbo* db,
 
   ServingReport report;
   report.clients.resize(specs.size());
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(specs.size());
   for (size_t c = 0; c < specs.size(); ++c) {
     threads.emplace_back(RunClient, sessions[c].get(), std::cref(specs[c]),
                          std::cref(options), &report.clients[c]);
   }
-  for (std::thread& thread : threads) thread.join();
+  for (Thread& thread : threads) thread.join();
   report.final_pressure = server.pressure_state();
   sessions.clear();  // close every session before the server dies
   return report;

@@ -227,9 +227,13 @@ Result<CellResult> RunVoyager(PlatformRuntime* runtime,
                             ? visible_io.TotalSeconds()
                             : result.gbo.visible_io_seconds;
 
-  double scale = runtime->scale().scale();
-  result.total_seconds = wall_total / scale;
-  result.visible_io_seconds = wall_visible / scale;
+  // Mode-aware: divides by the compression scale under scaled sleep, and
+  // is the identity in discrete-event mode (the "wall" clock there is
+  // already the uncompressed virtual clock).
+  const TimeScale& scale = runtime->scale();
+  result.total_seconds = scale.WallToModeledSeconds(FromSeconds(wall_total));
+  result.visible_io_seconds =
+      scale.WallToModeledSeconds(FromSeconds(wall_visible));
   result.computation_seconds =
       result.total_seconds - result.visible_io_seconds;
 

@@ -19,6 +19,7 @@
 #include "core/options.h"
 #include "core/server.h"
 #include "core/session.h"
+#include "sim/event_scheduler.h"
 #include "workloads/serving.h"
 
 namespace godiva {
@@ -421,6 +422,51 @@ TEST(ServerTest, DispatchOrderIsDeterministicAcrossShardCounts) {
     EXPECT_EQ(logs[run][10].rfind("prefetch bg:", 0), 0u);
   }
   EXPECT_EQ(logs[0], logs[1]);
+}
+
+// Discrete-event session sweep: 200 mixed-priority closed-loop clients
+// replay on the virtual clock in real milliseconds, deterministically.
+// The wall bound is deliberately generous (the point is "interactive",
+// not a precise cost model of the host), and is measured on the raw OS
+// clock — godiva::Now() reads the virtual clock inside the scope.
+TEST(ServerTest, TwoHundredSessionDiscreteEventSweepIsFast) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  int64_t reads_ok = 0;
+  double virtual_a = 0;
+  double virtual_b = 0;
+  for (double* virtual_out : {&virtual_a, &virtual_b}) {
+    DiscreteEventScope scope;
+    GboOptions options;
+    options.io_threads = 2;
+    options.metadata_shards = 2;
+    options.memory_limit_bytes = 32 * 1024 * 1024;
+    Gbo db(options);
+    workloads::ServingOptions serving;
+    serving.interactive_sessions = 50;
+    serving.batch_sessions = 50;
+    serving.background_sessions = 100;
+    serving.reads_per_session = 8;
+    serving.payload_bytes = 16 * 1024;
+    serving.read_cost = std::chrono::microseconds(200);
+    serving.server.max_inflight_demand = 16;
+    auto report = workloads::RunServingWorkload(&db, serving);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->clients.size(), 200u);
+    reads_ok = 0;
+    for (const workloads::ClientResult& client : report->clients) {
+      reads_ok += client.reads_ok;
+    }
+    EXPECT_GT(reads_ok, 0);
+    *virtual_out = scope.scheduler()->VirtualElapsedSeconds();
+  }
+  // Deterministic: both sweeps end at the identical virtual instant.
+  EXPECT_GT(virtual_a, 0);
+  EXPECT_EQ(virtual_a, virtual_b);
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  EXPECT_LT(wall_seconds, 5.0);
 }
 
 TEST(ServerTest, StatsToStringCoversServing) {

@@ -1,14 +1,20 @@
 // Tests for the virtual CPU: modeled durations, slot contention, and the
 // competitor load used by the TG1 experiment.
+//
+// Timing assertions are mode-aware (GODIVA_SIM_MODE): under scaled sleep
+// they are loose wall-clock bounds (host scheduling noise is real); under
+// the discrete-event scheduler the same scenarios assert exact virtual
+// durations — the whole point of that mode is that there is no noise.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <chrono>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread.h"
+#include "sim/event_scheduler.h"
 #include "sim/platform.h"
 #include "sim/sim_cpu.h"
 #include "sim/virtual_time.h"
@@ -18,7 +24,20 @@ namespace {
 
 using std::chrono::milliseconds;
 
+bool DeMode() { return SimModeFromEnv() == SimMode::kDiscreteEvent; }
+
 TEST(TimeScaleTest, ScalesSleeps) {
+  if (DeMode()) {
+    // Under the scheduler, SleepModeled advances the virtual clock by the
+    // full modeled duration regardless of scale.
+    DiscreteEventScope scope;
+    TimeScale scale(0.01);
+    Stopwatch sw;
+    scale.SleepModeled(std::chrono::seconds(1));
+    EXPECT_NEAR(sw.ElapsedSeconds(), 1.0, 1e-9);
+    EXPECT_NEAR(scale.WallToModeledSeconds(FromSeconds(1.0)), 1.0, 1e-9);
+    return;
+  }
   TimeScale scale(0.01);
   Stopwatch sw;
   scale.SleepModeled(std::chrono::seconds(1));  // 10 ms wall
@@ -29,26 +48,39 @@ TEST(TimeScaleTest, ScalesSleeps) {
 }
 
 TEST(SimCpuTest, ComputeTakesModeledTime) {
+  std::optional<DiscreteEventScope> scope;
+  if (DeMode()) scope.emplace();
   TimeScale scale(0.01);
-  SimCpu cpu(SimCpu::Options{.slots = 1, .quantum = milliseconds(20)},
+  SimCpu cpu(SimCpu::Options{.slots = 1,
+                             .quantum = milliseconds(20),
+                             .sim_mode = SimModeFromEnv()},
              &scale);
   Stopwatch sw;
-  cpu.Compute(milliseconds(500));  // 5 ms wall
-  EXPECT_GE(sw.ElapsedSeconds(), 0.004);
+  cpu.Compute(milliseconds(500));  // 5 ms wall / 500 ms virtual
+  if (DeMode()) {
+    EXPECT_NEAR(sw.ElapsedSeconds(), 0.5, 1e-9);
+  } else {
+    EXPECT_GE(sw.ElapsedSeconds(), 0.004);
+  }
   EXPECT_NEAR(cpu.TotalComputeSeconds(), 0.5, 1e-9);
 }
 
 // Runs two threads of 300 modeled-ms each on a `slots`-slot CPU and
-// returns the best wall time of three attempts (host scheduling noise can
-// inflate any single run).
-double TwoThreadWallSeconds(int slots) {
+// returns the best measured time of `attempts` attempts. Scaled-sleep
+// callers pass 3 (host scheduling noise can inflate any single run);
+// discrete-event callers pass 1 — every run measures identically.
+double TwoThreadSeconds(int slots, int attempts) {
   TimeScale scale(0.01);
   double best = 1e9;
-  for (int attempt = 0; attempt < 3; ++attempt) {
-    SimCpu cpu(SimCpu::Options{.slots = slots, .quantum = milliseconds(10)},
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    std::optional<DiscreteEventScope> scope;
+    if (DeMode()) scope.emplace();
+    SimCpu cpu(SimCpu::Options{.slots = slots,
+                               .quantum = milliseconds(10),
+                               .sim_mode = SimModeFromEnv()},
                &scale);
     Stopwatch sw;
-    std::vector<std::thread> threads;
+    std::vector<Thread> threads;
     for (int t = 0; t < 2; ++t) {
       threads.emplace_back([&cpu] { cpu.Compute(milliseconds(300)); });
     }
@@ -59,15 +91,26 @@ double TwoThreadWallSeconds(int slots) {
 }
 
 TEST(SimCpuTest, SingleSlotSerializesTwoThreads) {
+  if (DeMode()) {
+    // Exact: 600 modeled ms, fully serialized, zero scheduler overhead on
+    // the virtual clock.
+    EXPECT_NEAR(TwoThreadSeconds(1, 1), 0.600, 1e-9);
+    return;
+  }
   // 600 ms of modeled work on one slot → ≥ 6 ms wall.
-  EXPECT_GE(TwoThreadWallSeconds(1), 0.0055);
+  EXPECT_GE(TwoThreadSeconds(1, 3), 0.0055);
 }
 
 TEST(SimCpuTest, TwoSlotsRunTwoThreadsConcurrently) {
+  if (DeMode()) {
+    // Exact: both threads overlap perfectly in virtual time.
+    EXPECT_NEAR(TwoThreadSeconds(2, 1), 0.300, 1e-9);
+    return;
+  }
   // Compare directly against the serialized run: absolute thresholds are
   // fragile under host scheduling noise.
-  double serialized = TwoThreadWallSeconds(1);
-  double concurrent = TwoThreadWallSeconds(2);
+  double serialized = TwoThreadSeconds(1, 3);
+  double concurrent = TwoThreadSeconds(2, 3);
   EXPECT_LT(concurrent, serialized * 0.8);
 }
 
@@ -78,14 +121,18 @@ TEST(SimCpuTest, ZeroDurationIsNoop) {
   EXPECT_EQ(cpu.TotalComputeSeconds(), 0.0);
 }
 
-// Best-of-3 wall time for 200 modeled ms of work on a `slots`-slot CPU,
+// Measured time for 200 modeled ms of work on a `slots`-slot CPU,
 // optionally with a competitor occupying one slot. Best-of mitigates host
-// scheduling noise (these are relative-behaviour tests).
-double CompetitorWallSeconds(int slots, bool with_competitor) {
+// scheduling noise in scaled mode; discrete-event runs once.
+double CompetitorSeconds(int slots, bool with_competitor, int attempts) {
   TimeScale scale(0.01);
   double best = 1e9;
-  for (int attempt = 0; attempt < 3; ++attempt) {
-    SimCpu cpu(SimCpu::Options{.slots = slots, .quantum = milliseconds(5)},
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    std::optional<DiscreteEventScope> scope;
+    if (DeMode()) scope.emplace();
+    SimCpu cpu(SimCpu::Options{.slots = slots,
+                               .quantum = milliseconds(5),
+                               .sim_mode = SimModeFromEnv()},
                &scale);
     std::optional<CompetitorLoad> competitor;
     if (with_competitor) competitor.emplace(&cpu);
@@ -99,16 +146,33 @@ double CompetitorWallSeconds(int slots, bool with_competitor) {
 TEST(CompetitorLoadTest, SlowsSharedSlotWork) {
   // One slot: the competitor and the measured work alternate quanta, so
   // the measured work takes roughly twice as long as when running alone.
-  double alone_seconds = CompetitorWallSeconds(1, false);
-  double contended_seconds = CompetitorWallSeconds(1, true);
+  if (DeMode()) {
+    double alone = CompetitorSeconds(1, false, 1);
+    double contended = CompetitorSeconds(1, true, 1);
+    EXPECT_NEAR(alone, 0.200, 1e-9);
+    // Strict 1:1 quantum alternation on the virtual clock: the contended
+    // run takes 1.9x–2.1x the solo run (the exact factor depends only on
+    // who holds the final quantum, not on host scheduling).
+    EXPECT_GT(contended, alone * 1.9);
+    EXPECT_LT(contended, alone * 2.1);
+    // And it is deterministic: a second run measures the same value.
+    EXPECT_EQ(contended, CompetitorSeconds(1, true, 1));
+    return;
+  }
+  double alone_seconds = CompetitorSeconds(1, false, 3);
+  double contended_seconds = CompetitorSeconds(1, true, 3);
   EXPECT_GT(contended_seconds, alone_seconds * 1.4);
 }
 
 TEST(CompetitorLoadTest, DoesNotBlockSecondSlot) {
   // Identical work under a competitor: with two slots the work proceeds
   // on the free slot; with one it must share.
-  double two_slot_seconds = CompetitorWallSeconds(2, true);
-  double one_slot_seconds = CompetitorWallSeconds(1, true);
+  if (DeMode()) {
+    EXPECT_NEAR(CompetitorSeconds(2, true, 1), 0.200, 1e-9);
+    return;
+  }
+  double two_slot_seconds = CompetitorSeconds(2, true, 3);
+  double one_slot_seconds = CompetitorSeconds(1, true, 3);
   EXPECT_GT(one_slot_seconds, two_slot_seconds * 1.35);
 }
 

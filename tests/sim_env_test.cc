@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "sim/env.h"
+#include "sim/event_scheduler.h"
 #include "sim/sim_env.h"
 #include "sim/virtual_time.h"
 
@@ -134,11 +136,15 @@ TEST(SimEnvTest, SeparateFilesAlwaysSeek) {
 }
 
 TEST(SimEnvTest, ModeledTimeMatchesDiskModel) {
-  TimeScale scale(0.001);  // 1 modeled second = 1ms wall
+  const bool de = SimModeFromEnv() == SimMode::kDiscreteEvent;
+  std::optional<DiscreteEventScope> scope;
+  if (de) scope.emplace();
+  TimeScale scale(0.001);  // 1 modeled second = 1ms wall (scaled mode)
   SimEnv::Options options;
   options.disk.seek_time = std::chrono::milliseconds(500);  // huge, modeled
   options.disk.bytes_per_second = 1024.0 * 1024;
   options.time_scale = &scale;
+  options.sim_mode = SimModeFromEnv();
   SimEnv env(options);
   WriteAndClose(&env, "f", std::string(1024 * 1024, 'x'));
   auto file = env.NewRandomAccessFile("f");
@@ -146,12 +152,17 @@ TEST(SimEnvTest, ModeledTimeMatchesDiskModel) {
   std::vector<char> buf(1024 * 1024);
   Stopwatch sw;
   // seek (0.5 s modeled) + 1 MiB at 1 MiB/s (1 s modeled) = 1.5 s modeled
-  // = 1.5 ms wall at scale 0.001.
+  // = 1.5 ms wall at scale 0.001, or exactly 1.5 virtual seconds in
+  // discrete-event mode (the access is paid unbatched on the clock).
   ASSERT_TRUE((*file)->Read(0, 1024 * 1024, buf.data()).ok());
-  double wall = sw.ElapsedSeconds();
-  EXPECT_GE(wall, 0.0014);
+  double measured = sw.ElapsedSeconds();
+  if (de) {
+    EXPECT_NEAR(measured, 1.5, 1e-9);
+  } else {
+    EXPECT_GE(measured, 0.0014);
+  }
   DiskStats stats = env.stats();
-  EXPECT_NEAR(stats.modeled_read_seconds, 1.5, 0.01);
+  EXPECT_NEAR(stats.modeled_read_seconds, 1.5, de ? 1e-9 : 0.01);
 }
 
 TEST(SimEnvTest, TotalFileBytes) {

@@ -1,0 +1,238 @@
+// Unit tests for the discrete-event scheduler (sim/event_scheduler.h):
+// virtual-clock semantics, park/unpark across every blocking primitive,
+// determinism of the event trace, and the wall-time claim the whole mode
+// exists for (modeled seconds must cost ~zero real seconds).
+#include "sim/event_scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/sync.h"
+#include "common/thread.h"
+#include "sim/virtual_time.h"
+
+namespace godiva {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+double RealSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+TEST(EventSchedulerTest, VirtualSleepCostsNoWallTime) {
+  const auto real_start = std::chrono::steady_clock::now();
+  DiscreteEventScope scope;
+  Stopwatch virtual_elapsed;
+  SleepFor(seconds(3600));  // one modeled hour
+  EXPECT_NEAR(virtual_elapsed.ElapsedSeconds(), 3600.0, 1e-6);
+  EXPECT_NEAR(scope.scheduler()->VirtualElapsedSeconds(), 3600.0, 1e-6);
+  EXPECT_LT(RealSecondsSince(real_start), 5.0);
+}
+
+TEST(EventSchedulerTest, TimeScaleSleepIsUnscaledVirtual) {
+  DiscreteEventScope scope;
+  TimeScale scale(0.001);  // would be 1000x compression under scaled sleep
+  Stopwatch elapsed;
+  scale.SleepModeled(seconds(10));
+  // Virtual time advances by the full modeled duration, not the scaled one.
+  EXPECT_NEAR(elapsed.ElapsedSeconds(), 10.0, 1e-6);
+  // And converting a virtual measurement back to modeled seconds is the
+  // identity, not a division by scale.
+  EXPECT_NEAR(scale.WallToModeledSeconds(elapsed.Elapsed()), 10.0, 1e-6);
+}
+
+TEST(EventSchedulerTest, SleepingThreadsInterleaveDeterministically) {
+  DiscreteEventScope scope;
+  Mutex mu;
+  std::vector<int> order;
+  // Thread A wakes at t=10,30,50ms; thread B at t=20,40,60ms.
+  Thread a([&] {
+    for (int i = 0; i < 3; ++i) {
+      SleepFor(milliseconds(i == 0 ? 10 : 20));
+      MutexLock lock(&mu);
+      order.push_back(1);
+    }
+  });
+  Thread b([&] {
+    for (int i = 0; i < 3; ++i) {
+      SleepFor(milliseconds(20));
+      MutexLock lock(&mu);
+      order.push_back(2);
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+  EXPECT_NEAR(scope.scheduler()->VirtualElapsedSeconds(), 0.060, 1e-6);
+}
+
+TEST(EventSchedulerTest, TimedWaitTimesOutAtExactVirtualDeadline) {
+  DiscreteEventScope scope;
+  Mutex mu;
+  CondVar cv;
+  const TimePoint start = Now();
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitUntil(&mu, start + milliseconds(250)));
+  EXPECT_NEAR(ToSeconds(Now() - start), 0.250, 1e-9);
+}
+
+TEST(EventSchedulerTest, NotifyCancelsDeadlineTimer) {
+  DiscreteEventScope scope;
+  Mutex mu;
+  CondVar cv;
+  bool signalled = false;
+  const TimePoint start = Now();
+  Thread waker([&] {
+    SleepFor(milliseconds(5));
+    MutexLock lock(&mu);
+    signalled = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    bool notified = true;
+    while (!signalled && notified) {
+      notified = cv.WaitUntil(&mu, start + seconds(100));
+    }
+    EXPECT_TRUE(signalled);
+  }
+  waker.join();
+  // Woke at the notify instant, not the 100 s deadline.
+  EXPECT_NEAR(ToSeconds(Now() - start), 0.005, 1e-9);
+}
+
+TEST(EventSchedulerTest, MutexHeldAcrossParkBlocksContenderUntilRelease) {
+  DiscreteEventScope scope;
+  Mutex mu;
+  const TimePoint start = Now();
+  Thread holder([&] {
+    MutexLock lock(&mu);
+    SleepFor(milliseconds(50));  // park while holding the lock
+  });
+  Thread contender([&] {
+    SleepFor(milliseconds(1));  // let the holder acquire first
+    MutexLock lock(&mu);
+    EXPECT_NEAR(ToSeconds(Now() - start), 0.050, 1e-9);
+  });
+  holder.join();
+  contender.join();
+}
+
+TEST(EventSchedulerTest, SemaphoreHandsSlotsToWaitersInFifoOrder) {
+  DiscreteEventScope scope;
+  Semaphore sem(1);
+  Mutex mu;
+  std::vector<int> order;
+  sem.Acquire();  // main holds the only slot
+  std::vector<Thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      SleepFor(milliseconds(i + 1));  // queue in id order: 0, 1, 2
+      sem.Acquire();
+      {
+        MutexLock lock(&mu);
+        order.push_back(i);
+      }
+      sem.Release();
+    });
+  }
+  SleepFor(milliseconds(10));  // all three queued behind main's slot
+  sem.Release();
+  for (Thread& t : threads) t.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventSchedulerTest, JoinParksUntilChildExits) {
+  DiscreteEventScope scope;
+  const TimePoint start = Now();
+  Thread child([&] { SleepFor(milliseconds(75)); });
+  child.join();
+  EXPECT_NEAR(ToSeconds(Now() - start), 0.075, 1e-9);
+}
+
+TEST(EventSchedulerTest, LazyRegistrationOfRawStdThreads) {
+  // Raw std::threads join the simulation at their first instrumented op.
+  DiscreteEventScope scope;
+  std::atomic<bool> done{false};
+  std::thread raw([&] {
+    SleepFor(milliseconds(20));
+    done.store(true);
+  });
+  // The main thread parks; the raw thread's sleep drives the clock.
+  while (!done.load()) SleepFor(milliseconds(5));
+  raw.join();
+  EXPECT_GE(scope.scheduler()->VirtualElapsedSeconds(), 0.020 - 1e-9);
+}
+
+TEST(EventSchedulerTest, VirtualClockIsMonotonicAcrossScopes) {
+  TimePoint first_end;
+  {
+    DiscreteEventScope scope;
+    SleepFor(seconds(500));
+    first_end = Now();
+  }
+  {
+    DiscreteEventScope scope;
+    EXPECT_GE(Now().time_since_epoch().count(),
+              first_end.time_since_epoch().count());
+  }
+}
+
+// The determinism backbone: the same program yields the same trace, event
+// for event, on every run.
+std::string RunTracedScenario() {
+  EventScheduler::Options options;
+  options.trace = true;
+  DiscreteEventScope scope(options);
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+  std::vector<Thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    // Arrive in reverse order (thread 3 first), so 3, 2, 1 all park on the
+    // cv and a notify chain unwinds them — sleeps, cv parks, notifies and
+    // mutex handoffs all land in the trace.
+    threads.emplace_back([&, i] {
+      SleepFor(milliseconds(4 - i));
+      MutexLock lock(&mu);
+      while (stage < i) cv.Wait(&mu);
+      ++stage;
+      cv.NotifyAll();
+    });
+  }
+  for (Thread& t : threads) t.join();
+  return scope.scheduler()->TraceString();
+}
+
+TEST(EventSchedulerTest, IdenticalRunsProduceIdenticalTraces) {
+  const std::string first = RunTracedScenario();
+  const std::string second = RunTracedScenario();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(EventSchedulerTest, StatsCountEvents) {
+  DiscreteEventScope scope;
+  Thread t([&] { SleepFor(milliseconds(10)); });
+  SleepFor(milliseconds(5));
+  t.join();
+  SchedulerStats stats = scope.scheduler()->stats();
+  EXPECT_EQ(stats.threads_registered, 2);  // main + child
+  EXPECT_EQ(stats.sleeps, 2);
+  EXPECT_GE(stats.timer_events, 2);
+  EXPECT_GE(stats.grants, 2);
+  EXPECT_NEAR(stats.virtual_seconds, 0.010, 1e-9);
+}
+
+}  // namespace
+}  // namespace godiva

@@ -17,15 +17,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "common/thread.h"
 #include "core/gbo.h"
 #include "core/options.h"
 #include "mesh/dataset_spec.h"
 #include "mesh/snapshot_writer.h"
+#include "sim/event_scheduler.h"
 #include "sim/fault_env.h"
 #include "sim/platform.h"
 #include "sim/sim_env.h"
@@ -43,14 +46,21 @@ using std::chrono::seconds;
 class IngestTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // GODIVA_SIM_MODE=de runs the whole suite on the discrete-event
+    // scheduler: every sleep, timed wait and modeled disk delay lands on
+    // the virtual clock and the interleaving replays identically.
+    const SimMode sim_mode = SimModeFromEnv();
+    if (sim_mode == SimMode::kDiscreteEvent) scope_.emplace();
     spec_ = mesh::DatasetSpec::Tiny();
     spec_.num_snapshots = 6;
     spec_.checksums = true;
-    env_ = std::make_unique<SimEnv>(SimEnv::Options{});
+    SimEnv::Options env_options;
+    env_options.sim_mode = sim_mode;
+    env_ = std::make_unique<SimEnv>(env_options);
     fault_ = std::make_unique<FaultInjectionEnv>(env_.get());
     runtime_ = std::make_unique<PlatformRuntime>(PlatformProfile::Engle(),
                                                  /*time_scale=*/0.0004,
-                                                 env_.get());
+                                                 env_.get(), sim_mode);
     runtime_->SetIoEnv(fault_.get());
     // The dataset starts empty: the producer creates the files live.
     dataset_ = mesh::DescribeSnapshotDataset(spec_, "dataset");
@@ -80,6 +90,9 @@ class IngestTest : public ::testing::Test {
     return options;
   }
 
+  // Declared first so it outlives (and tears down after) everything that
+  // might still park threads on it.
+  std::optional<DiscreteEventScope> scope_;
   mesh::DatasetSpec spec_;
   std::unique_ptr<SimEnv> env_;
   std::unique_ptr<FaultInjectionEnv> fault_;
@@ -120,7 +133,7 @@ TEST_F(IngestTest, ReadersFollowTheAdvancingFrontier) {
       if (!disarm) producer->RequestStop();
     }
   };
-  std::vector<std::thread> readers;
+  std::vector<Thread> readers;
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&, r] {
       StopOnExit stop{&producer};
@@ -144,7 +157,7 @@ TEST_F(IngestTest, ReadersFollowTheAdvancingFrontier) {
     });
   }
   Status run = producer.Run();
-  for (std::thread& t : readers) t.join();
+  for (Thread& t : readers) t.join();
   ASSERT_TRUE(run.ok()) << run;
 
   IngestStats stats = producer.stats();
@@ -168,20 +181,20 @@ TEST_F(IngestTest, BlockPolicyStallsTheProducerUntilAcked) {
   options.policy = IngestBackpressure::kBlock;
   IngestProducer producer(runtime_.get(), &db, &dataset_, options);
 
-  std::thread runner([&producer] { EXPECT_TRUE(producer.Run().ok()); });
+  Thread runner([&producer] { EXPECT_TRUE(producer.Run().ok()); });
   // Window of one with no acks: the producer publishes snapshot 0 and
   // stalls before snapshot 1.
   for (int i = 0; i < 30000 && producer.frontier() < 0; ++i) {
-    std::this_thread::sleep_for(milliseconds(1));
+    SleepFor(milliseconds(1));
   }
   EXPECT_EQ(producer.frontier(), 0);
-  std::this_thread::sleep_for(milliseconds(50));
+  SleepFor(milliseconds(50));
   EXPECT_EQ(producer.frontier(), 0);
   EXPECT_EQ(producer.lag(), 1);
 
   producer.AckFinished(0);
   for (int i = 0; i < 30000 && producer.frontier() < 1; ++i) {
-    std::this_thread::sleep_for(milliseconds(1));
+    SleepFor(milliseconds(1));
   }
   EXPECT_EQ(producer.frontier(), 1);
   producer.RequestStop();
@@ -244,7 +257,7 @@ TEST_F(IngestTest, WriteCrashIsRetriedThroughTheHookAndPublishes) {
   IngestProducer producer(runtime_.get(), &db, &dataset_, options);
   FrontierWatch watch(&db);
 
-  std::thread runner([&producer] { EXPECT_TRUE(producer.Run().ok()); });
+  Thread runner([&producer] { EXPECT_TRUE(producer.Run().ok()); });
   for (int s = 0; s < spec_.num_snapshots; ++s) {
     ASSERT_TRUE(watch.WaitForSnapshot(s, seconds(30)).ok()) << s;
     ASSERT_TRUE(db.WaitUnitFor(SnapshotUnitName(s), seconds(30)).ok());
@@ -366,7 +379,7 @@ TEST_F(IngestTest, TornWriteCrashMatrixSalvagesOrQuarantinesNeverTorn) {
         db.SupersedeUnit(SnapshotUnitName(kSnapshot), read_fn, files).ok());
     std::atomic<int> ok_reads{0};
     std::atomic<int> failed_reads{0};
-    std::vector<std::thread> readers;
+    std::vector<Thread> readers;
     for (int r = 0; r < 4; ++r) {
       readers.emplace_back([&] {
         Status wait = db.WaitUnitFor(SnapshotUnitName(kSnapshot), seconds(60));
@@ -384,7 +397,7 @@ TEST_F(IngestTest, TornWriteCrashMatrixSalvagesOrQuarantinesNeverTorn) {
         }
       });
     }
-    for (std::thread& t : readers) t.join();
+    for (Thread& t : readers) t.join();
     // All four readers agree on the outcome.
     ASSERT_TRUE(ok_reads.load() == 4 || failed_reads.load() == 4)
         << ok_reads.load() << " ok / " << failed_reads.load() << " failed";

@@ -155,6 +155,17 @@ LexedFile Lex(const std::string& path, const std::string& source) {
       i += 2;
       continue;
     }
+    // Left shift must be one token: two '<' tokens would read as nested
+    // template-argument openers and derail the declaration scanner for the
+    // rest of the file (e.g. `size_t limit = 1 << 20;` in a member init).
+    // '>>' stays two tokens — in declaration context it is two template
+    // closers (`vector<unique_ptr<T>>`), which is what the angle-depth
+    // heuristic wants.
+    if (c == '<' && i + 1 < n && source[i + 1] == '<') {
+      out.tokens.push_back(Token{Token::kPunct, "<<", line});
+      i += 2;
+      continue;
+    }
     out.tokens.push_back(Token{Token::kPunct, std::string(1, c), line});
     ++i;
   }
