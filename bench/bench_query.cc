@@ -1,0 +1,449 @@
+// Declarative batch-query API vs unit-at-a-time loading (DESIGN.md §15).
+// The workload is a sliding snapshot window over the paper's 120-block
+// mesh: each step needs two stress fields for every block of snapshots
+// [t, t+W), plus a displacement-magnitude derived field. Both paths read
+// the same quantities from the same dataset through the same pool width:
+//
+//   unit-at-a-time — one unit per snapshot (MakeSnapshotReadFn), one
+//     device read per dataset, window reuse via the unit cache.
+//   query         — one GboQuery per step (BuildSnapshotQuery): plan-time
+//     dedup against the resident tail of the previous window, per-file
+//     extents coalesced into ReadBatch runs, and the derived field pushed
+//     down onto each unit as it lands.
+//
+// Headline metrics: issued device reads and bytes per path (exact DiskStats
+// counts), the read-op saving ratio (acceptance: >= 25% fewer, i.e. ratio
+// >= 1.33), plan dedup hits and bytes saved (acceptance: > 0), push-down
+// computations, and per-step settle latency p50/p99 (the demand-latency
+// guard: the query path must not be slower to make a window ready).
+//
+// Flags: --factor=F, --snapshots=N, --window=W, --quick
+// (factor 0.12, 8 snapshots), --sim-mode=M (see bench_util.h; the
+// discrete-event run writes the bench_query_de JSON namespace with exact
+// virtual-clock latencies), --json=PATH for tools/bench_diff.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread.h"
+#include "core/gbo.h"
+#include "core/options.h"
+#include "core/query.h"
+#include "core/server.h"
+#include "core/session.h"
+#include "core/stats.h"
+#include "mesh/dataset_spec.h"
+#include "sim/platform.h"
+#include "sim/sim_env.h"
+#include "viz/pushdown.h"
+#include "workloads/block_schema.h"
+#include "workloads/experiment.h"
+#include "workloads/platform_runtime.h"
+#include "workloads/serving.h"
+#include "workloads/snapshot_io.h"
+#include "workloads/snapshot_query.h"
+
+namespace godiva::bench {
+namespace {
+
+using workloads::Experiment;
+using workloads::ExperimentOptions;
+using workloads::PlatformRuntime;
+
+struct Flags {
+  double factor = 1.0;
+  int snapshots = 12;
+  int window = 4;
+  std::string sim_mode;
+  std::string json_path;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--factor=", 9) == 0) {
+        flags.factor = std::atof(arg + 9);
+      } else if (std::strncmp(arg, "--snapshots=", 12) == 0) {
+        flags.snapshots = std::atoi(arg + 12);
+      } else if (std::strncmp(arg, "--window=", 9) == 0) {
+        flags.window = std::atoi(arg + 9);
+      } else if (std::strncmp(arg, "--sim-mode=", 11) == 0) {
+        flags.sim_mode = arg + 11;
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        flags.json_path = arg + 7;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        flags.factor = 0.12;
+        flags.snapshots = 8;
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        std::exit(2);
+      }
+    }
+    if (flags.window < 1 || flags.window > flags.snapshots) {
+      std::fprintf(stderr, "--window must be in [1, --snapshots]\n");
+      std::exit(2);
+    }
+    return flags;
+  }
+};
+
+// The two requested fields; the disp_mag kernel folds dispx/y/z into the
+// same plan, so both paths read the five-quantity union.
+const char* const kFields[] = {"sxx", "syy"};
+const char* const kUnionQuantities[] = {"sxx", "syy", "dispx", "dispy",
+                                        "dispz"};
+
+GboOptions DbOptions() {
+  GboOptions options;
+  options.io_threads = 2;
+  options.memory_limit_bytes = 512 * 1024 * 1024;  // window stays resident
+  return options;
+}
+
+struct PathResult {
+  int64_t reads = 0;
+  int64_t bytes = 0;
+  LatencyRecorder plan_ms;   // query path: BuildSnapshotQuery + Submit
+  LatencyRecorder step_ms;   // time until the whole window is ready
+  int64_t units_requested = 0;  // query path: planner expansion total
+  int64_t dedup_hits = 0;       // query path: resident + in-flight
+  GboStats stats;
+};
+
+// Unit-at-a-time baseline: one unit per snapshot, per-dataset reads, the
+// trailing snapshot dropped as the window slides.
+bool RunUnitPath(PlatformRuntime* runtime, const mesh::SnapshotDataset& ds,
+                 const Flags& flags, PathResult* out) {
+  Gbo db(DbOptions());
+  if (!workloads::DefineBlockSchema(&db).ok()) return false;
+  std::vector<std::string> quantities(std::begin(kUnionQuantities),
+                                      std::end(kUnionQuantities));
+  Gbo::ReadFn read_fn =
+      workloads::MakeSnapshotReadFn(runtime, &ds, quantities);
+
+  runtime->env()->ResetStats();
+  int next_to_add = 0;
+  for (int t = 0; t + flags.window <= flags.snapshots; ++t) {
+    Stopwatch step;
+    for (; next_to_add < t + flags.window; ++next_to_add) {
+      Status added = db.AddUnit(workloads::SnapshotUnitName(next_to_add),
+                                read_fn, ds.SnapshotFiles(next_to_add));
+      if (!added.ok()) {
+        std::fprintf(stderr, "AddUnit: %s\n", added.ToString().c_str());
+        return false;
+      }
+    }
+    for (int s = t; s < t + flags.window; ++s) {
+      Status wait = db.WaitUnit(workloads::SnapshotUnitName(s));
+      if (!wait.ok()) {
+        std::fprintf(stderr, "WaitUnit: %s\n", wait.ToString().c_str());
+        return false;
+      }
+    }
+    out->step_ms.Record(step.ElapsedSeconds() * 1e3);
+    // Snapshot t leaves the window (paper §3.2: batch mode knows it will
+    // not be revisited).
+    if (!db.DeleteUnit(workloads::SnapshotUnitName(t)).ok()) return false;
+  }
+  DiskStats disk = runtime->env()->stats();
+  out->reads = disk.reads;
+  out->bytes = disk.bytes_read;
+  out->stats = db.stats();
+  return true;
+}
+
+// Query path: one declarative window query per step; plan-time dedup
+// against the previous window's resident tail, batched per-file I/O, and
+// the derived field pushed down as each unit lands.
+bool RunQueryPath(PlatformRuntime* runtime,
+                  const mesh::SnapshotDataset& ds, const Flags& flags,
+                  PathResult* out, int64_t* derived_values) {
+  Gbo db(DbOptions());
+  if (!workloads::DefineBlockSchema(&db).ok()) return false;
+  QueryPlanner planner(&db);
+  // Overlapping windows re-plan the same files; the extents cache keeps
+  // the repeat directory reads off the device.
+  workloads::SnapshotExtentsCache extents_cache;
+
+  runtime->env()->ResetStats();
+  for (int t = 0; t + flags.window <= flags.snapshots; ++t) {
+    workloads::SnapshotQueryOptions options;
+    options.extents_cache = &extents_cache;
+    options.fields.assign(std::begin(kFields), std::end(kFields));
+    options.kernels.push_back(viz::MagnitudeKernel("disp_mag", "disp"));
+    // Merge only truly adjacent extents: the requested fields already sit
+    // next to each other on disk, so a zero gap allowance keeps the byte
+    // volume identical to the per-dataset baseline while the seek count
+    // collapses (the demand-latency guard below must hold in the modeled
+    // disk, where gap bytes are not free).
+    options.limits.max_gap = 0;
+    options.snapshot_begin = t;
+    options.snapshot_end = t + flags.window;
+    Stopwatch plan_time;
+    auto query = workloads::BuildSnapshotQuery(runtime, &ds, options);
+    if (!query.ok()) {
+      std::fprintf(stderr, "BuildSnapshotQuery: %s\n",
+                   query.status().ToString().c_str());
+      return false;
+    }
+    auto ticket = planner.Submit(*std::move(query));
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "Submit: %s\n",
+                   ticket.status().ToString().c_str());
+      return false;
+    }
+    out->plan_ms.Record(plan_time.ElapsedSeconds() * 1e3);
+    out->units_requested += (*ticket)->plan().units_requested;
+    out->dedup_hits +=
+        (*ticket)->plan().dedup_resident + (*ticket)->plan().dedup_in_flight;
+    Stopwatch step;
+    Status wait = (*ticket)->WaitAll();
+    if (!wait.ok()) {
+      std::fprintf(stderr, "WaitAll: %s\n", wait.ToString().c_str());
+      return false;
+    }
+    out->step_ms.Record(step.ElapsedSeconds() * 1e3);
+    for (const DerivedResult& derived : (*ticket)->TakeDerived()) {
+      *derived_values += static_cast<int64_t>(derived.values.size());
+    }
+    if (!(*ticket)->FinishAll().ok()) return false;
+    // Drop the snapshot leaving the window; the rest stays resident for
+    // the next step's plan to dedup against.
+    for (int f = 0; f < ds.spec.files_per_snapshot; ++f) {
+      Status dropped =
+          db.DeleteUnit(workloads::SnapshotFileUnitName(t, f));
+      if (!dropped.ok()) {
+        std::fprintf(stderr, "DeleteUnit: %s\n",
+                     dropped.ToString().c_str());
+        return false;
+      }
+    }
+  }
+  DiskStats disk = runtime->env()->stats();
+  out->reads = disk.reads;
+  out->bytes = disk.bytes_read;
+  out->stats = db.stats();
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const SimMode mode = ResolveSimMode(flags.sim_mode);
+  std::printf("bench_query: 2 fields + disp_mag pushdown, window %d over "
+              "%d snapshots, %s mode\n",
+              flags.window, flags.snapshots, SimModeName(mode));
+  BenchJson json(mode == SimMode::kDiscreteEvent ? "bench_query_de"
+                                                 : "bench_query");
+
+  // Generate the dataset once (instant writes into the owned SimEnv);
+  // both paths replay reads against the same files and disk model.
+  ExperimentOptions experiment_options;
+  experiment_options.spec =
+      (flags.factor >= 1.0) ? mesh::DatasetSpec::TitanIV()
+                            : mesh::DatasetSpec::TitanIVScaled(flags.factor);
+  experiment_options.spec.num_snapshots = flags.snapshots;
+  experiment_options.time_scale = 1e-6;  // counts are timing-independent
+  experiment_options.sim_mode = mode;
+  auto experiment = Experiment::Create(experiment_options);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  PrintDatasetBanner(**experiment);
+  const mesh::SnapshotDataset& dataset = (*experiment)->dataset();
+  const PlatformProfile profile = PlatformProfile::Engle();
+
+  PathResult unit;
+  {
+    auto scope = MakeSimScope(mode);
+    PlatformRuntime runtime(profile, experiment_options.time_scale,
+                            (*experiment)->env(), mode);
+    if (!RunUnitPath(&runtime, dataset, flags, &unit)) return 1;
+  }
+
+  PathResult query;
+  int64_t derived_values = 0;
+  {
+    auto scope = MakeSimScope(mode);
+    PlatformRuntime runtime(profile, experiment_options.time_scale,
+                            (*experiment)->env(), mode);
+    if (!RunQueryPath(&runtime, dataset, flags, &query, &derived_values)) {
+      return 1;
+    }
+  }
+
+  std::printf("  %-14s %10s %12s %10s %10s\n", "path", "reads", "bytes",
+              "p50(ms)", "p99(ms)");
+  auto row = [](const char* name, const PathResult& r) {
+    std::printf("  %-14s %10lld %12s %10.3f %10.3f\n", name,
+                static_cast<long long>(r.reads),
+                FormatBytes(r.bytes).c_str(), r.step_ms.Percentile(0.50),
+                r.step_ms.Percentile(0.99));
+  };
+  row("unit-at-a-time", unit);
+  row("query", query);
+
+  const double ratio =
+      query.reads > 0
+          ? static_cast<double>(unit.reads) / static_cast<double>(query.reads)
+          : 0;
+  const double reduction_pct =
+      unit.reads > 0 ? 100.0 * (1.0 - static_cast<double>(query.reads) /
+                                          static_cast<double>(unit.reads))
+                     : 0;
+  const GboStats& plan = query.stats;
+  // What the queries asked for vs what reached the device: the dedup'd
+  // payload never left the cache.
+  const int64_t bytes_requested = query.bytes + plan.plan_bytes_saved;
+  const double dedup_ratio =
+      query.units_requested > 0
+          ? static_cast<double>(query.dedup_hits) /
+                static_cast<double>(query.units_requested)
+          : 0;
+  std::printf("  read ops: %.1f%% fewer via the query plan (ratio %.2fx; "
+              "acceptance: >= 25%%) -> %s\n",
+              reduction_pct, ratio, reduction_pct >= 25.0 ? "PASS" : "FAIL");
+  std::printf("  plan: p50 %.3fms p99 %.3fms, %lld batches, dedup %lld/%lld "
+              "units (ratio %.3f), %s requested -> %s issued (%s saved; "
+              "acceptance: > 0) -> %s\n",
+              query.plan_ms.Percentile(0.50), query.plan_ms.Percentile(0.99),
+              static_cast<long long>(plan.plan_batches_issued),
+              static_cast<long long>(query.dedup_hits),
+              static_cast<long long>(query.units_requested), dedup_ratio,
+              FormatBytes(bytes_requested).c_str(),
+              FormatBytes(query.bytes).c_str(),
+              FormatBytes(plan.plan_bytes_saved).c_str(),
+              plan.plan_bytes_saved > 0 ? "PASS" : "FAIL");
+  std::printf("  pushdown: %lld computations (%lld derived values)\n",
+              static_cast<long long>(plan.pushdown_computations),
+              static_cast<long long>(derived_values));
+  std::printf("  demand p99 (window settle): query %.3fms vs unit "
+              "%.3fms -> %s\n",
+              query.step_ms.Percentile(0.99), unit.step_ms.Percentile(0.99),
+              query.step_ms.Percentile(0.99) <=
+                      unit.step_ms.Percentile(0.99) * 1.05
+                  ? "PASS"
+                  : "FAIL");
+
+  // DE only: the 500-session batch sweep. Every session submits one
+  // 8-unit planned batch set through the serving layer's batch lane and
+  // awaits settle — DRR grant scheduling at populations the scaled mode
+  // could never host, measured on the exact virtual clock.
+  if (mode == SimMode::kDiscreteEvent) {
+    std::printf("batch sweep (discrete event, 8-unit batch sets):\n");
+    std::printf("  %8s %12s %12s %12s\n", "sessions", "settle p50",
+                "settle p99", "granted");
+    for (int sessions : {100, 500}) {
+      auto scope = MakeSimScope(mode);
+      GboOptions sweep_options;
+      sweep_options.io_threads = 4;
+      sweep_options.metadata_shards = 4;
+      sweep_options.memory_limit_bytes = 256 * 1024 * 1024;
+      Gbo db(sweep_options);
+      if (!workloads::EnsureServingSchema(&db).ok()) return 1;
+      ServerOptions server_options;
+      server_options.max_inflight_demand = 32;
+      GboServer server(&db, server_options);
+      constexpr int kBatchUnits = 8;
+      LatencyRecorder settle;
+      std::mutex settle_mu;
+      std::atomic<int64_t> granted{0};
+      std::atomic<bool> failed{false};
+      {
+        std::vector<Thread> clients;
+        clients.reserve(static_cast<size_t>(sessions));
+        for (int i = 0; i < sessions; ++i) {
+          clients.emplace_back([&, i] {
+            SessionConfig config;
+            config.name = StrCat("batch-", i);
+            config.max_queued_demand = kBatchUnits;
+            auto session = server.OpenSession(config);
+            if (!session.ok()) {
+              failed.store(true);
+              return;
+            }
+            std::vector<SessionBatchRequest> set;
+            for (int u = 0; u < kBatchUnits; ++u) {
+              SessionBatchRequest request;
+              request.unit_name = StrCat("sweep/", i, "/", u);
+              request.read_fn = workloads::ServingReadFn(
+                  16 * 1024, std::chrono::microseconds(300));
+              set.push_back(std::move(request));
+            }
+            Stopwatch wait;
+            if (!(*session)->SubmitBatchSet(std::move(set)).ok()) {
+              failed.store(true);
+              return;
+            }
+            std::vector<double> samples;
+            for (int u = 0; u < kBatchUnits; ++u) {
+              Status settled = (*session)->AwaitBatchSettle(
+                  StrCat("sweep/", i, "/", u), nullptr);
+              if (!settled.ok()) {
+                failed.store(true);
+                return;
+              }
+              samples.push_back(wait.ElapsedSeconds() * 1e3);
+            }
+            granted.fetch_add((*session)->stats().batch_granted);
+            std::lock_guard<std::mutex> lock(settle_mu);
+            settle.RecordAll(samples);
+          });
+        }
+        for (Thread& client : clients) client.join();
+      }
+      if (failed.load()) {
+        std::fprintf(stderr, "%d-session batch sweep failed\n", sessions);
+        return 1;
+      }
+      double sweep_p50 = settle.Percentile(0.50);
+      double sweep_p99 = settle.Percentile(0.99);
+      std::printf("  %8d %12.3f %12.3f %12lld\n", sessions, sweep_p50,
+                  sweep_p99, static_cast<long long>(granted.load()));
+      std::string prefix = StrFormat("de_batch_sessions_%d_", sessions);
+      json.Add(prefix + "settle_p50_ms", sweep_p50);
+      json.Add(prefix + "settle_p99_ms", sweep_p99);
+      json.Add(prefix + "granted", static_cast<double>(granted.load()));
+    }
+  }
+
+  json.Add("unit_reads", static_cast<double>(unit.reads));
+  json.Add("unit_mib", static_cast<double>(unit.bytes) / (1024.0 * 1024.0));
+  json.Add("query_reads", static_cast<double>(query.reads));
+  json.Add("query_mib",
+           static_cast<double>(query.bytes) / (1024.0 * 1024.0));
+  json.Add("bytes_requested_mib",
+           static_cast<double>(bytes_requested) / (1024.0 * 1024.0));
+  json.Add("read_ops_saved_ratio", ratio);
+  json.Add("dedup_hit_ratio", dedup_ratio);
+  json.Add("plan_p50_ms", query.plan_ms.Percentile(0.50));
+  json.Add("plan_p99_ms", query.plan_ms.Percentile(0.99));
+  json.Add("plan_dedup_hits", static_cast<double>(plan.plan_dedup_hits));
+  json.Add("plan_batches_issued",
+           static_cast<double>(plan.plan_batches_issued));
+  json.Add("plan_bytes_saved_mib",
+           static_cast<double>(plan.plan_bytes_saved) / (1024.0 * 1024.0));
+  json.Add("pushdown_computations",
+           static_cast<double>(plan.pushdown_computations));
+  json.Add("unit_step_p99_ms", unit.step_ms.Percentile(0.99));
+  json.Add("query_step_p99_ms", query.step_ms.Percentile(0.99));
+  if (!json.WriteTo(flags.json_path)) return 1;
+  return (reduction_pct >= 25.0 && plan.plan_bytes_saved > 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace godiva::bench
+
+int main(int argc, char** argv) { return godiva::bench::Run(argc, argv); }

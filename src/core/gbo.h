@@ -242,6 +242,27 @@ class Gbo {
   Status GetUnitError(const std::string& unit_name) const EXCLUDES(mu_);
 
   // ---------------------------------------------------------------------
+  // Query planning (QueryPlanner, DESIGN.md §15).
+
+  // One-shard-lock dedup probe for the batch-query planner. kResident: the
+  // unit is cached and fresh — it has been PINNED on behalf of the caller
+  // (exactly like a ReadUnit cache hit, with no queue round-trip; pair
+  // with FinishUnit). kInFlight: a load or reload is already underway
+  // (queued, loading, or stale awaiting reload) — the planner should wait
+  // for it instead of issuing new I/O. kAbsent: no live unit exists
+  // (unknown, failed, or deleted) — the planner must issue the read.
+  enum class UnitProbe { kAbsent, kResident, kInFlight };
+  UnitProbe ProbeUnitForPlan(const std::string& unit_name) EXCLUDES(mu_);
+
+  // The query planner reports each Submit()'s plan outcome — units
+  // satisfied by dedup instead of new I/O, per-file batch loads actually
+  // dispatched, and the payload bytes dedup avoided re-requesting — plus
+  // derived-field push-down kernel executions as units land.
+  void ReportQueryPlan(int64_t dedup_hits, int64_t batches_issued,
+                       int64_t bytes_saved) EXCLUDES(mu_);
+  void ReportPushdownComputations(int64_t count = 1) EXCLUDES(mu_);
+
+  // ---------------------------------------------------------------------
   // Live ingest: watch / supersede / invalidation (DESIGN.md §11).
 
   enum class WatchEventKind {

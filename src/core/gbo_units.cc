@@ -911,6 +911,45 @@ Status Gbo::GetUnitError(const std::string& unit_name) const {
   return it->second->error;
 }
 
+Gbo::UnitProbe Gbo::ProbeUnitForPlan(const std::string& unit_name) {
+  Shard& s = ShardOfUnitName(unit_name);
+  MutexLock shard_lock(&s.mu);
+  auto it = s.units.find(unit_name);
+  if (it == s.units.end()) return UnitProbe::kAbsent;
+  Unit* unit = it->second.get();
+  switch (unit->state) {
+    case UnitState::kReady:
+      // A stale ready unit is awaiting its reload; the new epoch will
+      // settle on its own, so the planner should wait, not pin old data.
+      if (unit->stale) return UnitProbe::kInFlight;
+      // Mirror the ReadUnit hot path: pin under the single shard lock and
+      // count the hit, with no queue round-trip.
+      PinLocked(s, unit);
+      s.unit_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return UnitProbe::kResident;
+    case UnitState::kQueued:
+    case UnitState::kLoading:
+      return UnitProbe::kInFlight;
+    case UnitState::kFailed:
+    case UnitState::kDeleted:
+      return UnitProbe::kAbsent;
+  }
+  return UnitProbe::kAbsent;
+}
+
+void Gbo::ReportQueryPlan(int64_t dedup_hits, int64_t batches_issued,
+                          int64_t bytes_saved) {
+  MutexLock lock(&mu_);
+  counters_.plan_dedup_hits += dedup_hits;
+  counters_.plan_batches_issued += batches_issued;
+  counters_.plan_bytes_saved += bytes_saved;
+}
+
+void Gbo::ReportPushdownComputations(int64_t count) {
+  MutexLock lock(&mu_);
+  counters_.pushdown_computations += count;
+}
+
 // ---------------------------------------------------------------------
 // Background I/O pool.
 

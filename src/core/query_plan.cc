@@ -1,0 +1,70 @@
+#include "core/query_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace godiva {
+
+std::vector<FileBatchPlan> PlanFileBatches(std::vector<PlanExtentItem> items,
+                                           const PlanLimits& limits) {
+  std::sort(items.begin(), items.end(),
+            [](const PlanExtentItem& a, const PlanExtentItem& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.offset != b.offset) return a.offset < b.offset;
+              return a.dataset < b.dataset;
+            });
+
+  const int64_t max_gap = std::max<int64_t>(0, limits.max_gap);
+  const int64_t max_transfer = std::max<int64_t>(1, limits.max_transfer);
+
+  std::vector<FileBatchPlan> plans;
+  for (size_t begin = 0; begin < items.size();) {
+    size_t file_end = begin;
+    while (file_end < items.size() && items[file_end].file == items[begin].file) {
+      ++file_end;
+    }
+    FileBatchPlan plan;
+    plan.file = items[begin].file;
+    plan.items.assign(std::make_move_iterator(items.begin() + begin),
+                      std::make_move_iterator(items.begin() + file_end));
+
+    // Run split: identical to gsdf::Reader::ReadBatch — grow while the
+    // next dataset starts within max_gap of the run's end and the merged
+    // span stays under max_transfer (a lone over-sized dataset still
+    // forms its own run).
+    for (size_t run_begin = 0; run_begin < plan.items.size();) {
+      int64_t run_start = plan.items[run_begin].offset;
+      int64_t run_end = run_start + plan.items[run_begin].bytes;
+      size_t run_last = run_begin;
+      int64_t payload = plan.items[run_begin].bytes;
+      while (run_last + 1 < plan.items.size()) {
+        const PlanExtentItem& next = plan.items[run_last + 1];
+        if (next.offset > run_end + max_gap) break;
+        int64_t merged_end = std::max(run_end, next.offset + next.bytes);
+        if (merged_end - run_start > max_transfer &&
+            run_end - run_start > 0) {
+          break;
+        }
+        run_end = merged_end;
+        payload += next.bytes;
+        ++run_last;
+      }
+      PlanRun run;
+      run.first = run_begin;
+      run.last = run_last;
+      run.span_bytes = run_end - run_start;
+      // A single run's datasets may overlap (duplicate extents), so clamp:
+      // the transfer never issues fewer bytes than its span.
+      run.gap_bytes = std::max<int64_t>(0, run.span_bytes - payload);
+      plan.runs.push_back(run);
+      plan.payload_bytes += payload;
+      plan.issue_bytes += run.span_bytes;
+      run_begin = run_last + 1;
+    }
+    plans.push_back(std::move(plan));
+    begin = file_end;
+  }
+  return plans;
+}
+
+}  // namespace godiva

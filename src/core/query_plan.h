@@ -1,0 +1,70 @@
+// Pure batch-plan layout for the declarative query layer (DESIGN.md §15).
+//
+// Given the file placement of every dataset a query needs (obtained from
+// gsdf::Reader::DescribeExtents without payload I/O), PlanFileBatches lays
+// out per-file batch plans: items grouped by file, sorted by (file,
+// offset), and split into transfer runs with exactly the gap/transfer
+// rules gsdf::Reader::ReadBatch applies at execution time — so each
+// planned run corresponds to one file read, and plan-time byte accounting
+// matches what the executor will issue.
+//
+// This header has no Gbo or gsdf dependencies: it is deterministic
+// arithmetic over extents, unit-testable with exact goldens.
+#ifndef GODIVA_CORE_QUERY_PLAN_H_
+#define GODIVA_CORE_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace godiva {
+
+// One whole-dataset read the query needs: where it sits in which file.
+// `tag` is an opaque caller cookie (the workload layer stores the block
+// id) carried through planning untouched.
+struct PlanExtentItem {
+  std::string file;
+  std::string dataset;
+  int64_t offset = 0;
+  int64_t bytes = 0;
+  int64_t tag = 0;
+};
+
+// One merged transfer within a file plan: items [first, last] (indices
+// into FileBatchPlan::items) read as a single span_bytes file read, of
+// which gap_bytes are inter-dataset filler.
+struct PlanRun {
+  size_t first = 0;
+  size_t last = 0;
+  int64_t span_bytes = 0;
+  int64_t gap_bytes = 0;
+};
+
+// All of one file's reads: offset-sorted items and the transfer runs that
+// cover them. issue_bytes (= payload + gaps) is what the executor will
+// actually pull off the device.
+struct FileBatchPlan {
+  std::string file;
+  std::vector<PlanExtentItem> items;
+  std::vector<PlanRun> runs;
+  int64_t payload_bytes = 0;
+  int64_t issue_bytes = 0;
+};
+
+// Run-split thresholds. The defaults mirror gsdf::BatchOptions so a plan
+// laid out here and executed through ReadBatch with default options
+// agrees run-for-run; pass the executor's actual limits when they differ.
+struct PlanLimits {
+  int64_t max_gap = 64 * 1024;
+  int64_t max_transfer = 8 * 1024 * 1024;
+};
+
+// Groups `items` by file (files ordered by name), sorts each group by
+// offset, and splits transfer runs. Duplicate extents are legal and
+// coalesce naturally into the covering run.
+std::vector<FileBatchPlan> PlanFileBatches(std::vector<PlanExtentItem> items,
+                                           const PlanLimits& limits = {});
+
+}  // namespace godiva
+
+#endif  // GODIVA_CORE_QUERY_PLAN_H_

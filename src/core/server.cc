@@ -316,6 +316,182 @@ Status GboServer::RequestPrefetch(int64_t session_id,
   return Status::Ok();
 }
 
+Status GboServer::SubmitBatchSet(int64_t session_id,
+                                 std::vector<BatchTicket> batches) {
+  if (batches.empty()) return Status::Ok();
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr || session->closed) {
+    return FailedPreconditionError("session is closed");
+  }
+  if (shutdown_) return AbortedError("server is shutting down");
+  if (!db_->options().background_io) {
+    return FailedPreconditionError(
+        "batch tickets require a background I/O pool (the grant path hands "
+        "units to it; a poolless Gbo would never settle them)");
+  }
+
+  const PressureState state = PressureStateNow();
+  ApplyPressureLocked(state);
+  // Same demand-class pressure admission as AwaitDemandGrant, applied to
+  // the plan as a whole: a plan is never half-admitted.
+  const PriorityClass priority = session->config.priority;
+  const bool refused =
+      (priority == PriorityClass::kBackground &&
+       AtLeast(state, PressureState::kSaturated)) ||
+      (priority != PriorityClass::kInteractive &&
+       AtLeast(state, PressureState::kCritical));
+  if (refused) {
+    ++session->counters.reads_rejected;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(
+        StrCat("batch set rejected: memory pressure is ",
+               PressureStateName(state), " and session ",
+               session->config.name, " is ", PriorityClassName(priority)));
+  }
+  if (session->config.max_pinned_bytes > 0 &&
+      session->pinned_bytes >= session->config.max_pinned_bytes) {
+    ++session->counters.quota_rejections;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(
+        StrCat("pin budget exhausted: session ", session->config.name,
+               " holds ", FormatBytes(session->pinned_bytes), " of ",
+               FormatBytes(session->config.max_pinned_bytes)));
+  }
+  // Quota accounting per plan: all of the plan's tickets count against
+  // the queued-demand quota together (batch tickets share it with stack
+  // demand tickets).
+  const int queued_here = static_cast<int>(session->demand_q.size()) +
+                          static_cast<int>(session->batch_q.size());
+  if (session->config.max_queued_demand > 0 &&
+      queued_here + static_cast<int>(batches.size()) >
+          session->config.max_queued_demand) {
+    ++session->counters.quota_rejections;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(
+        StrCat("demand queue quota exhausted: session ",
+               session->config.name, " has ", queued_here,
+               " tickets queued and the plan adds ", batches.size()));
+  }
+  if (queued_total_ + static_cast<int>(batches.size()) >
+      options_.max_queued_total) {
+    ++session->counters.reads_rejected;
+    db_->ReportServingCounter(Gbo::ServingCounter::kReadsRejected);
+    return ResourceExhaustedError(StrCat("server queue full (",
+                                         options_.max_queued_total,
+                                         " tickets)"));
+  }
+
+  for (BatchTicket& ticket : batches) {
+    session->batch_done.erase(ticket.unit_name);
+    session->batch_q.push_back(std::move(ticket));
+    ++queued_total_;
+    ++session->counters.batch_submitted;
+  }
+  DispatchLocked();
+  return Status::Ok();
+}
+
+Status GboServer::AwaitBatchSettle(int64_t session_id,
+                                   const std::string& unit_name,
+                                   const TimePoint* deadline) {
+  MutexLock lock(&mu_);
+  for (;;) {
+    SessionState* session = FindSessionLocked(session_id);
+    if (session == nullptr) {
+      return FailedPreconditionError("session is closed");
+    }
+    auto done = session->batch_done.find(unit_name);
+    if (done != session->batch_done.end()) {
+      Status result = done->second;
+      session->batch_done.erase(done);
+      return result;
+    }
+    if (session->closed) return AbortedError("session closed");
+    if (shutdown_) return AbortedError("server is shutting down");
+    const bool queued =
+        std::any_of(session->batch_q.begin(), session->batch_q.end(),
+                    [&](const BatchTicket& t) {
+                      return t.unit_name == unit_name;
+                    });
+    bool granted = false;
+    auto range = granted_batches_.equal_range(unit_name);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == session_id) granted = true;
+    }
+    if (!queued && !granted) {
+      return NotFoundError(
+          StrCat("no batch ticket for ", unit_name, " in session ",
+                 session->config.name));
+    }
+    if (deadline == nullptr) {
+      ticket_cv_.Wait(&mu_);
+      continue;
+    }
+    if (!ticket_cv_.WaitUntil(&mu_, *deadline)) {
+      // Deadline: withdraw a still-queued ticket so its quota is released
+      // immediately. A granted ticket cannot be recalled — its unit
+      // settles on its own and frees the window slot then.
+      session = FindSessionLocked(session_id);
+      if (session != nullptr) {
+        for (auto it = session->batch_q.begin();
+             it != session->batch_q.end(); ++it) {
+          if (it->unit_name != unit_name) continue;
+          session->batch_q.erase(it);
+          --queued_total_;
+          ++session->counters.demand_shed;
+          db_->ReportServingCounter(Gbo::ServingCounter::kDemandShed);
+          break;
+        }
+      }
+      return DeadlineExceededError(
+          StrCat("timed out waiting for batch ", unit_name, " to settle"));
+    }
+  }
+}
+
+Status GboServer::WithdrawBatch(int64_t session_id,
+                                const std::string& unit_name) {
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr) {
+    return FailedPreconditionError("session is closed");
+  }
+  for (auto it = session->batch_q.begin(); it != session->batch_q.end();
+       ++it) {
+    if (it->unit_name != unit_name) continue;
+    session->batch_q.erase(it);
+    --queued_total_;
+    session->batch_done.erase(unit_name);
+    ticket_cv_.NotifyAll();
+    return Status::Ok();
+  }
+  return NotFoundError(
+      StrCat("no queued batch ticket for ", unit_name, " in session ",
+             session->config.name));
+}
+
+Status GboServer::AdoptPlanPin(int64_t session_id,
+                               const std::string& unit_name,
+                               double elapsed_ms) {
+  MutexLock lock(&mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr || session->closed) {
+    return FailedPreconditionError("session is closed");
+  }
+  SessionState::PinEntry& entry = session->pinned[unit_name];
+  if (entry.pins == 0) {
+    Result<int64_t> bytes = db_->UnitMemoryBytes(unit_name);
+    entry.bytes = bytes.ok() ? bytes.value() : 0;
+    session->pinned_bytes += entry.bytes;
+  }
+  ++entry.pins;
+  if (session->handle != nullptr) {
+    session->handle->RecordDemandLatency(elapsed_ms);
+  }
+  return Status::Ok();
+}
+
 Status GboServer::FinishUnitFor(int64_t session_id,
                                 const std::string& unit_name) {
   MutexLock lock(&mu_);
@@ -425,6 +601,7 @@ SessionStats GboServer::SessionStatsFor(int64_t session_id) const {
   stats.pinned_bytes = session->pinned_bytes;
   stats.pinned_units = static_cast<int>(session->pinned.size());
   stats.queued_demand = static_cast<int>(session->demand_q.size());
+  stats.queued_batch = static_cast<int>(session->batch_q.size());
   if (session->handle != nullptr) {
     // The documented kGboServer -> kGboSession edge: the sample ring is
     // read under the server lock.
@@ -472,7 +649,12 @@ void GboServer::DispatchLocked() {
         options_.max_inflight_demand - inflight_demand_ <=
         options_.demand_reserve_interactive;
     Ticket* ticket = NextDemandLocked(reserve_only);
-    if (ticket == nullptr) break;
+    if (ticket == nullptr) {
+      // Batch-query tickets share the demand window but yield to stack
+      // demand tickets (a blocked reader beats a decoupled plan).
+      if (!GrantBatchLocked(reserve_only)) break;
+      continue;
+    }
     ticket->state = TicketState::kGranted;
     ++inflight_demand_;
     SessionState* session = FindSessionLocked(ticket->session_id);
@@ -540,6 +722,72 @@ GboServer::Ticket* GboServer::NextDemandLocked(bool interactive_only) {
       demand_cursor_ = (demand_cursor_ + 1) % n;
     }
     return ticket;
+  }
+  return nullptr;
+}
+
+bool GboServer::GrantBatchLocked(bool interactive_only) {
+  SessionState* session = NextBatchSessionLocked(interactive_only);
+  if (session == nullptr) return false;
+  BatchTicket ticket = std::move(session->batch_q.front());
+  session->batch_q.pop_front();
+  --queued_total_;
+  ++session->counters.batch_granted;
+  ++session->counters.reads_admitted;
+  db_->ReportServingCounter(Gbo::ServingCounter::kReadsAdmitted);
+  if (options_.record_dispatch_log) {
+    AppendLogLocked(&dispatch_log_, StrCat("batch ", session->config.name,
+                                           ":", ticket.unit_name));
+  }
+  // Hand the unit to the pool (held across the non-blocking Gbo call on
+  // purpose; kGboServer ranks below kGboMu). A successful hand-off holds
+  // one demand-window slot until the unit settles, observed through the
+  // server's own watch — the submitting thread is parked in
+  // AwaitBatchSettle, not here.
+  Status added = db_->AddUnit(ticket.unit_name, std::move(ticket.read_fn),
+                              std::move(ticket.resources));
+  if (added.ok()) {
+    ++inflight_demand_;
+    ++session->inflight;
+    granted_batches_.insert({ticket.unit_name, session->id});
+  } else if (added.code() == StatusCode::kAlreadyExists) {
+    // The unit is live (cached, queued or loading): the batch is
+    // satisfied by the existing copy and occupies no window slot. The
+    // waiter still owns waiting for readiness (WaitUnit after settle).
+    session->batch_done[ticket.unit_name] = Status::Ok();
+    ticket_cv_.NotifyAll();
+  } else {
+    // Typed grant failure (quarantined file, shutdown): surface it to the
+    // waiter; no window slot was consumed.
+    session->batch_done[ticket.unit_name] = added;
+    ticket_cv_.NotifyAll();
+  }
+  return true;
+}
+
+GboServer::SessionState* GboServer::NextBatchSessionLocked(
+    bool interactive_only) {
+  if (active_.empty()) return nullptr;
+  const size_t n = active_.size();
+  for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    SessionState* session = active_[batch_cursor_ % n];
+    const bool blocked =
+        (interactive_only &&
+         session->config.priority != PriorityClass::kInteractive) ||
+        (session->config.max_inflight_loads > 0 &&
+         session->inflight >= session->config.max_inflight_loads);
+    if (session->batch_q.empty() || blocked) {
+      session->deficit_batch = 0;
+      batch_cursor_ = (batch_cursor_ + 1) % n;
+      continue;
+    }
+    if (session->deficit_batch <= 0) {
+      session->deficit_batch = QuantumFor(*session);
+    }
+    if (--session->deficit_batch <= 0) {
+      batch_cursor_ = (batch_cursor_ + 1) % n;
+    }
+    return session;
   }
   return nullptr;
 }
@@ -636,6 +884,15 @@ void GboServer::CancelSessionTicketsLocked(SessionState* session,
     ++session->counters.prefetches_shed;
     db_->ReportServingCounter(Gbo::ServingCounter::kPrefetchesShed);
   }
+  while (!session->batch_q.empty()) {
+    // Record the reason so a concurrent AwaitBatchSettle surfaces it
+    // instead of spinning into NOT_FOUND.
+    session->batch_done[session->batch_q.front().unit_name] = reason;
+    session->batch_q.pop_front();
+    --queued_total_;
+    ++session->counters.demand_shed;
+    db_->ReportServingCounter(Gbo::ServingCounter::kDemandShed);
+  }
 }
 
 void GboServer::ReleasePinsLocked(SessionState* session, bool forced) {
@@ -668,11 +925,33 @@ void GboServer::DeactivateLocked(SessionState* session) {
 void GboServer::OnUnitEvent(const Gbo::WatchEvent& event) {
   if (event.kind == Gbo::WatchEventKind::kInvalidated) return;
   MutexLock lock(&mu_);
+  bool changed = false;
   auto it = outstanding_prefetch_.find(event.unit_name);
-  if (it == outstanding_prefetch_.end()) return;
-  if (--it->second <= 0) outstanding_prefetch_.erase(it);
-  --outstanding_prefetch_total_;
-  DispatchLocked();
+  if (it != outstanding_prefetch_.end()) {
+    if (--it->second <= 0) outstanding_prefetch_.erase(it);
+    --outstanding_prefetch_total_;
+    changed = true;
+  }
+  // A granted batch's unit settled: free its window slot and post the
+  // settle to the owning session so AwaitBatchSettle wakes. The settle
+  // status itself (kReady vs kFailed, the preserved error) is the unit's;
+  // the waiter reads it through WaitUnit/GetUnitError — here we only
+  // record that the grant ran to completion.
+  auto range = granted_batches_.equal_range(event.unit_name);
+  if (range.first != range.second) {
+    for (auto granted = range.first; granted != range.second; ++granted) {
+      --inflight_demand_;
+      SessionState* session = FindSessionLocked(granted->second);
+      if (session != nullptr) {
+        --session->inflight;
+        session->batch_done[event.unit_name] = Status::Ok();
+      }
+    }
+    granted_batches_.erase(range.first, range.second);
+    ticket_cv_.NotifyAll();
+    changed = true;
+  }
+  if (changed) DispatchLocked();
 }
 
 }  // namespace godiva

@@ -156,6 +156,17 @@ class GboServer {
     Gbo::ReadFn read_fn;
   };
 
+  // A queued batch-query load (SessionBatchRequest), owned by the
+  // session's queue. Demand-class for scheduling (granted from the demand
+  // window, after stack demand tickets), but the submitting thread does
+  // not block on the grant: it waits in AwaitBatchSettle for the unit to
+  // settle instead.
+  struct BatchTicket {
+    std::string unit_name;
+    Gbo::ReadFn read_fn;
+    std::vector<std::string> resources;
+  };
+
   // Server-side state of one session. Members are guarded by the
   // server's mu_ (the struct has no lock of its own, like Gbo::Unit).
   struct SessionState {
@@ -166,8 +177,13 @@ class GboServer {
 
     std::deque<Ticket*> demand_q;
     std::deque<PrefetchTicket> prefetch_q;
+    std::deque<BatchTicket> batch_q;
+    // Settle results of batch tickets (grant failures, settles, cancel
+    // reasons), consumed by AwaitBatchSettle.
+    std::map<std::string, Status> batch_done;
     int deficit_demand = 0;
     int deficit_prefetch = 0;
+    int deficit_batch = 0;
     int inflight = 0;  // granted demand reads not yet settled
 
     // unit name -> pins held / bytes charged (bytes counted once per
@@ -198,6 +214,18 @@ class GboServer {
       EXCLUDES(mu_);
   Status RequestPrefetch(int64_t session_id, const std::string& unit_name,
                          Gbo::ReadFn read_fn) EXCLUDES(mu_);
+  // Batch-query lane (core/query.h): non-blocking all-or-nothing
+  // admission of a plan's tickets, the decoupled settle wait, withdrawal
+  // of still-queued tickets, and adoption of executor-taken pins into the
+  // session's accounting. Semantics documented on the GboSession wrappers.
+  Status SubmitBatchSet(int64_t session_id,
+                        std::vector<BatchTicket> batches) EXCLUDES(mu_);
+  Status AwaitBatchSettle(int64_t session_id, const std::string& unit_name,
+                          const TimePoint* deadline) EXCLUDES(mu_);
+  Status WithdrawBatch(int64_t session_id, const std::string& unit_name)
+      EXCLUDES(mu_);
+  Status AdoptPlanPin(int64_t session_id, const std::string& unit_name,
+                      double elapsed_ms) EXCLUDES(mu_);
   Status FinishUnitFor(int64_t session_id, const std::string& unit_name)
       EXCLUDES(mu_);
   Result<int64_t> RegisterSessionWatch(int64_t session_id,
@@ -229,6 +257,11 @@ class GboServer {
   // the scan to interactive sessions (the reserve slots).
   Ticket* NextDemandLocked(bool interactive_only) REQUIRES(mu_);
   SessionState* NextPrefetchSessionLocked() REQUIRES(mu_);
+  // Grants one batch ticket (DRR over sessions with queued batches, same
+  // eligibility rules as demand) and hands its unit to Gbo::AddUnit.
+  // False when no eligible ticket exists.
+  bool GrantBatchLocked(bool interactive_only) REQUIRES(mu_);
+  SessionState* NextBatchSessionLocked(bool interactive_only) REQUIRES(mu_);
   // The shed ladder for the current pressure state (DESIGN.md §13):
   // cancel queued prefetch lowest-priority-first, then force-unpin idle
   // over-budget sessions. (Demand rejection happens at admission.)
@@ -271,6 +304,11 @@ class GboServer {
 
   int inflight_demand_ GUARDED_BY(mu_) = 0;
   int queued_total_ GUARDED_BY(mu_) = 0;
+  // Granted batch tickets whose units have not yet settled: unit name ->
+  // owning session id. Each entry holds one demand-window slot, released
+  // by the server's watch when the unit settles.
+  std::multimap<std::string, int64_t> granted_batches_ GUARDED_BY(mu_);
+  size_t batch_cursor_ GUARDED_BY(mu_) = 0;
   // Prefetch units handed to AddUnit, not yet settled (name -> count).
   std::map<std::string, int> outstanding_prefetch_ GUARDED_BY(mu_);
   int outstanding_prefetch_total_ GUARDED_BY(mu_) = 0;

@@ -96,6 +96,55 @@ Status GboSession::Prefetch(const std::string& unit_name,
   return server_->RequestPrefetch(id_, unit_name, std::move(read_fn));
 }
 
+Status GboSession::SubmitBatchSet(std::vector<SessionBatchRequest> batches) {
+  std::vector<GboServer::BatchTicket> tickets;
+  tickets.reserve(batches.size());
+  for (SessionBatchRequest& request : batches) {
+    if (request.unit_name.empty()) {
+      return InvalidArgumentError("unit name is empty");
+    }
+    if (!InNamespace(request.unit_name)) {
+      return InvalidArgumentError(
+          StrCat("unit ", request.unit_name,
+                 " is outside the session namespace ",
+                 config_.unit_namespace));
+    }
+    tickets.push_back(GboServer::BatchTicket{std::move(request.unit_name),
+                                             std::move(request.read_fn),
+                                             std::move(request.resources)});
+  }
+  return server_->SubmitBatchSet(id_, std::move(tickets));
+}
+
+Status GboSession::AwaitBatchSettle(const std::string& unit_name,
+                                    const TimePoint* deadline) {
+  if (!InNamespace(unit_name)) {
+    return InvalidArgumentError(StrCat("unit ", unit_name,
+                                       " is outside the session namespace ",
+                                       config_.unit_namespace));
+  }
+  return server_->AwaitBatchSettle(id_, unit_name, deadline);
+}
+
+Status GboSession::WithdrawBatch(const std::string& unit_name) {
+  if (!InNamespace(unit_name)) {
+    return InvalidArgumentError(StrCat("unit ", unit_name,
+                                       " is outside the session namespace ",
+                                       config_.unit_namespace));
+  }
+  return server_->WithdrawBatch(id_, unit_name);
+}
+
+Status GboSession::AdoptPlanPin(const std::string& unit_name,
+                                double elapsed_ms) {
+  if (!InNamespace(unit_name)) {
+    return InvalidArgumentError(StrCat("unit ", unit_name,
+                                       " is outside the session namespace ",
+                                       config_.unit_namespace));
+  }
+  return server_->AdoptPlanPin(id_, unit_name, elapsed_ms);
+}
+
 Status GboSession::Finish(const std::string& unit_name) {
   if (!InNamespace(unit_name)) {
     return InvalidArgumentError(StrCat("unit ", unit_name,

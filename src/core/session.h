@@ -88,8 +88,24 @@ struct SessionStats {
   int64_t pinned_bytes = 0;
   int pinned_units = 0;
 
+  // Batch-query lane (core/query.h): planned batch tickets submitted by
+  // the query planner and how many were granted a dispatch slot.
+  int64_t batch_submitted = 0;
+  int64_t batch_granted = 0;
+
   // Demand tickets waiting for a grant right now (a gauge, not a counter).
   int queued_demand = 0;
+  // Batch tickets waiting for a grant right now (a gauge, not a counter).
+  int queued_batch = 0;
+};
+
+// One planned batch load the query planner hands to the serving layer:
+// the ticket's read function executes a whole per-file batch plan through
+// gsdf::Reader::ReadBatch when the scheduler grants it a dispatch slot.
+struct SessionBatchRequest {
+  std::string unit_name;
+  Gbo::ReadFn read_fn;
+  std::vector<std::string> resources;
 };
 
 // A session handle returned by GboServer::OpenSession. Thread safe; the
@@ -132,6 +148,44 @@ class GboSession {
   // prefix. Returns the watch id for Unwatch.
   Result<int64_t> Watch(const std::string& glob, Gbo::WatchFn fn);
   Status Unwatch(int64_t watch_id);
+
+  // --- Batch-query lane (QueryPlanner, DESIGN.md §15). One Submit()
+  // becomes one demand-class DRR ticket per planned batch; admission is
+  // all-or-nothing so quota is accounted per plan, and the grant wait is
+  // decoupled from the caller (SubmitBatchSet returns immediately;
+  // AwaitBatchSettle blocks until the named batch's unit settles).
+
+  // Queues one demand-lane ticket per request without blocking. The whole
+  // set is admitted or rejected atomically against this session's quotas
+  // (queued-demand, pinned-bytes) and the pressure ladder, with the same
+  // typed Statuses as Read. Requires the Gbo to run a background I/O pool
+  // (the grant path hands units to it); FAILED_PRECONDITION otherwise.
+  // Every unit name must be inside the session namespace.
+  Status SubmitBatchSet(std::vector<SessionBatchRequest> batches);
+
+  // Blocks until the named batch ticket's unit settles (ready or failed),
+  // returning the settle status. DEADLINE_EXCEEDED if `deadline` (may be
+  // null) passes first — a still-queued ticket is then withdrawn,
+  // releasing its quota; a granted one settles on its own. NOT_FOUND if
+  // no such ticket was submitted (or its result was already consumed).
+  Status AwaitBatchSettle(const std::string& unit_name,
+                          const TimePoint* deadline);
+
+  // Withdraws a still-queued batch ticket, releasing its quota.
+  // NOT_FOUND if it was already granted, settled, or never submitted.
+  Status WithdrawBatch(const std::string& unit_name);
+
+  // Records a pin the query executor took directly on the Gbo (probe hit
+  // or post-settle WaitUnit) into this session's pin accounting, so
+  // Finish() and the pinned-bytes quota see it. `elapsed_ms` feeds the
+  // demand-latency sample ring.
+  Status AdoptPlanPin(const std::string& unit_name, double elapsed_ms);
+
+  // True iff `name` is inside this session's namespace view (the check
+  // every read/watch entry point applies; exposed for the planner).
+  bool InNamespaceView(const std::string& name) const {
+    return InNamespace(name);
+  }
 
   // Cancels queued demand and prefetch tickets (blocked Read callers
   // return ABORTED), waits for in-flight reads to settle, releases every

@@ -41,6 +41,10 @@ std::string GboStats::ToString() const {
       " rejected=", serving_reads_rejected,
       " shed=", serving_prefetches_shed, "+", serving_demand_shed,
       " forced_unpins=", serving_forced_unpins,
+      "] plan[dedup=", plan_dedup_hits,
+      " batches=", plan_batches_issued,
+      " saved=", FormatBytes(plan_bytes_saved),
+      " pushdown=", pushdown_computations,
       "] invariant_checks=", invariant_checks,
       " records[created=", records_created,
       " committed=", records_committed, "] lookups[", key_lookups, "/",

@@ -83,6 +83,18 @@ struct GboStats {
   int64_t serving_forced_unpins = 0;    // pins released from idle over-budget
                                         // sessions at critical pressure
 
+  // Query planning (PR 10): declarative batch queries planned as a whole
+  // before any I/O (QueryPlanner, DESIGN.md §15). Reported once per
+  // Submit() (plan_*) and as push-down kernels run on landing units.
+  int64_t plan_dedup_hits = 0;        // planned units satisfied by a cache-
+                                      // resident or in-flight unit instead
+                                      // of new I/O
+  int64_t plan_batches_issued = 0;    // per-file batch loads dispatched
+  int64_t plan_bytes_saved = 0;       // payload bytes dedup avoided
+                                      // re-requesting
+  int64_t pushdown_computations = 0;  // derived-field kernel executions run
+                                      // on units as they landed
+
   // Debug-build consistency audits that ran (GODIVA_DEBUG_INVARIANTS; see
   // Gbo::CheckInvariants). Stays 0 when the checks are compiled out.
   int64_t invariant_checks = 0;

@@ -390,6 +390,24 @@ Result<BatchStats> Reader::ReadBatch(
   std::vector<uint8_t> scratch;
   int64_t max_gap = std::max<int64_t>(0, options.max_gap);
   int64_t max_transfer = std::max<int64_t>(1, options.max_transfer);
+  // Each dataset is verified exactly once, from wherever its bytes first
+  // land: coalesced datasets from the merged extent in scratch, lone
+  // datasets from the destination buffer. The old shape re-walked every
+  // destination in a trailing pass, re-checksumming coalesced datasets a
+  // second time.
+  auto verify_entry = [&](const Resolved& entry, const void* data) -> Status {
+    const std::string* stored =
+        entry.info->FindAttribute(kChecksumAttribute);
+    std::string actual =
+        StrFormat("%08x", Crc32(data, entry.info->nbytes));
+    if (actual != *stored) {
+      return DataLossError(StrFormat(
+          "%s: dataset %s checksum mismatch (stored %s, computed %s)",
+          path_.c_str(), entry.info->name.c_str(), stored->c_str(),
+          actual.c_str()));
+    }
+    return Status::Ok();
+  };
   for (size_t begin = 0; begin < resolved.size();) {
     // Grow the run while the next dataset starts within max_gap of the
     // run's end and the merged span stays under max_transfer.
@@ -415,6 +433,9 @@ Result<BatchStats> Reader::ReadBatch(
       GODIVA_RETURN_IF_ERROR(file_->Read(only.info->offset,
                                          only.info->nbytes,
                                          only.request->out));
+      if (options.verify) {
+        GODIVA_RETURN_IF_ERROR(verify_entry(only, only.request->out));
+      }
     } else {
       int64_t span = run_end - run_start;
       scratch.resize(static_cast<size_t>(span));
@@ -422,8 +443,13 @@ Result<BatchStats> Reader::ReadBatch(
       int64_t payload_bytes = 0;
       for (size_t i = begin; i < end; ++i) {
         const Resolved& entry = resolved[i];
-        std::memcpy(entry.request->out,
-                    scratch.data() + (entry.info->offset - run_start),
+        const uint8_t* src =
+            scratch.data() + (entry.info->offset - run_start);
+        if (options.verify) {
+          GODIVA_RETURN_IF_ERROR(verify_entry(entry, src));
+          ++stats.redundant_verifies_skipped;
+        }
+        std::memcpy(entry.request->out, src,
                     static_cast<size_t>(entry.info->nbytes));
         payload_bytes += entry.info->nbytes;
       }
@@ -432,22 +458,18 @@ Result<BatchStats> Reader::ReadBatch(
     }
     begin = end;
   }
-
-  if (options.verify) {
-    for (const Resolved& entry : resolved) {
-      const std::string* stored =
-          entry.info->FindAttribute(kChecksumAttribute);
-      std::string actual = StrFormat(
-          "%08x", Crc32(entry.request->out, entry.info->nbytes));
-      if (actual != *stored) {
-        return DataLossError(StrFormat(
-            "%s: dataset %s checksum mismatch (stored %s, computed %s)",
-            path_.c_str(), entry.info->name.c_str(), stored->c_str(),
-            actual.c_str()));
-      }
-    }
-  }
   return stats;
+}
+
+Result<std::vector<DatasetExtent>> Reader::DescribeExtents(
+    const std::vector<std::string>& names) const {
+  std::vector<DatasetExtent> extents;
+  extents.reserve(names.size());
+  for (const std::string& name : names) {
+    GODIVA_ASSIGN_OR_RETURN(const DatasetInfo* info, Find(name));
+    extents.push_back({info->name, info->offset, info->nbytes});
+  }
+  return extents;
 }
 
 Status Reader::ReadRange(const std::string& name, int64_t byte_offset,

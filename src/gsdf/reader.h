@@ -45,6 +45,19 @@ struct BatchStats {
   int64_t transfers = 0;  // file reads performed
   int64_t coalesced = 0;  // requests that rode along a neighbour's transfer
   int64_t gap_bytes = 0;  // inter-dataset bytes read and discarded
+  int64_t redundant_verifies_skipped = 0;  // datasets whose checksum was
+                                           // taken from the merged extent
+                                           // as it landed, instead of a
+                                           // second per-dataset pass over
+                                           // the scattered copies
+};
+
+// A dataset's placement within the file: the directory facts an external
+// planner (core/query_plan.h) needs to lay out cross-request batches.
+struct DatasetExtent {
+  std::string name;
+  int64_t offset = 0;
+  int64_t nbytes = 0;
 };
 
 // Coalescing thresholds for ReadBatch.
@@ -111,9 +124,20 @@ class Reader {
   // snapshot writer, cost one seek instead of five. Validates every
   // request (and, with options.verify, every checksum) and fails without
   // partial effects being reported; buffer contents are unspecified on
-  // error. Returns what was actually issued.
+  // error. With options.verify, each dataset is checksummed exactly once
+  // as its bytes land — coalesced datasets straight from the merged
+  // extent — so a mismatch surfaces before later transfers are issued.
+  // Returns what was actually issued.
   Result<BatchStats> ReadBatch(const std::vector<BatchRequest>& requests,
                                const BatchOptions& options = {}) const;
+
+  // Resolves `names` against the directory and returns their file
+  // placement, in request order, without issuing any payload I/O. This is
+  // the planning half of ReadBatch: the query layer lays out per-file
+  // batch plans from these extents, then executes them through ReadBatch.
+  // NOT_FOUND if any name is absent.
+  Result<std::vector<DatasetExtent>> DescribeExtents(
+      const std::vector<std::string>& names) const;
 
   // Like Read, but additionally checks the payload against its __crc32
   // attribute in the same pass (no second read of the data). Returns

@@ -1,0 +1,29 @@
+#include "viz/pushdown.h"
+
+#include <utility>
+
+#include "viz/derived.h"
+
+namespace godiva::viz {
+
+DerivedKernel VonMisesKernel() {
+  DerivedKernel kernel;
+  kernel.name = "von_mises";
+  kernel.inputs = {"sxx", "syy", "szz", "sxy", "syz", "szx"};
+  kernel.fn = [](const std::vector<std::span<const double>>& in) {
+    return VonMises(in[0], in[1], in[2], in[3], in[4], in[5]);
+  };
+  return kernel;
+}
+
+DerivedKernel MagnitudeKernel(std::string name, const std::string& prefix) {
+  DerivedKernel kernel;
+  kernel.name = std::move(name);
+  kernel.inputs = {prefix + "x", prefix + "y", prefix + "z"};
+  kernel.fn = [](const std::vector<std::span<const double>>& in) {
+    return Magnitude(in[0], in[1], in[2]);
+  };
+  return kernel;
+}
+
+}  // namespace godiva::viz

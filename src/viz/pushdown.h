@@ -1,0 +1,42 @@
+// Derived-field kernels packaged for query push-down (core/query.h,
+// DESIGN.md §15). A DerivedKernel names its input fields and wraps the
+// pure numeric routine from viz/derived.h behind a uniform
+// spans-in/values-out signature, so the workload layer can fold the
+// kernel's inputs into a query's I/O plan (the inputs ride the same
+// coalesced batch as the directly-requested fields) and run the compute
+// on each unit as it lands. Core-free on purpose: viz stays below core in
+// the layer diagram, so core/query.h depends on nothing here — the glue
+// lives in workloads/snapshot_query.cc.
+#ifndef GODIVA_VIZ_PUSHDOWN_H_
+#define GODIVA_VIZ_PUSHDOWN_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace godiva::viz {
+
+// One derived field: `name` is the output field's name, `inputs` the
+// stored fields the kernel consumes (in the order `fn` expects), and
+// `fn` the pure computation. Every input span must have the same length;
+// the output has that length too.
+struct DerivedKernel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::function<std::vector<double>(
+      const std::vector<std::span<const double>>&)>
+      fn;
+};
+
+// Von Mises equivalent stress from the six tensor components
+// (sxx, syy, szz, sxy, syz, szx), per viz::VonMises.
+DerivedKernel VonMisesKernel();
+
+// Vector magnitude named `name` from `prefix`x/`prefix`y/`prefix`z
+// (e.g. MagnitudeKernel("speed", "vel") reads velx/vely/velz).
+DerivedKernel MagnitudeKernel(std::string name, const std::string& prefix);
+
+}  // namespace godiva::viz
+
+#endif  // GODIVA_VIZ_PUSHDOWN_H_

@@ -94,13 +94,23 @@ std::string FormatPoolStats(const CellResult& result) {
   const GboStats& gbo = result.gbo;
   size_t threads = gbo.io_thread_busy_seconds.size();
   if (threads <= 1 && gbo.demand_promotions == 0 &&
-      gbo.coalesced_reads == 0) {
+      gbo.coalesced_reads == 0 && gbo.plan_batches_issued == 0) {
     return "";
   }
   std::string per_thread;
   for (size_t i = 0; i < threads; ++i) {
     if (i > 0) per_thread += "/";
     per_thread += StrFormat("%.1f", gbo.io_thread_busy_seconds[i]);
+  }
+  std::string plan;
+  if (gbo.plan_batches_issued > 0 || gbo.plan_dedup_hits > 0 ||
+      gbo.pushdown_computations > 0) {
+    plan = StrCat(", plan: ", gbo.plan_batches_issued, " batches, ",
+                  gbo.plan_dedup_hits, " dedup hits, ",
+                  StrFormat("%.1f", static_cast<double>(
+                                        gbo.plan_bytes_saved) /
+                                        (1024.0 * 1024.0)),
+                  " MiB saved, ", gbo.pushdown_computations, " pushdowns");
   }
   return StrCat("  ", result.test, "(", result.variant, "): pool: ", threads,
                 threads == 1 ? " thread" : " threads", ", queue high-water ",
@@ -109,7 +119,7 @@ std::string FormatPoolStats(const CellResult& result) {
                 " reads coalesced, busy ",
                 StrFormat("%.1fs", gbo.io_busy_seconds),
                 per_thread.empty() ? "" : StrCat(" (", per_thread, ")"),
-                "\n");
+                plan, "\n");
 }
 
 void PrintPoolStats(const CellResult& result) {

@@ -1,0 +1,94 @@
+// Expands a declarative "fields × blocks × snapshot window" request over
+// the snapshot dataset into a GboQuery (core/query.h, DESIGN.md §15):
+// one unit per (snapshot, file) whose extents are laid out with
+// gsdf::Reader::DescribeExtents at plan time (no payload I/O), batched by
+// core/query_plan.h, and executed by a read function that pulls the whole
+// per-file plan through one gsdf::Reader::ReadBatch. Derived-field
+// kernels (viz/pushdown.h) fold their input fields into the same plan and
+// run as push-down on each unit as it lands.
+#ifndef GODIVA_WORKLOADS_SNAPSHOT_QUERY_H_
+#define GODIVA_WORKLOADS_SNAPSHOT_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "core/query_plan.h"
+#include "mesh/snapshot_writer.h"
+#include "viz/pushdown.h"
+#include "workloads/platform_runtime.h"
+
+namespace godiva::workloads {
+
+// One query unit per (snapshot, file): "snap_0005/f03". Stays under the
+// legacy per-snapshot prefix ("snap_0005…"), so a session namespace that
+// covers snapshot units covers query units too.
+std::string SnapshotFileUnitName(int snapshot, int file_index);
+
+// Parses a SnapshotFileUnitName; false on mismatch.
+bool ParseSnapshotFileUnit(const std::string& unit_name, int* snapshot,
+                           int* file_index);
+
+// Reuses plan-time directory work across overlapping windows: describing
+// a file's extents opens it and reads its directory, and a sliding
+// snapshot window would otherwise re-describe the same files W-1 more
+// times. Keyed by file path; an entry is only reused when it was built
+// for the same field set and block range (anything else re-describes and
+// overwrites). The caller owns the cache and must drop a file's entry if
+// the file is rewritten underneath it (live ingest).
+struct SnapshotExtentsCache {
+  struct Entry {
+    std::vector<std::string> fields;
+    int block_begin = 0;
+    int block_end = -1;
+    std::vector<PlanExtentItem> items;
+  };
+  std::map<std::string, Entry> by_path;
+};
+
+struct SnapshotQueryOptions {
+  // Quantity fields to load (mesh x/y/z/conn always ride along; kernel
+  // input fields are folded in automatically).
+  std::vector<std::string> fields;
+
+  // Block range [block_begin, block_end); block_end = -1 means all blocks.
+  int block_begin = 0;
+  int block_end = -1;
+
+  // Snapshot window [snapshot_begin, snapshot_end).
+  int snapshot_begin = 0;
+  int snapshot_end = 1;
+
+  // Derived-field kernels pushed down onto each unit as it lands.
+  std::vector<viz::DerivedKernel> kernels;
+
+  // CRC-verify every dataset while loading (single pass, DATA_LOSS on
+  // mismatch — same contract as SnapshotReadOptions::verify_checksums).
+  bool verify_checksums = false;
+
+  // Run-split thresholds, handed both to the plan layout and to the
+  // executing ReadBatch so the two agree run-for-run.
+  PlanLimits limits;
+
+  // Query deadline (GboQuery::deadline); zero = none.
+  Duration deadline = Duration::zero();
+
+  // Optional plan-time directory cache (see SnapshotExtentsCache).
+  SnapshotExtentsCache* extents_cache = nullptr;
+};
+
+// Builds the GboQuery: units carry plan-time payload bytes (for dedup's
+// bytes-saved accounting), per-file read functions, and the file as their
+// quarantine resource. Opens each window file once to describe extents —
+// directory I/O only, no payloads. INVALID_ARGUMENT on an empty window,
+// an out-of-range snapshot, or an unknown dataset name.
+Result<GboQuery> BuildSnapshotQuery(PlatformRuntime* runtime,
+                                    const mesh::SnapshotDataset* dataset,
+                                    const SnapshotQueryOptions& options);
+
+}  // namespace godiva::workloads
+
+#endif  // GODIVA_WORKLOADS_SNAPSHOT_QUERY_H_

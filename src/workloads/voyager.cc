@@ -7,9 +7,11 @@
 #include "common/clock.h"
 #include "core/gbo.h"
 #include "core/options.h"
+#include "core/query.h"
 #include "core/record.h"
 #include "workloads/block_schema.h"
 #include "workloads/snapshot_io.h"
+#include "workloads/snapshot_query.h"
 
 namespace godiva::workloads {
 namespace {
@@ -89,6 +91,49 @@ Status RunOriginal(PlatformRuntime* runtime, const RunConfig& config,
 
 // ----- G / TG: Voyager with GODIVA -----
 
+// Builds render views straight over the GODIVA field buffers: no copies,
+// the mesh is read once per snapshot no matter how many passes use it.
+// Shared by the unit-at-a-time path and the query path (the two commit
+// identical block records).
+Result<std::vector<BlockView>> BuildSnapshotViews(
+    Gbo* db, const mesh::SnapshotDataset& dataset, int snapshot,
+    const std::vector<std::string>& quantities) {
+  std::vector<BlockView> views;
+  views.reserve(static_cast<size_t>(dataset.spec.num_blocks));
+  for (int32_t block_id = 0; block_id < dataset.spec.num_blocks;
+       ++block_id) {
+    std::vector<std::string> key = BlockKey(block_id, snapshot);
+    GODIVA_ASSIGN_OR_RETURN(Record * record,
+                            db->FindRecord(kBlockRecordType, key));
+    BlockView view;
+    view.block_id = block_id;
+    auto dspan = [&](const char* field) -> Result<std::span<const double>> {
+      GODIVA_ASSIGN_OR_RETURN(void* buffer, record->FieldBuffer(field));
+      GODIVA_ASSIGN_OR_RETURN(int64_t size, record->FieldBufferSize(field));
+      return std::span<const double>(static_cast<const double*>(buffer),
+                                     static_cast<size_t>(size / 8));
+    };
+    GODIVA_ASSIGN_OR_RETURN(std::span<const double> x, dspan(kFieldX));
+    GODIVA_ASSIGN_OR_RETURN(std::span<const double> y, dspan(kFieldY));
+    GODIVA_ASSIGN_OR_RETURN(std::span<const double> z, dspan(kFieldZ));
+    GODIVA_ASSIGN_OR_RETURN(void* conn_buffer,
+                            record->FieldBuffer(kFieldConn));
+    GODIVA_ASSIGN_OR_RETURN(int64_t conn_size,
+                            record->FieldBufferSize(kFieldConn));
+    view.geometry = viz::BlockGeometry{
+        x, y, z,
+        std::span<const int32_t>(static_cast<const int32_t*>(conn_buffer),
+                                 static_cast<size_t>(conn_size / 4))};
+    for (const std::string& quantity : quantities) {
+      GODIVA_ASSIGN_OR_RETURN(std::span<const double> values,
+                              dspan(quantity.c_str()));
+      view.fields[quantity] = values;
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
 Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
                  CellResult* result) {
   const mesh::SnapshotDataset& dataset = *config.dataset;
@@ -136,42 +181,9 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
       continue;
     }
 
-    // Build views straight over the GODIVA field buffers: no copies, the
-    // mesh is read once per snapshot no matter how many passes use it.
-    std::vector<BlockView> views;
-    views.reserve(static_cast<size_t>(dataset.spec.num_blocks));
-    for (int32_t block_id = 0; block_id < dataset.spec.num_blocks;
-         ++block_id) {
-      std::vector<std::string> key = BlockKey(block_id, snapshot);
-      GODIVA_ASSIGN_OR_RETURN(Record * record,
-                              db.FindRecord(kBlockRecordType, key));
-      BlockView view;
-      view.block_id = block_id;
-      auto dspan = [&](const char* field) -> Result<std::span<const double>> {
-        GODIVA_ASSIGN_OR_RETURN(void* buffer, record->FieldBuffer(field));
-        GODIVA_ASSIGN_OR_RETURN(int64_t size,
-                                record->FieldBufferSize(field));
-        return std::span<const double>(static_cast<const double*>(buffer),
-                                       static_cast<size_t>(size / 8));
-      };
-      GODIVA_ASSIGN_OR_RETURN(std::span<const double> x, dspan(kFieldX));
-      GODIVA_ASSIGN_OR_RETURN(std::span<const double> y, dspan(kFieldY));
-      GODIVA_ASSIGN_OR_RETURN(std::span<const double> z, dspan(kFieldZ));
-      GODIVA_ASSIGN_OR_RETURN(void* conn_buffer,
-                              record->FieldBuffer(kFieldConn));
-      GODIVA_ASSIGN_OR_RETURN(int64_t conn_size,
-                              record->FieldBufferSize(kFieldConn));
-      view.geometry = viz::BlockGeometry{
-          x, y, z,
-          std::span<const int32_t>(static_cast<const int32_t*>(conn_buffer),
-                                   static_cast<size_t>(conn_size / 4))};
-      for (const std::string& quantity : quantities) {
-        GODIVA_ASSIGN_OR_RETURN(std::span<const double> values,
-                                dspan(quantity.c_str()));
-        view.fields[quantity] = values;
-      }
-      views.push_back(std::move(view));
-    }
+    GODIVA_ASSIGN_OR_RETURN(
+        std::vector<BlockView> views,
+        BuildSnapshotViews(&db, dataset, snapshot, quantities));
 
     for (const RenderPass& pass : config.test.passes) {
       GODIVA_ASSIGN_OR_RETURN(PassResult pass_result,
@@ -183,6 +195,88 @@ Status RunGodiva(PlatformRuntime* runtime, const RunConfig& config,
 
     // Batch mode knows the data will not be revisited (paper §3.2).
     GODIVA_RETURN_IF_ERROR(db.DeleteUnit(unit));
+  }
+  result->gbo = db.stats();
+  result->quarantined_files = db.QuarantinedFiles();
+  return Status::Ok();
+}
+
+// G / TG through the declarative query layer (RunConfig::use_query_api,
+// DESIGN.md §15): one GboQuery per snapshot — a unit per snapshot file,
+// extents described at plan time and executed as one ReadBatch per file —
+// all submitted up front so loads overlap processing exactly like the
+// legacy batch mode, then consumed in processing order.
+Status RunGodivaQuery(PlatformRuntime* runtime, const RunConfig& config,
+                      CellResult* result) {
+  const mesh::SnapshotDataset& dataset = *config.dataset;
+  if (config.salvage) {
+    return InvalidArgumentError(
+        "use_query_api is incompatible with salvage (the planner needs a "
+        "structurally intact dataset directory)");
+  }
+  GboOptions options;
+  options.background_io = (config.variant == Variant::kGodivaMultiThread);
+  options.io_threads = config.io_threads;
+  options.memory_limit_bytes = config.godiva_memory_bytes;
+  options.retry = config.retry;
+  options.quarantine_threshold = config.quarantine_threshold;
+  Gbo db(options);
+  GODIVA_RETURN_IF_ERROR(DefineBlockSchema(&db));
+
+  std::vector<std::string> quantities = config.test.AllQuantities();
+  std::vector<int> snapshots = SnapshotsToProcess(config);
+
+  QueryPlanner planner(&db);
+  std::vector<std::unique_ptr<QueryTicket>> tickets;
+  tickets.reserve(snapshots.size());
+  for (int snapshot : snapshots) {
+    SnapshotQueryOptions query_options;
+    query_options.fields = quantities;
+    query_options.snapshot_begin = snapshot;
+    query_options.snapshot_end = snapshot + 1;
+    query_options.verify_checksums = config.verify_checksums;
+    query_options.deadline = config.unit_wait_deadline;
+    GODIVA_ASSIGN_OR_RETURN(
+        GboQuery query,
+        BuildSnapshotQuery(runtime, &dataset, query_options));
+    GODIVA_ASSIGN_OR_RETURN(std::unique_ptr<QueryTicket> ticket,
+                            planner.Submit(std::move(query)));
+    tickets.push_back(std::move(ticket));
+  }
+
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    const int snapshot = snapshots[i];
+    QueryTicket& ticket = *tickets[i];
+    Status wait = ticket.WaitAll();
+    if (!wait.ok()) {
+      if (!config.skip_failed_snapshots) return wait;
+      result->skipped.push_back({snapshot, wait});
+      // Release whatever landed and drop its bookkeeping; a unit still
+      // mid-read refuses deletion, which is fine — the sweep moves on.
+      (void)ticket.FinishAll();  // lint: discard_ok(best-effort skip path)
+      for (const std::string& unit : ticket.unit_names()) {
+        (void)db.DeleteUnit(
+            unit);  // lint: discard_ok(best-effort skip path)
+      }
+      continue;
+    }
+
+    GODIVA_ASSIGN_OR_RETURN(
+        std::vector<BlockView> views,
+        BuildSnapshotViews(&db, dataset, snapshot, quantities));
+    for (const RenderPass& pass : config.test.passes) {
+      GODIVA_ASSIGN_OR_RETURN(PassResult pass_result,
+                              ProcessPass(pass, views, config.process));
+      ChargePassCompute(runtime, config.test, pass_result);
+      result->triangles += pass_result.triangles;
+      result->tets_visited += pass_result.tets_visited;
+    }
+
+    // Batch mode knows the data will not be revisited (paper §3.2).
+    GODIVA_RETURN_IF_ERROR(ticket.FinishAll());
+    for (const std::string& unit : ticket.unit_names()) {
+      GODIVA_RETURN_IF_ERROR(db.DeleteUnit(unit));
+    }
   }
   result->gbo = db.stats();
   result->quarantined_files = db.QuarantinedFiles();
@@ -219,6 +313,8 @@ Result<CellResult> RunVoyager(PlatformRuntime* runtime,
   if (config.variant == Variant::kOriginal) {
     GODIVA_RETURN_IF_ERROR(
         RunOriginal(runtime, config, &visible_io, &result));
+  } else if (config.use_query_api) {
+    GODIVA_RETURN_IF_ERROR(RunGodivaQuery(runtime, config, &result));
   } else {
     GODIVA_RETURN_IF_ERROR(RunGodiva(runtime, config, &result));
   }

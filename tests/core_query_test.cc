@@ -1,17 +1,37 @@
-// Tests for GODIVA key-lookup queries (paper §3.1): getFieldBuffer /
-// getFieldBufferSize semantics, key encoding, lookup statistics.
+// Tests for GODIVA queries: the key-lookup path (paper §3.1) —
+// getFieldBuffer / getFieldBufferSize semantics, key encoding, lookup
+// statistics — and the declarative batch query layer (DESIGN.md §15) —
+// PlanFileBatches goldens, QueryPlanner dedup against cache-resident and
+// in-flight units, cancellation and deadline semantics, push-down, the
+// session batch-ticket lane, and a randomized property test proving the
+// plan's run layout predicts gsdf::Reader::ReadBatch device reads exactly.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/gbo.h"
 #include "core/key_util.h"
 #include "core/options.h"
+#include "core/query.h"
+#include "core/query_plan.h"
 #include "core/record.h"
+#include "core/server.h"
+#include "core/session.h"
+#include "gsdf/reader.h"
+#include "gsdf/writer.h"
+#include "sim/event_scheduler.h"
+#include "sim/sim_env.h"
+#include "sim/virtual_time.h"
+#include "workloads/serving.h"
 
 namespace godiva {
 namespace {
@@ -237,6 +257,484 @@ TEST_P(QueryScaleTest, EveryInsertedRecordIsRetrievable) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, QueryScaleTest,
                          ::testing::Values(1, 16, 256, 2048));
+
+// ---------------------------------------------------------------------------
+// PlanFileBatches goldens (core/query_plan.h): exact layout, no I/O.
+// ---------------------------------------------------------------------------
+
+PlanExtentItem Extent(const char* file, const char* dataset, int64_t offset,
+                      int64_t bytes) {
+  return PlanExtentItem{file, dataset, offset, bytes, 0};
+}
+
+TEST(QueryPlanTest, EmptyInputPlansNothing) {
+  EXPECT_TRUE(PlanFileBatches({}).empty());
+}
+
+TEST(QueryPlanTest, SortsByFileThenOffsetAndSplitsOnGap) {
+  PlanLimits limits;
+  limits.max_gap = 100;
+  std::vector<PlanExtentItem> items = {
+      Extent("b.gsdf", "n", 0, 100),
+      Extent("a.gsdf", "far", 200, 50),
+      Extent("a.gsdf", "near", 0, 100),
+  };
+  std::vector<FileBatchPlan> plans = PlanFileBatches(items, limits);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].file, "a.gsdf");
+  EXPECT_EQ(plans[1].file, "b.gsdf");
+  // a.gsdf: offset-sorted, and 200 <= run_end(100) + max_gap(100) merges.
+  ASSERT_EQ(plans[0].items.size(), 2u);
+  EXPECT_EQ(plans[0].items[0].dataset, "near");
+  EXPECT_EQ(plans[0].items[1].dataset, "far");
+  ASSERT_EQ(plans[0].runs.size(), 1u);
+  EXPECT_EQ(plans[0].runs[0].span_bytes, 250);
+  EXPECT_EQ(plans[0].runs[0].gap_bytes, 100);
+  EXPECT_EQ(plans[0].payload_bytes, 150);
+  EXPECT_EQ(plans[0].issue_bytes, 250);
+
+  // One byte less of allowance splits the run at the same layout.
+  limits.max_gap = 99;
+  plans = PlanFileBatches(items, limits);
+  ASSERT_EQ(plans.size(), 2u);
+  ASSERT_EQ(plans[0].runs.size(), 2u);
+  EXPECT_EQ(plans[0].runs[0].span_bytes, 100);
+  EXPECT_EQ(plans[0].runs[1].span_bytes, 50);
+  EXPECT_EQ(plans[0].issue_bytes, 150);
+}
+
+TEST(QueryPlanTest, MaxTransferBoundsRuns) {
+  PlanLimits limits;
+  limits.max_gap = 0;
+  limits.max_transfer = 8192;
+  std::vector<PlanExtentItem> items = {
+      Extent("f", "d0", 0, 4096),
+      Extent("f", "d1", 4096, 4096),
+      Extent("f", "d2", 8192, 4096),
+  };
+  std::vector<FileBatchPlan> plans = PlanFileBatches(items, limits);
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans[0].runs.size(), 2u);
+  EXPECT_EQ(plans[0].runs[0].first, 0u);
+  EXPECT_EQ(plans[0].runs[0].last, 1u);
+  EXPECT_EQ(plans[0].runs[1].first, 2u);
+  EXPECT_EQ(plans[0].runs[1].last, 2u);
+  EXPECT_EQ(plans[0].issue_bytes, 12288);
+}
+
+TEST(QueryPlanTest, DuplicateExtentsShareOneRun) {
+  std::vector<PlanExtentItem> items = {
+      Extent("f", "d", 0, 100),
+      Extent("f", "d", 0, 100),
+  };
+  std::vector<FileBatchPlan> plans = PlanFileBatches(items);
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans[0].runs.size(), 1u);
+  EXPECT_EQ(plans[0].runs[0].span_bytes, 100);
+  EXPECT_EQ(plans[0].runs[0].gap_bytes, 0);  // clamped, not negative
+  EXPECT_EQ(plans[0].payload_bytes, 200);    // both requests counted
+  EXPECT_EQ(plans[0].issue_bytes, 100);      // one device transfer
+}
+
+// ---------------------------------------------------------------------------
+// QueryPlanner / QueryTicket (core/query.h), direct mode.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kUnitPayload = 64 * 1024;
+
+std::unique_ptr<Gbo> MakeQueryDb(bool background) {
+  GboOptions options;
+  if (!background) options = GboOptions::SingleThread();
+  options.io_threads = 2;
+  options.memory_limit_bytes = 64 * 1024 * 1024;
+  auto db = std::make_unique<Gbo>(options);
+  EXPECT_TRUE(workloads::EnsureServingSchema(db.get()).ok());
+  return db;
+}
+
+// Counts invocations, optionally parking until `gate` opens.
+Gbo::ReadFn CountingRead(std::atomic<int>* runs,
+                         std::atomic<bool>* gate = nullptr) {
+  return [runs, gate](Gbo* db, const std::string& name) -> Status {
+    runs->fetch_add(1);
+    if (gate != nullptr) {
+      while (!gate->load()) SleepFor(std::chrono::milliseconds(1));
+    }
+    return workloads::ServingReadFn(kUnitPayload, Duration::zero())(db, name);
+  };
+}
+
+QueryUnitSpec Spec(const std::string& name, Gbo::ReadFn read_fn) {
+  QueryUnitSpec spec;
+  spec.name = name;
+  spec.read_fn = std::move(read_fn);
+  spec.bytes = kUnitPayload;
+  return spec;
+}
+
+TEST(QueryApiTest, DedupAgainstResidentPinsImmediately) {
+  auto db = MakeQueryDb(/*background=*/true);
+  ASSERT_TRUE(
+      db->ReadUnit("q/a", workloads::ServingReadFn(kUnitPayload,
+                                                   Duration::zero()))
+          .ok());
+  ASSERT_TRUE(db->FinishUnit("q/a").ok());  // cached, unpinned
+
+  std::atomic<int> a_runs{0};
+  std::atomic<int> b_runs{0};
+  GboQuery query;
+  query.units.push_back(Spec("q/a", CountingRead(&a_runs)));
+  query.units.push_back(Spec("q/b", CountingRead(&b_runs)));
+  QueryPlanner planner(db.get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+
+  EXPECT_EQ(*(*ticket)->DispositionOf("q/a"), QueryDisposition::kResident);
+  EXPECT_EQ(*(*ticket)->DispositionOf("q/b"), QueryDisposition::kBatched);
+  QueryPlanStats plan = (*ticket)->plan();
+  EXPECT_EQ(plan.units_requested, 2);
+  EXPECT_EQ(plan.dedup_resident, 1);
+  EXPECT_EQ(plan.batches_issued, 1);
+  EXPECT_EQ(plan.bytes_saved, kUnitPayload);
+
+  EXPECT_TRUE((*ticket)->WaitAll().ok());
+  EXPECT_EQ(a_runs.load(), 0);  // resident hit: never re-read
+  EXPECT_EQ(b_runs.load(), 1);
+  // The probe pinned q/a at plan time: FinishAll releasing both proves it.
+  EXPECT_TRUE((*ticket)->FinishAll().ok());
+
+  GboStats stats = db->stats();
+  EXPECT_EQ(stats.plan_dedup_hits, 1);
+  EXPECT_EQ(stats.plan_batches_issued, 1);
+  EXPECT_EQ(stats.plan_bytes_saved, kUnitPayload);
+}
+
+TEST(QueryApiTest, DedupAgainstInFlightJoinsTheLoad) {
+  auto db = MakeQueryDb(/*background=*/true);
+  std::atomic<int> loader_runs{0};
+  std::atomic<bool> gate{false};
+  ASSERT_TRUE(db->AddUnit("q/g", CountingRead(&loader_runs, &gate)).ok());
+
+  std::atomic<int> query_runs{0};
+  GboQuery query;
+  query.units.push_back(Spec("q/g", CountingRead(&query_runs)));
+  QueryPlanner planner(db.get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_EQ(*(*ticket)->DispositionOf("q/g"), QueryDisposition::kInFlight);
+  EXPECT_EQ((*ticket)->plan().dedup_in_flight, 1);
+
+  gate.store(true);
+  EXPECT_TRUE((*ticket)->WaitAll().ok());
+  EXPECT_EQ(query_runs.load(), 0);  // joined, not re-issued
+  EXPECT_EQ(loader_runs.load(), 1);
+  EXPECT_TRUE((*ticket)->FinishAll().ok());
+}
+
+TEST(QueryApiTest, CancellationMidPlanDeletesQueuedLoads) {
+  auto db = MakeQueryDb(/*background=*/false);  // loads stay queued
+  std::atomic<int> runs{0};
+  GboQuery query;
+  for (int i = 0; i < 3; ++i) {
+    query.units.push_back(Spec("q/u" + std::to_string(i),
+                               CountingRead(&runs)));
+  }
+  QueryPlanner planner(db.get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+
+  EXPECT_TRUE((*ticket)->Cancel().ok());
+  Status all = (*ticket)->WaitAll();
+  EXPECT_EQ(all.code(), StatusCode::kAborted) << all;
+  EXPECT_EQ(runs.load(), 0);  // no read function ever ran
+  for (int i = 0; i < 3; ++i) {
+    std::string name = "q/u" + std::to_string(i);
+    EXPECT_EQ((*ticket)->UnitStatus(name).code(), StatusCode::kAborted);
+    // Cancel withdrew the queued direct-mode loads via DeleteUnit.
+    EXPECT_EQ(db->ProbeUnitForPlan(name), Gbo::UnitProbe::kAbsent);
+  }
+}
+
+TEST(QueryApiTest, PoollessLoadsRunInlineInPlanOrder) {
+  auto db = MakeQueryDb(/*background=*/false);
+  std::atomic<int> runs{0};
+  GboQuery query;
+  std::vector<std::string> consumed;
+  query.on_unit = [&consumed](const std::string& name, const Status& s) {
+    EXPECT_TRUE(s.ok()) << s;
+    consumed.push_back(name);
+  };
+  for (int i = 0; i < 3; ++i) {
+    query.units.push_back(Spec("q/u" + std::to_string(i),
+                               CountingRead(&runs)));
+  }
+  QueryPlanner planner(db.get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_TRUE((*ticket)->WaitAll().ok());
+  EXPECT_EQ(runs.load(), 3);
+  ASSERT_EQ(consumed.size(), 3u);
+  EXPECT_EQ(consumed[0], "q/u0");
+  EXPECT_EQ(consumed[1], "q/u1");
+  EXPECT_EQ(consumed[2], "q/u2");
+  EXPECT_TRUE((*ticket)->FinishAll().ok());
+}
+
+TEST(QueryApiTest, PushdownRunsPerUnitAsItLands) {
+  auto db = MakeQueryDb(/*background=*/true);
+  std::atomic<int> runs{0};
+  GboQuery query;
+  query.units.push_back(Spec("q/p0", CountingRead(&runs)));
+  query.units.push_back(Spec("q/p1", CountingRead(&runs)));
+  query.pushdown = [](Gbo*, const std::string& unit,
+                      std::vector<DerivedResult>* out) -> Status {
+    DerivedResult result;
+    result.unit = unit;
+    result.field = "derived";
+    result.values = {1.0, 2.0};
+    out->push_back(std::move(result));
+    return Status::Ok();
+  };
+  QueryPlanner planner(db.get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_TRUE((*ticket)->WaitAll().ok());
+  std::vector<DerivedResult> derived = (*ticket)->TakeDerived();
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived[0].field, "derived");
+  EXPECT_EQ(db->stats().pushdown_computations, 2);
+  EXPECT_TRUE((*ticket)->FinishAll().ok());
+  EXPECT_TRUE((*ticket)->TakeDerived().empty());  // moved out above
+}
+
+TEST(QueryApiTest, DeadlineExpiresTheWait) {
+  auto db = MakeQueryDb(/*background=*/true);
+  std::atomic<int> runs{0};
+  std::atomic<bool> gate{false};
+  GboQuery query;
+  query.units.push_back(Spec("q/slow", CountingRead(&runs, &gate)));
+  query.deadline = std::chrono::milliseconds(50);
+  QueryPlanner planner(db.get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  Status all = (*ticket)->WaitAll();
+  EXPECT_EQ(all.code(), StatusCode::kDeadlineExceeded) << all;
+  gate.store(true);  // let the parked load settle before teardown
+}
+
+// ---------------------------------------------------------------------------
+// Session mode: the batch-ticket lane (GboSession::SubmitBatchSet).
+// ---------------------------------------------------------------------------
+
+TEST(QuerySessionTest, OutsideNamespaceIsRejectedAtSubmit) {
+  auto db = MakeQueryDb(/*background=*/true);
+  GboServer server(db.get());
+  SessionConfig config;
+  config.unit_namespace = "hot/";
+  auto session = server.OpenSession(config);
+  ASSERT_TRUE(session.ok());
+  std::atomic<int> runs{0};
+  GboQuery query;
+  query.units.push_back(Spec("cold/x", CountingRead(&runs)));
+  QueryPlanner planner(db.get(), session->get());
+  auto ticket = planner.Submit(std::move(query));
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*session)->stats().batch_submitted, 0);
+}
+
+TEST(QuerySessionTest, BatchGrantAndPinAccounting) {
+  auto db = MakeQueryDb(/*background=*/true);
+  GboServer server(db.get());
+  auto session = server.OpenSession(SessionConfig{});
+  ASSERT_TRUE(session.ok());
+
+  std::atomic<int> runs{0};
+  GboQuery query;
+  for (int i = 0; i < 4; ++i) {
+    query.units.push_back(Spec("b/u" + std::to_string(i),
+                               CountingRead(&runs)));
+  }
+  QueryPlanner planner(db.get(), session->get());
+  auto ticket = planner.Submit(std::move(query));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_TRUE((*ticket)->WaitAll().ok());
+  EXPECT_EQ(runs.load(), 4);
+
+  SessionStats stats = (*session)->stats();
+  EXPECT_EQ(stats.batch_submitted, 4);
+  EXPECT_EQ(stats.batch_granted, 4);
+  EXPECT_EQ(stats.queued_batch, 0);
+  EXPECT_EQ(stats.pinned_units, 4);  // plan pins adopted by the session
+  EXPECT_EQ(stats.demand_samples, 4);
+
+  EXPECT_TRUE((*ticket)->FinishAll().ok());
+  EXPECT_EQ((*session)->stats().pinned_units, 0);
+}
+
+TEST(QuerySessionTest, DeadlineWithdrawalReleasesQueueQuota) {
+  auto db = MakeQueryDb(/*background=*/true);
+  GboServer server(db.get());
+  SessionConfig config;
+  config.max_inflight_loads = 1;  // one grant at a time; the rest queue
+  config.max_queued_demand = 3;
+  auto session = server.OpenSession(config);
+  ASSERT_TRUE(session.ok());
+
+  std::atomic<int> runs{0};
+  std::atomic<bool> gate{false};
+  auto batch = [&](const std::string& name) {
+    SessionBatchRequest request;
+    request.unit_name = name;
+    request.read_fn = CountingRead(&runs, &gate);
+    return request;
+  };
+  std::vector<SessionBatchRequest> set;
+  set.push_back(batch("b/u0"));
+  set.push_back(batch("b/u1"));
+  set.push_back(batch("b/u2"));
+  ASSERT_TRUE((*session)->SubmitBatchSet(std::move(set)).ok());
+  // u0 granted (parked on the gate); u1, u2 still queued.
+  Stopwatch poll;
+  while ((*session)->stats().batch_granted < 1 &&
+         poll.ElapsedSeconds() < 5.0) {
+    SleepFor(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ((*session)->stats().queued_batch, 2);
+
+  // Quota full: two more tickets would exceed max_queued_demand.
+  std::vector<SessionBatchRequest> more;
+  more.push_back(batch("b/u3"));
+  more.push_back(batch("b/u4"));
+  EXPECT_EQ((*session)->SubmitBatchSet(std::move(more)).code(),
+            StatusCode::kResourceExhausted);
+
+  // A passed deadline withdraws the still-queued ticket — and releases
+  // its queue-quota slot.
+  TimePoint past = Now() - std::chrono::seconds(1);
+  EXPECT_EQ((*session)->AwaitBatchSettle("b/u1", &past).code(),
+            StatusCode::kDeadlineExceeded);
+  SessionStats stats = (*session)->stats();
+  EXPECT_EQ(stats.queued_batch, 1);
+  EXPECT_EQ(stats.demand_shed, 1);
+
+  std::vector<SessionBatchRequest> again;
+  again.push_back(batch("b/u3"));
+  again.push_back(batch("b/u4"));
+  EXPECT_TRUE((*session)->SubmitBatchSet(std::move(again)).ok());
+
+  gate.store(true);
+  EXPECT_TRUE((*session)->AwaitBatchSettle("b/u0", nullptr).ok());
+  EXPECT_TRUE((*session)->AwaitBatchSettle("b/u2", nullptr).ok());
+  EXPECT_TRUE((*session)->AwaitBatchSettle("b/u3", nullptr).ok());
+  EXPECT_TRUE((*session)->AwaitBatchSettle("b/u4", nullptr).ok());
+  // The withdrawn ticket never granted: no settle record to consume.
+  EXPECT_EQ((*session)->AwaitBatchSettle("b/u1", nullptr).code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the plan layout predicts ReadBatch device I/O exactly,
+// in both simulation modes (the plan is pure arithmetic; the executor
+// runs against the simulated disk).
+// ---------------------------------------------------------------------------
+
+void RunPlanVsReadBatchTrial(std::mt19937* rng) {
+  SimEnv env{SimEnv::Options{}};
+  auto writer = gsdf::Writer::Create(&env, "p.gsdf");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const int num_datasets = 1 + static_cast<int>((*rng)() % 30);
+  std::vector<std::string> all_names;
+  std::vector<int> sizes;
+  for (int i = 0; i < num_datasets; ++i) {
+    std::string name = "d" + std::to_string(i);
+    int n = 1 + static_cast<int>((*rng)() % 512);
+    std::vector<double> data(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) data[static_cast<size_t>(j)] = i + j * 0.25;
+    ASSERT_TRUE((*writer)
+                    ->AddDataset(name, DataType::kFloat64, data.data(),
+                                 n * 8)
+                    .ok());
+    all_names.push_back(std::move(name));
+    sizes.push_back(n * 8);
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = gsdf::Reader::Open(&env, "p.gsdf");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  std::vector<std::string> subset;
+  std::vector<int64_t> subset_bytes;
+  for (int i = 0; i < num_datasets; ++i) {
+    if (i != 0 && ((*rng)() % 2) != 0) continue;
+    subset.push_back(all_names[static_cast<size_t>(i)]);
+    subset_bytes.push_back(sizes[static_cast<size_t>(i)]);
+  }
+
+  PlanLimits limits;
+  const int64_t gaps[] = {0, 64, 1024, 64 * 1024};
+  const int64_t transfers[] = {4096, 64 * 1024, 4 * 1024 * 1024};
+  limits.max_gap = gaps[(*rng)() % 4];
+  limits.max_transfer = transfers[(*rng)() % 3];
+
+  auto extents = (*reader)->DescribeExtents(subset);
+  ASSERT_TRUE(extents.ok()) << extents.status();
+  std::vector<PlanExtentItem> items;
+  for (const gsdf::DatasetExtent& extent : *extents) {
+    items.push_back({"p.gsdf", extent.name, extent.offset, extent.nbytes,
+                     0});
+  }
+  std::vector<FileBatchPlan> plans = PlanFileBatches(items, limits);
+  ASSERT_EQ(plans.size(), 1u);
+  int64_t planned_transfers =
+      static_cast<int64_t>(plans[0].runs.size());
+  int64_t planned_bytes = plans[0].issue_bytes;
+
+  // Execute the same set through ReadBatch, in shuffled request order
+  // (the executor sorts internally, exactly like the planner).
+  std::vector<std::vector<uint8_t>> buffers(subset.size());
+  std::vector<gsdf::BatchRequest> requests;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    buffers[i].resize(static_cast<size_t>(subset_bytes[i]));
+    requests.push_back(
+        {subset[i], buffers[i].data(), subset_bytes[i]});
+  }
+  std::shuffle(requests.begin(), requests.end(), *rng);
+  env.ResetStats();
+  gsdf::BatchOptions batch_options;
+  batch_options.max_gap = limits.max_gap;
+  batch_options.max_transfer = limits.max_transfer;
+  auto stats = (*reader)->ReadBatch(requests, batch_options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  DiskStats disk = env.stats();
+  EXPECT_EQ(disk.reads, planned_transfers);
+  EXPECT_EQ(disk.bytes_read, planned_bytes);
+  EXPECT_EQ(stats->transfers, planned_transfers);
+  EXPECT_EQ(stats->coalesced,
+            static_cast<int64_t>(subset.size()) - planned_transfers);
+
+  // Spot-check payload integrity of the first subset dataset.
+  const double* values =
+      reinterpret_cast<const double*>(buffers[0].data());
+  EXPECT_EQ(values[0], 0.0);   // dataset d0, element 0
+  EXPECT_EQ(values[1], 0.25);  // dataset d0, element 1
+}
+
+TEST(QueryPlanPropertyTest, PlanPredictsReadBatchScaledSleep) {
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 12; ++trial) {
+    SCOPED_TRACE(trial);
+    RunPlanVsReadBatchTrial(&rng);
+  }
+}
+
+TEST(QueryPlanPropertyTest, PlanPredictsReadBatchDiscreteEvent) {
+  DiscreteEventScope scope;
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 12; ++trial) {
+    SCOPED_TRACE(trial);
+    RunPlanVsReadBatchTrial(&rng);
+  }
+}
 
 }  // namespace
 }  // namespace godiva

@@ -212,6 +212,35 @@ TEST_F(VoyagerVariantTest, AllVariantsProduceIdenticalGeometry) {
   EXPECT_EQ(cells[0].tets_visited, cells[2].tets_visited);
 }
 
+TEST_F(VoyagerVariantTest, QueryApiMatchesLegacyGeometry) {
+  // The declarative query path (RunConfig::use_query_api, DESIGN.md §15)
+  // must render the exact same frames as the legacy unit-at-a-time path,
+  // in both the single-thread and background-pool variants.
+  std::vector<CellResult> cells;
+  for (Variant variant :
+       {Variant::kGodivaSingleThread, Variant::kGodivaMultiThread}) {
+    for (bool use_query_api : {false, true}) {
+      PlatformRuntime runtime(PlatformProfile::Engle(),
+                              experiment_->options().time_scale,
+                              experiment_->env());
+      RunConfig config;
+      config.dataset = &experiment_->dataset();
+      config.test = VizTestSpec::Simple();
+      config.variant = variant;
+      config.use_query_api = use_query_api;
+      config.process.real_work_stride = 1;
+      auto cell = RunVoyager(&runtime, config);
+      ASSERT_TRUE(cell.ok()) << cell.status();
+      cells.push_back(*cell);
+    }
+  }
+  EXPECT_GT(cells[0].triangles, 0);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].triangles, cells[0].triangles) << i;
+    EXPECT_EQ(cells[i].tets_visited, cells[0].tets_visited) << i;
+  }
+}
+
 TEST_F(VoyagerVariantTest, GodivaReducesReadVolume) {
   for (const VizTestSpec& test : VizTestSpec::AllThree()) {
     std::vector<int64_t> bytes;
